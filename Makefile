@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench eval eval-quick fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+race:
+	go test -race ./internal/sim/ ./internal/node/ ./internal/core/
+
+bench:
+	go test -run XXXNONE -bench=. -benchmem ./...
+
+eval:
+	go run ./cmd/rups-eval -csv results
+
+eval-quick:
+	go run ./cmd/rups-eval -quick
+
+fuzz:
+	go test -run FuzzUnmarshalBinary -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/trajectory/
+	go test -run FuzzReadFrom -fuzz FuzzReadFrom -fuzztime 30s ./internal/trace/
+
+maps:
+	go run ./cmd/rups-map -out docs/city.svg
+	go run ./cmd/rups-map -scenario -out docs/scenario.svg
+
+clean:
+	rm -f drive.rupt

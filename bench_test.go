@@ -1,0 +1,349 @@
+// Benchmarks: one per paper table/figure (the workload that regenerates
+// it), plus the §V cost-model benches and ablation benches for the design
+// choices DESIGN.md §5 calls out. Run with:
+//
+//	go test -bench=. -benchmem
+package rups_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/core"
+	"rups/internal/eval"
+	"rups/internal/geo"
+	"rups/internal/gsm"
+	"rups/internal/node"
+	"rups/internal/sim"
+	"rups/internal/stats"
+	"rups/internal/trajectory"
+	"rups/internal/v2v"
+)
+
+// benchOpts keeps the per-iteration work bounded; the full experiment runs
+// live in cmd/rups-eval.
+var benchOpts = eval.Options{Seed: 42, Quick: true}
+
+// --- §III micro experiments -------------------------------------------------
+
+// BenchmarkFig1Spectrogram regenerates the two-road spectrogram comparison.
+func BenchmarkFig1Spectrogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := eval.Fig1(benchOpts); len(tb.Rows) != 3 {
+			b.Fatal("fig1 produced wrong shape")
+		}
+	}
+}
+
+// BenchmarkFig2Stability regenerates the temporal-stability curves.
+func BenchmarkFig2Stability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := eval.Fig2(benchOpts); len(tb.Rows) == 0 {
+			b.Fatal("fig2 empty")
+		}
+	}
+}
+
+// BenchmarkFig3Uniqueness regenerates the uniqueness CDFs.
+func BenchmarkFig3Uniqueness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := eval.Fig3(benchOpts); len(tb.Rows) == 0 {
+			b.Fatal("fig3 empty")
+		}
+	}
+}
+
+// BenchmarkFig4Resolution regenerates the relative-change-vs-distance series.
+func BenchmarkFig4Resolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tb := eval.Fig4(benchOpts); len(tb.Rows) == 0 {
+			b.Fatal("fig4 empty")
+		}
+	}
+}
+
+// --- §VI system experiments --------------------------------------------------
+
+// sharedRun caches one executed scenario; the per-figure benches measure
+// query answering, which is the per-operation cost a deployment cares
+// about (the drive itself happens once).
+var (
+	runOnce   sync.Once
+	benchRun  *sim.Run
+	benchTime []float64
+)
+
+func getBenchRun(b *testing.B) (*sim.Run, []float64) {
+	b.Helper()
+	runOnce.Do(func() {
+		sc := sim.DefaultScenario(4242, city.EightLaneUrban)
+		sc.Trucks = 2
+		benchRun = sim.Execute(sc)
+		benchTime = benchRun.QueryTimes(64, 1)
+	})
+	return benchRun, benchTime
+}
+
+// BenchmarkFig9SynRadios measures one SYN-error query on the Fig 9
+// scenario (8-lane urban, 4 front radios).
+func BenchmarkFig9SynRadios(b *testing.B) {
+	r, times := getBenchRun(b)
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := r.Query(times[i%len(times)], p)
+		if q.OK && math.IsInf(q.SYNErrM, 0) {
+			b.Fatal("bad SYN error")
+		}
+	}
+}
+
+// BenchmarkFig10Aggregation measures a full multi-SYN selective-average
+// resolution under perturbation.
+func BenchmarkFig10Aggregation(b *testing.B) {
+	r, times := getBenchRun(b)
+	p := core.DefaultParams()
+	p.Aggregation = core.SelectiveAgg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Query(times[i%len(times)], p)
+	}
+}
+
+// BenchmarkFig11Environments measures a query on the suburban setting of
+// Fig 11 (different propagation parameters than downtown).
+func BenchmarkFig11Environments(b *testing.B) {
+	sc := sim.DefaultScenario(4343, city.TwoLaneSuburb)
+	sc.DistanceM = 900
+	r := sim.Execute(sc)
+	times := r.QueryTimes(32, 2)
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Query(times[i%len(times)], p)
+	}
+}
+
+// BenchmarkFig12VsGPS measures the combined RUPS + GPS query of the
+// comparison experiment.
+func BenchmarkFig12VsGPS(b *testing.B) {
+	r, times := getBenchRun(b)
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := r.Query(times[i%len(times)], p)
+		_ = q.GPSRDE
+	}
+}
+
+// --- §V cost model -------------------------------------------------------
+
+// syntheticPair builds two dense 1 km trajectories with a known overlap,
+// isolating the SYN search from the simulation.
+func syntheticPair() (*trajectory.Aware, *trajectory.Aware) {
+	area := gsm.Bounds{MinX: 0, MinY: 0, MaxX: 3000, MaxY: 3000}
+	f := gsm.NewField(7, gsm.GenerateTowers(7, area, gsm.ConstZone(gsm.Urban)), gsm.ConstZone(gsm.Urban))
+	build := func(startX float64, t0 float64) *trajectory.Aware {
+		const n = 1000
+		g := trajectory.Geo{Marks: make([]trajectory.GeoMark, n)}
+		for i := range g.Marks {
+			g.Marks[i] = trajectory.GeoMark{Theta: math.Pi / 2, T: t0 + float64(i)/12}
+		}
+		a := trajectory.NewAware(g)
+		for i := 0; i < n; i++ {
+			pos := geo.Vec2{X: startX + float64(i), Y: 1500}
+			for ch := 0; ch < gsm.NumChannels; ch++ {
+				a.Power[ch][i] = f.Sample(pos, ch, g.Marks[i].T)
+			}
+		}
+		return a
+	}
+	return build(500, 1000), build(525, 998)
+}
+
+var (
+	pairOnce sync.Once
+	pairA    *trajectory.Aware
+	pairB    *trajectory.Aware
+)
+
+func getPair() (*trajectory.Aware, *trajectory.Aware) {
+	pairOnce.Do(func() { pairA, pairB = syntheticPair() })
+	return pairA, pairB
+}
+
+// BenchmarkSynSearch is the §V-A claim: one double-sliding SYN search over
+// a 1 km context with a 45-channel × 85 m window (paper: ~1.2 ms on an
+// i7-2640M).
+func BenchmarkSynSearch(b *testing.B) {
+	a, bb := getPair()
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.FindSYN(a, bb, p); !ok {
+			b.Fatal("no SYN on overlapping synthetic pair")
+		}
+	}
+}
+
+// BenchmarkSynSearchUnbounded ablates the locality bound: the search
+// examines every window position (the paper's full O(m·w·k)).
+func BenchmarkSynSearchUnbounded(b *testing.B) {
+	a, bb := getPair()
+	p := core.DefaultParams()
+	p.MaxRelDistM = 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FindSYN(a, bb, p)
+	}
+}
+
+// BenchmarkSynSearchAllChannels ablates the top-45 channel selection.
+func BenchmarkSynSearchAllChannels(b *testing.B) {
+	a, bb := getPair()
+	p := core.DefaultParams()
+	p.WindowChannels = gsm.NumChannels
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FindSYN(a, bb, p)
+	}
+}
+
+// BenchmarkSynSearchSingleSided ablates the double-sliding check.
+func BenchmarkSynSearchSingleSided(b *testing.B) {
+	a, bb := getPair()
+	p := core.DefaultParams()
+	p.SingleSided = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FindSYN(a, bb, p)
+	}
+}
+
+// BenchmarkSynSearchNoColumnTerm ablates Eq. 2's second term.
+func BenchmarkSynSearchNoColumnTerm(b *testing.B) {
+	a, bb := getPair()
+	p := core.DefaultParams()
+	p.NoColumnTerm = true
+	p.Coherency = 0.6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FindSYN(a, bb, p)
+	}
+}
+
+// BenchmarkTrajCorr measures the reference Eq. 2 implementation on a
+// 45×85 window pair.
+func BenchmarkTrajCorr(b *testing.B) {
+	a, bb := getPair()
+	wa := a.Window(0, 85)[:45]
+	wb := bb.Window(0, 85)[:45]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.TrajCorr(wa, wb)
+	}
+}
+
+// BenchmarkV2VExchange is the §V-B claim: serializing and shipping a 1 km
+// journey context over 802.11p WSMs (paper: ~182 KB, ~130 packets,
+// ~0.52 s of simulated air time).
+func BenchmarkV2VExchange(b *testing.B) {
+	a, _ := getPair()
+	link := &v2v.Link{Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cost, err := v2v.ExchangeTrajectory(link, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cost.Elapsed < 0.3 || cost.Elapsed > 0.8 {
+			b.Fatalf("exchange time %v s off the paper's ~0.52 s", cost.Elapsed)
+		}
+	}
+}
+
+// BenchmarkIncrementalTracking is the §V-B scalability claim: one 10 Hz
+// tracking delta (a few new metres) instead of a full context transfer.
+func BenchmarkIncrementalTracking(b *testing.B) {
+	a, _ := getPair()
+	link := &v2v.Link{Seed: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := v2v.MakeDelta(a, a.Len()-2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost := v2v.SendDelta(link, d)
+		if cost.Packets > 2 {
+			b.Fatalf("delta needed %d packets", cost.Packets)
+		}
+	}
+}
+
+// BenchmarkWireMarshal measures trajectory serialization alone.
+func BenchmarkWireMarshal(b *testing.B) {
+	a, _ := getPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldSampleVector measures one full 194-channel power-vector
+// read of the radio environment (the substrate's hot path).
+func BenchmarkFieldSampleVector(b *testing.B) {
+	area := gsm.Bounds{MinX: 0, MinY: 0, MaxX: 3000, MaxY: 3000}
+	f := gsm.NewField(9, gsm.GenerateTowers(9, area, gsm.ConstZone(gsm.Downtown)), gsm.ConstZone(gsm.Downtown))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SampleVector(geo.Vec2{X: 1000 + float64(i%500), Y: 1500}, float64(i))
+	}
+}
+
+// BenchmarkPlatoonStep measures the distributed protocol: one full
+// 2-vehicle platoon run (beacons, full exchange, 10 Hz deltas, 2 Hz
+// tracked queries) over a short drive, with the expensive per-vehicle
+// pipelines built once outside the loop.
+func BenchmarkPlatoonStep(b *testing.B) {
+	cfg := node.DefaultPlatoonConfig(9999, 2)
+	cfg.DistanceM = 400
+	_, built, t0, t1 := node.Platoon(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		front := node.NewNode(0, built[0].Vehicle)
+		rear := node.NewNode(1, built[1].Vehicle)
+		rear.Track(front)
+		nw := node.NewNetwork(node.NewMedium(), node.DefaultConfig(), front, rear)
+		nw.Run(t0, t1)
+		if len(nw.Queries) == 0 {
+			b.Fatal("protocol produced no queries")
+		}
+	}
+}
+
+// BenchmarkQuerySequential and BenchmarkQueryParallel measure the query
+// fan-out: evaluating a batch of 32 relative-distance queries one by one vs
+// over the worker pool.
+func BenchmarkQuerySequential(b *testing.B) {
+	r, times := getBenchRun(b)
+	p := core.DefaultParams()
+	batch := times[:32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.QueryManyParallel(batch, p, 1)
+	}
+}
+
+func BenchmarkQueryParallel(b *testing.B) {
+	r, times := getBenchRun(b)
+	p := core.DefaultParams()
+	batch := times[:32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.QueryMany(batch, p) // GOMAXPROCS workers
+	}
+}

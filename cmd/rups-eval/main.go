@@ -1,0 +1,98 @@
+// Command rups-eval regenerates the paper's tables and figures from the
+// trace-driven simulation. By default it runs every experiment at the
+// paper's sample counts; -quick shrinks them for a smoke run.
+//
+// Usage:
+//
+//	rups-eval [-exp fig9] [-quick] [-seed 42] [-list] [-csv dir] [-j 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rups/internal/eval"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
+		quick  = flag.Bool("quick", false, "reduced sample counts for a fast smoke run")
+		seed   = flag.Uint64("seed", 42, "master random seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+		jobs   = flag.Int("j", 1, "run up to j experiments concurrently (results print in order)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(eval.IDs(), " "))
+		return
+	}
+
+	o := eval.Options{Seed: *seed, Quick: *quick}
+	var runs []func(eval.Options) *eval.Table
+	var names []string
+	if *exp == "all" {
+		for _, id := range eval.IDs() {
+			runs = append(runs, eval.ByID(id))
+			names = append(names, id)
+		}
+	} else {
+		r := eval.ByID(*exp)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "rups-eval: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runs = append(runs, r)
+		names = append(names, *exp)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "rups-eval:", err)
+			os.Exit(1)
+		}
+	}
+	if *jobs < 1 {
+		*jobs = 1
+	}
+	type result struct {
+		table   *eval.Table
+		elapsed time.Duration
+	}
+	results := make([]chan result, len(runs))
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	sem := make(chan struct{}, *jobs)
+	for i, run := range runs {
+		go func(i int, run func(eval.Options) *eval.Table) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			t := run(o)
+			results[i] <- result{t, time.Since(start)}
+		}(i, run)
+	}
+	for i := range runs {
+		r := <-results[i]
+		r.table.Fprint(os.Stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, r.table.ID+".csv")
+			f, err := os.Create(path)
+			if err == nil {
+				err = r.table.WriteCSV(f)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rups-eval: csv %s: %v\n", path, err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", names[i], r.elapsed.Round(time.Millisecond))
+	}
+}

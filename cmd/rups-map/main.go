@@ -1,0 +1,80 @@
+// Command rups-map renders the simulated city — roads by class, zoning
+// rings, GSM towers, and optionally a two-vehicle scenario's trajectories —
+// as an SVG for documentation and debugging.
+//
+// Usage:
+//
+//	rups-map [-seed 42] [-scenario] [-out city.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rups/internal/city"
+	"rups/internal/geo"
+	"rups/internal/gsm"
+	"rups/internal/noise"
+	"rups/internal/render"
+	"rups/internal/sim"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 42, "city seed")
+		scenario = flag.Bool("scenario", false, "overlay a two-vehicle drive")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	m := &render.Map{WidthPx: 900}
+	if *scenario {
+		sc := sim.DefaultScenario(*seed, city.EightLaneUrban)
+		sc.DistanceM = 900
+		r := sim.Execute(sc)
+		m.City = r.City
+		m.Towers = r.Field.Towers()
+		m.Tracks = []render.Track{
+			{Points: decimate(r.Leader.MarkTruePos, 10), Colour: "#d81b60", Label: "leader"},
+			{Points: decimate(r.Follower.MarkTruePos, 10), Colour: "#00897b", Label: "follower"},
+		}
+	} else {
+		c := city.Generate(city.DefaultConfig(*seed))
+		m.City = c
+		m.Towers = gsm.GenerateTowers(noise.Hash(*seed, 0x703E5), c.Bounds(), c)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.WriteSVG(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+// decimate keeps every nth point (plus the last).
+func decimate(pts []geo.Vec2, n int) []geo.Vec2 {
+	var out []geo.Vec2
+	for i := 0; i < len(pts); i += n {
+		out = append(out, pts[i])
+	}
+	if len(pts) > 0 {
+		out = append(out, pts[len(pts)-1])
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rups-map:", err)
+	os.Exit(1)
+}

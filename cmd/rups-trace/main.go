@@ -1,0 +1,134 @@
+// Command rups-trace records, inspects, and replays drive traces — the
+// artifact separating the expensive simulated "field drive" from the
+// analysis, as in the paper's trace-driven methodology.
+//
+// Usage:
+//
+//	rups-trace record -out drive.rupt [-class 1] [-radios 4] [-seed 7]
+//	rups-trace info   -in drive.rupt
+//	rups-trace replay -in drive.rupt [-queries 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rups/internal/city"
+	"rups/internal/core"
+	"rups/internal/sim"
+	"rups/internal/stats"
+	"rups/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rups-trace {record|info|replay} [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "drive.rupt", "output trace file")
+	class := fs.Int("class", 1, "road class 0..3")
+	radios := fs.Int("radios", 4, "scanning radios")
+	distance := fs.Float64("distance", 1200, "drive length, m")
+	seed := fs.Uint64("seed", 7, "scenario seed")
+	fs.Parse(args)
+
+	rc := city.RoadClass(*class)
+	sc := sim.DefaultScenario(*seed, rc)
+	sc.Radios = *radios
+	sc.DistanceM = *distance
+	fmt.Fprintf(os.Stderr, "driving %s for %v m ...\n", rc, *distance)
+	rec := trace.FromRun(sim.Execute(sc), fmt.Sprintf("%s seed=%d radios=%d", rc, *seed, *radios))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := rec.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d KB)\n", *out, n/1024)
+}
+
+func load(path string) *trace.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var rec trace.Record
+	if _, err := rec.ReadFrom(f); err != nil {
+		fatal(err)
+	}
+	return &rec
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "drive.rupt", "trace file")
+	fs.Parse(args)
+	rec := load(*in)
+	fmt.Printf("label:    %s\n", rec.Label)
+	fmt.Printf("seed:     %d\n", rec.Seed)
+	fmt.Printf("leader:   %d metres of context, %d truth samples\n",
+		rec.Leader.Aware.Len(), len(rec.Leader.S))
+	fmt.Printf("follower: %d metres of context, %d truth samples\n",
+		rec.Follower.Aware.Len(), len(rec.Follower.S))
+	fmt.Printf("missing cells: leader %.1f%%, follower %.1f%%\n",
+		rec.Leader.Aware.MissingFrac()*100, rec.Follower.Aware.MissingFrac()*100)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "drive.rupt", "trace file")
+	queries := fs.Int("queries", 50, "number of replayed queries")
+	fs.Parse(args)
+	rec := load(*in)
+
+	p := core.DefaultParams()
+	t0 := rec.Follower.T0
+	span := float64(len(rec.Follower.S)-1) / trace.SampleHz
+	warm := 60.0
+	if warm > span/2 {
+		warm = span / 2
+	}
+	var rde, gpsRde stats.Online
+	resolved := 0
+	for i := 0; i < *queries; i++ {
+		t := t0 + warm + (span-warm)*float64(i)/float64(*queries)
+		q := rec.Query(t, p)
+		gpsRde.Add(q.GPSRDE)
+		if q.OK {
+			resolved++
+			rde.Add(q.RDE)
+		}
+	}
+	fmt.Printf("replayed %d queries: %d resolved\n", *queries, resolved)
+	fmt.Printf("RUPS mean RDE: %.2f m (max %.2f)\n", rde.Mean(), rde.Max())
+	fmt.Printf("GPS  mean RDE: %.2f m (max %.2f)\n", gpsRde.Mean(), gpsRde.Max())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rups-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Platoon: the distributed protocol at work. Six vehicles drive downtown
+// in a platoon; every vehicle runs its own sensing pipeline, beacons on the
+// shared DSRC control channel, receives its front neighbour's journey
+// context once, and then tracks it from 10 Hz incremental updates — the
+// §V-B scalability design as a running system. The output is the network
+// operator's view: accuracy, copy lag, and channel budget.
+package main
+
+import (
+	"fmt"
+
+	"rups/internal/node"
+)
+
+func main() {
+	const vehicles = 6
+	fmt.Printf("building a %d-vehicle platoon (full sensing pipeline per vehicle)...\n", vehicles)
+	cfg := node.DefaultPlatoonConfig(2024, vehicles)
+	nw, nodes, t0, t1 := node.Platoon(cfg)
+
+	fmt.Printf("running the DSRC protocol for %.0f s of driving...\n\n", t1-t0)
+	nw.Run(t0, t1)
+
+	// Per-pair accuracy.
+	type agg struct {
+		n, ok int
+		rde   float64
+	}
+	pairs := map[[2]uint32]*agg{}
+	for _, q := range nw.Queries {
+		key := [2]uint32{q.Node, q.Peer}
+		a := pairs[key]
+		if a == nil {
+			a = &agg{}
+			pairs[key] = a
+		}
+		a.n++
+		if q.OK {
+			a.ok++
+			a.rde += q.RDE()
+		}
+	}
+	fmt.Printf("%8s  %9s  %10s\n", "pair", "resolved", "mean RDE")
+	for i := 1; i < len(nodes); i++ {
+		key := [2]uint32{uint32(i), uint32(i - 1)}
+		a := pairs[key]
+		if a == nil || a.ok == 0 {
+			fmt.Printf("  %d → %d   %9s  %10s\n", i, i-1, "0", "-")
+			continue
+		}
+		fmt.Printf("  %d → %d   %4d/%-4d  %9.1fm\n", i, i-1, a.ok, a.n, a.rde/float64(a.ok))
+	}
+
+	s := nw.Stats(t0, t1)
+	fmt.Printf("\nnetwork totals over %.0f s:\n", t1-t0)
+	fmt.Printf("  tracked queries:     %d (%d resolved)\n", s.Queries, s.Resolved)
+	fmt.Printf("  mean copy lag:       %.1f m behind the live context\n", s.MeanLagM)
+	fmt.Printf("  full exchanges:      %d (one per pair at startup)\n", s.FullTransfers)
+	fmt.Printf("  incremental updates: %d\n", s.DeltaTransfers)
+	fmt.Printf("  channel utilization: %.1f%% of one DSRC control channel\n", s.Utilization*100)
+	fmt.Printf("  per-vehicle load:    %.1f kB/s\n", s.BytesPerNodeS/1024)
+}

@@ -1,0 +1,3 @@
+module rups
+
+go 1.22

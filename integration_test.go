@@ -1,0 +1,139 @@
+// End-to-end integration tests: the full story of the paper exercised
+// through the public seams — drive, sense, scan, bind, exchange over the
+// wire, search, resolve — with ground truth checked at the end.
+package rups_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/core"
+	"rups/internal/mobility"
+	"rups/internal/sim"
+	"rups/internal/trace"
+	"rups/internal/trajectory"
+	"rups/internal/v2v"
+)
+
+// TestEndToEndOverTheWire runs the complete pipeline including the V2V
+// serialization: the follower resolves against the leader's trajectory as
+// received over the (quantizing) wire format, not the in-memory original.
+func TestEndToEndOverTheWire(t *testing.T) {
+	sc := sim.DefaultScenario(62, city.FourLaneUrban)
+	sc.DistanceM = 900
+	r := sim.Execute(sc)
+
+	tm := r.Follower.Truth.States[0].T + 55
+	pf := r.Follower.Aware.PrefixUntil(tm)
+	pl := r.Leader.Aware.PrefixUntil(tm)
+
+	link := &v2v.Link{Seed: 9, LossProb: 0.03}
+	received, cost, err := v2v.ExchangeTrajectory(link, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Elapsed <= 0 || cost.Packets == 0 {
+		t.Fatalf("exchange cost implausible: %+v", cost)
+	}
+
+	est, ok := core.Resolve(pf, received, core.DefaultParams())
+	if !ok {
+		t.Fatal("no estimate over the wire")
+	}
+	truth := mobility.TrueGap(r.Leader.Truth, r.Follower.Truth, tm)
+	if rde := math.Abs(est.Distance - truth); rde > 10 {
+		t.Errorf("over-the-wire RDE %v m (truth %v, est %v)", rde, truth, est.Distance)
+	}
+}
+
+// TestEndToEndTraceArchive drives, archives to the binary trace format, and
+// replays a query from the archive bytes alone.
+func TestEndToEndTraceArchive(t *testing.T) {
+	sc := sim.DefaultScenario(62, city.FourLaneUrban)
+	sc.DistanceM = 700
+	rec := trace.FromRun(sim.Execute(sc), "integration")
+
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back trace.Record
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tm := back.Follower.T0 + 50
+	q := back.Query(tm, core.DefaultParams())
+	if q.TruthGap <= 0 {
+		t.Fatalf("archived truth gap %v", q.TruthGap)
+	}
+	if q.OK && q.RDE > 15 {
+		t.Errorf("archived replay RDE %v", q.RDE)
+	}
+}
+
+// TestEndToEndMultiband runs a full scenario with the FM band enabled and
+// checks the wider trajectories still flow through every stage, including
+// the wire format.
+func TestEndToEndMultiband(t *testing.T) {
+	sc := sim.DefaultScenario(63, city.EightLaneUrban)
+	sc.DistanceM = 600
+	sc.WithFM = true
+	r := sim.Execute(sc)
+
+	if w := len(r.Follower.Aware.Power); w <= 194 {
+		t.Fatalf("multiband width %d, want > 194", w)
+	}
+	data, err := r.Follower.Aware.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back trajectory.Aware
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Power) != len(r.Follower.Aware.Power) {
+		t.Fatal("multiband width lost on the wire")
+	}
+
+	tm := r.Follower.Truth.States[0].T + 35
+	q := r.Query(tm, core.DefaultParams())
+	if q.OK && q.RDE > 15 {
+		t.Errorf("multiband RDE %v", q.RDE)
+	}
+}
+
+// TestEndToEndOdometryVariants runs the full pipeline under each distance
+// source and checks the scenario still resolves.
+func TestEndToEndOdometryVariants(t *testing.T) {
+	for _, src := range []sim.OdometrySource{sim.WheelOBD, sim.OBDOnly, sim.IMUOnly} {
+		sc := sim.DefaultScenario(64, city.EightLaneUrban)
+		sc.DistanceM = 700
+		sc.StopEveryM = 350 // give the IMU estimator its ZUPTs
+		sc.Odometry = src
+		r := sim.Execute(sc)
+		ok := 0
+		times := r.QueryTimes(10, 3)
+		for _, q := range r.QueryMany(times, core.DefaultParams()) {
+			if q.OK {
+				ok++
+			}
+		}
+		if ok == 0 {
+			t.Errorf("%v: nothing resolved", src)
+		}
+	}
+}
+
+// TestOdometrySourceString covers the enum labels.
+func TestOdometrySourceString(t *testing.T) {
+	for src, want := range map[sim.OdometrySource]string{
+		sim.WheelOBD: "wheel + OBD", sim.OBDOnly: "OBD only",
+		sim.IMUOnly: "IMU only", sim.OdometrySource(9): "unknown",
+	} {
+		if got := src.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", src, got, want)
+		}
+	}
+}

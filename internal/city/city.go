@@ -1,0 +1,310 @@
+// Package city builds the synthetic urban road network the evaluation
+// drives on. It substitutes for the paper's 97 km Shanghai experiment route
+// (§VI-A): roads of the same four classes the paper evaluates — 2-lane
+// suburban, 4-lane urban, 8-lane urban, and roads running under elevated
+// decks — laid out over a ringed zoning (downtown core, urban ring,
+// suburban outskirts) that doubles as the gsm.Zoning for radio propagation.
+package city
+
+import (
+	"fmt"
+	"math"
+
+	"rups/internal/geo"
+	"rups/internal/gsm"
+	"rups/internal/noise"
+)
+
+// RoadClass is the paper's road taxonomy (§VI-A: open, semi-open, close).
+type RoadClass int
+
+const (
+	// TwoLaneSuburb is an open 2-lane suburban surface road.
+	TwoLaneSuburb RoadClass = iota
+	// FourLaneUrban is a semi-open 4-lane urban surface road with
+	// surrounding buildings and trees.
+	FourLaneUrban
+	// EightLaneUrban is an 8-lane urban major road flanked by tall
+	// buildings.
+	EightLaneUrban
+	// UnderElevated is a surface road running beneath an elevated road
+	// deck — the paper's "close" environment.
+	UnderElevated
+)
+
+// NumRoadClasses is the count of road classes.
+const NumRoadClasses = 4
+
+// String returns the class name used in evaluation output.
+func (rc RoadClass) String() string {
+	switch rc {
+	case TwoLaneSuburb:
+		return "2-lane suburb"
+	case FourLaneUrban:
+		return "4-lane urban"
+	case EightLaneUrban:
+		return "8-lane urban"
+	case UnderElevated:
+		return "under elevated"
+	default:
+		return "unknown"
+	}
+}
+
+// Lanes returns the number of lanes (both directions combined).
+func (rc RoadClass) Lanes() int {
+	switch rc {
+	case TwoLaneSuburb:
+		return 2
+	case FourLaneUrban:
+		return 4
+	case EightLaneUrban, UnderElevated:
+		return 8
+	default:
+		panic(fmt.Sprintf("city: unknown road class %d", rc))
+	}
+}
+
+// LaneWidthM is the standard lane width used for lateral offsets.
+const LaneWidthM = 3.5
+
+// Env returns the radio environment class a receiver on this road class
+// experiences.
+func (rc RoadClass) Env() gsm.EnvClass {
+	switch rc {
+	case TwoLaneSuburb:
+		return gsm.Suburban
+	case FourLaneUrban:
+		return gsm.Urban
+	case EightLaneUrban:
+		return gsm.Downtown
+	case UnderElevated:
+		return gsm.UnderElevated
+	default:
+		panic(fmt.Sprintf("city: unknown road class %d", rc))
+	}
+}
+
+// SpeedLimitMS returns a typical free-flow speed for the class, m/s.
+func (rc RoadClass) SpeedLimitMS() float64 {
+	switch rc {
+	case TwoLaneSuburb:
+		return 16.7 // 60 km/h
+	case FourLaneUrban:
+		return 13.9 // 50 km/h
+	case EightLaneUrban:
+		return 16.7 // 60 km/h
+	case UnderElevated:
+		return 11.1 // 40 km/h
+	default:
+		panic(fmt.Sprintf("city: unknown road class %d", rc))
+	}
+}
+
+// Road is one drivable road: a centreline polyline plus its class. Lane i
+// (0-based, counting from the centre to the right of travel) is the offset
+// (i + 0.5)·LaneWidthM from the centreline.
+type Road struct {
+	ID    int
+	Class RoadClass
+	Line  *geo.Polyline
+}
+
+// LaneOffset returns the lateral centreline offset of lane i.
+func (r Road) LaneOffset(lane int) float64 {
+	if lane < 0 || lane >= r.Class.Lanes() {
+		panic(fmt.Sprintf("city: lane %d out of range for %s", lane, r.Class))
+	}
+	return (float64(lane) + 0.5) * LaneWidthM
+}
+
+// Config parametrizes city generation.
+type Config struct {
+	Seed uint64
+	// HalfSizeM is the half-extent of the square world; the city spans
+	// [-HalfSizeM, HalfSizeM]².
+	HalfSizeM float64
+	// DowntownRadiusM and UrbanRadiusM bound the downtown core and the
+	// urban ring; beyond UrbanRadiusM is suburban.
+	DowntownRadiusM float64
+	UrbanRadiusM    float64
+	// RoadsPerClass is how many roads of each class to lay out.
+	RoadsPerClass int
+	// RoadLenM is the target road length.
+	RoadLenM float64
+}
+
+// DefaultConfig returns a city comparable in diversity to the paper's
+// experiment route: a 6×6 km world with a 1.2 km downtown core.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		HalfSizeM:       3000,
+		DowntownRadiusM: 1200,
+		UrbanRadiusM:    2200,
+		RoadsPerClass:   8,
+		RoadLenM:        2000,
+	}
+}
+
+// City is the generated road network plus zoning. It implements gsm.Zoning.
+type City struct {
+	Cfg   Config
+	Roads []Road
+
+	// coverCells marks 25 m grid cells lying under an elevated deck.
+	coverCells map[[2]int32]bool
+}
+
+const coverCellM = 25.0
+
+// Generate lays out the road network deterministically from cfg.Seed.
+func Generate(cfg Config) *City {
+	if cfg.RoadsPerClass <= 0 || cfg.RoadLenM <= 0 || cfg.HalfSizeM <= 0 {
+		panic("city: invalid config")
+	}
+	c := &City{Cfg: cfg, coverCells: map[[2]int32]bool{}}
+	id := 0
+	for class := RoadClass(0); class < NumRoadClasses; class++ {
+		for i := 0; i < cfg.RoadsPerClass; i++ {
+			line := c.layoutRoad(class, uint64(i))
+			c.Roads = append(c.Roads, Road{ID: id, Class: class, Line: line})
+			if class == UnderElevated {
+				c.markCover(line)
+			}
+			id++
+		}
+	}
+	return c
+}
+
+// ringFor returns the radial band [rMin, rMax] a road class belongs to.
+func (c *City) ringFor(class RoadClass) (rMin, rMax float64) {
+	switch class {
+	case TwoLaneSuburb:
+		return c.Cfg.UrbanRadiusM, c.Cfg.HalfSizeM * 0.95
+	case FourLaneUrban:
+		return c.Cfg.DowntownRadiusM, c.Cfg.UrbanRadiusM
+	case EightLaneUrban, UnderElevated:
+		return 0, c.Cfg.DowntownRadiusM
+	default:
+		panic("city: unknown road class")
+	}
+}
+
+// layoutRoad walks a gently meandering polyline of roughly RoadLenM within
+// the class's radial band, re-aiming toward the band when it drifts out so
+// the road's environment stays representative of its class.
+func (c *City) layoutRoad(class RoadClass, key uint64) *geo.Polyline {
+	rMin, rMax := c.ringFor(class)
+	seed := noise.Hash(c.Cfg.Seed, uint64(class), key, 0x40AD)
+
+	// Start at a deterministic point inside the band.
+	ang := 2 * math.Pi * noise.Uniform(seed, 1)
+	rad := rMin + (rMax-rMin)*noise.Uniform(seed, 2)
+	if rMin == 0 {
+		// Keep downtown starts away from the exact centre so headings
+		// distribute evenly.
+		rad = rMax * (0.2 + 0.7*noise.Uniform(seed, 2))
+	}
+	pos := geo.Vec2{X: rad * math.Cos(ang), Y: rad * math.Sin(ang)}
+	heading := 2 * math.Pi * noise.Uniform(seed, 3)
+
+	const step = 100.0
+	pts := []geo.Vec2{pos}
+	var length float64
+	for i := uint64(0); length < c.Cfg.RoadLenM; i++ {
+		// Gentle meander: ±4° per 100 m.
+		heading += (noise.Uniform(seed, 4, i) - 0.5) * (8 * math.Pi / 180)
+		next := pos.Add(geo.HeadingVec(heading).Scale(step))
+		// Steer back toward the band if the walk leaves it.
+		r := next.Norm()
+		if r > rMax || r < rMin {
+			toBand := next.Scale(-1).Heading() // toward the centre
+			if r < rMin {
+				toBand = next.Heading() // away from the centre
+			}
+			heading += geo.HeadingDiff(heading, toBand) * 0.5
+			next = pos.Add(geo.HeadingVec(heading).Scale(step))
+		}
+		pts = append(pts, next)
+		pos = next
+		length += step
+	}
+	return geo.NewPolyline(pts...)
+}
+
+// markCover flags the grid cells within two lane-widths of an under-elevated
+// road centreline as covered.
+func (c *City) markCover(line *geo.Polyline) {
+	halfWidth := float64(UnderElevated.Lanes()) / 2 * LaneWidthM
+	for s := 0.0; s <= line.Length(); s += coverCellM / 2 {
+		p := line.At(s)
+		for dx := -halfWidth; dx <= halfWidth; dx += coverCellM / 2 {
+			for dy := -halfWidth; dy <= halfWidth; dy += coverCellM / 2 {
+				q := p.Add(geo.Vec2{X: dx, Y: dy})
+				c.coverCells[cellOf(q)] = true
+			}
+		}
+	}
+}
+
+func cellOf(p geo.Vec2) [2]int32 {
+	return [2]int32{
+		int32(math.Floor(p.X / coverCellM)),
+		int32(math.Floor(p.Y / coverCellM)),
+	}
+}
+
+// EnvAt implements gsm.Zoning: covered cells are UnderElevated; otherwise
+// the radial rings decide.
+func (c *City) EnvAt(pos geo.Vec2) gsm.EnvClass {
+	if c.coverCells[cellOf(pos)] {
+		return gsm.UnderElevated
+	}
+	r := pos.Norm()
+	switch {
+	case r < c.Cfg.DowntownRadiusM:
+		return gsm.Downtown
+	case r < c.Cfg.UrbanRadiusM:
+		return gsm.Urban
+	default:
+		return gsm.Suburban
+	}
+}
+
+// Bounds returns the world extent, for tower generation.
+func (c *City) Bounds() gsm.Bounds {
+	h := c.Cfg.HalfSizeM
+	return gsm.Bounds{MinX: -h, MinY: -h, MaxX: h, MaxY: h}
+}
+
+// RoadsOfClass returns the roads of one class.
+func (c *City) RoadsOfClass(class RoadClass) []Road {
+	var out []Road
+	for _, r := range c.Roads {
+		if r.Class == class {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LRoad builds a standalone road with a sharp 90° turn after legLen metres —
+// the short-context-after-a-turn scenario of §V-C. It is placed in the band
+// of the given class.
+func (c *City) LRoad(class RoadClass, key uint64, legLen float64) Road {
+	seed := noise.Hash(c.Cfg.Seed, uint64(class), key, 0x17AD)
+	rMin, rMax := c.ringFor(class)
+	ang := 2 * math.Pi * noise.Uniform(seed, 1)
+	rad := (rMin + rMax) / 2
+	start := geo.Vec2{X: rad * math.Cos(ang), Y: rad * math.Sin(ang)}
+	h := 2 * math.Pi * noise.Uniform(seed, 2)
+	corner := start.Add(geo.HeadingVec(h).Scale(legLen))
+	end := corner.Add(geo.HeadingVec(geo.NormalizeHeading(h + math.Pi/2)).Scale(legLen))
+	return Road{
+		ID:    -1,
+		Class: class,
+		Line:  geo.NewPolyline(start, corner, end),
+	}
+}

@@ -1,0 +1,167 @@
+package city
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/geo"
+	"rups/internal/gsm"
+)
+
+func testCity() *City { return Generate(DefaultConfig(1)) }
+
+func TestGenerateCounts(t *testing.T) {
+	c := testCity()
+	if got := len(c.Roads); got != 4*c.Cfg.RoadsPerClass {
+		t.Fatalf("road count = %d, want %d", got, 4*c.Cfg.RoadsPerClass)
+	}
+	for class := RoadClass(0); class < NumRoadClasses; class++ {
+		if got := len(c.RoadsOfClass(class)); got != c.Cfg.RoadsPerClass {
+			t.Errorf("%s: %d roads, want %d", class, got, c.Cfg.RoadsPerClass)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(5))
+	b := Generate(DefaultConfig(5))
+	for i := range a.Roads {
+		pa, pb := a.Roads[i].Line.Points(), b.Roads[i].Line.Points()
+		if len(pa) != len(pb) {
+			t.Fatalf("road %d point counts differ", i)
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("road %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRoadLengths(t *testing.T) {
+	c := testCity()
+	for _, r := range c.Roads {
+		if r.Line.Length() < c.Cfg.RoadLenM-1e-6 {
+			t.Errorf("road %d (%s) length %v < %v", r.ID, r.Class, r.Line.Length(), c.Cfg.RoadLenM)
+		}
+	}
+}
+
+func TestRoadsStayNearTheirRing(t *testing.T) {
+	c := testCity()
+	for _, r := range c.Roads {
+		rMin, rMax := c.ringFor(r.Class)
+		// Allow a tolerance: the meander may briefly overshoot before being
+		// steered back.
+		const slack = 300.0
+		for s := 0.0; s < r.Line.Length(); s += 50 {
+			rad := r.Line.At(s).Norm()
+			if rad > rMax+slack || rad < rMin-slack {
+				t.Errorf("road %d (%s) at s=%v has radius %v outside [%v,%v]±%v",
+					r.ID, r.Class, s, rad, rMin, rMax, slack)
+				break
+			}
+		}
+	}
+}
+
+func TestEnvAtRings(t *testing.T) {
+	c := testCity()
+	cases := []struct {
+		pos  geo.Vec2
+		want gsm.EnvClass
+	}{
+		{geo.Vec2{X: 100, Y: 0}, gsm.Downtown},
+		{geo.Vec2{X: 1800, Y: 0}, gsm.Urban},
+		{geo.Vec2{X: 2800, Y: 0}, gsm.Suburban},
+	}
+	for _, cse := range cases {
+		got := c.EnvAt(cse.pos)
+		// Position may coincidentally sit under an elevated deck; accept
+		// that too.
+		if got != cse.want && got != gsm.UnderElevated {
+			t.Errorf("EnvAt(%v) = %v, want %v", cse.pos, got, cse.want)
+		}
+	}
+}
+
+func TestEnvAtUnderElevated(t *testing.T) {
+	c := testCity()
+	roads := c.RoadsOfClass(UnderElevated)
+	r := roads[0]
+	// On the centreline of an under-elevated road, the env must be
+	// UnderElevated.
+	for s := 0.0; s < r.Line.Length(); s += 100 {
+		if got := c.EnvAt(r.Line.At(s)); got != gsm.UnderElevated {
+			t.Fatalf("EnvAt on elevated road at s=%v = %v", s, got)
+		}
+	}
+	// Lane offsets are still under the deck.
+	if got := c.EnvAt(r.Line.Offset(500, r.LaneOffset(0))); got != gsm.UnderElevated {
+		t.Errorf("EnvAt in lane 0 = %v", got)
+	}
+}
+
+func TestRoadClassProperties(t *testing.T) {
+	if TwoLaneSuburb.Lanes() != 2 || EightLaneUrban.Lanes() != 8 {
+		t.Error("lane counts wrong")
+	}
+	if TwoLaneSuburb.Env() != gsm.Suburban || UnderElevated.Env() != gsm.UnderElevated {
+		t.Error("env mapping wrong")
+	}
+	for class := RoadClass(0); class < NumRoadClasses; class++ {
+		if class.SpeedLimitMS() <= 0 {
+			t.Errorf("%s speed limit not positive", class)
+		}
+		if class.String() == "unknown" {
+			t.Errorf("class %d has no name", class)
+		}
+	}
+}
+
+func TestLaneOffset(t *testing.T) {
+	r := Road{Class: FourLaneUrban, Line: geo.NewPolyline(geo.Vec2{}, geo.Vec2{X: 0, Y: 100})}
+	if got := r.LaneOffset(0); got != 0.5*LaneWidthM {
+		t.Errorf("lane 0 offset = %v", got)
+	}
+	if got := r.LaneOffset(3); got != 3.5*LaneWidthM {
+		t.Errorf("lane 3 offset = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range lane")
+		}
+	}()
+	r.LaneOffset(4)
+}
+
+func TestLRoad(t *testing.T) {
+	c := testCity()
+	r := c.LRoad(FourLaneUrban, 3, 500)
+	if math.Abs(r.Line.Length()-1000) > 1e-9 {
+		t.Errorf("LRoad length = %v, want 1000", r.Line.Length())
+	}
+	// The headings before and after the corner differ by 90°.
+	h1 := r.Line.HeadingAt(100)
+	h2 := r.Line.HeadingAt(900)
+	if d := math.Abs(geo.HeadingDiff(h1, h2)); math.Abs(d-math.Pi/2) > 1e-9 {
+		t.Errorf("turn angle = %v rad, want π/2", d)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := testCity()
+	b := c.Bounds()
+	if b.MinX != -3000 || b.MaxY != 3000 {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+func TestGenerateInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(Config{})
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+
+	"rups/internal/geo"
+	"rups/internal/stats"
+	"rups/internal/trajectory"
+)
+
+// audibleFloorDBm is the minimum mean RSSI for a channel to join the
+// checking window; minWindowChannels is the floor on window width.
+const (
+	audibleFloorDBm   = -107.0
+	minWindowChannels = 8
+)
+
+// Estimate is a resolved relative distance between two vehicles.
+type Estimate struct {
+	// Distance is the aggregated front-rear distance in metres; positive
+	// means the peer (trajectory B) is ahead.
+	Distance float64
+	// SYNs are the SYN points that contributed.
+	SYNs []SYNPoint
+	// Score is the best trajectory correlation among the SYN points.
+	Score float64
+}
+
+// clip returns the trajectory limited to the most recent MaxContextMeters,
+// plus the index offset mapping local indices back to the original.
+func clip(a *trajectory.Aware, p Params) (*trajectory.Aware, int) {
+	if a.Len() > p.MaxContextMeters {
+		return a.Tail(p.MaxContextMeters), a.Len() - p.MaxContextMeters
+	}
+	return a, 0
+}
+
+// FindSYN runs the double-sliding check (paper §IV-D) between the most
+// recent segments of a and b and returns the best SYN point. ok is false
+// when no window position reaches the coherency threshold — the
+// trajectories are considered unrelated.
+func FindSYN(a, b *trajectory.Aware, p Params) (SYNPoint, bool) {
+	p.validate()
+	return findSYNSeg(a, b, p, 0)
+}
+
+// findSYNSeg is FindSYN with the reference segments ending endOff metres
+// before each trajectory's most recent mark — the mechanism behind multiple
+// SYN points (§VI-C). The §V-C flexible window applies when the available
+// context is shorter than the configured window: the window shrinks (down
+// to the floor) and the relaxed threshold applies. Retrying smaller windows
+// on failure was evaluated and rejected: at the relaxed threshold, short
+// windows admit wrong matches (see the ablations experiment's history).
+func findSYNSeg(a, b *trajectory.Aware, p Params, endOff int) (SYNPoint, bool) {
+	aCtx, offA := clip(a, p)
+	bCtx, offB := clip(b, p)
+
+	avail := aCtx.Len() - endOff
+	if m := bCtx.Len() - endOff; m < avail {
+		avail = m
+	}
+	w := p.WindowMeters
+	if avail <= w {
+		// A window as long as the whole context leaves no room to slide;
+		// take two thirds — the remaining third is the largest detectable
+		// misalignment.
+		w = avail * 2 / 3
+	}
+	if w < p.MinWindowMeters {
+		return SYNPoint{}, false
+	}
+	return findSYNWindow(aCtx, bCtx, offA, offB, p, endOff, w)
+}
+
+// findSYNWindow runs the double-sliding check at one window length.
+func findSYNWindow(aCtx, bCtx *trajectory.Aware, offA, offB int, p Params, endOff, w int) (SYNPoint, bool) {
+	threshold := p.Coherency
+	if w < p.WindowMeters {
+		threshold = p.ShortCoherency
+	}
+
+	// Checking-window width: the strongest channels, but never channels
+	// idling at the noise floor — sparse suburbs may not have
+	// WindowChannels audible carriers, and constant rows only dilute the
+	// correlation.
+	channels := aCtx.TopAudibleChannels(p.WindowChannels, audibleFloorDBm, minWindowChannels)
+	rowsA := aCtx.Select(channels)
+	rowsB := bCtx.Select(channels)
+
+	// Locality bound (§IV-A): only window placements implying a plausible
+	// relative distance are examined. A placement j on the target implies
+	// a relative distance of (targetLen − w − j) − endOff metres, so the
+	// admissible placements form an interval around the aligned position.
+	bounds := func(targetLen int) (lo, hi int) {
+		centre := targetLen - w - endOff
+		return centre - p.MaxRelDistM, centre + p.MaxRelDistM
+	}
+
+	// Direction 1: A's segment slides over B.
+	endA := aCtx.Len() - 1 - endOff
+	refA := sliceRows(rowsA, endA-w+1, endA+1)
+	lo, hi := bounds(bCtx.Len())
+	sc1 := newSlidingScorer(refA, rowsB)
+	sc1.noCol = p.NoColumnTerm
+	posB, scoreAB := sc1.bestWindowIn(lo, hi)
+
+	// Direction 2: B's segment slides over A (skipped in the single-sided
+	// ablation).
+	posA := -1
+	scoreBA := math.Inf(-1)
+	endB := bCtx.Len() - 1 - endOff
+	if !p.SingleSided {
+		refB := sliceRows(rowsB, endB-w+1, endB+1)
+		lo, hi = bounds(aCtx.Len())
+		sc2 := newSlidingScorer(refB, rowsA)
+		sc2.noCol = p.NoColumnTerm
+		posA, scoreBA = sc2.bestWindowIn(lo, hi)
+	}
+	if posB < 0 && posA < 0 {
+		return SYNPoint{}, false
+	}
+
+	best := SYNPoint{WindowLen: w}
+	if scoreAB >= scoreBA {
+		best.Score = scoreAB
+		best.IdxA = offA + endA
+		best.IdxB = offB + posB + w - 1
+	} else {
+		best.Score = scoreBA
+		best.IdxA = offA + posA + w - 1
+		best.IdxB = offB + endB
+	}
+	if best.Score < threshold {
+		return SYNPoint{}, false
+	}
+	if p.HeadingGateRad > 0 {
+		ha := aCtx.Geo.Marks[best.IdxA-offA].Theta
+		hb := bCtx.Geo.Marks[best.IdxB-offB].Theta
+		if d := geo.HeadingDiff(ha, hb); math.Abs(d) > p.HeadingGateRad {
+			return SYNPoint{}, false
+		}
+	}
+	return best, true
+}
+
+// sliceRows returns each row restricted to [lo, hi).
+func sliceRows(rows [][]float64, lo, hi int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i := range rows {
+		out[i] = rows[i][lo:hi]
+	}
+	return out
+}
+
+// FindSYNs locates up to n SYN points from segments ending at successive
+// strides back from the most recent mark (§VI-C).
+func FindSYNs(a, b *trajectory.Aware, p Params, n int) []SYNPoint {
+	p.validate()
+	var out []SYNPoint
+	for i := 0; i < n; i++ {
+		if s, ok := findSYNSeg(a, b, p, i*p.SegmentStrideMeters); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Resolve is the full RUPS pipeline for one query: find up to NumSYN SYN
+// points, turn each into a distance estimate, and aggregate them according
+// to p.Aggregation. ok is false when no SYN point was found.
+func Resolve(a, b *trajectory.Aware, p Params) (Estimate, bool) {
+	p.validate()
+	syns := FindSYNs(a, b, p, p.NumSYN)
+	if len(syns) == 0 {
+		return Estimate{}, false
+	}
+	est := Estimate{SYNs: syns}
+	dists := make([]float64, len(syns))
+	bestI := 0
+	for i, s := range syns {
+		dists[i] = s.RelativeDistance(a, b)
+		if s.Score > syns[bestI].Score {
+			bestI = i
+		}
+	}
+	est.Score = syns[bestI].Score
+	switch p.Aggregation {
+	case SingleSYN:
+		est.Distance = dists[bestI]
+	case MeanAgg:
+		est.Distance = stats.Mean(dists)
+	case SelectiveAgg:
+		est.Distance = stats.SelectiveMean(dists)
+	default:
+		panic("core: unknown aggregation mode")
+	}
+	return est, true
+}

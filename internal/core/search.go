@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+
+	"rups/internal/stats"
+	"rups/internal/trajectory"
+)
+
+// SYNPoint is one alignment between two trajectories: metre IdxA on
+// trajectory A and metre IdxB on trajectory B are believed to be the same
+// physical location. Score is the trajectory correlation coefficient of the
+// matched windows; WindowLen records the (possibly shrunken) window used.
+type SYNPoint struct {
+	IdxA, IdxB int
+	Score      float64
+	WindowLen  int
+}
+
+// RelativeDistance resolves the front-rear distance implied by the SYN
+// point (paper §IV-E): how much farther B has travelled since the common
+// location than A has. Positive means B is ahead of A.
+func (s SYNPoint) RelativeDistance(a, b *trajectory.Aware) float64 {
+	dA := float64(a.Len()-1) - float64(s.IdxA)
+	dB := float64(b.Len()-1) - float64(s.IdxB)
+	return dB - dA
+}
+
+// slidingScorer scores the trajectory correlation (stats.TrajCorr, Eq. 2)
+// between a fixed reference segment and every same-length window of a
+// target trajectory, in O(w) per position after O(k·m) preprocessing —
+// the O(m·w·k) total the paper quotes (§V-A).
+type slidingScorer struct {
+	ref   [][]float64 // k rows × w columns, the fixed segment
+	tgt   [][]float64 // k rows × m columns
+	w, k  int
+	m     int
+	dense bool // no missing entries anywhere: fast path is valid
+	noCol bool // ablation: drop Eq. 2's column-mean term
+
+	// Reference row statistics.
+	refSum, refSq []float64
+	// Target prefix sums per row: pre[i][j] = Σ tgt[i][0..j).
+	preSum, preSq [][]float64
+	// Column means for Eq. 2's second term.
+	refCol []float64
+	tgtCol []float64
+	// Prefix sums of tgtCol.
+	colSum, colSq []float64
+	refColSum     float64
+	refColSq      float64
+}
+
+func newSlidingScorer(ref, tgt [][]float64) *slidingScorer {
+	s := &slidingScorer{
+		ref: ref, tgt: tgt,
+		k: len(ref), w: len(ref[0]), m: len(tgt[0]),
+		dense: true,
+	}
+	for i := 0; i < s.k; i++ {
+		for _, v := range ref[i] {
+			if stats.IsMissing(v) {
+				s.dense = false
+			}
+		}
+		for _, v := range tgt[i] {
+			if stats.IsMissing(v) {
+				s.dense = false
+			}
+		}
+	}
+	s.refCol = columnMeansDense(ref)
+	s.tgtCol = columnMeansDense(tgt)
+	if !s.dense {
+		return s
+	}
+	s.refSum = make([]float64, s.k)
+	s.refSq = make([]float64, s.k)
+	s.preSum = make([][]float64, s.k)
+	s.preSq = make([][]float64, s.k)
+	for i := 0; i < s.k; i++ {
+		for _, v := range ref[i] {
+			s.refSum[i] += v
+			s.refSq[i] += v * v
+		}
+		ps := make([]float64, s.m+1)
+		pq := make([]float64, s.m+1)
+		for j, v := range tgt[i] {
+			ps[j+1] = ps[j] + v
+			pq[j+1] = pq[j] + v*v
+		}
+		s.preSum[i] = ps
+		s.preSq[i] = pq
+	}
+	s.colSum = make([]float64, s.m+1)
+	s.colSq = make([]float64, s.m+1)
+	for j, v := range s.tgtCol {
+		s.colSum[j+1] = s.colSum[j] + v
+		s.colSq[j+1] = s.colSq[j] + v*v
+	}
+	for _, v := range s.refCol {
+		s.refColSum += v
+		s.refColSq += v * v
+	}
+	return s
+}
+
+// columnMeansDense averages each column over rows, skipping missing values.
+func columnMeansDense(a [][]float64) []float64 {
+	m := len(a[0])
+	out := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var sum float64
+		var n int
+		for i := range a {
+			if v := a[i][j]; !stats.IsMissing(v) {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			out[j] = stats.Missing
+		} else {
+			out[j] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// positions returns how many window placements exist on the target.
+func (s *slidingScorer) positions() int { return s.m - s.w + 1 }
+
+// scoreAt returns the trajectory correlation of the reference segment
+// against the target window starting at column j.
+func (s *slidingScorer) scoreAt(j int) float64 {
+	if !s.dense {
+		return s.scoreSlow(j)
+	}
+	wf := float64(s.w)
+	var chanSum float64
+	for i := 0; i < s.k; i++ {
+		sy := s.preSum[i][j+s.w] - s.preSum[i][j]
+		sqy := s.preSq[i][j+s.w] - s.preSq[i][j]
+		var sxy float64
+		refRow := s.ref[i]
+		tgtRow := s.tgt[i][j : j+s.w]
+		for u := 0; u < s.w; u++ {
+			sxy += refRow[u] * tgtRow[u]
+		}
+		chanSum += pearsonFromSums(wf, s.refSum[i], s.refSq[i], sy, sqy, sxy)
+	}
+	if s.noCol {
+		return chanSum / float64(s.k)
+	}
+	// Second term: correlation of the column means.
+	sy := s.colSum[j+s.w] - s.colSum[j]
+	sqy := s.colSq[j+s.w] - s.colSq[j]
+	var sxy float64
+	tgtCol := s.tgtCol[j : j+s.w]
+	for u := 0; u < s.w; u++ {
+		sxy += s.refCol[u] * tgtCol[u]
+	}
+	return chanSum/float64(s.k) +
+		pearsonFromSums(wf, s.refColSum, s.refColSq, sy, sqy, sxy)
+}
+
+// scoreSlow is the missing-tolerant fallback.
+func (s *slidingScorer) scoreSlow(j int) float64 {
+	var chanSum float64
+	for i := 0; i < s.k; i++ {
+		chanSum += stats.Pearson(s.ref[i], s.tgt[i][j:j+s.w])
+	}
+	if s.noCol {
+		return chanSum / float64(s.k)
+	}
+	return chanSum/float64(s.k) +
+		stats.Pearson(s.refCol, s.tgtCol[j:j+s.w])
+}
+
+// pearsonFromSums computes Pearson's r from moment sums, matching
+// stats.Pearson's conventions (0 for degenerate inputs, clamped to [-1,1]).
+func pearsonFromSums(n, sx, sqx, sy, sqy, sxy float64) float64 {
+	vx := sqx - sx*sx/n
+	vy := sqy - sy*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	r := (sxy - sx*sy/n) / math.Sqrt(vx*vy)
+	if r > 1 {
+		return 1
+	}
+	if r < -1 {
+		return -1
+	}
+	return r
+}
+
+// bestWindowIn scans the window placements j ∈ [lo, hi] (clamped to the
+// valid range) and returns the best-scoring position and score. A
+// position of -1 with score -Inf means the range was empty.
+func (s *slidingScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.positions()-1 {
+		hi = s.positions() - 1
+	}
+	best := math.Inf(-1)
+	bestJ := -1
+	for j := lo; j <= hi; j++ {
+		if sc := s.scoreAt(j); sc > best {
+			best = sc
+			bestJ = j
+		}
+	}
+	return bestJ, best
+}
+
+// bestWindow scans every window placement.
+func (s *slidingScorer) bestWindow() (pos int, score float64) {
+	return s.bestWindowIn(0, s.positions()-1)
+}

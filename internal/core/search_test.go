@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rups/internal/stats"
+)
+
+func randRows(rng *rand.Rand, k, m int) [][]float64 {
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, m)
+		for j := range a[i] {
+			a[i][j] = -90 + 40*rng.Float64()
+		}
+	}
+	return a
+}
+
+// TestScorerMatchesTrajCorr verifies the incremental fast path against the
+// reference implementation of Eq. 2 at every window position.
+func TestScorerMatchesTrajCorr(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := randRows(rng, 7, 20)
+	tgt := randRows(rng, 7, 60)
+	s := newSlidingScorer(ref, tgt)
+	if !s.dense {
+		t.Fatal("expected dense fast path")
+	}
+	for j := 0; j < s.positions(); j++ {
+		want := stats.TrajCorr(ref, sliceRows(tgt, j, j+20))
+		got := s.scoreAt(j)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("scoreAt(%d) = %v, want %v", j, got, want)
+		}
+	}
+}
+
+// TestScorerSlowPathMatchesTrajCorr does the same with missing entries
+// sprinkled in, exercising the fallback.
+func TestScorerSlowPathMatchesTrajCorr(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := randRows(rng, 5, 15)
+	tgt := randRows(rng, 5, 40)
+	ref[2][3] = stats.Missing
+	tgt[4][11] = stats.Missing
+	tgt[0][0] = stats.Missing
+	s := newSlidingScorer(ref, tgt)
+	if s.dense {
+		t.Fatal("expected slow path with missing entries")
+	}
+	for j := 0; j < s.positions(); j++ {
+		want := stats.TrajCorr(ref, sliceRows(tgt, j, j+15))
+		got := s.scoreAt(j)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("scoreAt(%d) = %v, want %v", j, got, want)
+		}
+	}
+}
+
+// TestScorerFindsPlantedAlignment embeds the reference segment inside a
+// noise trajectory and checks bestWindow locates it.
+func TestScorerFindsPlantedAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k, w, m, at = 10, 25, 120, 61
+	tgt := randRows(rng, k, m)
+	ref := make([][]float64, k)
+	for i := range ref {
+		ref[i] = make([]float64, w)
+		for u := 0; u < w; u++ {
+			// The planted copy plus small measurement noise.
+			ref[i][u] = tgt[i][at+u] + 0.5*rng.NormFloat64()
+		}
+	}
+	s := newSlidingScorer(ref, tgt)
+	pos, score := s.bestWindow()
+	if pos != at {
+		t.Errorf("bestWindow at %d, want %d (score %v)", pos, at, score)
+	}
+	if score < 1.5 {
+		t.Errorf("planted alignment score = %v, want near 2", score)
+	}
+}
+
+func TestPearsonFromSumsDegenerate(t *testing.T) {
+	// Constant rows have zero variance → 0, matching stats.Pearson.
+	if got := pearsonFromSums(5, 10, 20, 7, 9.8, 14); got != 0 {
+		t.Errorf("degenerate = %v, want 0", got)
+	}
+}
+
+func TestSYNPointRelativeDistance(t *testing.T) {
+	// Build two trivial trajectories of lengths 100 and 80.
+	a := awareOfLen(100)
+	b := awareOfLen(80)
+	// Common location: A's metre 90, B's metre 50. A has travelled 9 m
+	// since, B has travelled 29 m since → B is 20 m ahead.
+	s := SYNPoint{IdxA: 90, IdxB: 50}
+	if got := s.RelativeDistance(a, b); got != 20 {
+		t.Errorf("RelativeDistance = %v, want 20", got)
+	}
+	// Swap roles: negative when the peer is behind.
+	s = SYNPoint{IdxA: 99, IdxB: 50}
+	if got := s.RelativeDistance(a, b); got != 29 {
+		t.Errorf("RelativeDistance = %v, want 29", got)
+	}
+}

@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Seed: 42, Quick: true}
+
+// parseCell reads a float out of a table cell.
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(s)[0], 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig1SameRoadBeatsDifferent(t *testing.T) {
+	tb := Fig1(quick)
+	same := parseCell(t, tb.Rows[0][1])
+	diff1 := parseCell(t, tb.Rows[1][1])
+	diff2 := parseCell(t, tb.Rows[2][1])
+	if same <= diff1 || same <= diff2 {
+		t.Errorf("same-road correlation %v not above different-road %v/%v", same, diff1, diff2)
+	}
+	if same < 1.0 {
+		t.Errorf("same-road correlation %v too weak", same)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tb := Fig2(quick)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	firstRow := tb.Rows[0]
+	lastRow := tb.Rows[len(tb.Rows)-1]
+	// Loose threshold, all channels: high throughout.
+	if p := parseCell(t, lastRow[1]); p < 0.85 {
+		t.Errorf("P(r≥0.8,194ch) at 25 min = %v", p)
+	}
+	// Strict threshold decays.
+	if p0, p1 := parseCell(t, firstRow[2]), parseCell(t, lastRow[2]); p1 >= p0 {
+		t.Errorf("P(r≥0.9,194ch) did not decay: %v -> %v", p0, p1)
+	}
+	// Crossover at the strict threshold by the last Δt.
+	if p10, p194 := parseCell(t, lastRow[4]), parseCell(t, lastRow[2]); p10 <= p194 {
+		t.Errorf("crossover missing: 10ch %v ≤ 194ch %v", p10, p194)
+	}
+}
+
+func TestFig3Separation(t *testing.T) {
+	tb := Fig3(quick)
+	// At corr = 1.0 the different-road CDFs are ~1 (all below) while the
+	// same-road CDFs are well under 1 (mass above).
+	for _, row := range tb.Rows {
+		if row[0] != "1" {
+			continue
+		}
+		if d := parseCell(t, row[1]); d < 0.9 {
+			t.Errorf("diff-road CDF at 1.0 = %v, want ~1", d)
+		}
+		if s := parseCell(t, row[4]); s > 0.4 {
+			t.Errorf("same-road CDF at 1.0 = %v, want small", s)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb := Fig4(quick)
+	first := parseCell(t, tb.Rows[0][1])
+	last := parseCell(t, tb.Rows[len(tb.Rows)-1][1])
+	if first < 0.3 {
+		t.Errorf("relative change at 1 m = %v, want ≥ 0.3 (paper ~0.4)", first)
+	}
+	if last <= first {
+		t.Errorf("relative change not rising: %v at 1 m vs %v at 120 m", first, last)
+	}
+}
+
+func TestFig9RadioOrdering(t *testing.T) {
+	tb := Fig9(quick)
+	// Mean SYN error: 4 front ≤ 1 front; central worse than 4 front.
+	means := map[string]float64{}
+	for _, row := range tb.Rows {
+		means[row[0]] = parseCell(t, row[len(row)-2])
+	}
+	if means["4 front, 4 front"] > means["1 front, 1 front"] {
+		t.Errorf("more radios worse: 4=%v vs 1=%v",
+			means["4 front, 4 front"], means["1 front, 1 front"])
+	}
+	if means["4 central, 4 front"] < means["4 front, 4 front"] {
+		t.Errorf("central placement better than front: %v vs %v",
+			means["4 central, 4 front"], means["4 front, 4 front"])
+	}
+}
+
+func TestFig10SelectiveBeatsSingle(t *testing.T) {
+	tb := Fig10(quick)
+	means := map[string]float64{}
+	for _, row := range tb.Rows {
+		means[row[0]] = parseCell(t, row[len(row)-2])
+	}
+	// In a quick run only a few queries land inside a perturbation window,
+	// so the means are close; the property to hold is that aggregation never
+	// costs much and stays accurate in absolute terms.
+	if means["selective average"] > means["one SYN point"]+2 {
+		t.Errorf("selective average (%v) much worse than single SYN (%v)",
+			means["selective average"], means["one SYN point"])
+	}
+	if means["selective average"] > 6 {
+		t.Errorf("selective average mean RDE %v m too large", means["selective average"])
+	}
+}
+
+func TestFig12RUPSBeatsGPS(t *testing.T) {
+	tb := Fig12(quick)
+	for _, row := range tb.Rows {
+		rups := parseCell(t, row[1])
+		gps := parseCell(t, row[2])
+		if rups > 12 {
+			t.Errorf("%s: RUPS mean %v too large", row[0], rups)
+		}
+		// GPS must lose in the non-open environments.
+		if row[0] != "2-lane roads, suburb" && gps < rups {
+			t.Errorf("%s: GPS (%v) beat RUPS (%v)", row[0], gps, rups)
+		}
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	tb := Latency(quick)
+	if len(tb.Rows) < 4 {
+		t.Fatal("latency table too small")
+	}
+	// Exchange time row should be near the paper's 0.52 s.
+	for _, row := range tb.Rows {
+		if row[0] == "context exchange time" {
+			v := parseCell(t, row[1])
+			if v < 0.3 || v > 0.8 {
+				t.Errorf("exchange time %v s", v)
+			}
+		}
+	}
+}
+
+func TestScalabilityDeltasCheaper(t *testing.T) {
+	tb := Scalability(quick)
+	for _, row := range tb.Rows {
+		if row[0] == "air time (s)" {
+			full := parseCell(t, row[1])
+			perTick := parseCell(t, row[3])
+			if perTick >= 0.1 {
+				t.Errorf("per-tick delta time %v ≥ tracking period", perTick)
+			}
+			if full < 0.3 {
+				t.Errorf("full exchange suspiciously fast: %v", full)
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "T", Header: []string{"a", "bb"},
+	}
+	tb.AddRow("1", "2")
+	tb.Note("hello %d", 7)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "a", "bb", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if ByID(id) == nil {
+			t.Errorf("ByID(%q) = nil", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown id resolved")
+	}
+}

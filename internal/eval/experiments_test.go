@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the experiments not already covered by the shape tests:
+// they must run in quick mode and produce well-formed, plausibly-valued
+// tables. The heavier ones are skipped under -short.
+
+func TestLinkLossTable(t *testing.T) {
+	tb := LinkLoss(quick)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	prev := -1.0
+	for _, row := range tb.Rows {
+		el := parseCell(t, row[3])
+		if el < prev {
+			t.Fatalf("exchange time not increasing with loss: %v after %v", el, prev)
+		}
+		prev = el
+	}
+	// Lossless row has zero retransmissions.
+	if tb.Rows[0][2] != "0" {
+		t.Errorf("lossless retransmissions = %s", tb.Rows[0][2])
+	}
+}
+
+func TestTrafficTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario execution in -short mode")
+	}
+	tb := Traffic(quick)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	light := parseCell(t, tb.Rows[0][1])
+	heavy := parseCell(t, tb.Rows[1][1])
+	if heavy >= light {
+		t.Errorf("heavy traffic speed %v not below light %v", heavy, light)
+	}
+	// The laser validation column reports a sub-decimetre match.
+	for _, row := range tb.Rows {
+		if !strings.Contains(row[5], "Δ 0.0") {
+			t.Errorf("laser validation off: %s", row[5])
+		}
+	}
+}
+
+func TestPlatoonTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-vehicle pipelines in -short mode")
+	}
+	tb := PlatoonScale(quick)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Channel utilization grows with platoon size.
+	u2 := parseCell(t, strings.TrimSuffix(tb.Rows[0][5], "%"))
+	u8 := parseCell(t, strings.TrimSuffix(tb.Rows[2][5], "%"))
+	if u8 <= u2 {
+		t.Errorf("utilization did not grow: %v → %v", u2, u8)
+	}
+}
+
+func TestOdometryTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario execution in -short mode")
+	}
+	tb := Odometry(quick)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	wheel := parseCell(t, tb.Rows[0][2])
+	imu := parseCell(t, tb.Rows[2][2])
+	if wheel > imu+1 {
+		t.Errorf("wheel odometer (%v) much worse than IMU (%v)", wheel, imu)
+	}
+}
+
+func TestMultibandTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario execution in -short mode")
+	}
+	tb := Multiband(quick)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "GSM" && row[1] != "GSM+FM" {
+			t.Errorf("unexpected bands cell %q", row[1])
+		}
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario execution in -short mode")
+	}
+	tb := Ablations(quick)
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The no-interpolation row must show a collapse; flexible window must
+	// beat fixed window on short contexts.
+	var noInterp, fixed, flex float64
+	for _, row := range tb.Rows {
+		resolved := parseCell(t, strings.SplitN(row[1], "/", 2)[0])
+		switch {
+		case strings.HasPrefix(row[0], "no missing-channel"):
+			noInterp = resolved
+		case strings.HasPrefix(row[0], "fixed window"):
+			fixed = resolved
+		case strings.HasPrefix(row[0], "flexible window"):
+			flex = resolved
+		}
+	}
+	if noInterp > 2 {
+		t.Errorf("no-interpolation resolved %v queries; expected collapse", noInterp)
+	}
+	if flex <= fixed {
+		t.Errorf("flexible window (%v) did not beat fixed (%v) on short contexts", flex, fixed)
+	}
+}
+
+func TestSensitivityTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario execution in -short mode")
+	}
+	tb := Sensitivity(quick)
+	if len(tb.Rows) < 15 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The strictest threshold resolves nothing; the loosest resolves all.
+	for _, row := range tb.Rows {
+		if row[0] == "coherency threshold" && row[1] == "1.50" {
+			if resolved := parseCell(t, strings.SplitN(row[2], "/", 2)[0]); resolved != 0 {
+				t.Errorf("threshold 1.5 resolved %v queries", resolved)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package eval
+
+// The §V cost model experiments: computation time of the SYN search
+// (§V-A), communication time of context exchange (§V-B), and the
+// incremental-tracking scalability arithmetic.
+
+import (
+	"fmt"
+	"time"
+
+	"rups/internal/city"
+	"rups/internal/core"
+	"rups/internal/gsm"
+	"rups/internal/sim"
+	"rups/internal/trajectory"
+	"rups/internal/v2v"
+)
+
+// Latency regenerates the §V numbers: the O(mwk) SYN search cost on a
+// 1000 m context with a 45×(85-100) m window, and the WSM arithmetic for
+// shipping a 1 km context.
+func Latency(o Options) *Table {
+	sc := sim.DefaultScenario(o.Seed+1500, city.FourLaneUrban)
+	sc.DistanceM = 1100
+	r := sim.Execute(sc)
+	a := r.Follower.Aware
+	b := r.Leader.Aware
+
+	p := core.DefaultParams()
+	reps := o.n(20, 3)
+	var searchTime time.Duration
+	found := 0
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, ok := core.FindSYN(a, b, p); ok {
+			found++
+		}
+	}
+	searchTime = time.Since(start) / time.Duration(reps)
+
+	link := &v2v.Link{Seed: o.Seed}
+	size := trajectory.EncodedSize(1000, gsm.NumChannels)
+	cost := link.Transfer(size)
+
+	t := &Table{
+		ID:     "latency",
+		Title:  "Computation and communication cost (§V)",
+		Header: []string{"quantity", "measured", "paper"},
+	}
+	t.AddRow("SYN search, 1 km context, 45ch × 85 m window",
+		fmt.Sprintf("%.2f ms", float64(searchTime.Microseconds())/1000), "~1.2 ms (i7-2640M)")
+	t.AddRow("1 km context size", fmt.Sprintf("%d KB", size/1024), "~182 KB")
+	t.AddRow("WSM packets for 1 km context", fmt.Sprintf("%d", cost.Packets), "~130")
+	t.AddRow("context exchange time", fmt.Sprintf("%.2f s", cost.Elapsed), "~0.52 s")
+	t.AddRow("SYN searches that found a point", fmt.Sprintf("%d/%d", found, reps), "-")
+	t.Note("the search is O(m·w·k); absolute times differ with hardware, the compute ≪ communication relation is the claim")
+	return t
+}
+
+// Scalability regenerates the §V-B incremental-tracking arithmetic: a
+// 10 Hz tracking application transfers small deltas instead of the full
+// context, falling back to a full exchange only on resync.
+func Scalability(o Options) *Table {
+	sc := sim.DefaultScenario(o.Seed+1600, city.FourLaneUrban)
+	sc.DistanceM = 1100
+	r := sim.Execute(sc)
+	a := r.Follower.Aware
+
+	link := &v2v.Link{Seed: o.Seed + 1}
+	full := link.Transfer(trajectory.EncodedSize(a.Len(), gsm.NumChannels))
+
+	// Simulate 30 s of 10 Hz tracking: at vehicle speed ~14 m/s each 100 ms
+	// tick adds 1-2 marks.
+	const ticks = 300
+	marksPerTick := 2
+	var deltaBytes, deltaPackets int
+	var deltaElapsed float64
+	from := a.Len() - ticks*marksPerTick
+	if from < 0 {
+		from = 0
+	}
+	for i := 0; i < ticks; i++ {
+		hi := from + (i+1)*marksPerTick
+		if hi > a.Len() {
+			hi = a.Len()
+		}
+		lo := hi - marksPerTick
+		if lo < 0 {
+			lo = 0
+		}
+		d, err := v2v.MakeDelta(a, lo)
+		if err != nil {
+			continue
+		}
+		c := v2v.SendDelta(link, v2v.Delta{FromMark: d.FromMark,
+			Marks: d.Marks[:hi-lo], Power: truncRows(d.Power, hi-lo)})
+		deltaBytes += c.Bytes
+		deltaPackets += c.Packets
+		deltaElapsed += c.Elapsed
+	}
+
+	t := &Table{
+		ID:     "scalability",
+		Title:  "Full context exchange vs incremental tracking updates (§V-B)",
+		Header: []string{"quantity", "full exchange", "30 s of 10 Hz deltas", "per tick"},
+	}
+	t.AddRow("bytes", fmt.Sprintf("%d", full.Bytes),
+		fmt.Sprintf("%d", deltaBytes), fmt.Sprintf("%d", deltaBytes/ticks))
+	t.AddRow("WSM packets", fmt.Sprintf("%d", full.Packets),
+		fmt.Sprintf("%d", deltaPackets), f2(float64(deltaPackets)/ticks))
+	t.AddRow("air time (s)", f2(full.Elapsed), f2(deltaElapsed),
+		fmt.Sprintf("%.4f", deltaElapsed/ticks))
+	t.Note("transferring the whole context per 0.1 s query is infeasible (%.2f s > 0.1 s); one-WSM deltas are", full.Elapsed)
+	return t
+}
+
+func truncRows(rows [][]float64, n int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i := range rows {
+		if len(rows[i]) > n {
+			out[i] = rows[i][:n]
+		} else {
+			out[i] = rows[i]
+		}
+	}
+	return out
+}
+
+// All runs every experiment in paper order.
+func All(o Options) []*Table {
+	return []*Table{
+		Fig1(o), Fig2(o), Fig3(o), Fig4(o),
+		Fig9(o), Fig10(o), Fig11(o), Fig12(o),
+		Latency(o), Scalability(o), PlatoonScale(o), Ablations(o),
+		Sensitivity(o), Multiband(o), Odometry(o), Traffic(o), LinkLoss(o),
+		Turns(o),
+	}
+}
+
+// ByID returns the experiment runner for an id, or nil.
+func ByID(id string) func(Options) *Table {
+	switch id {
+	case "fig1":
+		return Fig1
+	case "fig2":
+		return Fig2
+	case "fig3":
+		return Fig3
+	case "fig4":
+		return Fig4
+	case "fig9":
+		return Fig9
+	case "fig10":
+		return Fig10
+	case "fig11":
+		return Fig11
+	case "fig12":
+		return Fig12
+	case "latency":
+		return Latency
+	case "scalability":
+		return Scalability
+	case "ablations":
+		return Ablations
+	case "multiband":
+		return Multiband
+	case "odometry":
+		return Odometry
+	case "platoon":
+		return PlatoonScale
+	case "sensitivity":
+		return Sensitivity
+	case "traffic":
+		return Traffic
+	case "linkloss":
+		return LinkLoss
+	case "turns":
+		return Turns
+	default:
+		return nil
+	}
+}
+
+// IDs lists the experiment ids in paper order.
+func IDs() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig9", "fig10",
+		"fig11", "fig12", "latency", "scalability", "platoon", "ablations", "sensitivity", "multiband", "odometry",
+		"traffic", "linkloss", "turns"}
+}

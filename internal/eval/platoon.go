@@ -1,0 +1,57 @@
+package eval
+
+// PlatoonScale extends the §V-B scalability arithmetic to a real protocol
+// simulation: N vehicles in a platoon, each tracking the vehicle ahead at
+// 2 Hz over one shared DSRC control channel with 10 Hz incremental
+// updates. The question is how channel load and accuracy behave as the
+// platoon grows — the "heavy traffic and frequent queries" regime the
+// paper's abstract claims RUPS scales to.
+
+import (
+	"fmt"
+
+	"rups/internal/node"
+)
+
+// PlatoonScale sweeps the platoon size.
+func PlatoonScale(o Options) *Table {
+	t := &Table{
+		ID:    "platoon",
+		Title: "Protocol scalability: N-vehicle platoon on one DSRC channel (§V-B regime)",
+		Header: []string{"vehicles", "queries", "resolved", "RDE mean (m)",
+			"copy lag (m)", "channel util", "kB/s/vehicle", "full xfers", "deltas"},
+	}
+	sizes := []int{2, 4, 8}
+	if !o.Quick {
+		sizes = []int{2, 4, 8, 12}
+	}
+	for _, n := range sizes {
+		cfg := node.DefaultPlatoonConfig(o.Seed+3000, n)
+		if o.Quick {
+			cfg.DistanceM = 800
+		}
+		nw, _, t0, t1 := node.Platoon(cfg)
+		nw.Run(t0, t1)
+		s := nw.Stats(t0, t1)
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", s.Queries),
+			fmt.Sprintf("%d (%.0f%%)", s.Resolved, 100*float64(s.Resolved)/float64(max(1, s.Queries))),
+			f2(s.MeanRDE),
+			f2(s.MeanLagM),
+			fmt.Sprintf("%.1f%%", s.Utilization*100),
+			f2(s.BytesPerNodeS/1024),
+			fmt.Sprintf("%d", s.FullTransfers),
+			fmt.Sprintf("%d", s.DeltaTransfers),
+		)
+	}
+	t.Note("channel utilization grows linearly with tracked pairs; the incremental protocol keeps even a 12-vehicle platoon far from saturating the channel")
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

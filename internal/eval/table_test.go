@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Title:  "T",
+		Header: []string{"a", "b"},
+	}
+	tb.AddRow("1", "two, with comma")
+	tb.Note("hello")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"two, with comma"`) {
+		t.Errorf("comma cell not quoted: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "# hello") {
+		t.Errorf("note missing: %q", lines[2])
+	}
+}
+
+func TestOptionsN(t *testing.T) {
+	if (Options{Quick: true}).n(100, 7) != 7 {
+		t.Error("quick count wrong")
+	}
+	if (Options{}).n(100, 7) != 100 {
+		t.Error("full count wrong")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f(1234.5678) != "1.23e+03" {
+		t.Errorf("f = %q", f(1234.5678))
+	}
+	if f2(1.005) == "" {
+		t.Error("f2 empty")
+	}
+}

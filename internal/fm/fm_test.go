@@ -1,0 +1,128 @@
+package fm
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/geo"
+	"rups/internal/gsm"
+	"rups/internal/stats"
+)
+
+func testFMField(seed uint64) *Field {
+	area := gsm.Bounds{MinX: 0, MinY: 0, MaxX: 4000, MaxY: 4000}
+	return NewField(seed, area, gsm.ConstZone(gsm.Urban))
+}
+
+func TestStationFreqs(t *testing.T) {
+	seen := map[float64]bool{}
+	for i := 0; i < NumStations; i++ {
+		f := StationFreqMHz(i)
+		if f < 87.5 || f > 108 {
+			t.Fatalf("station %d at %v MHz outside the FM band", i, f)
+		}
+		if seen[f] {
+			t.Fatalf("duplicate frequency %v", f)
+		}
+		seen[f] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range station")
+		}
+	}()
+	StationFreqMHz(NumStations)
+}
+
+func TestSampleRangeAndDeterminism(t *testing.T) {
+	f := testFMField(1)
+	pos := geo.Vec2{X: 2000, Y: 2000}
+	for ch := 0; ch < NumStations; ch++ {
+		v := f.Sample(pos, ch, 100)
+		if v < gsm.NoiseFloorDBm || v > gsm.SaturationDBm {
+			t.Fatalf("station %d RSSI %v out of range", ch, v)
+		}
+		if v != f.Sample(pos, ch, 100) {
+			t.Fatal("not deterministic")
+		}
+	}
+	if f.Channels() != NumStations {
+		t.Errorf("Channels = %d", f.Channels())
+	}
+}
+
+func TestBroadcastCoverage(t *testing.T) {
+	// FM stations cover the whole metro: most stations audible well above
+	// the floor everywhere in the drive area, unlike GSM cells.
+	f := testFMField(2)
+	for _, pos := range []geo.Vec2{{X: 500, Y: 500}, {X: 2000, Y: 2000}, {X: 3500, Y: 1000}} {
+		audible := 0
+		for ch := 0; ch < NumStations; ch++ {
+			if gsm.Excess(f.Sample(pos, ch, 0)) > 10 {
+				audible++
+			}
+		}
+		if audible < NumStations*3/4 {
+			t.Errorf("only %d/%d stations audible at %v", audible, NumStations, pos)
+		}
+	}
+}
+
+func TestSmoothFading(t *testing.T) {
+	// FM fading decorrelates over metres, not fractions of a metre: the
+	// correlation between vectors 1 m apart is much higher than GSM's.
+	f := testFMField(3)
+	var a, b []float64
+	for i := 0; i < 400; i++ {
+		pos := geo.Vec2{X: 300 + float64(i)*9.7, Y: 1500}
+		for ch := 0; ch < NumStations; ch += 5 {
+			a = append(a, f.Sample(pos, ch, 0))
+			b = append(b, f.Sample(pos.Add(geo.Vec2{X: 1}), ch, 0))
+		}
+	}
+	if r := stats.Pearson(a, b); r < 0.9 {
+		t.Errorf("1 m fading correlation = %v, want very high for FM", r)
+	}
+}
+
+func TestTemporalStability(t *testing.T) {
+	// Broadcast carriers are more stable over 25 minutes than GSM cells.
+	f := testFMField(4)
+	pos := geo.Vec2{X: 1700, Y: 2300}
+	var now, later []float64
+	for trial := 0; trial < 60; trial++ {
+		t0 := float64(trial) * 60
+		for ch := 0; ch < NumStations; ch++ {
+			now = append(now, f.Sample(pos, ch, t0))
+			later = append(later, f.Sample(pos, ch, t0+1500))
+		}
+	}
+	if r := stats.Pearson(now, later); r < 0.95 {
+		t.Errorf("25-minute FM correlation = %v", r)
+	}
+}
+
+func TestUnderElevatedMilder(t *testing.T) {
+	// The FM cover loss is milder than GSM's 8 dB.
+	area := gsm.Bounds{MinX: 0, MinY: 0, MaxX: 4000, MaxY: 4000}
+	open := NewField(5, area, gsm.ConstZone(gsm.Urban))
+	covered := NewField(5, area, gsm.ConstZone(gsm.UnderElevated))
+	pos := geo.Vec2{X: 2000, Y: 2000}
+	var diff stats.Online
+	for ch := 0; ch < NumStations; ch++ {
+		diff.Add(open.Sample(pos, ch, 0) - covered.Sample(pos, ch, 0))
+	}
+	if math.Abs(diff.Mean()-coverLossDB) > 1 {
+		t.Errorf("cover loss = %v dB, want ~%v", diff.Mean(), coverLossDB)
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	f := testFMField(6)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.Sample(geo.Vec2{}, NumStations, 0)
+}

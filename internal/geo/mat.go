@@ -1,0 +1,108 @@
+package geo
+
+import "math"
+
+// Mat3 is a 3×3 matrix in row-major order. It is used for the rotation
+// matrix R = [x; y; z] of the coordinate reorientation scheme (paper §IV-B):
+// rows are the vehicle-frame axes expressed in the sensor frame.
+type Mat3 [3][3]float64
+
+// Identity3 returns the identity matrix.
+func Identity3() Mat3 {
+	return Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// RotationFromAxes builds the reorientation matrix whose rows are the given
+// vehicle axes expressed in sensor coordinates. Per the paper, z may be
+// recalibrated as x × y to cancel slope effects; this constructor always
+// applies that recalibration and re-orthonormalizes.
+func RotationFromAxes(x, y Vec3) Mat3 {
+	xu := x.Unit()
+	// Remove any x component from y so the frame is orthogonal.
+	yo := y.Sub(xu.Scale(y.Dot(xu))).Unit()
+	zu := xu.Cross(yo)
+	return Mat3{
+		{xu.X, xu.Y, xu.Z},
+		{yo.X, yo.Y, yo.Z},
+		{zu.X, zu.Y, zu.Z},
+	}
+}
+
+// RotZ returns the rotation by angle a (radians, counter-clockwise) about the
+// z axis.
+func RotZ(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{
+		{c, -s, 0},
+		{s, c, 0},
+		{0, 0, 1},
+	}
+}
+
+// RotX returns the rotation by angle a about the x axis.
+func RotX(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{
+		{1, 0, 0},
+		{0, c, -s},
+		{0, s, c},
+	}
+}
+
+// RotY returns the rotation by angle a about the y axis.
+func RotY(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{
+		{c, 0, s},
+		{0, 1, 0},
+		{-s, 0, c},
+	}
+}
+
+// Mul returns the matrix product m·n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[i][0]*n[0][j] + m[i][1]*n[1][j] + m[i][2]*n[2][j]
+		}
+	}
+	return r
+}
+
+// Apply returns m·v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Transpose returns mᵀ. For a rotation matrix this is the inverse.
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// Row returns row i as a vector.
+func (m Mat3) Row(i int) Vec3 { return Vec3{m[i][0], m[i][1], m[i][2]} }
+
+// IsOrthonormal reports whether m is orthonormal within tolerance eps.
+func (m Mat3) IsOrthonormal(eps float64) bool {
+	p := m.Mul(m.Transpose())
+	id := Identity3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(p[i][j]-id[i][j]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

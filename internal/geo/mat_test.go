@@ -1,0 +1,93 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityApply(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	if got := Identity3().Apply(v); got != v {
+		t.Errorf("Identity.Apply = %v", got)
+	}
+}
+
+func TestRotZ(t *testing.T) {
+	// 90° CCW about z maps +x to +y.
+	got := RotZ(math.Pi / 2).Apply(Vec3{1, 0, 0})
+	want := Vec3{0, 1, 0}
+	if got.Sub(want).Norm() > 1e-12 {
+		t.Errorf("RotZ(π/2)·x = %v, want %v", got, want)
+	}
+}
+
+func TestRotXRotY(t *testing.T) {
+	// 90° about x maps +y to +z; 90° about y maps +z to +x.
+	if got := RotX(math.Pi / 2).Apply(Vec3{0, 1, 0}); got.Sub(Vec3{0, 0, 1}).Norm() > 1e-12 {
+		t.Errorf("RotX(π/2)·y = %v, want +z", got)
+	}
+	if got := RotY(math.Pi / 2).Apply(Vec3{0, 0, 1}); got.Sub(Vec3{1, 0, 0}).Norm() > 1e-12 {
+		t.Errorf("RotY(π/2)·z = %v, want +x", got)
+	}
+}
+
+func TestRotationPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		m := RotZ(rng.Float64() * 2 * math.Pi).
+			Mul(RotX(rng.Float64() * 2 * math.Pi)).
+			Mul(RotY(rng.Float64() * 2 * math.Pi))
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if math.Abs(m.Apply(v).Norm()-v.Norm()) > 1e-9 {
+			t.Fatalf("rotation changed norm: %v -> %v", v.Norm(), m.Apply(v).Norm())
+		}
+		if !m.IsOrthonormal(1e-9) {
+			t.Fatalf("composed rotation not orthonormal: %v", m)
+		}
+	}
+}
+
+func TestTransposeIsInverse(t *testing.T) {
+	m := RotZ(0.7).Mul(RotX(-1.1)).Mul(RotY(2.3))
+	v := Vec3{0.3, -4, 2.5}
+	back := m.Transpose().Apply(m.Apply(v))
+	if back.Sub(v).Norm() > 1e-9 {
+		t.Errorf("Rᵀ·R·v = %v, want %v", back, v)
+	}
+}
+
+func TestRotationFromAxes(t *testing.T) {
+	// Sensor mounted rotated 30° in yaw and 5° in pitch relative to the
+	// vehicle: recovering the frame from (possibly slightly non-orthogonal)
+	// axis estimates must give an orthonormal matrix that maps sensor
+	// readings into the vehicle frame.
+	mount := RotZ(30 * math.Pi / 180).Mul(RotX(5 * math.Pi / 180))
+	// Vehicle axes expressed in sensor coordinates are the rows of mountᵀ
+	// ... which is exactly what RotationFromAxes receives as estimates.
+	inv := mount.Transpose()
+	x := inv.Row(0)
+	y := inv.Row(1)
+	// Perturb the y estimate slightly off-orthogonal, as a real estimator
+	// would produce.
+	y = y.Add(x.Scale(0.01)).Unit()
+	r := RotationFromAxes(x, y)
+	if !r.IsOrthonormal(1e-9) {
+		t.Fatalf("RotationFromAxes not orthonormal: %v", r)
+	}
+	// A forward acceleration in the vehicle frame, seen by the sensor, must
+	// be recovered as forward by the reorientation.
+	forwardVehicle := Vec3{0, 1, 0}
+	seenBySensor := mount.Apply(forwardVehicle)
+	rec := r.Apply(seenBySensor)
+	if rec.Sub(forwardVehicle).Norm() > 0.02 {
+		t.Errorf("reoriented forward = %v, want ~%v", rec, forwardVehicle)
+	}
+}
+
+func TestRowAccess(t *testing.T) {
+	m := Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if got := m.Row(1); got != (Vec3{4, 5, 6}) {
+		t.Errorf("Row(1) = %v", got)
+	}
+}

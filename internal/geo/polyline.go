@@ -1,0 +1,131 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polyline is an arc-length parametrized open polygonal chain in the world
+// plane. It is the geometric backbone of road segments and routes: the
+// simulator asks "where is the point s metres along this line, and what is
+// the tangent heading there?"
+type Polyline struct {
+	pts []Vec2
+	// cum[i] is the arc length from pts[0] to pts[i]; cum[0] == 0.
+	cum []float64
+}
+
+// NewPolyline builds a polyline through the given points. It panics if fewer
+// than two points are supplied or if two consecutive points coincide, since a
+// degenerate segment has no tangent.
+func NewPolyline(pts ...Vec2) *Polyline {
+	if len(pts) < 2 {
+		panic(fmt.Sprintf("geo: polyline needs at least 2 points, got %d", len(pts)))
+	}
+	p := &Polyline{
+		pts: append([]Vec2(nil), pts...),
+		cum: make([]float64, len(pts)),
+	}
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].Dist(pts[i-1])
+		if d == 0 {
+			panic(fmt.Sprintf("geo: polyline points %d and %d coincide at %v", i-1, i, pts[i]))
+		}
+		p.cum[i] = p.cum[i-1] + d
+	}
+	return p
+}
+
+// Length returns the total arc length in metres.
+func (p *Polyline) Length() float64 { return p.cum[len(p.cum)-1] }
+
+// Points returns the defining points. The caller must not modify the result.
+func (p *Polyline) Points() []Vec2 { return p.pts }
+
+// segmentAt locates the segment index containing arc length s via binary
+// search; s is clamped to [0, Length].
+func (p *Polyline) segmentAt(s float64) (idx int, clamped float64) {
+	if s <= 0 {
+		return 0, 0
+	}
+	if s >= p.Length() {
+		return len(p.pts) - 2, p.Length()
+	}
+	lo, hi := 0, len(p.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, s
+}
+
+// At returns the point at arc length s, clamped to the line's extent.
+func (p *Polyline) At(s float64) Vec2 {
+	i, s := p.segmentAt(s)
+	segLen := p.cum[i+1] - p.cum[i]
+	t := (s - p.cum[i]) / segLen
+	return p.pts[i].Lerp(p.pts[i+1], t)
+}
+
+// HeadingAt returns the compass heading of the tangent at arc length s.
+func (p *Polyline) HeadingAt(s float64) float64 {
+	i, _ := p.segmentAt(s)
+	return p.pts[i+1].Sub(p.pts[i]).Heading()
+}
+
+// Offset returns the point at arc length s displaced laterally by off metres:
+// positive offsets are to the right of the direction of travel. This places
+// vehicles in lanes.
+func (p *Polyline) Offset(s, off float64) Vec2 {
+	pt := p.At(s)
+	h := p.HeadingAt(s)
+	// Right of travel = heading + 90° clockwise.
+	right := HeadingVec(NormalizeHeading(h + math.Pi/2))
+	return pt.Add(right.Scale(off))
+}
+
+// Project returns the arc length of the point on the polyline closest to q,
+// along with the squared distance to it.
+func (p *Polyline) Project(q Vec2) (s float64, dist2 float64) {
+	best := math.Inf(1)
+	bestS := 0.0
+	for i := 0; i+1 < len(p.pts); i++ {
+		a, b := p.pts[i], p.pts[i+1]
+		ab := b.Sub(a)
+		t := q.Sub(a).Dot(ab) / ab.Dot(ab)
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		c := a.Lerp(b, t)
+		d2 := q.Sub(c).Dot(q.Sub(c))
+		if d2 < best {
+			best = d2
+			bestS = p.cum[i] + t*ab.Norm()
+		}
+	}
+	return bestS, best
+}
+
+// Resample returns points every step metres along the line, starting at arc
+// length 0 and always including the final endpoint.
+func (p *Polyline) Resample(step float64) []Vec2 {
+	if step <= 0 {
+		panic("geo: resample step must be positive")
+	}
+	n := int(p.Length()/step) + 1
+	out := make([]Vec2, 0, n+1)
+	for i := 0; i < n; i++ {
+		out = append(out, p.At(float64(i)*step))
+	}
+	last := p.At(p.Length())
+	if out[len(out)-1].Dist(last) > 1e-9 {
+		out = append(out, last)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPolylineLength(t *testing.T) {
+	p := NewPolyline(Vec2{0, 0}, Vec2{3, 4}, Vec2{3, 14})
+	if got := p.Length(); got != 15 {
+		t.Errorf("Length = %v, want 15", got)
+	}
+}
+
+func TestPolylineAt(t *testing.T) {
+	p := NewPolyline(Vec2{0, 0}, Vec2{10, 0}, Vec2{10, 10})
+	cases := []struct {
+		s    float64
+		want Vec2
+	}{
+		{0, Vec2{0, 0}},
+		{5, Vec2{5, 0}},
+		{10, Vec2{10, 0}},
+		{15, Vec2{10, 5}},
+		{20, Vec2{10, 10}},
+		{-3, Vec2{0, 0}},   // clamped
+		{99, Vec2{10, 10}}, // clamped
+	}
+	for _, c := range cases {
+		if got := p.At(c.s); got.Dist(c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPolylineHeading(t *testing.T) {
+	p := NewPolyline(Vec2{0, 0}, Vec2{0, 10}, Vec2{10, 10})
+	if got := p.HeadingAt(5); !almostEq(got, 0, 1e-12) {
+		t.Errorf("heading on northbound leg = %v, want 0", got)
+	}
+	if got := p.HeadingAt(15); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("heading on eastbound leg = %v, want π/2", got)
+	}
+}
+
+func TestPolylineOffset(t *testing.T) {
+	p := NewPolyline(Vec2{0, 0}, Vec2{0, 100})
+	// Travelling north, +3 m offset is to the east.
+	got := p.Offset(50, 3)
+	want := Vec2{3, 50}
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("Offset = %v, want %v", got, want)
+	}
+	// Negative offset is to the west.
+	got = p.Offset(50, -3)
+	want = Vec2{-3, 50}
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("Offset = %v, want %v", got, want)
+	}
+}
+
+func TestPolylineProject(t *testing.T) {
+	p := NewPolyline(Vec2{0, 0}, Vec2{10, 0}, Vec2{10, 10})
+	s, d2 := p.Project(Vec2{5, 2})
+	if !almostEq(s, 5, 1e-9) || !almostEq(d2, 4, 1e-9) {
+		t.Errorf("Project = (%v,%v), want (5,4)", s, d2)
+	}
+	s, d2 = p.Project(Vec2{12, 5})
+	if !almostEq(s, 15, 1e-9) || !almostEq(d2, 4, 1e-9) {
+		t.Errorf("Project = (%v,%v), want (15,4)", s, d2)
+	}
+}
+
+func TestPolylineProjectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := []Vec2{{0, 0}}
+	for i := 0; i < 20; i++ {
+		last := pts[len(pts)-1]
+		pts = append(pts, last.Add(Vec2{rng.Float64()*50 + 1, rng.Float64()*50 - 25}))
+	}
+	p := NewPolyline(pts...)
+	for i := 0; i < 100; i++ {
+		s := rng.Float64() * p.Length()
+		got, d2 := p.Project(p.At(s))
+		if d2 > 1e-9 {
+			t.Fatalf("projecting an on-line point gave distance² %v", d2)
+		}
+		// Arc length must be recovered (self-intersection-free by
+		// construction since x strictly increases).
+		if math.Abs(got-s) > 1e-6 {
+			t.Fatalf("Project(At(%v)) = %v", s, got)
+		}
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	p := NewPolyline(Vec2{0, 0}, Vec2{0, 10})
+	pts := p.Resample(2.5)
+	if len(pts) != 5 {
+		t.Fatalf("Resample len = %d, want 5", len(pts))
+	}
+	if pts[len(pts)-1].Dist(Vec2{0, 10}) > 1e-9 {
+		t.Errorf("last resampled point = %v, want endpoint", pts[len(pts)-1])
+	}
+	// Non-dividing step still ends at the endpoint.
+	pts = p.Resample(3)
+	if pts[len(pts)-1].Dist(Vec2{0, 10}) > 1e-9 {
+		t.Errorf("last resampled point = %v, want endpoint", pts[len(pts)-1])
+	}
+}
+
+func TestPolylinePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("too few points", func() { NewPolyline(Vec2{0, 0}) })
+	mustPanic("coincident points", func() { NewPolyline(Vec2{0, 0}, Vec2{0, 0}) })
+	mustPanic("bad resample step", func() {
+		NewPolyline(Vec2{0, 0}, Vec2{1, 0}).Resample(0)
+	})
+}

@@ -1,0 +1,131 @@
+// Package geo provides the planar and spatial geometry primitives used
+// throughout the RUPS simulation stack: 2-D/3-D vectors, headings, rotation
+// matrices, and arc-length parametrized polylines.
+//
+// Conventions:
+//   - The world frame is a local East-North plane in metres. X grows east,
+//     Y grows north.
+//   - Headings are measured in radians clockwise from north (compass
+//     convention), so heading 0 points +Y and heading π/2 points +X.
+//   - The vehicle body frame is x-right, y-forward, z-up, matching the
+//     coordinate reorientation scheme of Han et al. adopted by the paper.
+package geo
+
+import "math"
+
+// Vec2 is a point or displacement in the world plane, in metres.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3-D cross product of v and w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Perp returns v rotated 90° counter-clockwise.
+func (v Vec2) Perp() Vec2 { return Vec2{-v.Y, v.X} }
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return Vec2{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t}
+}
+
+// Heading returns the compass heading of the displacement v, in radians
+// clockwise from north, normalized to [0, 2π).
+func (v Vec2) Heading() float64 {
+	return NormalizeHeading(math.Atan2(v.X, v.Y))
+}
+
+// HeadingVec returns the unit displacement for a compass heading.
+func HeadingVec(heading float64) Vec2 {
+	return Vec2{math.Sin(heading), math.Cos(heading)}
+}
+
+// NormalizeHeading maps an angle in radians to [0, 2π).
+func NormalizeHeading(h float64) float64 {
+	h = math.Mod(h, 2*math.Pi)
+	if h < 0 {
+		h += 2 * math.Pi
+	}
+	return h
+}
+
+// HeadingDiff returns the signed smallest rotation from heading a to heading
+// b, in (-π, π]. Positive means b is clockwise of a.
+func HeadingDiff(a, b float64) float64 {
+	d := math.Mod(b-a, 2*math.Pi)
+	switch {
+	case d > math.Pi:
+		d -= 2 * math.Pi
+	case d <= -math.Pi:
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// Vec3 is a vector in 3-space, used for raw inertial sensor readings in the
+// sensor body frame (x-right, y-forward, z-up).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}

@@ -1,0 +1,151 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVec2Basics(t *testing.T) {
+	v := Vec2{3, 4}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Add(Vec2{1, -1}); got != (Vec2{4, 3}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(Vec2{3, 4}); got != (Vec2{0, 0}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(Vec2{1, 1}); got != 7 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(Vec2{1, 0}); got != -4 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestVec2UnitZero(t *testing.T) {
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("Unit of zero vector = %v, want zero", got)
+	}
+	u := Vec2{10, -2}.Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v, want 1", u.Norm())
+	}
+}
+
+func TestHeadingConventions(t *testing.T) {
+	cases := []struct {
+		v Vec2
+		h float64
+	}{
+		{Vec2{0, 1}, 0},                // north
+		{Vec2{1, 0}, math.Pi / 2},      // east
+		{Vec2{0, -1}, math.Pi},         // south
+		{Vec2{-1, 0}, 3 * math.Pi / 2}, // west
+		{Vec2{1, 1}, math.Pi / 4},      // north-east
+		{Vec2{-1, 1}, 7 * math.Pi / 4}, // north-west
+	}
+	for _, c := range cases {
+		if got := c.v.Heading(); !almostEq(got, c.h, 1e-12) {
+			t.Errorf("Heading(%v) = %v, want %v", c.v, got, c.h)
+		}
+		back := HeadingVec(c.h)
+		if !almostEq(back.Sub(c.v.Unit()).Norm(), 0, 1e-12) {
+			t.Errorf("HeadingVec(%v) = %v, want %v", c.h, back, c.v.Unit())
+		}
+	}
+}
+
+func TestHeadingDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, math.Pi / 2, math.Pi / 2},
+		{math.Pi / 2, 0, -math.Pi / 2},
+		{0.1, 2*math.Pi - 0.1, -0.2},
+		{2*math.Pi - 0.1, 0.1, 0.2},
+		{0, math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := HeadingDiff(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("HeadingDiff(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHeadingDiffProperty(t *testing.T) {
+	// Walking from a by HeadingDiff(a,b) must land on b (mod 2π), and the
+	// diff must lie in (-π, π].
+	f := func(a, b float64) bool {
+		a, b = NormalizeHeading(a), NormalizeHeading(b)
+		d := HeadingDiff(a, b)
+		if d <= -math.Pi || d > math.Pi+1e-12 {
+			return false
+		}
+		return almostEq(NormalizeHeading(a+d), b, 1e-9) ||
+			almostEq(math.Abs(NormalizeHeading(a+d)-b), 2*math.Pi, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		// Map unbounded random floats into a sane magnitude range; the
+		// property is about geometry, not float overflow.
+		squash := func(x float64) float64 {
+			if math.IsNaN(x) {
+				return 0
+			}
+			return 100 * math.Tanh(x/100)
+		}
+		a := Vec3{squash(ax), squash(ay), squash(az)}
+		b := Vec3{squash(bx), squash(by), squash(bz)}
+		c := a.Cross(b)
+		// Cross product is orthogonal to both operands. Scale tolerance by
+		// the magnitudes involved.
+		tol := 1e-9 * (1 + a.Norm()*b.Norm())
+		return math.Abs(c.Dot(a)) <= tol && math.Abs(c.Dot(b)) <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Vec2{0, 0}, Vec2{10, 20}
+	if got := a.Lerp(b, 0.5); got != (Vec2{5, 10}) {
+		t.Errorf("Lerp mid = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+}
+
+func TestPerp(t *testing.T) {
+	v := Vec2{1, 0}
+	if got := v.Perp(); got != (Vec2{0, 1}) {
+		t.Errorf("Perp = %v", got)
+	}
+	f := func(x, y float64) bool {
+		v := Vec2{x, y}
+		d := v.Dot(v.Perp())
+		n2 := v.Dot(v)
+		if math.IsInf(n2, 0) || math.IsNaN(d) {
+			return true // overflow territory; orthogonality is meaningless
+		}
+		return math.Abs(d) <= 1e-9*(1+n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package gps simulates the GPS baseline RUPS is compared against
+// (paper §VI-D). Urban GPS error is dominated by multipath and satellite
+// blockage, so the model draws, per receiver, a position error that is
+// correlated over both time (tens of seconds) and space (tens of metres),
+// with magnitude set by the environment class — small on open suburban
+// roads, around ten metres in the "concrete forest", and worst under
+// elevated decks, where fixes also drop out and the receiver holds its last
+// position.
+package gps
+
+import (
+	"math"
+
+	"rups/internal/geo"
+	"rups/internal/gsm"
+	"rups/internal/noise"
+)
+
+// envSigmaM returns the per-axis error scale (metres) of an environment.
+// Calibrated so that the *relative-distance* errors between two receivers
+// land near the paper's Fig 12 GPS numbers (≈4.2 / 9.9 / 9.8 / 21.1 m).
+func envSigmaM(e gsm.EnvClass) float64 {
+	switch e {
+	case gsm.Suburban:
+		return 6.3
+	case gsm.Urban:
+		return 8
+	case gsm.Downtown:
+		return 8
+	case gsm.UnderElevated:
+		return 10
+	default:
+		panic("gps: unknown environment")
+	}
+}
+
+// outageFrac returns the fraction of time the receiver has no fix.
+func outageFrac(e gsm.EnvClass) float64 {
+	switch e {
+	case gsm.Suburban, gsm.Urban:
+		return 0
+	case gsm.Downtown:
+		return 0
+	case gsm.UnderElevated:
+		return 0.35
+	default:
+		panic("gps: unknown environment")
+	}
+}
+
+// Receiver is one GPS unit. Each receiver has its own multipath error
+// fields; two receivers in the same car park do not share errors, which is
+// what makes GPS relative distances so much worse than its nominal absolute
+// accuracy suggests.
+type Receiver struct {
+	seed    uint64
+	zone    gsm.Zoning
+	hasLast bool
+	last    geo.Vec2
+}
+
+// NewReceiver creates a receiver with its own error streams.
+func NewReceiver(seed uint64, zone gsm.Zoning) *Receiver {
+	return &Receiver{seed: seed, zone: zone}
+}
+
+// errTimeScaleS and errSpaceScaleM are the correlation scales of the
+// multipath error process.
+const (
+	errTimeScaleS  = 45.0
+	errSpaceScaleM = 60.0
+)
+
+// Fix returns the receiver's reported position for a vehicle truly at pos
+// at time t. fresh is false when the fix is an outage hold-over (or there
+// has never been a fix).
+func (r *Receiver) Fix(pos geo.Vec2, t float64) (fix geo.Vec2, fresh bool) {
+	env := r.zone.EnvAt(pos)
+
+	// Outage episodes: a slow indicator process crossing a quantile.
+	if of := outageFrac(env); of > 0 {
+		ind := noise.Field1D{Seed: noise.Hash(r.seed, 0x0074), Scale: 20}.At(t)
+		if ind < quantileOf(of) {
+			if r.hasLast {
+				return r.last, false
+			}
+			return pos, false // cold receiver: report truth-ish garbage once
+		}
+	}
+
+	sigma := envSigmaM(env)
+	errX := sigma * mixedError(noise.Hash(r.seed, 1), pos, t)
+	errY := sigma * mixedError(noise.Hash(r.seed, 2), pos, t)
+	fix = pos.Add(geo.Vec2{X: errX, Y: errY})
+	r.last = fix
+	r.hasLast = true
+	return fix, true
+}
+
+// mixedError combines a temporal and a spatial unit-variance component into
+// a unit-variance error sample.
+func mixedError(seed uint64, pos geo.Vec2, t float64) float64 {
+	tc := noise.Field1D{Seed: noise.Hash(seed, 0x71), Scale: errTimeScaleS}.At(t)
+	sc := noise.Field2D{Seed: noise.Hash(seed, 0x5C), Scale: errSpaceScaleM}.At(pos.X, pos.Y)
+	const a = 0.7071 // equal mix, unit variance
+	return a*tc + a*sc
+}
+
+// quantileOf returns the standard normal quantile Φ⁻¹(frac) via the
+// Beasley-Springer-Moro approximation — accurate enough that the realized
+// outage rate matches the configured fraction.
+func quantileOf(frac float64) float64 {
+	if frac <= 0 {
+		return math.Inf(-1)
+	}
+	if frac >= 1 {
+		return math.Inf(1)
+	}
+	// Central region rational approximation.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case frac < pLow:
+		q := math.Sqrt(-2 * math.Log(frac))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case frac <= 1-pLow:
+		q := frac - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		return -quantileOf(1 - frac)
+	}
+}
+
+// RelativeDistance returns the front-rear distance two GPS fixes imply.
+func RelativeDistance(a, b geo.Vec2) float64 { return a.Dist(b) }

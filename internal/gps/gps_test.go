@@ -1,0 +1,163 @@
+package gps
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/geo"
+	"rups/internal/gsm"
+	"rups/internal/stats"
+)
+
+func TestFixErrorScalesWithEnvironment(t *testing.T) {
+	meanErr := func(env gsm.EnvClass, seed uint64) float64 {
+		r := NewReceiver(seed, gsm.ConstZone(env))
+		var acc stats.Online
+		for i := 0; i < 2000; i++ {
+			pos := geo.Vec2{X: float64(i) * 7.3, Y: float64(i%13) * 91}
+			fix, fresh := r.Fix(pos, float64(i)*1.7)
+			if !fresh {
+				continue
+			}
+			acc.Add(fix.Dist(pos))
+		}
+		return acc.Mean()
+	}
+	sub := meanErr(gsm.Suburban, 1)
+	urb := meanErr(gsm.Urban, 2)
+	elev := meanErr(gsm.UnderElevated, 3)
+	if !(sub < urb && urb < elev) {
+		t.Errorf("error ordering wrong: suburb %v, urban %v, elevated %v", sub, urb, elev)
+	}
+	if sub < 1 || sub > 8 {
+		t.Errorf("suburban mean error %v implausible", sub)
+	}
+	if urb < 4 || urb > 16 {
+		t.Errorf("urban mean error %v implausible", urb)
+	}
+}
+
+func TestFixTemporalCorrelation(t *testing.T) {
+	// Two fixes close in time share most of their error; far apart they do
+	// not.
+	r := NewReceiver(5, gsm.ConstZone(gsm.Urban))
+	pos := geo.Vec2{X: 100, Y: 100}
+	var nearDiff, farDiff stats.Online
+	for i := 0; i < 300; i++ {
+		t0 := float64(i) * 500
+		f1, _ := r.Fix(pos, t0)
+		f2, _ := r.Fix(pos, t0+1)
+		f3, _ := r.Fix(pos, t0+250)
+		nearDiff.Add(f1.Dist(f2))
+		farDiff.Add(f1.Dist(f3))
+	}
+	if nearDiff.Mean() > farDiff.Mean()/2 {
+		t.Errorf("errors not temporally correlated: near %v, far %v",
+			nearDiff.Mean(), farDiff.Mean())
+	}
+}
+
+func TestReceiversIndependent(t *testing.T) {
+	// Two different receivers at the same place and time disagree — the
+	// root cause of GPS's poor relative accuracy.
+	a := NewReceiver(10, gsm.ConstZone(gsm.Downtown))
+	b := NewReceiver(11, gsm.ConstZone(gsm.Downtown))
+	var rel stats.Online
+	for i := 0; i < 500; i++ {
+		pos := geo.Vec2{X: float64(i) * 11, Y: 0}
+		fa, _ := a.Fix(pos, float64(i))
+		fb, _ := b.Fix(pos, float64(i))
+		rel.Add(fa.Dist(fb))
+	}
+	if rel.Mean() < 3 {
+		t.Errorf("independent receivers agree too well: %v m", rel.Mean())
+	}
+}
+
+func TestUnderElevatedOutages(t *testing.T) {
+	r := NewReceiver(7, gsm.ConstZone(gsm.UnderElevated))
+	stale := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, fresh := r.Fix(geo.Vec2{X: float64(i)}, float64(i)*0.8)
+		if !fresh {
+			stale++
+		}
+	}
+	frac := float64(stale) / n
+	if frac < 0.15 || frac > 0.8 {
+		t.Errorf("outage fraction %v, want substantial under the deck", frac)
+	}
+}
+
+func TestNoOutagesInOpenEnvironments(t *testing.T) {
+	r := NewReceiver(8, gsm.ConstZone(gsm.Suburban))
+	for i := 0; i < 500; i++ {
+		if _, fresh := r.Fix(geo.Vec2{X: float64(i)}, float64(i)); !fresh {
+			t.Fatal("suburban fix dropped out")
+		}
+	}
+}
+
+func TestOutageHoldsLastFix(t *testing.T) {
+	r := NewReceiver(9, gsm.ConstZone(gsm.UnderElevated))
+	var last geo.Vec2
+	seeded := false
+	for i := 0; i < 2000; i++ {
+		pos := geo.Vec2{X: float64(i) * 3}
+		fix, fresh := r.Fix(pos, float64(i)*0.7)
+		if fresh {
+			last = fix
+			seeded = true
+		} else if seeded {
+			if fix != last {
+				t.Fatal("outage did not hold the last fix")
+			}
+		}
+	}
+}
+
+func TestRelativeDistance(t *testing.T) {
+	if got := RelativeDistance(geo.Vec2{X: 0, Y: 0}, geo.Vec2{X: 3, Y: 4}); got != 5 {
+		t.Errorf("RelativeDistance = %v", got)
+	}
+}
+
+func TestFixDeterministic(t *testing.T) {
+	a := NewReceiver(12, gsm.ConstZone(gsm.Urban))
+	b := NewReceiver(12, gsm.ConstZone(gsm.Urban))
+	for i := 0; i < 100; i++ {
+		pos := geo.Vec2{X: float64(i) * 5, Y: 7}
+		fa, _ := a.Fix(pos, float64(i))
+		fb, _ := b.Fix(pos, float64(i))
+		if fa != fb {
+			t.Fatal("same-seed receivers diverged")
+		}
+	}
+}
+
+func TestRelativeErrorNearPaperValues(t *testing.T) {
+	// The calibration check for Fig 12: the mean relative-distance error of
+	// two receivers 25 m apart should land near the paper's GPS numbers.
+	check := func(env gsm.EnvClass, wantLo, wantHi float64) {
+		a := NewReceiver(20, gsm.ConstZone(env))
+		b := NewReceiver(21, gsm.ConstZone(env))
+		var acc stats.Online
+		for i := 0; i < 1500; i++ {
+			t0 := float64(i) * 40
+			p1 := geo.Vec2{X: float64(i%700) * 4, Y: 0}
+			p2 := p1.Add(geo.Vec2{X: 25})
+			f1, _ := a.Fix(p1, t0)
+			f2, _ := b.Fix(p2, t0)
+			est := RelativeDistance(f1, f2)
+			acc.Add(math.Abs(est - 25))
+		}
+		if m := acc.Mean(); m < wantLo || m > wantHi {
+			t.Errorf("%v: mean GPS RDE %v, want in [%v, %v]", env, m, wantLo, wantHi)
+		}
+	}
+	check(gsm.Suburban, 3, 10)       // paper: 4.2
+	check(gsm.Urban, 6, 16)          // paper: 9.9
+	check(gsm.Downtown, 6, 16)       // paper: 9.8
+	check(gsm.UnderElevated, 10, 32) // paper: 21.1
+}

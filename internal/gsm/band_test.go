@@ -1,0 +1,88 @@
+package gsm
+
+import "testing"
+
+func TestChannelARFCNMapping(t *testing.T) {
+	cases := []struct{ idx, arfcn int }{
+		{0, 0}, {124, 124}, {125, 955}, {193, 1023},
+	}
+	for _, c := range cases {
+		if got := ChannelARFCN(c.idx); got != c.arfcn {
+			t.Errorf("ChannelARFCN(%d) = %d, want %d", c.idx, got, c.arfcn)
+		}
+		if got := ChannelIndex(c.arfcn); got != c.idx {
+			t.Errorf("ChannelIndex(%d) = %d, want %d", c.arfcn, got, c.idx)
+		}
+	}
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	for i := 0; i < NumChannels; i++ {
+		if got := ChannelIndex(ChannelARFCN(i)); got != i {
+			t.Fatalf("round trip failed for index %d: got %d", i, got)
+		}
+	}
+}
+
+func TestChannelFreq(t *testing.T) {
+	// ARFCN 0 → 935.0 MHz downlink; ARFCN 1 → 935.2.
+	if got := ChannelFreqMHz(0); got != 935.0 {
+		t.Errorf("freq(0) = %v", got)
+	}
+	if got := ChannelFreqMHz(1); got != 935.2 {
+		t.Errorf("freq(1) = %v", got)
+	}
+	// ARFCN 955 → 935 + 0.2·(955−1024) = 921.2 MHz (R-GSM extension below
+	// the primary band).
+	if got := ChannelFreqMHz(125); got != 935.0+0.2*(955-1024) {
+		t.Errorf("freq(125) = %v", got)
+	}
+	// Frequencies are unique across the band.
+	seen := map[float64]bool{}
+	for i := 0; i < NumChannels; i++ {
+		f := ChannelFreqMHz(i)
+		if seen[f] {
+			t.Fatalf("duplicate frequency %v at index %d", f, i)
+		}
+		seen[f] = true
+	}
+}
+
+func TestChannelPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"index -1":   func() { ChannelARFCN(-1) },
+		"index 194":  func() { ChannelARFCN(NumChannels) },
+		"arfcn 200":  func() { ChannelIndex(200) },
+		"arfcn -1":   func() { ChannelIndex(-1) },
+		"arfcn 1024": func() { ChannelIndex(1024) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExcess(t *testing.T) {
+	if got := Excess(NoiseFloorDBm); got != 0 {
+		t.Errorf("Excess(floor) = %v, want 0", got)
+	}
+	if got := Excess(-80); got != 30 {
+		t.Errorf("Excess(-80) = %v, want 30", got)
+	}
+}
+
+func TestEnvClassString(t *testing.T) {
+	for e, want := range map[EnvClass]string{
+		Suburban: "suburban", Urban: "urban", Downtown: "downtown",
+		UnderElevated: "under-elevated", EnvClass(99): "unknown",
+	} {
+		if got := e.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", e, got, want)
+		}
+	}
+}

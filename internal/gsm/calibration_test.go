@@ -1,0 +1,233 @@
+package gsm
+
+// Calibration tests: the contract between the simulated radio environment
+// and the RUPS algorithm. They assert that the three empirical properties
+// the paper measures on real Shanghai traces (§III, Figs 2-4) emerge from
+// the synthetic field with the default parameters. If these fail after a
+// parameter change, the evaluation figures can no longer be trusted to have
+// the paper's shape.
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/geo"
+	"rups/internal/noise"
+	"rups/internal/stats"
+)
+
+// measure returns a power vector with scanner-like measurement noise, the
+// way the §III experiments observed the field.
+func measure(f *Field, pos geo.Vec2, t float64, seed uint64) []float64 {
+	v := f.SampleVector(pos, t)
+	for ch := range v {
+		v[ch] += noise.Gaussian(seed, uint64(ch), math.Float64bits(t)) * 1.0
+		if v[ch] < NoiseFloorDBm {
+			v[ch] = NoiseFloorDBm
+		}
+	}
+	return v
+}
+
+func pick(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// TestCalibrationTemporalStability reproduces the shape of Fig 2: the
+// probability that two power vectors of the same location stay correlated,
+// as a function of their time difference, for thresholds {0.8, 0.9} and
+// channel counts {194, 10}.
+func TestCalibrationTemporalStability(t *testing.T) {
+	f := testField(101, Downtown)
+	deltas := []float64{5, 300, 1500} // 5 s ... 25 min
+	const locations = 8
+	const pairs = 40
+
+	// prob[threshold][channels][deltaIdx]
+	type key struct {
+		thr float64
+		n   int
+	}
+	counts := map[key][]int{}
+	for _, k := range []key{{0.8, 194}, {0.9, 194}, {0.8, 10}, {0.9, 10}} {
+		counts[k] = make([]int, len(deltas))
+	}
+
+	for loc := 0; loc < locations; loc++ {
+		pos := geo.Vec2{
+			X: 500 + 2000*noise.Uniform(55, uint64(loc), 1),
+			Y: 500 + 2000*noise.Uniform(55, uint64(loc), 2),
+		}
+		// Ten random channels for the subset curves, fixed per location.
+		sub := make([]int, 10)
+		for i := range sub {
+			sub[i] = int(noise.Hash(56, uint64(loc), uint64(i)) % NumChannels)
+		}
+		for di, dt := range deltas {
+			for p := 0; p < pairs; p++ {
+				t1 := 3600 * noise.Uniform(57, uint64(loc), uint64(di), uint64(p))
+				a := measure(f, pos, t1, 58)
+				b := measure(f, pos, t1+dt, 59)
+				rFull := stats.Pearson(a, b)
+				rSub := stats.Pearson(pick(a, sub), pick(b, sub))
+				if rFull >= 0.8 {
+					counts[key{0.8, 194}][di]++
+				}
+				if rFull >= 0.9 {
+					counts[key{0.9, 194}][di]++
+				}
+				if rSub >= 0.8 {
+					counts[key{0.8, 10}][di]++
+				}
+				if rSub >= 0.9 {
+					counts[key{0.9, 10}][di]++
+				}
+			}
+		}
+	}
+	total := float64(locations * pairs)
+	prob := func(thr float64, n int, di int) float64 {
+		return float64(counts[key{thr, n}][di]) / total
+	}
+	last := len(deltas) - 1
+
+	// Paper observation 2: with threshold 0.8 and all channels, vectors are
+	// stable with high probability over the whole 25-minute span.
+	for di := range deltas {
+		if p := prob(0.8, 194, di); p < 0.9 {
+			t.Errorf("P(r≥0.8, 194ch) at Δt=%vs = %v, want ≥ 0.9", deltas[di], p)
+		}
+	}
+	// Stability decays with Δt at the strict threshold.
+	if prob(0.9, 194, 0) <= prob(0.9, 194, last) {
+		t.Errorf("P(r≥0.9, 194ch) did not decay: %v -> %v",
+			prob(0.9, 194, 0), prob(0.9, 194, last))
+	}
+	// Paper observation 1: at the strict threshold a 10-channel subset
+	// looks *more* stable than all 194 channels (small-sample spread).
+	if prob(0.9, 10, last) <= prob(0.9, 194, last) {
+		t.Errorf("crossover missing: P(r≥0.9, 10ch)=%v ≤ P(r≥0.9, 194ch)=%v at Δt=25min",
+			prob(0.9, 10, last), prob(0.9, 194, last))
+	}
+	// Paper observation 3: at the loose threshold, more channels win.
+	if prob(0.8, 10, last) >= prob(0.8, 194, last) {
+		t.Errorf("P(r≥0.8, 10ch)=%v ≥ P(r≥0.8, 194ch)=%v at Δt=25min",
+			prob(0.8, 10, last), prob(0.8, 194, last))
+	}
+}
+
+// sampleTrajectory builds the channel-major 194×L trajectory matrix along a
+// straight road starting at origin with the given heading, one vector per
+// metre, as a vehicle driving it at vMS m/s starting at t0 would.
+func sampleTrajectory(f *Field, origin geo.Vec2, heading float64, L int, t0, vMS float64, seed uint64) [][]float64 {
+	m := make([][]float64, NumChannels)
+	for ch := range m {
+		m[ch] = make([]float64, L)
+	}
+	dir := geo.HeadingVec(heading)
+	for j := 0; j < L; j++ {
+		pos := origin.Add(dir.Scale(float64(j)))
+		v := measure(f, pos, t0+float64(j)/vMS, seed)
+		for ch := range v {
+			m[ch][j] = v[ch]
+		}
+	}
+	return m
+}
+
+// TestCalibrationGeographicalUniqueness reproduces the shape of Fig 3:
+// trajectory correlation coefficients of re-entries of the same road
+// separate cleanly from those of different roads.
+func TestCalibrationGeographicalUniqueness(t *testing.T) {
+	f := testField(202, Urban)
+	const L = 150
+	const roads = 8
+	var same, diff []float64
+	type road struct {
+		origin  geo.Vec2
+		heading float64
+	}
+	rs := make([]road, roads)
+	for i := range rs {
+		rs[i] = road{
+			origin: geo.Vec2{
+				X: 400 + 2200*noise.Uniform(71, uint64(i), 1),
+				Y: 400 + 2200*noise.Uniform(71, uint64(i), 2),
+			},
+			heading: 2 * math.Pi * noise.Uniform(71, uint64(i), 3),
+		}
+	}
+	trajs := make([][][]float64, roads)
+	reentries := make([][][]float64, roads)
+	for i, r := range rs {
+		trajs[i] = sampleTrajectory(f, r.origin, r.heading, L, 0, 10, 80+uint64(i))
+		// Re-enter the same road half an hour later.
+		reentries[i] = sampleTrajectory(f, r.origin, r.heading, L, 1800, 10, 90+uint64(i))
+	}
+	for i := 0; i < roads; i++ {
+		same = append(same, stats.TrajCorr(trajs[i], reentries[i]))
+		for j := i + 1; j < roads; j++ {
+			diff = append(diff, stats.TrajCorr(trajs[i], trajs[j]))
+		}
+	}
+	sameMean, diffMean := stats.Mean(same), stats.Mean(diff)
+	if sameMean < 1.2 {
+		t.Errorf("same-road mean trajectory correlation = %v, want ≥ 1.2 (coherency threshold)", sameMean)
+	}
+	if diffMean > 0.5 {
+		t.Errorf("different-road mean trajectory correlation = %v, want ≤ 0.5", diffMean)
+	}
+	// Distributions must separate: the weakest re-entry must beat the
+	// strongest cross-road correlation.
+	if lo, hi := stats.Quantile(same, 0), stats.Quantile(diff, 1); lo <= hi {
+		t.Errorf("distributions overlap: min(same)=%v ≤ max(diff)=%v", lo, hi)
+	}
+}
+
+// TestCalibrationFineResolution reproduces the shape of Fig 4: the relative
+// change of two power vectors k metres apart on the same road reaches ~40%
+// already at one metre and rises gently with distance.
+func TestCalibrationFineResolution(t *testing.T) {
+	f := testField(303, Urban)
+	origin := geo.Vec2{X: 600, Y: 1500}
+	dir := geo.HeadingVec(math.Pi / 2) // eastbound
+	const n = 120
+	vec := func(s float64) []float64 {
+		v := measure(f, origin.Add(dir.Scale(s)), 0, 77)
+		for ch := range v {
+			v[ch] = Excess(v[ch])
+		}
+		return v
+	}
+	relAt := func(k float64) float64 {
+		var acc stats.Online
+		for i := 0; i < n; i++ {
+			s := float64(i) * 4.0
+			acc.Add(stats.RelativeChange(vec(s), vec(s+k)))
+		}
+		return acc.Mean()
+	}
+	r1 := relAt(1)
+	r20 := relAt(20)
+	r120 := relAt(120)
+	// The paper measures ~0.4 at 1 m; the calibrated field lands at ~0.35
+	// (the gap is documented in EXPERIMENTS.md — pushing the fine-fading
+	// variance higher would break SYN robustness under sparse scanning).
+	if r1 < 0.32 {
+		t.Errorf("mean relative change at 1 m = %v, want ≥ 0.32 (paper: ~0.4)", r1)
+	}
+	if !(r120 > r1) {
+		t.Errorf("relative change not rising with distance: r(1m)=%v r(120m)=%v", r1, r120)
+	}
+	if r20 > r120+0.05 {
+		t.Errorf("relative change non-monotone beyond tolerance: r(20m)=%v r(120m)=%v", r20, r120)
+	}
+	// Sanity: a vector compared with itself changes by 0.
+	if got := stats.RelativeChange(vec(0), vec(0)); got != 0 {
+		t.Errorf("self relative change = %v", got)
+	}
+}

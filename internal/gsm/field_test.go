@@ -1,0 +1,223 @@
+package gsm
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/geo"
+)
+
+func testField(seed uint64, env EnvClass) *Field {
+	area := Bounds{MinX: 0, MinY: 0, MaxX: 3000, MaxY: 3000}
+	towers := GenerateTowers(seed, area, ConstZone(env))
+	return NewField(seed, towers, ConstZone(env))
+}
+
+func TestGenerateTowersDensity(t *testing.T) {
+	area := Bounds{MinX: 0, MinY: 0, MaxX: 5000, MaxY: 5000}
+	sub := GenerateTowers(1, area, ConstZone(Suburban))
+	town := GenerateTowers(1, area, ConstZone(Downtown))
+	if len(town) <= 2*len(sub) {
+		t.Errorf("downtown towers (%d) not much denser than suburban (%d)",
+			len(town), len(sub))
+	}
+	for _, tw := range town {
+		if len(tw.Channels) != channelsPerTower {
+			t.Fatalf("tower %d has %d channels", tw.ID, len(tw.Channels))
+		}
+		seen := map[int]bool{}
+		for _, ch := range tw.Channels {
+			if ch < 0 || ch >= NumChannels {
+				t.Fatalf("tower %d channel %d out of range", tw.ID, ch)
+			}
+			if seen[ch] {
+				t.Fatalf("tower %d repeats channel %d", tw.ID, ch)
+			}
+			seen[ch] = true
+		}
+	}
+}
+
+func TestGenerateTowersDeterministic(t *testing.T) {
+	area := Bounds{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}
+	a := GenerateTowers(7, area, ConstZone(Urban))
+	b := GenerateTowers(7, area, ConstZone(Urban))
+	if len(a) != len(b) {
+		t.Fatalf("tower counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || a[i].EIRPdBm != b[i].EIRPdBm {
+			t.Fatalf("tower %d differs", i)
+		}
+	}
+	c := GenerateTowers(8, area, ConstZone(Urban))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Pos != c[i].Pos {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tower layouts")
+	}
+}
+
+func TestSampleRangeAndDeterminism(t *testing.T) {
+	f := testField(3, Urban)
+	pos := geo.Vec2{X: 1500, Y: 1500}
+	for ch := 0; ch < NumChannels; ch++ {
+		v := f.Sample(pos, ch, 100)
+		if v < NoiseFloorDBm || v > SaturationDBm {
+			t.Fatalf("Sample ch %d = %v outside dynamic range", ch, v)
+		}
+		if v != f.Sample(pos, ch, 100) {
+			t.Fatalf("Sample not deterministic on ch %d", ch)
+		}
+	}
+}
+
+func TestSampleVectorHasSignal(t *testing.T) {
+	f := testField(4, Urban)
+	v := f.SampleVector(geo.Vec2{X: 1500, Y: 1500}, 0)
+	if len(v) != NumChannels {
+		t.Fatalf("vector length %d", len(v))
+	}
+	active := 0
+	for _, x := range v {
+		if Excess(x) > 3 {
+			active++
+		}
+	}
+	// A realistic urban spectrum has a healthy share of audible carriers.
+	if active < NumChannels/4 {
+		t.Errorf("only %d/%d channels audible; field too sparse", active, NumChannels)
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for d := 10.0; d <= 4000; d *= 1.5 {
+		pl := pathLossDB(d, 3.3)
+		if pl <= prev {
+			t.Fatalf("path loss not increasing at %v m", d)
+		}
+		prev = pl
+	}
+	// Clamped below reference distance.
+	if pathLossDB(1, 3.3) != pathLossDB(refDistM, 3.3) {
+		t.Error("path loss not clamped below reference distance")
+	}
+}
+
+func TestSignalDecaysFromTower(t *testing.T) {
+	f := testField(5, Suburban)
+	tw := f.Towers()[0]
+	ch := tw.Channels[0]
+	// Average over time to suppress fading: RSSI near the tower must beat
+	// RSSI 2 km away on the same channel.
+	avg := func(pos geo.Vec2) float64 {
+		var s float64
+		for i := 0; i < 20; i++ {
+			s += f.Sample(pos.Add(geo.Vec2{X: float64(i), Y: 0}), ch, 0)
+		}
+		return s / 20
+	}
+	near := avg(tw.Pos.Add(geo.Vec2{X: 30, Y: 0}))
+	far := avg(tw.Pos.Add(geo.Vec2{X: 2000, Y: 0}))
+	if near-far < 10 {
+		t.Errorf("near %v dBm vs far %v dBm: decay too weak", near, far)
+	}
+}
+
+func TestRegionPerturbation(t *testing.T) {
+	p := RegionPerturbation{
+		Center: geo.Vec2{X: 0, Y: 0}, RadiusM: 10,
+		Start: 10, End: 20, Loss: 12, ChannelFrac: 1, Seed: 1,
+	}
+	if got := p.LossDB(geo.Vec2{X: 0, Y: 0}, 3, 15); got != 12 {
+		t.Errorf("centre loss = %v, want 12", got)
+	}
+	if got := p.LossDB(geo.Vec2{X: 5, Y: 0}, 3, 15); !(got > 0 && got < 12) {
+		t.Errorf("mid loss = %v, want in (0,12)", got)
+	}
+	if got := p.LossDB(geo.Vec2{X: 11, Y: 0}, 3, 15); got != 0 {
+		t.Errorf("outside radius loss = %v, want 0", got)
+	}
+	if got := p.LossDB(geo.Vec2{X: 0, Y: 0}, 3, 25); got != 0 {
+		t.Errorf("outside window loss = %v, want 0", got)
+	}
+}
+
+func TestRegionPerturbationChannelFraction(t *testing.T) {
+	p := RegionPerturbation{
+		Center: geo.Vec2{}, RadiusM: 10, Start: 0, End: 1,
+		Loss: 10, ChannelFrac: 0.5, Seed: 2,
+	}
+	hit := 0
+	for ch := 0; ch < NumChannels; ch++ {
+		if p.LossDB(geo.Vec2{}, ch, 0.5) > 0 {
+			hit++
+		}
+	}
+	if hit < NumChannels/4 || hit > 3*NumChannels/4 {
+		t.Errorf("channel fraction: %d/%d affected, want ~half", hit, NumChannels)
+	}
+}
+
+func TestTrackPerturbation(t *testing.T) {
+	tp := TrackPerturbation{
+		PosAt: func(t float64) (geo.Vec2, bool) {
+			if t < 0 || t > 10 {
+				return geo.Vec2{}, false
+			}
+			return geo.Vec2{X: t * 10, Y: 0}, true // moving east at 10 m/s
+		},
+		RadiusM: 5, Loss: 15, ChannelFrac: 1, Seed: 3,
+	}
+	// At t=5 the truck is at (50,0).
+	if got := tp.LossDB(geo.Vec2{X: 50, Y: 0}, 0, 5); got != 15 {
+		t.Errorf("on-track loss = %v, want 15", got)
+	}
+	if got := tp.LossDB(geo.Vec2{X: 50, Y: 0}, 0, 0); got != 0 {
+		t.Errorf("loss when truck elsewhere = %v, want 0", got)
+	}
+	if got := tp.LossDB(geo.Vec2{X: 50, Y: 0}, 0, 11); got != 0 {
+		t.Errorf("loss after lifetime = %v, want 0", got)
+	}
+}
+
+func TestFieldPerturbationApplied(t *testing.T) {
+	f := testField(6, Urban)
+	pos := geo.Vec2{X: 1500, Y: 1500}
+	// Find a channel with solid signal so the subtraction is visible.
+	ch := 0
+	best := math.Inf(-1)
+	for c := 0; c < NumChannels; c++ {
+		if v := f.Sample(pos, c, 50); v > best {
+			best, ch = v, c
+		}
+	}
+	before := f.Sample(pos, ch, 50)
+	f.AddPerturber(RegionPerturbation{
+		Center: pos, RadiusM: 20, Start: 0, End: 100, Loss: 10,
+		ChannelFrac: 1, Seed: 4,
+	})
+	after := f.Sample(pos, ch, 50)
+	if math.Abs((before-after)-10) > 1e-9 {
+		t.Errorf("perturbation effect = %v dB, want 10", before-after)
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	b := Bounds{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if !b.Contains(geo.Vec2{X: 5, Y: 5}) || b.Contains(geo.Vec2{X: 11, Y: 5}) {
+		t.Error("Contains wrong")
+	}
+	p := b.Pad(2)
+	if p.MinX != -2 || p.MaxY != 12 {
+		t.Errorf("Pad = %+v", p)
+	}
+}

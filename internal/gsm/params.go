@@ -1,0 +1,175 @@
+package gsm
+
+// EnvClass classifies the radio environment around a position, matching the
+// paper's three trace-collection environments (§III-A) plus the covered
+// "under elevated road" condition of the evaluation (§VI).
+type EnvClass int
+
+const (
+	// Suburban: sparse towers, low clutter (the paper's 2-lane suburb
+	// roads).
+	Suburban EnvClass = iota
+	// Urban: regular tower grid, moderate clutter (4-lane surface roads).
+	Urban
+	// Downtown: dense towers, heavy clutter, strong shadowing (8-lane roads
+	// flanked by tall buildings — the "concrete forest").
+	Downtown
+	// UnderElevated: beneath an elevated road deck. GSM remains usable
+	// (towers are lateral) but suffers extra attenuation; GPS is nearly
+	// blind here.
+	UnderElevated
+)
+
+// String returns the environment name used in evaluation output.
+func (e EnvClass) String() string {
+	switch e {
+	case Suburban:
+		return "suburban"
+	case Urban:
+		return "urban"
+	case Downtown:
+		return "downtown"
+	case UnderElevated:
+		return "under-elevated"
+	default:
+		return "unknown"
+	}
+}
+
+// EnvParams holds the radio propagation parameters of one environment
+// class. The values are the model's calibration surface: the gsm package's
+// calibration tests assert that with DefaultEnvParams the §III statistics of
+// the paper hold (Fig 2 temporal stability, Fig 3 uniqueness, Fig 4
+// resolution). Changing them deliberately breaks those tests.
+type EnvParams struct {
+	// TowerSpacingM is the mean spacing of the jittered tower grid.
+	TowerSpacingM float64
+	// PathLossExponent is the log-distance decay exponent n.
+	PathLossExponent float64
+	// ShadowSigmaDB is the standard deviation of the correlated shadowing
+	// field (per tower).
+	ShadowSigmaDB float64
+	// ShadowCorrLenM is the spatial decorrelation length of shadowing.
+	ShadowCorrLenM float64
+	// Multipath fading is modelled at two spatial scales per tower-channel
+	// link. The fine component decorrelates within a metre and provides the
+	// paper's fine-resolution property (Fig 4: ≥40% relative change at
+	// 1 m); the mid component decorrelates over several metres, giving the
+	// alignment structure that survives missing-channel interpolation when
+	// a fast vehicle scans sparsely. Rayleigh fading in dB has σ ≈ 5.57 dB;
+	// the two components split that energy.
+	FadeFineSigmaDB float64
+	FadeFineLenM    float64
+	FadeMidSigmaDB  float64
+	FadeMidLenM     float64
+	// ExtraLossDB is a blanket attenuation applied to every link, modelling
+	// cover (elevated deck) or deep clutter.
+	ExtraLossDB float64
+}
+
+// DefaultEnvParams returns the calibrated propagation parameters for an
+// environment class.
+func DefaultEnvParams(e EnvClass) EnvParams {
+	switch e {
+	case Suburban:
+		return EnvParams{
+			TowerSpacingM:    1500,
+			PathLossExponent: 2.9,
+			ShadowSigmaDB:    5,
+			ShadowCorrLenM:   120,
+			FadeFineSigmaDB:  5.5,
+			FadeFineLenM:     0.85,
+			FadeMidSigmaDB:   5.5,
+			FadeMidLenM:      11,
+			ExtraLossDB:      0,
+		}
+	case Urban:
+		return EnvParams{
+			TowerSpacingM:    800,
+			PathLossExponent: 3.3,
+			ShadowSigmaDB:    6.5,
+			ShadowCorrLenM:   60,
+			FadeFineSigmaDB:  7.5,
+			FadeFineLenM:     0.8,
+			FadeMidSigmaDB:   6.0,
+			FadeMidLenM:      10,
+			ExtraLossDB:      0,
+		}
+	case Downtown:
+		return EnvParams{
+			TowerSpacingM:    500,
+			PathLossExponent: 3.6,
+			ShadowSigmaDB:    8,
+			ShadowCorrLenM:   40,
+			FadeFineSigmaDB:  7.5,
+			FadeFineLenM:     0.75,
+			FadeMidSigmaDB:   6.5,
+			FadeMidLenM:      9,
+			ExtraLossDB:      2,
+		}
+	case UnderElevated:
+		return EnvParams{
+			TowerSpacingM:    500,
+			PathLossExponent: 3.6,
+			ShadowSigmaDB:    8,
+			ShadowCorrLenM:   40,
+			FadeFineSigmaDB:  7.5,
+			FadeFineLenM:     0.75,
+			FadeMidSigmaDB:   6.5,
+			FadeMidLenM:      9,
+			ExtraLossDB:      8,
+		}
+	default:
+		panic("gsm: unknown environment class")
+	}
+}
+
+// TemporalParams controls the environment's slow dynamics — the only
+// time-dependent part of the field. Two correlated drift processes per
+// channel (a slow one for large-scale environmental change, a faster one for
+// traffic-driven interference) determine how quickly two measurements of the
+// same place decorrelate (paper Fig 2).
+type TemporalParams struct {
+	// SlowSigmaDB / SlowTauS: slow environmental drift (weather, parked
+	// vehicles, crowd build-up).
+	SlowSigmaDB float64
+	SlowTauS    float64
+	// FastSigmaDB / FastTauS: faster interference churn (traffic load on
+	// the cells, passing reflectors).
+	FastSigmaDB float64
+	FastTauS    float64
+	// BurstSigmaDB / BurstTauS: second-scale fluctuation from downlink
+	// power control and bursty traffic on TCH carriers — the reason two
+	// passes of the same spot seconds apart still read somewhat different
+	// power, which bounds how precisely a SYN point can be localized.
+	BurstSigmaDB float64
+	BurstTauS    float64
+	// DaySigmaDB scales a per-day offset: re-entering a road on a different
+	// day sees a slightly different spectrum (paper Fig 3 separates workday
+	// and weekend).
+	DaySigmaDB float64
+}
+
+// DefaultTemporalParams returns the calibrated temporal dynamics.
+func DefaultTemporalParams() TemporalParams {
+	return TemporalParams{
+		SlowSigmaDB:  4.0,
+		SlowTauS:     900, // 15 min
+		FastSigmaDB:  1.8,
+		FastTauS:     45,
+		BurstSigmaDB: 3.0,
+		BurstTauS:    2.0,
+		DaySigmaDB:   1.5,
+	}
+}
+
+// TxPowerDBm is the effective isotropic radiated power of a macro-cell
+// carrier as seen at the reference distance of the path loss model.
+const TxPowerDBm = 30.0
+
+// refDistM is the reference distance d₀ of the log-distance model, with
+// free-space loss at 940 MHz folded into refLossDB.
+const (
+	refDistM  = 10.0
+	refLossDB = 52.0
+)

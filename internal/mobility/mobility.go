@@ -1,0 +1,377 @@
+// Package mobility simulates vehicle kinematics along city roads: a lead
+// vehicle driving a speed profile with traffic stops, and a follower
+// governed by the Intelligent Driver Model (IDM). It produces the dense
+// kinematic ground truth every other substrate consumes — the IMU simulation
+// derives accelerations from it, the scanner derives positions, and the
+// evaluation derives true front-rear distances from the odometric gap, the
+// same way the paper computes its ground truth ("the difference of their
+// travelling distances since last stop", §VI-A).
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"rups/internal/city"
+	"rups/internal/geo"
+	"rups/internal/noise"
+)
+
+// TickDT is the simulation step, matching the 200 Hz motion sensor rate the
+// paper samples at (§V-A).
+const TickDT = 0.005
+
+// Condition describes ambient traffic density, which shapes the speed
+// profile.
+type Condition int
+
+const (
+	// LightTraffic: free flow near the class speed limit.
+	LightTraffic Condition = iota
+	// HeavyTraffic: slower, burstier flow with more frequent stops.
+	HeavyTraffic
+)
+
+// State is one kinematic sample of a vehicle.
+type State struct {
+	T       float64  // simulation time, s
+	S       float64  // odometer: arc length along the road, m
+	Speed   float64  // longitudinal speed, m/s
+	Accel   float64  // longitudinal acceleration, m/s²
+	Pos     geo.Vec2 // world position (lane-offset applied)
+	Heading float64  // compass heading, rad
+	YawRate float64  // dHeading/dt, rad/s
+}
+
+// Trace is a dense kinematic record of one drive.
+type Trace struct {
+	Road   city.Road
+	Lane   int
+	States []State
+}
+
+// At returns the interpolated state at time t (clamped to the trace span).
+func (tr *Trace) At(t float64) State {
+	st := tr.States
+	if len(st) == 0 {
+		panic("mobility: empty trace")
+	}
+	if t <= st[0].T {
+		return st[0]
+	}
+	if t >= st[len(st)-1].T {
+		return st[len(st)-1]
+	}
+	i := int((t - st[0].T) / TickDT)
+	if i >= len(st)-1 {
+		i = len(st) - 2
+	}
+	a, b := st[i], st[i+1]
+	if b.T == a.T {
+		return a
+	}
+	f := (t - a.T) / (b.T - a.T)
+	return State{
+		T:       t,
+		S:       a.S + (b.S-a.S)*f,
+		Speed:   a.Speed + (b.Speed-a.Speed)*f,
+		Accel:   a.Accel + (b.Accel-a.Accel)*f,
+		Pos:     a.Pos.Lerp(b.Pos, f),
+		Heading: geo.NormalizeHeading(a.Heading + geo.HeadingDiff(a.Heading, b.Heading)*f),
+		YawRate: a.YawRate + (b.YawRate-a.YawRate)*f,
+	}
+}
+
+// Duration returns the trace's time span in seconds.
+func (tr *Trace) Duration() float64 {
+	if len(tr.States) == 0 {
+		return 0
+	}
+	return tr.States[len(tr.States)-1].T - tr.States[0].T
+}
+
+// Distance returns the total distance travelled.
+func (tr *Trace) Distance() float64 {
+	if len(tr.States) == 0 {
+		return 0
+	}
+	return tr.States[len(tr.States)-1].S - tr.States[0].S
+}
+
+// DriveConfig parametrizes a lead-vehicle drive.
+type DriveConfig struct {
+	Road      city.Road
+	Lane      int
+	StartS    float64 // starting arc position on the road
+	Distance  float64 // how far to drive, m
+	StartTime float64 // simulation clock at departure, s
+	// Seed drives vehicle-specific randomness (driver speed modulation).
+	Seed      uint64
+	Condition Condition
+	// StopEveryM is the mean spacing of traffic stops; 0 disables stops.
+	// Stops are a property of the road: their positions derive from
+	// StopSeed, which both vehicles of a pair must share.
+	StopEveryM float64
+	StopSeed   uint64
+	// LaneChange, when non-nil, migrates the vehicle to another lane
+	// partway through the drive.
+	LaneChange *LaneChange
+}
+
+// LaneChange describes a smooth lane migration: starting at arc position
+// AtS, the vehicle moves laterally to ToLane over OverM metres of travel.
+type LaneChange struct {
+	AtS    float64
+	ToLane int
+	OverM  float64
+}
+
+// Lateral lane-keeping wander: standard deviation and along-road
+// correlation length.
+const (
+	laneWanderM     = 0.4
+	laneWanderCorrM = 30.0
+)
+
+// IDM parameters (standard urban values).
+const (
+	idmMaxAccel  = 1.8 // m/s²
+	idmBrake     = 2.5 // comfortable deceleration, m/s²
+	idmMinGap    = 2.0 // standstill gap, m
+	idmHeadway   = 1.4 // desired time headway, s
+	idmExponent  = 4.0
+	hardBrakeCap = 8.0 // physical deceleration limit, m/s²
+)
+
+// desiredSpeed returns the time-varying target speed: the class limit scaled
+// by traffic condition and modulated by a slowly varying factor (driver and
+// flow variability).
+func desiredSpeed(cfg DriveConfig, t float64) float64 {
+	base := cfg.Road.Class.SpeedLimitMS()
+	if cfg.Condition == HeavyTraffic {
+		base *= 0.45
+	}
+	mod := 1 + 0.15*noise.Field1D{Seed: noise.Hash(cfg.Seed, 0xDE5), Scale: 60}.At(t)
+	v := base * mod
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// stopPlan places traffic stops along the road deterministically.
+type stopPlan struct {
+	positions []float64 // arc positions of stop lines
+	dwells    []float64 // dwell time at each stop, s
+}
+
+func makeStopPlan(cfg DriveConfig) stopPlan {
+	var sp stopPlan
+	if cfg.StopEveryM <= 0 {
+		return sp
+	}
+	// Stop lines are anchored to the road (absolute arc positions starting
+	// at 0), so every vehicle sharing StopSeed sees the same lights.
+	seed := noise.Hash(cfg.StopSeed, uint64(cfg.Road.ID), 0x5707)
+	s := 0.0
+	end := cfg.StartS + cfg.Distance
+	for i := uint64(0); ; i++ {
+		s += cfg.StopEveryM * (0.6 + 0.8*noise.Uniform(seed, i))
+		if s >= end {
+			return sp
+		}
+		if s <= cfg.StartS {
+			continue
+		}
+		sp.positions = append(sp.positions, s)
+		sp.dwells = append(sp.dwells, 8+22*noise.Uniform(seed, 0xD3E1, i))
+	}
+}
+
+// idmAccel returns the IDM acceleration for speed v toward desired v0 with a
+// gap to the leader (gap = math.Inf(1) when unobstructed) closing at rate
+// dv (positive when approaching).
+func idmAccel(v, v0, gap, dv float64) float64 {
+	free := 1 - math.Pow(v/v0, idmExponent)
+	inter := 0.0
+	if !math.IsInf(gap, 1) {
+		if gap < 0.1 {
+			gap = 0.1
+		}
+		sStar := idmMinGap + v*idmHeadway + v*dv/(2*math.Sqrt(idmMaxAccel*idmBrake))
+		if sStar < idmMinGap {
+			sStar = idmMinGap
+		}
+		inter = (sStar / gap) * (sStar / gap)
+	}
+	a := idmMaxAccel * (free - inter)
+	if a < -hardBrakeCap {
+		a = -hardBrakeCap
+	}
+	return a
+}
+
+// Drive simulates the lead vehicle and returns its dense trace.
+func Drive(cfg DriveConfig) *Trace {
+	validate(cfg)
+	sp := makeStopPlan(cfg)
+	return integrate(cfg, sp, nil)
+}
+
+// Follow simulates a vehicle on the same road starting initGap metres
+// behind the leader's trace, governed by IDM against the leader. Lane may
+// differ from the leader's (the paper's distinct-lane experiments). The
+// follower needs no stop plan of its own: the leader, which does obey the
+// lights, blocks it.
+func Follow(cfg DriveConfig, leader *Trace, initGap float64) *Trace {
+	validate(cfg)
+	if initGap <= 0 {
+		panic("mobility: initGap must be positive")
+	}
+	cfg.StartS = leader.States[0].S - initGap
+	return integrate(cfg, stopPlan{}, leader)
+}
+
+func validate(cfg DriveConfig) {
+	if cfg.Road.Line == nil {
+		panic("mobility: config has no road")
+	}
+	if cfg.Distance <= 0 {
+		panic("mobility: distance must be positive")
+	}
+	if cfg.Lane < 0 || cfg.Lane >= cfg.Road.Class.Lanes() {
+		panic(fmt.Sprintf("mobility: lane %d out of range", cfg.Lane))
+	}
+	if lc := cfg.LaneChange; lc != nil {
+		if lc.ToLane < 0 || lc.ToLane >= cfg.Road.Class.Lanes() || lc.OverM <= 0 {
+			panic(fmt.Sprintf("mobility: invalid lane change %+v", *lc))
+		}
+	}
+}
+
+// integrate advances the vehicle with forward Euler at TickDT until it has
+// covered cfg.Distance (or, when following, until the leader trace ends).
+func integrate(cfg DriveConfig, sp stopPlan, leader *Trace) *Trace {
+	baseOff := cfg.Road.LaneOffset(cfg.Lane)
+	// Lateral offset as a function of arc position, honouring a lane
+	// change with a smooth (cosine) ramp.
+	offAt := func(s float64) float64 {
+		lc := cfg.LaneChange
+		if lc == nil {
+			return baseOff
+		}
+		target := cfg.Road.LaneOffset(lc.ToLane)
+		switch {
+		case s <= lc.AtS:
+			return baseOff
+		case s >= lc.AtS+lc.OverM:
+			return target
+		default:
+			f := (s - lc.AtS) / lc.OverM
+			w := 0.5 - 0.5*math.Cos(math.Pi*f)
+			return baseOff + (target-baseOff)*w
+		}
+	}
+	s := cfg.StartS
+	v := 0.0
+	t := cfg.StartTime
+	nextStop := 0
+	dwelling := false
+	var dwellUntil float64
+	end := cfg.StartS + cfg.Distance
+
+	var states []State
+	prevHeading := cfg.Road.Line.HeadingAt(s)
+	for {
+		if leader == nil && s >= end {
+			break
+		}
+		if leader != nil && t >= leader.States[len(leader.States)-1].T {
+			break
+		}
+		v0 := desiredSpeed(cfg, t)
+
+		// Nearest constraint: traffic stop or leader vehicle.
+		gap := math.Inf(1)
+		dv := 0.0
+		if nextStop < len(sp.positions) {
+			stopLine := sp.positions[nextStop]
+			switch {
+			case dwelling:
+				if t >= dwellUntil {
+					// Light turned green: the stop is cleared.
+					dwelling = false
+					nextStop++
+				} else {
+					g := stopLine - s
+					if g < 0.1 {
+						g = 0.1
+					}
+					gap, dv = g, v
+				}
+			case s < stopLine:
+				g := stopLine - s
+				if g < 120 { // only react within sight of the light
+					gap, dv = g, v
+				}
+				if g <= idmMinGap+1 && v < 0.3 {
+					dwelling = true
+					dwellUntil = t + sp.dwells[nextStop]
+				}
+			default:
+				// Overshot the line without registering a stop; count it as
+				// served so the plan keeps advancing.
+				nextStop++
+			}
+		}
+		if leader != nil {
+			ls := leader.At(t)
+			g := ls.S - s - 4.5 // minus one car length
+			ldv := v - ls.Speed
+			if g < gap {
+				gap, dv = g, ldv
+			}
+		}
+
+		a := idmAccel(v, v0, gap, dv)
+		v += a * TickDT
+		if v < 0 {
+			v = 0
+			a = 0
+		}
+		s += v * TickDT
+
+		h := cfg.Road.Line.HeadingAt(s)
+		yaw := geo.HeadingDiff(prevHeading, h) / TickDT
+		prevHeading = h
+		// Drivers do not track the lane centre exactly: a slowly varying
+		// lateral wander (≈±0.4 m, decorrelating over ~30 m of travel)
+		// makes each vehicle sample a slightly different slice of the
+		// multipath field — a major real-world contributor to SYN jitter.
+		wander := laneWanderM * noise.Field1D{
+			Seed:  noise.Hash(cfg.Seed, 0x1A7E),
+			Scale: laneWanderCorrM,
+		}.At(s)
+		states = append(states, State{
+			T: t, S: s, Speed: v, Accel: a,
+			Pos:     cfg.Road.Line.Offset(s, offAt(s)+wander),
+			Heading: h, YawRate: yaw,
+		})
+		t += TickDT
+
+		if len(states) > 20_000_000 {
+			panic("mobility: runaway simulation (vehicle never finished)")
+		}
+	}
+	if len(states) == 0 {
+		panic("mobility: drive produced no states")
+	}
+	return &Trace{Road: cfg.Road, Lane: cfg.Lane, States: states}
+}
+
+// TrueGap returns the ground-truth front-rear distance between a leader and
+// follower trace at time t, as the difference of their odometric positions
+// (the paper's ground-truth definition).
+func TrueGap(leader, follower *Trace, t float64) float64 {
+	return leader.At(t).S - follower.At(t).S
+}

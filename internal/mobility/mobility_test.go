@@ -1,0 +1,273 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/city"
+)
+
+func testRoad(t *testing.T, class city.RoadClass) city.Road {
+	t.Helper()
+	c := city.Generate(city.DefaultConfig(11))
+	return c.RoadsOfClass(class)[0]
+}
+
+func baseCfg(road city.Road) DriveConfig {
+	return DriveConfig{
+		Road:     road,
+		Lane:     0,
+		StartS:   50,
+		Distance: 800,
+		Seed:     1,
+	}
+}
+
+func TestDriveCompletes(t *testing.T) {
+	tr := Drive(baseCfg(testRoad(t, city.FourLaneUrban)))
+	if tr.Distance() < 800 {
+		t.Errorf("distance = %v, want ≥ 800", tr.Distance())
+	}
+	if tr.Duration() <= 0 {
+		t.Error("duration not positive")
+	}
+}
+
+func TestDrivePhysicalBounds(t *testing.T) {
+	road := testRoad(t, city.FourLaneUrban)
+	tr := Drive(baseCfg(road))
+	limit := road.Class.SpeedLimitMS()
+	prevS := tr.States[0].S
+	for _, st := range tr.States {
+		if st.Speed < 0 {
+			t.Fatalf("negative speed %v at t=%v", st.Speed, st.T)
+		}
+		if st.Speed > limit*1.3 {
+			t.Fatalf("speed %v way above limit %v", st.Speed, limit)
+		}
+		if st.Accel > idmMaxAccel+1e-9 || st.Accel < -hardBrakeCap-1e-9 {
+			t.Fatalf("accel %v out of bounds at t=%v", st.Accel, st.T)
+		}
+		if st.S < prevS-1e-9 {
+			t.Fatalf("vehicle moved backwards at t=%v", st.T)
+		}
+		prevS = st.S
+	}
+}
+
+func TestDriveDeterministic(t *testing.T) {
+	road := testRoad(t, city.TwoLaneSuburb)
+	a := Drive(baseCfg(road))
+	b := Drive(baseCfg(road))
+	if len(a.States) != len(b.States) {
+		t.Fatalf("state counts differ: %d vs %d", len(a.States), len(b.States))
+	}
+	for i := range a.States {
+		if a.States[i] != b.States[i] {
+			t.Fatalf("state %d differs", i)
+		}
+	}
+}
+
+func TestDriveWithStopsActuallyStops(t *testing.T) {
+	cfg := baseCfg(testRoad(t, city.FourLaneUrban))
+	cfg.Distance = 1500
+	cfg.StopEveryM = 400
+	cfg.StopSeed = 9
+	tr := Drive(cfg)
+	stopped := 0
+	inStop := false
+	for _, st := range tr.States {
+		if st.Speed < 0.05 && st.T > 5 {
+			if !inStop {
+				stopped++
+				inStop = true
+			}
+		} else {
+			inStop = false
+		}
+	}
+	if stopped == 0 {
+		t.Error("vehicle never stopped despite stop plan")
+	}
+	if tr.Distance() < 1500 {
+		t.Errorf("vehicle did not finish: %v m", tr.Distance())
+	}
+}
+
+func TestHeavyTrafficSlower(t *testing.T) {
+	road := testRoad(t, city.EightLaneUrban)
+	light := baseCfg(road)
+	heavy := baseCfg(road)
+	heavy.Condition = HeavyTraffic
+	lt := Drive(light)
+	ht := Drive(heavy)
+	if ht.Duration() < lt.Duration()*1.4 {
+		t.Errorf("heavy traffic not slower: light %vs, heavy %vs", lt.Duration(), ht.Duration())
+	}
+}
+
+func TestFollowerNeverPassesLeader(t *testing.T) {
+	road := testRoad(t, city.FourLaneUrban)
+	lead := baseCfg(road)
+	lead.Distance = 1200
+	lead.StopEveryM = 500
+	lead.StopSeed = 3
+	leader := Drive(lead)
+	fcfg := baseCfg(road)
+	fcfg.Seed = 2
+	follower := Follow(fcfg, leader, 30)
+	for _, st := range follower.States {
+		gap := TrueGap(leader, follower, st.T)
+		if gap < 2 {
+			t.Fatalf("gap %v m at t=%v: follower ran into leader", gap, st.T)
+		}
+	}
+	// The follower should close in from the initial 30 m at some point
+	// (IDM pulls it to the desired headway).
+	minGap := math.Inf(1)
+	for _, st := range follower.States {
+		if g := TrueGap(leader, follower, st.T); g < minGap {
+			minGap = g
+		}
+	}
+	if minGap > 29 {
+		t.Errorf("follower never closed in: min gap %v", minGap)
+	}
+}
+
+func TestFollowDistinctLane(t *testing.T) {
+	road := testRoad(t, city.EightLaneUrban)
+	lead := baseCfg(road)
+	leader := Drive(lead)
+	fcfg := baseCfg(road)
+	fcfg.Lane = 2
+	follower := Follow(fcfg, leader, 25)
+	// Lateral separation is maintained: positions at the same time differ
+	// by roughly the lane offset.
+	st := follower.At(leader.States[0].T + 10)
+	ls := leader.At(leader.States[0].T + 10)
+	lat := st.Pos.Dist(ls.Pos)
+	if lat < 5 {
+		t.Errorf("distinct-lane follower too close laterally: %v m", lat)
+	}
+}
+
+func TestTraceAtInterpolation(t *testing.T) {
+	tr := Drive(baseCfg(testRoad(t, city.TwoLaneSuburb)))
+	first, last := tr.States[0], tr.States[len(tr.States)-1]
+	if got := tr.At(first.T - 5); got != first {
+		t.Error("At before start != first state")
+	}
+	if got := tr.At(last.T + 5); got != last {
+		t.Error("At after end != last state")
+	}
+	mid := tr.At(first.T + 7.0042)
+	if mid.T != first.T+7.0042 {
+		t.Errorf("interp T = %v", mid.T)
+	}
+	if mid.S < first.S || mid.S > last.S {
+		t.Errorf("interp S = %v outside [%v, %v]", mid.S, first.S, last.S)
+	}
+}
+
+func TestTraceAtMonotoneS(t *testing.T) {
+	tr := Drive(baseCfg(testRoad(t, city.FourLaneUrban)))
+	prev := -math.MaxFloat64
+	for ti := 0.0; ti < tr.Duration(); ti += 0.37 {
+		s := tr.At(tr.States[0].T + ti).S
+		if s < prev-1e-9 {
+			t.Fatalf("interpolated S not monotone at t=%v", ti)
+		}
+		prev = s
+	}
+}
+
+func TestIdmAccelProperties(t *testing.T) {
+	// Free road: accelerate below desired speed, coast at it.
+	if a := idmAccel(5, 15, math.Inf(1), 0); a <= 0 {
+		t.Errorf("free-road accel = %v, want > 0", a)
+	}
+	if a := idmAccel(15, 15, math.Inf(1), 0); math.Abs(a) > 1e-9 {
+		t.Errorf("at-desired accel = %v, want 0", a)
+	}
+	// Tight gap closing fast: strong braking, clamped.
+	a := idmAccel(15, 15, 3, 10)
+	if a > -idmBrake {
+		t.Errorf("emergency accel = %v, want strong braking", a)
+	}
+	if a < -hardBrakeCap {
+		t.Errorf("accel %v exceeds physical cap", a)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	road := testRoad(t, city.TwoLaneSuburb)
+	for name, cfg := range map[string]DriveConfig{
+		"no road":      {Distance: 100},
+		"bad distance": {Road: road},
+		"bad lane":     {Road: road, Distance: 100, Lane: 7},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Drive(cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad initGap: expected panic")
+			}
+		}()
+		Follow(baseCfg(road), Drive(baseCfg(road)), 0)
+	}()
+}
+
+func TestLaneChange(t *testing.T) {
+	road := testRoad(t, city.EightLaneUrban)
+	cfg := baseCfg(road)
+	cfg.Distance = 600
+	cfg.LaneChange = &LaneChange{AtS: 250, ToLane: 3, OverM: 60}
+	tr := Drive(cfg)
+	latAt := func(s float64) float64 {
+		// Find the state nearest arc position s and measure its lateral
+		// offset from the centreline.
+		for _, st := range tr.States {
+			if st.S >= s {
+				centre := road.Line.At(st.S)
+				return st.Pos.Dist(centre)
+			}
+		}
+		t.Fatalf("no state at s=%v", s)
+		return 0
+	}
+	before := latAt(150)
+	after := latAt(450)
+	if math.Abs(before-road.LaneOffset(0)) > 1 {
+		t.Errorf("offset before change = %v, want ~%v", before, road.LaneOffset(0))
+	}
+	if math.Abs(after-road.LaneOffset(3)) > 1 {
+		t.Errorf("offset after change = %v, want ~%v", after, road.LaneOffset(3))
+	}
+	// Mid-manoeuvre the vehicle is between the lanes.
+	mid := latAt(280)
+	if mid <= before+0.5 || mid >= after-0.5 {
+		t.Errorf("mid-change offset %v not between %v and %v", mid, before, after)
+	}
+}
+
+func TestLaneChangeValidation(t *testing.T) {
+	road := testRoad(t, city.TwoLaneSuburb)
+	cfg := baseCfg(road)
+	cfg.LaneChange = &LaneChange{AtS: 100, ToLane: 5, OverM: 40}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid target lane")
+		}
+	}()
+	Drive(cfg)
+}

@@ -1,0 +1,110 @@
+package mobility
+
+import (
+	"rups/internal/city"
+	"rups/internal/geo"
+	"rups/internal/noise"
+)
+
+// WalkConfig parametrizes a pedestrian walking along a road's sidewalk —
+// the paper's second future-work direction (§VII: "extend RUPS to users of
+// mobile devices such as pedestrians and bicyclists").
+type WalkConfig struct {
+	Road city.Road
+	// SideOffsetM is the lateral offset of the sidewalk from the road
+	// centreline (beyond the outermost lane).
+	SideOffsetM float64
+	StartS      float64
+	Distance    float64
+	StartTime   float64
+	Seed        uint64
+	// PauseEveryM inserts standing pauses (looking at a shop window,
+	// waiting at a crossing); 0 disables.
+	PauseEveryM float64
+	// BaseSpeedMS is the preferred walking speed (default 1.35 m/s).
+	BaseSpeedMS float64
+}
+
+// SidewalkOffset returns a conventional sidewalk offset for a road class:
+// half the carriageway plus a 2.5 m footway clearance.
+func SidewalkOffset(class city.RoadClass) float64 {
+	return float64(class.Lanes())/2*city.LaneWidthM + 2.5
+}
+
+// Walk simulates the pedestrian and returns a dense kinematic trace at
+// TickDT, compatible with everything that consumes vehicle traces (IMU
+// simulation, scanning, ground truth).
+func Walk(cfg WalkConfig) *Trace {
+	if cfg.Road.Line == nil {
+		panic("mobility: walk config has no road")
+	}
+	if cfg.Distance <= 0 {
+		panic("mobility: walk distance must be positive")
+	}
+	base := cfg.BaseSpeedMS
+	if base == 0 {
+		base = 1.35
+	}
+
+	s := cfg.StartS
+	t := cfg.StartTime
+	v := 0.0
+	end := cfg.StartS + cfg.Distance
+
+	// Pause plan, anchored to arc positions like traffic stops.
+	var pauses []float64
+	if cfg.PauseEveryM > 0 {
+		p := cfg.StartS
+		for i := uint64(0); ; i++ {
+			p += cfg.PauseEveryM * (0.6 + 0.8*noise.Uniform(cfg.Seed, 0x9A1, i))
+			if p >= end {
+				break
+			}
+			pauses = append(pauses, p)
+		}
+	}
+	nextPause := 0
+	var pauseUntil float64
+
+	var states []State
+	prevHeading := cfg.Road.Line.HeadingAt(s)
+	prevV := 0.0
+	for s < end {
+		target := base * (1 + 0.15*noise.Field1D{Seed: noise.Hash(cfg.Seed, 0x9A2), Scale: 45}.At(t))
+		if nextPause < len(pauses) {
+			if t < pauseUntil {
+				target = 0
+			} else if s >= pauses[nextPause] {
+				pauseUntil = t + 5 + 20*noise.Uniform(cfg.Seed, 0x9A3, uint64(nextPause))
+				nextPause++
+				target = 0
+			}
+		}
+		// Pedestrians change speed quickly; first-order lag of ~0.7 s.
+		v += (target - v) * TickDT / 0.7
+		if v < 0 {
+			v = 0
+		}
+		s += v * TickDT
+
+		h := cfg.Road.Line.HeadingAt(s)
+		yaw := geo.HeadingDiff(prevHeading, h) / TickDT
+		prevHeading = h
+		wander := 0.3 * noise.Field1D{Seed: noise.Hash(cfg.Seed, 0x9A4), Scale: 8}.At(s)
+		states = append(states, State{
+			T: t, S: s, Speed: v, Accel: (v - prevV) / TickDT,
+			Pos:     cfg.Road.Line.Offset(s, cfg.SideOffsetM+wander),
+			Heading: h, YawRate: yaw,
+		})
+		prevV = v
+		t += TickDT
+
+		if len(states) > 20_000_000 {
+			panic("mobility: runaway walk")
+		}
+	}
+	if len(states) == 0 {
+		panic("mobility: walk produced no states")
+	}
+	return &Trace{Road: cfg.Road, Lane: -1, States: states}
+}

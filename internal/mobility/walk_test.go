@@ -1,0 +1,99 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/city"
+)
+
+func walkFixture(t *testing.T, pauseEvery float64) *Trace {
+	t.Helper()
+	c := city.Generate(city.DefaultConfig(51))
+	road := c.RoadsOfClass(city.EightLaneUrban)[0]
+	return Walk(WalkConfig{
+		Road:        road,
+		SideOffsetM: SidewalkOffset(city.EightLaneUrban),
+		StartS:      40,
+		Distance:    200,
+		Seed:        3,
+		PauseEveryM: pauseEvery,
+	})
+}
+
+func TestWalkCompletes(t *testing.T) {
+	tr := walkFixture(t, 0)
+	if tr.Distance() < 200 {
+		t.Errorf("walked %v m, want ≥ 200", tr.Distance())
+	}
+	// ~1.35 m/s mean pace without pauses.
+	pace := tr.Distance() / tr.Duration()
+	if pace < 1.0 || pace > 1.8 {
+		t.Errorf("mean pace %v m/s", pace)
+	}
+}
+
+func TestWalkSpeedBounds(t *testing.T) {
+	tr := walkFixture(t, 0)
+	for _, st := range tr.States {
+		if st.Speed < 0 || st.Speed > 2.2 {
+			t.Fatalf("pedestrian speed %v m/s at t=%v", st.Speed, st.T)
+		}
+	}
+}
+
+func TestWalkPauses(t *testing.T) {
+	tr := walkFixture(t, 80)
+	paused := false
+	for _, st := range tr.States {
+		if st.T > tr.States[0].T+20 && st.Speed < 0.05 {
+			paused = true
+			break
+		}
+	}
+	if !paused {
+		t.Error("pedestrian never paused despite pause plan")
+	}
+	if tr.Distance() < 200 {
+		t.Errorf("did not finish after pauses: %v m", tr.Distance())
+	}
+}
+
+func TestWalkOnSidewalk(t *testing.T) {
+	tr := walkFixture(t, 0)
+	road := tr.Road
+	off := SidewalkOffset(city.EightLaneUrban)
+	for i := 0; i < len(tr.States); i += 500 {
+		st := tr.States[i]
+		centre := road.Line.At(st.S)
+		d := st.Pos.Dist(centre)
+		if math.Abs(d-off) > 1.5 {
+			t.Fatalf("pedestrian %v m from centreline, want ~%v", d, off)
+		}
+	}
+}
+
+func TestSidewalkOffset(t *testing.T) {
+	if got := SidewalkOffset(city.TwoLaneSuburb); got != 1*city.LaneWidthM+2.5 {
+		t.Errorf("2-lane sidewalk offset = %v", got)
+	}
+	if got := SidewalkOffset(city.EightLaneUrban); got != 4*city.LaneWidthM+2.5 {
+		t.Errorf("8-lane sidewalk offset = %v", got)
+	}
+}
+
+func TestWalkPanics(t *testing.T) {
+	for name, cfg := range map[string]WalkConfig{
+		"no road":      {Distance: 10},
+		"bad distance": {Road: walkFixture(t, 0).Road},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Walk(cfg)
+		}()
+	}
+}

@@ -1,0 +1,70 @@
+// Package node implements the distributed side of RUPS that the paper's
+// prototype wired by hand (§IV-A, §V-B): each vehicle is a protocol node
+// that beacons its presence on the DSRC control channel, exchanges journey
+// contexts with neighbours, streams incremental updates once a SYN point is
+// established, and falls back to a full context transfer when its copy goes
+// stale. All nodes share one finite-capacity broadcast medium, so the
+// package is where the paper's scalability arguments become measurable:
+// how does query latency grow with platoon size, and how much airtime does
+// the incremental protocol save?
+package node
+
+import "fmt"
+
+// Medium is the shared 802.11p control channel: one transmission at a
+// time, finite bit rate, per-frame overhead. Transmissions are serialized
+// FIFO from their submission instants — a deliberately simple stand-in for
+// CSMA that preserves the quantity the evaluation needs, total airtime.
+type Medium struct {
+	// RateBps is the effective channel throughput in bytes per second
+	// (6 Mbps DSRC with protocol overhead ≈ 600 kB/s).
+	RateBps float64
+	// FrameOverheadS is the fixed per-frame cost (preamble, IFS, ACK).
+	FrameOverheadS float64
+
+	busyUntil float64
+
+	// Accounting.
+	TotalBytes   int
+	TotalAirtime float64
+	Frames       int
+}
+
+// NewMedium returns a DSRC control channel with default timing.
+func NewMedium() *Medium {
+	return &Medium{
+		RateBps:        600_000,
+		FrameOverheadS: 0.0008,
+	}
+}
+
+// Send submits a transmission of n bytes at time t and returns its
+// completion time. Transmissions queue behind whatever is on the air.
+func (m *Medium) Send(t float64, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("node: send of %d bytes", n))
+	}
+	start := t
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	dur := float64(n)/m.RateBps + m.FrameOverheadS
+	m.busyUntil = start + dur
+	m.TotalBytes += n
+	m.TotalAirtime += dur
+	m.Frames++
+	return m.busyUntil
+}
+
+// Utilization returns the fraction of the interval [t0, t1] the channel
+// spent transmitting.
+func (m *Medium) Utilization(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	u := m.TotalAirtime / (t1 - t0)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,339 @@
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"rups/internal/core"
+	"rups/internal/mobility"
+	"rups/internal/sim"
+	"rups/internal/stats"
+	"rups/internal/trajectory"
+	"rups/internal/v2v"
+)
+
+// Node is one RUPS-equipped vehicle's protocol state: its own pipeline
+// output plus reassembled copies of the neighbours it tracks.
+type Node struct {
+	ID      uint32
+	Vehicle *sim.VehicleRun
+	peers   map[uint32]*peerState
+}
+
+// peerState is a node's view of one tracked neighbour.
+type peerState struct {
+	copy *trajectory.Aware // reassembled journey context
+	// readyAt is when the last transfer completes on the medium; data is
+	// unusable before that.
+	readyAt float64
+	// haveFull records whether an initial full exchange happened.
+	haveFull bool
+	// lastResync is when the last full exchange was requested.
+	lastResync float64
+	// badScores counts consecutive low-coherency resolutions (the §V-B
+	// error-triggered resync signal).
+	badScores int
+	needsSync bool
+	// stats
+	fullTransfers  int
+	deltaTransfers int
+}
+
+// NewNode wraps a pipelined vehicle.
+func NewNode(id uint32, v *sim.VehicleRun) *Node {
+	return &Node{ID: id, Vehicle: v, peers: map[uint32]*peerState{}}
+}
+
+// Track registers a neighbour to be tracked.
+func (n *Node) Track(peer *Node) {
+	n.peers[peer.ID] = &peerState{}
+}
+
+// Config tunes the protocol.
+type Config struct {
+	// BeaconHz is the presence-beacon rate.
+	BeaconHz float64
+	// DeltaHz is the incremental-update streaming rate once a full context
+	// is held.
+	DeltaHz float64
+	// QueryHz is how often tracked distances are re-resolved.
+	QueryHz float64
+	// ResyncAfterS forces a fresh full exchange when the copy is older.
+	ResyncAfterS float64
+	// ResyncScoreBelow implements §V-B's error-triggered resync: when the
+	// coherency score of resolved queries stays below this level for
+	// ResyncAfterBad consecutive queries, the tracker assumes accumulated
+	// error and requests a fresh full context. 0 disables.
+	ResyncScoreBelow float64
+	ResyncAfterBad   int
+	// Params is the RUPS algorithm configuration.
+	Params core.Params
+}
+
+// DefaultConfig matches the §V-B discussion: 10 Hz incremental updates, a
+// full exchange only at the start (and on staleness).
+func DefaultConfig() Config {
+	return Config{
+		BeaconHz:         1,
+		DeltaHz:          10,
+		QueryHz:          2,
+		ResyncAfterS:     120,
+		ResyncScoreBelow: 1.25,
+		ResyncAfterBad:   6,
+		Params:           core.DefaultParams(),
+	}
+}
+
+// QueryRecord is one tracked-distance resolution.
+type QueryRecord struct {
+	T        float64
+	Node     uint32
+	Peer     uint32
+	OK       bool
+	Distance float64
+	TruthGap float64
+	// LagM is how many metres of the peer's recorded context had not yet
+	// reached this node's copy at query time (transfer lag). Time-based
+	// staleness is misleading: a platoon waiting at a light records no new
+	// marks, so a perfectly current copy would look "old".
+	LagM float64
+}
+
+// RDE returns the query's absolute error (NaN when unresolved).
+func (q QueryRecord) RDE() float64 {
+	if !q.OK {
+		return math.NaN()
+	}
+	return math.Abs(q.Distance - q.TruthGap)
+}
+
+// Network couples nodes over a shared medium and steps the protocol.
+type Network struct {
+	Medium *Medium
+	Cfg    Config
+	nodes  []*Node
+	byID   map[uint32]*Node
+
+	Queries []QueryRecord
+
+	nextBeacon map[uint32]float64
+	nextDelta  float64
+	nextQuery  float64
+}
+
+// NewNetwork builds a network over the nodes.
+func NewNetwork(m *Medium, cfg Config, nodes ...*Node) *Network {
+	nw := &Network{
+		Medium: m, Cfg: cfg, nodes: nodes,
+		byID:       map[uint32]*Node{},
+		nextBeacon: map[uint32]float64{},
+	}
+	for _, n := range nodes {
+		if _, dup := nw.byID[n.ID]; dup {
+			panic(fmt.Sprintf("node: duplicate id %d", n.ID))
+		}
+		nw.byID[n.ID] = n
+	}
+	return nw
+}
+
+// Run steps the protocol from t0 to t1 and records tracked-distance
+// queries. It is deterministic.
+func (nw *Network) Run(t0, t1 float64) {
+	const tick = 0.05
+	for _, n := range nw.nodes {
+		nw.nextBeacon[n.ID] = t0
+	}
+	nw.nextDelta = t0
+	nw.nextQuery = t0 + 1/nw.Cfg.QueryHz
+
+	for t := t0; t <= t1; t += tick {
+		// Beacons: cheap presence announcements.
+		for _, n := range nw.nodes {
+			if t >= nw.nextBeacon[n.ID] {
+				nw.Medium.Send(t, v2v.BeaconSize)
+				nw.nextBeacon[n.ID] += 1 / nw.Cfg.BeaconHz
+			}
+		}
+
+		// Context maintenance.
+		if t >= nw.nextDelta {
+			for _, n := range nw.nodes {
+				for peerID, ps := range n.peers {
+					nw.maintain(t, n, nw.byID[peerID], ps)
+				}
+			}
+			nw.nextDelta += 1 / nw.Cfg.DeltaHz
+		}
+
+		// Queries.
+		if t >= nw.nextQuery {
+			for _, n := range nw.nodes {
+				for peerID, ps := range n.peers {
+					nw.query(t, n, nw.byID[peerID], ps)
+				}
+			}
+			nw.nextQuery += 1 / nw.Cfg.QueryHz
+		}
+	}
+}
+
+// maintain keeps a peer copy current: first a full exchange, then deltas,
+// with a full resync when the copy ages out.
+func (nw *Network) maintain(t float64, n, peer *Node, ps *peerState) {
+	avail := peer.Vehicle.Aware.PrefixUntil(t)
+	if avail.Len() == 0 {
+		return
+	}
+	needFull := !ps.haveFull || t-ps.lastResync > nw.Cfg.ResyncAfterS || ps.needsSync
+	if needFull {
+		// Full exchange goes through the real wire encoding: the copy the
+		// tracker holds is the quantized one, exactly as received.
+		data, err := avail.MarshalBinary()
+		if err != nil {
+			return
+		}
+		ps.readyAt = nw.Medium.Send(t, len(data))
+		rx := &trajectory.Aware{}
+		if err := rx.UnmarshalBinary(data); err != nil {
+			return
+		}
+		ps.copy = rx
+		ps.haveFull = true
+		ps.lastResync = t
+		ps.needsSync = false
+		ps.badScores = 0
+		ps.fullTransfers++
+		return
+	}
+	if ps.copy == nil || avail.Len() <= ps.copy.Len() {
+		return // nothing new
+	}
+	d, err := v2v.MakeDelta(avail, ps.copy.Len())
+	if err != nil {
+		return
+	}
+	data, err := d.MarshalBinary()
+	if err != nil {
+		return
+	}
+	ps.readyAt = nw.Medium.Send(t, len(data))
+	var rx v2v.Delta
+	if err := rx.UnmarshalBinary(data); err != nil {
+		return
+	}
+	if err := rx.Apply(ps.copy); err != nil {
+		// Gap: force a resync next round.
+		ps.haveFull = false
+		return
+	}
+	ps.deltaTransfers++
+}
+
+// query resolves the tracked distance using the node's own live context
+// and its (possibly in-flight) copy of the peer.
+func (nw *Network) query(t float64, n, peer *Node, ps *peerState) {
+	// A node does not pose queries before both sides have usable context
+	// (the paper's warm-up: RUPS needs a stretch of common road).
+	const minContext = 100
+	if ps.copy == nil || t < ps.readyAt || ps.copy.Len() < minContext {
+		return
+	}
+	mine := n.Vehicle.Aware.PrefixUntil(t)
+	if mine.Len() < minContext {
+		return
+	}
+	rec := QueryRecord{T: t, Node: n.ID, Peer: peer.ID}
+	rec.TruthGap = mobility.TrueGap(peer.Vehicle.Truth, n.Vehicle.Truth, t)
+	if est, ok := core.Resolve(mine, ps.copy, nw.Cfg.Params); ok {
+		rec.OK = true
+		rec.Distance = est.Distance
+		// §V-B error-triggered resync: sustained low coherency suggests the
+		// copy has drifted (quantization, missed deltas); refresh it.
+		if nw.Cfg.ResyncScoreBelow > 0 {
+			if est.Score < nw.Cfg.ResyncScoreBelow {
+				ps.badScores++
+				if ps.badScores >= nw.Cfg.ResyncAfterBad {
+					ps.needsSync = true
+					ps.badScores = 0
+				}
+			} else {
+				ps.badScores = 0
+			}
+		}
+	}
+	rec.LagM = float64(peer.Vehicle.Aware.PrefixUntil(t).Len() - ps.copy.Len())
+	nw.Queries = append(nw.Queries, rec)
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	Queries        int
+	Resolved       int
+	MeanRDE        float64
+	MeanLagM       float64
+	FullTransfers  int
+	DeltaTransfers int
+	Utilization    float64
+	BytesPerNodeS  float64
+}
+
+// Stats computes the summary over [t0, t1].
+func (nw *Network) Stats(t0, t1 float64) Stats {
+	var s Stats
+	var rde, lag stats.Online
+	for _, q := range nw.Queries {
+		s.Queries++
+		if q.OK {
+			s.Resolved++
+			rde.Add(q.RDE())
+			lag.Add(q.LagM)
+		}
+	}
+	s.MeanRDE = rde.Mean()
+	s.MeanLagM = lag.Mean()
+	for _, n := range nw.nodes {
+		for _, ps := range n.peers {
+			s.FullTransfers += ps.fullTransfers
+			s.DeltaTransfers += ps.deltaTransfers
+		}
+	}
+	s.Utilization = nw.Medium.Utilization(t0, t1)
+	if dur := t1 - t0; dur > 0 && len(nw.nodes) > 0 {
+		s.BytesPerNodeS = float64(nw.Medium.TotalBytes) / dur / float64(len(nw.nodes))
+	}
+	return s
+}
+
+// AutoTrack makes every node track any peer currently within rangeM of it
+// (by ground-truth position — beacons carry position hints) and drop peers
+// that left range. Call it periodically from a protocol loop to model a
+// dynamic neighbourhood instead of a fixed platoon.
+func (nw *Network) AutoTrack(t, rangeM float64) {
+	for _, n := range nw.nodes {
+		np := n.Vehicle.Truth.At(t).Pos
+		for _, peer := range nw.nodes {
+			if peer.ID == n.ID {
+				continue
+			}
+			d := np.Dist(peer.Vehicle.Truth.At(t).Pos)
+			_, tracked := n.peers[peer.ID]
+			switch {
+			case d <= rangeM && !tracked:
+				n.Track(peer)
+			case d > rangeM*1.2 && tracked:
+				// Hysteresis avoids flapping at the range boundary.
+				delete(n.peers, peer.ID)
+			}
+		}
+	}
+}
+
+// TrackedPairs returns the current number of (tracker, tracked) pairs.
+func (nw *Network) TrackedPairs() int {
+	total := 0
+	for _, n := range nw.nodes {
+		total += len(n.peers)
+	}
+	return total
+}

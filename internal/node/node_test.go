@@ -1,0 +1,193 @@
+package node
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMediumSerializes(t *testing.T) {
+	m := NewMedium()
+	done1 := m.Send(0, 60000)
+	done2 := m.Send(0, 60000)
+	if done2 <= done1 {
+		t.Errorf("overlapping transmissions: %v then %v", done1, done2)
+	}
+	// 60 kB at 600 kB/s is 0.1 s plus overhead.
+	if done1 < 0.1 || done1 > 0.11 {
+		t.Errorf("first transmission done at %v, want ~0.1", done1)
+	}
+	if m.Frames != 2 || m.TotalBytes != 120000 {
+		t.Errorf("accounting wrong: %+v", m)
+	}
+}
+
+func TestMediumIdleGap(t *testing.T) {
+	m := NewMedium()
+	m.Send(0, 6000)
+	// A transmission submitted after the channel went idle starts
+	// immediately.
+	done := m.Send(5, 6000)
+	if done < 5.01 || done > 5.02 {
+		t.Errorf("post-idle completion %v", done)
+	}
+}
+
+func TestMediumUtilization(t *testing.T) {
+	m := NewMedium()
+	m.Send(0, 600000) // one second of airtime
+	u := m.Utilization(0, 10)
+	if math.Abs(u-0.1) > 0.01 {
+		t.Errorf("utilization %v, want ~0.1", u)
+	}
+	if m.Utilization(5, 5) != 0 {
+		t.Error("degenerate interval should give 0")
+	}
+}
+
+func TestMediumPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMedium().Send(0, 0)
+}
+
+// platoonFixture builds a small platoon once (pipelines are expensive).
+var cachedNW *Network
+var cachedT0, cachedT1 float64
+
+func getPlatoon(t *testing.T) (*Network, float64, float64) {
+	t.Helper()
+	if cachedNW == nil {
+		cfg := DefaultPlatoonConfig(71, 3)
+		cfg.DistanceM = 700
+		nw, _, t0, t1 := Platoon(cfg)
+		nw.Run(t0, t1)
+		cachedNW, cachedT0, cachedT1 = nw, t0, t1
+	}
+	return cachedNW, cachedT0, cachedT1
+}
+
+func TestPlatoonProtocolResolves(t *testing.T) {
+	nw, t0, t1 := getPlatoon(t)
+	s := nw.Stats(t0, t1)
+	if s.Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+	if s.Resolved < s.Queries/3 {
+		t.Errorf("resolved %d/%d tracked queries", s.Resolved, s.Queries)
+	}
+	if s.MeanRDE > 8 {
+		t.Errorf("mean tracked RDE %v m", s.MeanRDE)
+	}
+}
+
+func TestPlatoonIncrementalDominates(t *testing.T) {
+	nw, _, _ := getPlatoon(t)
+	s := nw.Stats(cachedT0, cachedT1)
+	if s.DeltaTransfers < 10*s.FullTransfers {
+		t.Errorf("protocol not incremental: %d deltas vs %d full transfers",
+			s.DeltaTransfers, s.FullTransfers)
+	}
+	if s.FullTransfers < 2 { // one per tracked pair at least
+		t.Errorf("full transfers = %d", s.FullTransfers)
+	}
+}
+
+func TestPlatoonCopyLag(t *testing.T) {
+	nw, _, _ := getPlatoon(t)
+	s := nw.Stats(cachedT0, cachedT1)
+	// With 10 Hz deltas the copy should track within a few metres of the
+	// peer's live context.
+	if s.MeanLagM > 6 {
+		t.Errorf("mean copy lag %v m", s.MeanLagM)
+	}
+}
+
+func TestPlatoonChannelBudget(t *testing.T) {
+	nw, t0, t1 := getPlatoon(t)
+	s := nw.Stats(t0, t1)
+	if s.Utilization <= 0 || s.Utilization > 0.5 {
+		t.Errorf("channel utilization %v implausible for 3 vehicles", s.Utilization)
+	}
+}
+
+func TestPlatoonValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 1-vehicle platoon")
+		}
+	}()
+	Platoon(DefaultPlatoonConfig(1, 1))
+}
+
+func TestNetworkDuplicateIDPanics(t *testing.T) {
+	nw, _, _ := getPlatoon(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewNetwork(NewMedium(), DefaultConfig(), nw.nodes[0], nw.nodes[0])
+}
+
+func TestQueryRecordRDE(t *testing.T) {
+	q := QueryRecord{OK: true, Distance: 30, TruthGap: 25}
+	if q.RDE() != 5 {
+		t.Errorf("RDE = %v", q.RDE())
+	}
+	q.OK = false
+	if !math.IsNaN(q.RDE()) {
+		t.Error("unresolved RDE should be NaN")
+	}
+}
+
+func TestAutoTrackRangeAndHysteresis(t *testing.T) {
+	nw, t0, _ := getPlatoon(t)
+	// Fresh network over the same vehicles with no tracking configured.
+	var fresh []*Node
+	for i, n := range nw.nodes {
+		fresh = append(fresh, NewNode(uint32(100+i), n.Vehicle))
+	}
+	n2 := NewNetwork(NewMedium(), DefaultConfig(), fresh...)
+	if n2.TrackedPairs() != 0 {
+		t.Fatal("fresh network already tracking")
+	}
+	// A platoon with ~25 m gaps: everyone within 300 m of everyone.
+	n2.AutoTrack(t0+20, 300)
+	want := len(fresh) * (len(fresh) - 1)
+	if got := n2.TrackedPairs(); got != want {
+		t.Errorf("tracked pairs = %d, want %d", got, want)
+	}
+	// Shrinking the range far below the gaps drops the far pairs but
+	// hysteresis (1.2×) keeps anything inside the buffer zone.
+	n2.AutoTrack(t0+20, 1)
+	if got := n2.TrackedPairs(); got >= want {
+		t.Errorf("no pairs dropped after range shrink: %d", got)
+	}
+}
+
+func TestScoreTriggeredResync(t *testing.T) {
+	// Force the error-triggered resync path: an absurdly high score bar
+	// means every resolved query counts as "bad", so after ResyncAfterBad
+	// queries the tracker must request a fresh full context.
+	cfg := DefaultPlatoonConfig(72, 2)
+	cfg.DistanceM = 700
+	nw, _, t0, t1 := Platoon(cfg)
+	nw.Cfg.ResyncScoreBelow = 99
+	nw.Cfg.ResyncAfterBad = 3
+	nw.Run(t0, t1)
+	s := nw.Stats(t0, t1)
+	if s.FullTransfers < 3 {
+		t.Errorf("error-triggered resync never fired: %d full transfers", s.FullTransfers)
+	}
+	// And with the trigger disabled, only the initial exchange happens
+	// (the drive is shorter than ResyncAfterS).
+	nw2, _, u0, u1 := Platoon(cfg)
+	nw2.Cfg.ResyncScoreBelow = 0
+	nw2.Run(u0, u1)
+	if got := nw2.Stats(u0, u1).FullTransfers; got != 1 {
+		t.Errorf("with trigger disabled: %d full transfers, want 1", got)
+	}
+}

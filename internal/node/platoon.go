@@ -1,0 +1,83 @@
+package node
+
+import (
+	"fmt"
+
+	"rups/internal/city"
+	"rups/internal/fm"
+	"rups/internal/gsm"
+	"rups/internal/mobility"
+	"rups/internal/noise"
+	"rups/internal/scanner"
+	"rups/internal/sim"
+)
+
+// PlatoonConfig parametrizes a same-lane platoon scenario.
+type PlatoonConfig struct {
+	Seed      uint64
+	Vehicles  int
+	RoadClass city.RoadClass
+	DistanceM float64
+	GapM      float64
+	Radios    int
+	WithFM    bool
+}
+
+// DefaultPlatoonConfig returns an n-vehicle urban platoon.
+func DefaultPlatoonConfig(seed uint64, n int) PlatoonConfig {
+	return PlatoonConfig{
+		Seed:      seed,
+		Vehicles:  n,
+		RoadClass: city.EightLaneUrban,
+		DistanceM: 1000,
+		GapM:      25,
+		Radios:    4,
+	}
+}
+
+// Platoon builds an n-vehicle convoy (vehicle 0 leads; each subsequent
+// vehicle IDM-follows the one ahead), runs every vehicle's full on-board
+// pipeline, and wires each node to track its front neighbour over a shared
+// medium.
+func Platoon(cfg PlatoonConfig) (*Network, []*Node, float64, float64) {
+	if cfg.Vehicles < 2 {
+		panic(fmt.Sprintf("node: platoon needs ≥ 2 vehicles, got %d", cfg.Vehicles))
+	}
+	c := city.Generate(city.DefaultConfig(cfg.Seed))
+	var src scanner.Source = gsm.NewField(noise.Hash(cfg.Seed, 0xF1E1D),
+		gsm.GenerateTowers(noise.Hash(cfg.Seed, 0x703E5), c.Bounds(), c), c)
+	if cfg.WithFM {
+		src = scanner.NewMultiSource(src.(*gsm.Field),
+			fm.NewField(noise.Hash(cfg.Seed, 0xF30), c.Bounds(), c))
+	}
+	road := c.RoadsOfClass(cfg.RoadClass)[0]
+
+	base := mobility.DriveConfig{
+		Road: road, Lane: 0, StartS: 30, Distance: cfg.DistanceM,
+		StopEveryM: 600, StopSeed: cfg.Seed,
+	}
+	lead := base
+	lead.Seed = noise.Hash(cfg.Seed, 100)
+	traces := []*mobility.Trace{mobility.Drive(lead)}
+	for i := 1; i < cfg.Vehicles; i++ {
+		fc := base
+		fc.Seed = noise.Hash(cfg.Seed, 100+uint64(i))
+		traces = append(traces, mobility.Follow(fc, traces[i-1], cfg.GapM))
+	}
+
+	nodes := make([]*Node, cfg.Vehicles)
+	for i, tr := range traces {
+		v := sim.PipelineVehicle(tr, src, cfg.Radios, scanner.FrontPanel,
+			noise.Hash(cfg.Seed, 200+uint64(i)))
+		nodes[i] = NewNode(uint32(i), v)
+	}
+	for i := 1; i < cfg.Vehicles; i++ {
+		nodes[i].Track(nodes[i-1])
+	}
+
+	nw := NewNetwork(NewMedium(), DefaultConfig(), nodes...)
+	t0 := traces[0].States[0].T
+	// The last follower's trace is the shortest in time; stop there.
+	t1 := t0 + traces[len(traces)-1].Duration()
+	return nw, nodes, t0, t1
+}

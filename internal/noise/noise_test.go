@@ -1,0 +1,208 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/stats"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := Hash(1, 2, 3)
+	b := Hash(1, 2, 3)
+	if a != b {
+		t.Fatal("Hash not deterministic")
+	}
+	if Hash(1, 2, 3) == Hash(1, 3, 2) {
+		t.Error("Hash insensitive to key order")
+	}
+	if Hash(1, 2) == Hash(2, 2) {
+		t.Error("Hash insensitive to seed")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		u := Uniform(99, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	var o stats.Online
+	for i := uint64(0); i < 50000; i++ {
+		o.Add(Uniform(7, i))
+	}
+	if math.Abs(o.Mean()-0.5) > 0.01 {
+		t.Errorf("Uniform mean = %v, want ~0.5", o.Mean())
+	}
+	if math.Abs(o.Variance()-1.0/12) > 0.005 {
+		t.Errorf("Uniform variance = %v, want ~1/12", o.Variance())
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	var o stats.Online
+	for i := uint64(0); i < 50000; i++ {
+		o.Add(Gaussian(13, i))
+	}
+	if math.Abs(o.Mean()) > 0.02 {
+		t.Errorf("Gaussian mean = %v, want ~0", o.Mean())
+	}
+	if math.Abs(o.Variance()-1) > 0.05 {
+		t.Errorf("Gaussian variance = %v, want ~1", o.Variance())
+	}
+}
+
+func TestField1DDeterministicAndStationary(t *testing.T) {
+	f := Field1D{Seed: 5, Scale: 10}
+	if f.At(3.7) != f.At(3.7) {
+		t.Fatal("Field1D not deterministic")
+	}
+	var o stats.Online
+	for i := 0; i < 20000; i++ {
+		o.Add(f.At(float64(i) * 0.73))
+	}
+	if math.Abs(o.Mean()) > 0.1 {
+		t.Errorf("Field1D mean = %v, want ~0", o.Mean())
+	}
+	if math.Abs(o.Variance()-1) > 0.15 {
+		t.Errorf("Field1D variance = %v, want ~1", o.Variance())
+	}
+}
+
+func TestField1DCorrelationStructure(t *testing.T) {
+	f := Field1D{Seed: 21, Scale: 50}
+	// Sample pairs at small and large separations; correlation must decay.
+	near := make([]float64, 0, 2000)
+	nearLag := make([]float64, 0, 2000)
+	far := make([]float64, 0, 2000)
+	farLag := make([]float64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		x := float64(i) * 137.3
+		near = append(near, f.At(x))
+		nearLag = append(nearLag, f.At(x+5)) // 0.1 × scale
+		far = append(far, f.At(x))
+		farLag = append(farLag, f.At(x+200)) // 4 × scale
+	}
+	rNear := stats.Pearson(near, nearLag)
+	rFar := stats.Pearson(far, farLag)
+	if rNear < 0.9 {
+		t.Errorf("correlation at 0.1×scale = %v, want > 0.9", rNear)
+	}
+	if math.Abs(rFar) > 0.1 {
+		t.Errorf("correlation at 4×scale = %v, want ~0", rFar)
+	}
+}
+
+func TestField1DContinuity(t *testing.T) {
+	f := Field1D{Seed: 9, Scale: 10}
+	// No jumps across lattice boundaries.
+	for _, x := range []float64{9.999999, 19.999999, -0.000001, -10.000001} {
+		a := f.At(x)
+		b := f.At(x + 2e-6)
+		if math.Abs(a-b) > 1e-3 {
+			t.Errorf("Field1D jump at %v: %v -> %v", x, a, b)
+		}
+	}
+}
+
+func TestField2DStatistics(t *testing.T) {
+	f := Field2D{Seed: 31, Scale: 40}
+	var o stats.Online
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 100; j++ {
+			o.Add(f.At(float64(i)*97.1, float64(j)*101.3))
+		}
+	}
+	if math.Abs(o.Mean()) > 0.05 {
+		t.Errorf("Field2D mean = %v", o.Mean())
+	}
+	if math.Abs(o.Variance()-1) > 0.1 {
+		t.Errorf("Field2D variance = %v", o.Variance())
+	}
+}
+
+func TestField2DCorrelationDecay(t *testing.T) {
+	f := Field2D{Seed: 77, Scale: 50}
+	var near, nearLag, far, farLag []float64
+	for i := 0; i < 3000; i++ {
+		x := float64(i) * 113.7
+		y := float64(i%37) * 211.9
+		near = append(near, f.At(x, y))
+		nearLag = append(nearLag, f.At(x+5, y))
+		far = append(far, f.At(x, y))
+		farLag = append(farLag, f.At(x+250, y))
+	}
+	if r := stats.Pearson(near, nearLag); r < 0.85 {
+		t.Errorf("2D correlation at 0.1×scale = %v", r)
+	}
+	if r := stats.Pearson(far, farLag); math.Abs(r) > 0.1 {
+		t.Errorf("2D correlation at 5×scale = %v", r)
+	}
+}
+
+func TestField2DContinuity(t *testing.T) {
+	f := Field2D{Seed: 3, Scale: 25}
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 24.999999
+		a := f.At(x, 7)
+		b := f.At(x+2e-6, 7)
+		if math.Abs(a-b) > 1e-3 {
+			t.Errorf("Field2D jump at x=%v", x)
+		}
+	}
+}
+
+func TestOctavesUnitVariance(t *testing.T) {
+	o := Octaves{Base: Field2D{Seed: 8, Scale: 30}, N: 3}
+	var acc stats.Online
+	for i := 0; i < 20000; i++ {
+		acc.Add(o.At(float64(i)*53.7, float64(i%61)*71.3))
+	}
+	if math.Abs(acc.Variance()-1) > 0.12 {
+		t.Errorf("Octaves variance = %v, want ~1", acc.Variance())
+	}
+}
+
+func TestOUStationaryStats(t *testing.T) {
+	ou := OU{Tau: 10, Sigma: 2}
+	var acc stats.Online
+	// Burn in, then sample.
+	for i := 0; i < 200000; i++ {
+		v := ou.Step(1, Gaussian(55, uint64(i)))
+		if i > 1000 {
+			acc.Add(v)
+		}
+	}
+	if math.Abs(acc.Mean()) > 0.2 {
+		t.Errorf("OU mean = %v, want ~0", acc.Mean())
+	}
+	if math.Abs(acc.StdDev()-2) > 0.2 {
+		t.Errorf("OU stddev = %v, want ~2", acc.StdDev())
+	}
+}
+
+func TestOUMeanReversion(t *testing.T) {
+	ou := OU{Tau: 5, Sigma: 1}
+	ou.x = 100
+	// With zero innovations the process must decay toward 0.
+	for i := 0; i < 10; i++ {
+		ou.Step(5, 0)
+	}
+	if math.Abs(ou.Value()) > 100*math.Exp(-9) {
+		t.Errorf("OU did not revert: %v", ou.Value())
+	}
+}
+
+func TestOUPanicsOnBadTau(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ou := OU{Tau: 0, Sigma: 1}
+	ou.Step(1, 0)
+}

@@ -1,0 +1,141 @@
+// Package render draws the simulated world as SVG: the city's roads
+// coloured by class, the GSM towers, and (optionally) vehicle trajectories.
+// It exists for documentation and debugging — seeing the world the
+// evaluation drives through beats imagining it.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rups/internal/city"
+	"rups/internal/geo"
+	"rups/internal/gsm"
+)
+
+// Style maps road classes to stroke colours and widths.
+var classStyle = map[city.RoadClass]struct {
+	colour string
+	width  float64
+}{
+	city.TwoLaneSuburb:  {"#7cb342", 2},
+	city.FourLaneUrban:  {"#1e88e5", 3.5},
+	city.EightLaneUrban: {"#8e24aa", 6},
+	city.UnderElevated:  {"#546e7a", 6},
+}
+
+// Map renders a city and optional extras into an SVG document.
+type Map struct {
+	City   *city.City
+	Towers []gsm.Tower
+	// Tracks are additional polylines (vehicle trajectories) with a label
+	// and colour.
+	Tracks []Track
+	// WidthPx is the output image width; height follows the aspect ratio.
+	WidthPx float64
+}
+
+// Track is one highlighted path.
+type Track struct {
+	Points []geo.Vec2
+	Colour string
+	Label  string
+}
+
+// WriteSVG emits the document.
+func (m *Map) WriteSVG(w io.Writer) error {
+	if m.City == nil {
+		return fmt.Errorf("render: map needs a city")
+	}
+	b := m.City.Bounds()
+	widthPx := m.WidthPx
+	if widthPx == 0 {
+		widthPx = 900
+	}
+	span := b.MaxX - b.MinX
+	scale := widthPx / span
+	heightPx := (b.MaxY - b.MinY) * scale
+
+	// World → image: flip y so north is up.
+	pt := func(p geo.Vec2) (float64, float64) {
+		return (p.X - b.MinX) * scale, (b.MaxY - p.Y) * scale
+	}
+	path := func(pts []geo.Vec2) string {
+		var sb strings.Builder
+		for i, p := range pts {
+			x, y := pt(p)
+			if i == 0 {
+				fmt.Fprintf(&sb, "M%.1f %.1f", x, y)
+			} else {
+				fmt.Fprintf(&sb, " L%.1f %.1f", x, y)
+			}
+		}
+		return sb.String()
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		widthPx, heightPx, widthPx, heightPx)
+	sb.WriteString(`<rect width="100%" height="100%" fill="#fafafa"/>` + "\n")
+
+	// Zoning rings.
+	cx, cy := pt(geo.Vec2{})
+	fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#e0e0e0" stroke-dasharray="6 4"/>`+"\n",
+		cx, cy, m.City.Cfg.DowntownRadiusM*scale)
+	fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#e0e0e0" stroke-dasharray="6 4"/>`+"\n",
+		cx, cy, m.City.Cfg.UrbanRadiusM*scale)
+
+	// Roads.
+	for _, r := range m.City.Roads {
+		st := classStyle[r.Class]
+		dash := ""
+		if r.Class == city.UnderElevated {
+			dash = ` stroke-dasharray="10 5"`
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="%.1f" stroke-linecap="round" opacity="0.8"%s/>`+"\n",
+			path(r.Line.Points()), st.colour, st.width, dash)
+	}
+
+	// Towers.
+	for _, tw := range m.Towers {
+		if !m.City.Bounds().Contains(tw.Pos) {
+			continue
+		}
+		x, y := pt(tw.Pos)
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="#ef5350"/>`+"\n", x, y)
+	}
+
+	// Tracks.
+	for _, tr := range m.Tracks {
+		if len(tr.Points) < 2 {
+			continue
+		}
+		colour := tr.Colour
+		if colour == "" {
+			colour = "#000"
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="2.4"/>`+"\n",
+			path(tr.Points), colour)
+		if tr.Label != "" {
+			x, y := pt(tr.Points[0])
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="12" fill="%s">%s</text>`+"\n",
+				x+4, y-4, colour, tr.Label)
+		}
+	}
+
+	// Legend.
+	y := 20.0
+	for _, class := range []city.RoadClass{city.TwoLaneSuburb, city.FourLaneUrban, city.EightLaneUrban, city.UnderElevated} {
+		st := classStyle[class]
+		fmt.Fprintf(&sb, `<line x1="12" y1="%.0f" x2="44" y2="%.0f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			y, y, st.colour, st.width)
+		fmt.Fprintf(&sb, `<text x="50" y="%.0f" font-size="12" fill="#333">%s</text>`+"\n", y+4, class)
+		y += 18
+	}
+	fmt.Fprintf(&sb, `<circle cx="28" cy="%.0f" r="2.2" fill="#ef5350"/><text x="50" y="%.0f" font-size="12" fill="#333">GSM tower</text>`+"\n", y, y+4)
+
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

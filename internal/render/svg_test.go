@@ -1,0 +1,60 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/geo"
+	"rups/internal/gsm"
+)
+
+func TestWriteSVG(t *testing.T) {
+	c := city.Generate(city.DefaultConfig(3))
+	m := &Map{
+		City:   c,
+		Towers: gsm.GenerateTowers(4, c.Bounds(), c),
+		Tracks: []Track{{
+			Points: []geo.Vec2{{X: 0, Y: 0}, {X: 100, Y: 100}},
+			Colour: "#123456",
+			Label:  "test-track",
+		}},
+	}
+	var buf bytes.Buffer
+	if err := m.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "test-track", "#123456", "GSM tower",
+		"2-lane suburb", "under elevated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One path per road at least.
+	if got := strings.Count(out, "<path"); got < len(c.Roads) {
+		t.Errorf("only %d paths for %d roads", got, len(c.Roads))
+	}
+}
+
+func TestWriteSVGNeedsCity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Map{}).WriteSVG(&buf); err == nil {
+		t.Error("expected error without a city")
+	}
+}
+
+func TestWriteSVGSkipsShortTracks(t *testing.T) {
+	c := city.Generate(city.DefaultConfig(5))
+	m := &Map{City: c, Tracks: []Track{{Points: []geo.Vec2{{X: 1, Y: 1}}, Label: "solo"}}}
+	var buf bytes.Buffer
+	if err := m.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "solo") {
+		t.Error("single-point track should be skipped")
+	}
+}

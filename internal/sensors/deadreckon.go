@@ -1,0 +1,72 @@
+package sensors
+
+import (
+	"rups/internal/geo"
+	"rups/internal/trajectory"
+)
+
+// DeadReckon fuses the reoriented magnetometer heading with the odometer
+// into the per-metre geographical trajectory of paper §IV-B: each time the
+// believed travelled distance crosses another whole metre, a (θ, t) mark is
+// emitted. The heading is smoothed over the last headingWindowS seconds of
+// magnetometer readings to suppress white noise.
+func DeadReckon(imu []IMUSample, mount geo.Mat3, odo DistanceSource, driveStart float64) trajectory.Geo {
+	const headingWindowS = 0.25
+
+	var g trajectory.Geo
+	nextMetre := 1.0
+
+	// Ring of recent reoriented magnetometer vectors for smoothing.
+	type magAt struct {
+		t float64
+		m geo.Vec3
+	}
+	var ring []magAt
+
+	for _, s := range imu {
+		if s.T < driveStart {
+			continue
+		}
+		mv := mount.Apply(s.Mag)
+		ring = append(ring, magAt{s.T, mv})
+		// Drop entries older than the window (amortized by slicing).
+		cut := 0
+		for cut < len(ring) && ring[cut].t < s.T-headingWindowS {
+			cut++
+		}
+		ring = ring[cut:]
+
+		d := odo.DistanceAt(s.T)
+		for d >= nextMetre {
+			var sum geo.Vec3
+			for _, r := range ring {
+				sum = sum.Add(r.m)
+			}
+			g.Marks = append(g.Marks, trajectory.GeoMark{
+				Theta: Heading(sum),
+				T:     s.T,
+			})
+			nextMetre++
+		}
+	}
+	return g
+}
+
+// TrajectoryError quantifies dead-reckoning quality against ground truth:
+// the mean absolute heading error (radians) over the marks, given the true
+// heading as a function of believed metre index mapped through trueHeadingAt.
+// It is a test/eval helper rather than part of the runtime pipeline.
+func TrajectoryError(g trajectory.Geo, trueHeadingAt func(t float64) float64) float64 {
+	if len(g.Marks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, mk := range g.Marks {
+		d := geo.HeadingDiff(trueHeadingAt(mk.T), mk.Theta)
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(g.Marks))
+}

@@ -1,0 +1,152 @@
+// Package sensors simulates the on-board sensing hardware of an
+// RUPS-equipped vehicle (paper §IV-B and §VI-A) and the estimation pipeline
+// that turns raw readings into a geographical trajectory:
+//
+//   - a 200 Hz IMU (3-axis accelerometer, gyroscope, magnetometer) mounted
+//     at an unknown orientation, with bias drift and white noise;
+//   - coordinate reorientation (the Han et al. scheme the paper adopts):
+//     estimating the rotation matrix R = [x; y; z] that maps sensor-frame
+//     readings into the vehicle frame, with z recalibrated as x × y;
+//   - heading estimation from the reoriented magnetometer;
+//   - travelled distance from an OBD-II speed feed and from a Hall-effect
+//     wheel-revolution counter (the paper mounts a magnet on the rear-left
+//     wheel);
+//   - dead reckoning: fusing heading and odometry into the per-metre
+//     (θᵢ, tᵢ) geographical trajectory RUPS binds GSM scans to.
+package sensors
+
+import (
+	"math"
+
+	"rups/internal/geo"
+	"rups/internal/mobility"
+	"rups/internal/noise"
+)
+
+// Gravity is the gravitational acceleration, m/s².
+const Gravity = 9.81
+
+// Earth magnetic field model: horizontal intensity and vertical (downward)
+// intensity in microtesla, typical of mid latitudes.
+const (
+	magHorizontalUT = 30.0
+	magVerticalUT   = 40.0
+)
+
+// IMUSample is one raw inertial reading in the sensor's own frame.
+type IMUSample struct {
+	T     float64
+	Accel geo.Vec3 // specific force, m/s² (includes gravity reaction)
+	Gyro  geo.Vec3 // angular rate, rad/s
+	Mag   geo.Vec3 // magnetic field, µT
+}
+
+// IMUConfig parametrizes the simulated IMU.
+type IMUConfig struct {
+	Seed uint64
+	// Mount rotates vehicle-frame vectors into the sensor frame — the
+	// unknown installation attitude the reorientation must recover.
+	Mount geo.Mat3
+	// SampleHz is the sampling rate (the paper uses ~200 Hz).
+	SampleHz float64
+	// Noise standard deviations.
+	AccelNoise float64 // m/s²
+	GyroNoise  float64 // rad/s
+	MagNoise   float64 // µT
+	// Bias drift (Ornstein–Uhlenbeck) for the accelerometer and gyroscope.
+	AccelBiasSigma float64
+	GyroBiasSigma  float64
+	BiasTauS       float64
+	// Road/engine vibration on the accelerometer. VibFloor is the level
+	// that onsets as soon as the wheels roll (tyres on pavement);
+	// VibPerSpeed adds a speed-proportional component. Vibration is what
+	// lets a speed estimator tell "stopped" from "rolling" (zero-velocity
+	// updates).
+	VibFloor    float64
+	VibPerSpeed float64
+}
+
+// DefaultIMUConfig returns smartphone-grade sensor characteristics with the
+// given mounting attitude.
+func DefaultIMUConfig(seed uint64, mount geo.Mat3) IMUConfig {
+	return IMUConfig{
+		Seed:           seed,
+		Mount:          mount,
+		SampleHz:       200,
+		AccelNoise:     0.06,
+		GyroNoise:      0.004,
+		MagNoise:       0.6,
+		AccelBiasSigma: 0.05,
+		GyroBiasSigma:  0.002,
+		BiasTauS:       300,
+		VibFloor:       0.22,
+		VibPerSpeed:    0.01,
+	}
+}
+
+// SimulateIMU produces the raw sensor stream for a drive. The stream starts
+// stationaryS seconds before the trace begins (vehicle at rest), which gives
+// the reorientation its gravity-calibration window.
+func SimulateIMU(tr *mobility.Trace, cfg IMUConfig, stationaryS float64) []IMUSample {
+	if cfg.SampleHz <= 0 {
+		panic("sensors: SampleHz must be positive")
+	}
+	dt := 1 / cfg.SampleHz
+	t0 := tr.States[0].T - stationaryS
+	tEnd := tr.States[len(tr.States)-1].T
+	n := int((tEnd - t0) / dt)
+
+	accBias := noise.OU{Tau: cfg.BiasTauS, Sigma: cfg.AccelBiasSigma}
+	gyrBias := noise.OU{Tau: cfg.BiasTauS, Sigma: cfg.GyroBiasSigma}
+
+	out := make([]IMUSample, 0, n)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		st := tr.At(t)
+		speed, accel, yaw := st.Speed, st.Accel, st.YawRate
+		if t < tr.States[0].T {
+			speed, accel, yaw = 0, 0, 0
+		}
+
+		// Specific force in the vehicle frame (x right, y forward, z up):
+		// longitudinal acceleration forward, centripetal force sideways,
+		// gravity reaction upward.
+		fVehicle := geo.Vec3{
+			X: speed * yaw, // centripetal: v·ω to the right for clockwise yaw
+			Y: accel,
+			Z: Gravity,
+		}
+		wVehicle := geo.Vec3{Z: -yaw} // clockwise heading increase = negative z rotation
+
+		// Magnetic field in the vehicle frame for compass heading θ.
+		mVehicle := geo.Vec3{
+			X: -magHorizontalUT * math.Sin(st.Heading),
+			Y: magHorizontalUT * math.Cos(st.Heading),
+			Z: -magVerticalUT,
+		}
+
+		ab := accBias.Step(dt, noise.Gaussian(cfg.Seed, 0xAB, uint64(i)))
+		gb := gyrBias.Step(dt, noise.Gaussian(cfg.Seed, 0x6B, uint64(i)))
+		g3 := func(salt uint64) geo.Vec3 {
+			return geo.Vec3{
+				X: noise.Gaussian(cfg.Seed, salt, uint64(i), 1),
+				Y: noise.Gaussian(cfg.Seed, salt, uint64(i), 2),
+				Z: noise.Gaussian(cfg.Seed, salt, uint64(i), 3),
+			}
+		}
+
+		vib := cfg.VibFloor*math.Tanh(speed/0.4) + cfg.VibPerSpeed*speed
+		out = append(out, IMUSample{
+			T: t,
+			Accel: cfg.Mount.Apply(fVehicle).
+				Add(g3(0xA0).Scale(cfg.AccelNoise + vib)).
+				Add(geo.Vec3{X: ab, Y: ab, Z: ab}.Scale(0.577)),
+			Gyro: cfg.Mount.Apply(wVehicle).
+				Add(g3(0x60).Scale(cfg.GyroNoise)).
+				Add(geo.Vec3{X: gb, Y: gb, Z: gb}.Scale(0.577)),
+			Mag: cfg.Mount.Apply(mVehicle).
+				Add(g3(0xA6).Scale(cfg.MagNoise)),
+		})
+	}
+	return out
+}

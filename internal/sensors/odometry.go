@@ -1,0 +1,152 @@
+package sensors
+
+import (
+	"math"
+
+	"rups/internal/mobility"
+	"rups/internal/noise"
+)
+
+// OBDSample is one speed report read over the CAN bus via OBD-II.
+type OBDSample struct {
+	T     float64
+	Speed float64 // m/s, quantized to the protocol's 1 km/h resolution
+}
+
+// OBDConfig parametrizes the OBD-II speed feed.
+type OBDConfig struct {
+	Seed   uint64
+	RateHz float64
+}
+
+// DefaultOBDConfig matches the paper's low-rate OBD polling (§V-A mentions
+// 0.3 Hz; we default to 1 Hz as a round, still-coarse rate — the wheel
+// odometer provides the fine distance resolution either way).
+func DefaultOBDConfig(seed uint64) OBDConfig {
+	return OBDConfig{Seed: seed, RateHz: 1}
+}
+
+// SimulateOBD reads the vehicle's true speed at the configured rate with
+// 1 km/h quantization, the resolution of the OBD vehicle-speed PID.
+func SimulateOBD(tr *mobility.Trace, cfg OBDConfig) []OBDSample {
+	if cfg.RateHz <= 0 {
+		panic("sensors: OBD RateHz must be positive")
+	}
+	const quant = 1.0 / 3.6 // 1 km/h in m/s
+	dt := 1 / cfg.RateHz
+	var out []OBDSample
+	for t := tr.States[0].T; t <= tr.States[len(tr.States)-1].T; t += dt {
+		v := tr.At(t).Speed
+		out = append(out, OBDSample{T: t, Speed: math.Round(v/quant) * quant})
+	}
+	return out
+}
+
+// WheelConfig parametrizes the Hall-effect wheel-revolution odometer (one
+// magnet on the rear-left wheel, §VI-A).
+type WheelConfig struct {
+	Seed uint64
+	// TrueCircumferenceM is the wheel's actual rolling circumference.
+	TrueCircumferenceM float64
+	// AssumedCircumferenceM is what the dead reckoner believes it is; the
+	// mismatch (tyre wear, pressure) is the odometric scale error.
+	AssumedCircumferenceM float64
+	// JitterS is the timing jitter of pulse detection.
+	JitterS float64
+}
+
+// DefaultWheelConfig returns a 1.94 m wheel believed to be 1.95 m —
+// a 0.5 % odometer scale error, typical of an uncalibrated installation.
+func DefaultWheelConfig(seed uint64) WheelConfig {
+	return WheelConfig{
+		Seed:                  seed,
+		TrueCircumferenceM:    1.94,
+		AssumedCircumferenceM: 1.95,
+		JitterS:               0.002,
+	}
+}
+
+// SimulateWheel returns the pulse timestamps of the Hall sensor: one pulse
+// per wheel revolution, i.e. per TrueCircumferenceM of travel.
+func SimulateWheel(tr *mobility.Trace, cfg WheelConfig) []float64 {
+	if cfg.TrueCircumferenceM <= 0 {
+		panic("sensors: wheel circumference must be positive")
+	}
+	var pulses []float64
+	s0 := tr.States[0].S
+	next := cfg.TrueCircumferenceM
+	for i := 1; i < len(tr.States); i++ {
+		for tr.States[i].S-s0 >= next {
+			// Interpolate the crossing time within the tick.
+			a, b := tr.States[i-1], tr.States[i]
+			f := 0.0
+			if b.S > a.S {
+				f = (next - (a.S - s0)) / (b.S - a.S)
+			}
+			t := a.T + f*(b.T-a.T) +
+				cfg.JitterS*noise.Gaussian(cfg.Seed, uint64(len(pulses)))
+			pulses = append(pulses, t)
+			next += cfg.TrueCircumferenceM
+		}
+	}
+	return pulses
+}
+
+// OdometerAt converts wheel pulses into believed travelled distance at time
+// t: completed revolutions times the assumed circumference, with the
+// current partial revolution interpolated from the OBD speed estimate.
+type Odometer struct {
+	pulses  []float64
+	assumed float64
+	obd     []OBDSample
+}
+
+// NewOdometer fuses the wheel pulse train with the OBD speed feed.
+func NewOdometer(pulses []float64, cfg WheelConfig, obd []OBDSample) *Odometer {
+	return &Odometer{pulses: pulses, assumed: cfg.AssumedCircumferenceM, obd: obd}
+}
+
+// DistanceAt returns the believed distance travelled since the trace start.
+func (o *Odometer) DistanceAt(t float64) float64 {
+	// Completed revolutions by binary search over pulse times.
+	lo, hi := 0, len(o.pulses)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.pulses[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	d := float64(lo) * o.assumed
+	// Partial revolution: speed × time since last pulse.
+	var since float64
+	if lo > 0 {
+		since = t - o.pulses[lo-1]
+	}
+	if since > 0 && len(o.obd) > 0 {
+		part := o.speedAt(t) * since
+		if part > o.assumed {
+			part = o.assumed
+		}
+		d += part
+	}
+	return d
+}
+
+// speedAt returns the zero-order-hold OBD speed at time t.
+func (o *Odometer) speedAt(t float64) float64 {
+	lo, hi := 0, len(o.obd)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.obd[mid].T <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return o.obd[0].Speed
+	}
+	return o.obd[lo-1].Speed
+}

@@ -1,0 +1,151 @@
+package sensors
+
+import (
+	"math"
+
+	"rups/internal/geo"
+	"rups/internal/mobility"
+	"rups/internal/noise"
+)
+
+// Pedestrian sensing (paper §VII future work): a phone-grade IMU carried by
+// a walking user. The accelerometer shows the gait — a vertical bob once
+// per step plus a smaller fore-aft oscillation — which a step counter turns
+// into travelled distance (stride-length odometry), replacing the vehicle's
+// wheel sensor in the dead-reckoning pipeline.
+
+// GaitConfig parametrizes the walking motion signature.
+type GaitConfig struct {
+	// StrideM is the true stride (one step) length at preferred speed.
+	StrideM float64
+	// BobAmp is the vertical acceleration amplitude per step, m/s².
+	BobAmp float64
+	// SwayAmp is the lateral sway amplitude, m/s².
+	SwayAmp float64
+}
+
+// DefaultGaitConfig returns typical adult walking parameters.
+func DefaultGaitConfig() GaitConfig {
+	return GaitConfig{StrideM: 0.72, BobAmp: 2.4, SwayAmp: 0.8}
+}
+
+// SimulatePedestrianIMU produces the IMU stream of a carried phone: the
+// vehicle-style specific-force model plus the gait oscillation whose
+// instantaneous frequency is speed/stride. The phone is assumed to be
+// carried in a stable, roughly known orientation (hand or chest pocket);
+// mount expresses the residual attitude.
+func SimulatePedestrianIMU(tr *mobility.Trace, cfg IMUConfig, gait GaitConfig, stationaryS float64) []IMUSample {
+	if cfg.SampleHz <= 0 {
+		panic("sensors: SampleHz must be positive")
+	}
+	dt := 1 / cfg.SampleHz
+	t0 := tr.States[0].T - stationaryS
+	tEnd := tr.States[len(tr.States)-1].T
+	n := int((tEnd - t0) / dt)
+
+	out := make([]IMUSample, 0, n)
+	phase := 0.0
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		st := tr.At(t)
+		speed := st.Speed
+		if t < tr.States[0].T {
+			speed = 0
+		}
+		// Gait phase advances one cycle per step.
+		stride := gait.StrideM * (1 + 0.08*(speed/1.35-1))
+		if stride < 0.3 {
+			stride = 0.3
+		}
+		if speed > 0.1 {
+			phase += 2 * math.Pi * (speed / stride) * dt
+		}
+		bob := 0.0
+		sway := 0.0
+		surge := 0.0
+		if speed > 0.1 {
+			bob = gait.BobAmp * (0.8 + 0.2*speed/1.35) * math.Sin(phase)
+			sway = gait.SwayAmp * math.Sin(phase/2) // sway alternates per stride
+			surge = 0.4 * gait.BobAmp * math.Cos(phase)
+		}
+
+		fBody := geo.Vec3{
+			X: sway,
+			Y: st.Accel + surge,
+			Z: Gravity + bob,
+		}
+		wBody := geo.Vec3{Z: -st.YawRate}
+		mBody := geo.Vec3{
+			X: -magHorizontalUT * math.Sin(st.Heading),
+			Y: magHorizontalUT * math.Cos(st.Heading),
+			Z: -magVerticalUT,
+		}
+		g3 := func(salt uint64) geo.Vec3 {
+			return geo.Vec3{
+				X: noise.Gaussian(cfg.Seed, salt, uint64(i), 1),
+				Y: noise.Gaussian(cfg.Seed, salt, uint64(i), 2),
+				Z: noise.Gaussian(cfg.Seed, salt, uint64(i), 3),
+			}
+		}
+		out = append(out, IMUSample{
+			T:     t,
+			Accel: cfg.Mount.Apply(fBody).Add(g3(0xA0).Scale(cfg.AccelNoise * 2)),
+			Gyro:  cfg.Mount.Apply(wBody).Add(g3(0x60).Scale(cfg.GyroNoise * 2)),
+			Mag:   cfg.Mount.Apply(mBody).Add(g3(0xA6).Scale(cfg.MagNoise)),
+		})
+	}
+	return out
+}
+
+// StepOdometer turns detected steps into travelled distance with an
+// assumed stride length — the pedestrian's substitute for the wheel
+// odometer. The assumed stride inevitably differs from the true,
+// speed-varying stride; that mismatch is the dominant error source.
+type StepOdometer struct {
+	stepTimes []float64
+	assumed   float64
+}
+
+// stepMinIntervalS bounds the step cadence the detector accepts (~3.3 Hz).
+const stepMinIntervalS = 0.3
+
+// stepThreshold is the vertical-acceleration deviation a step peak must
+// exceed, m/s².
+const stepThreshold = 1.0
+
+// NewStepOdometer detects steps in the raw IMU stream. Steps appear as
+// oscillations of the accelerometer magnitude around gravity; the detector
+// counts positive-going threshold crossings with a refractory interval.
+func NewStepOdometer(imu []IMUSample, assumedStrideM float64) *StepOdometer {
+	o := &StepOdometer{assumed: assumedStrideM}
+	lastStep := math.Inf(-1)
+	prevAbove := false
+	for _, s := range imu {
+		dev := s.Accel.Norm() - Gravity
+		above := dev > stepThreshold
+		if above && !prevAbove && s.T-lastStep >= stepMinIntervalS {
+			o.stepTimes = append(o.stepTimes, s.T)
+			lastStep = s.T
+		}
+		prevAbove = above
+	}
+	return o
+}
+
+// Steps returns the number of detected steps.
+func (o *StepOdometer) Steps() int { return len(o.stepTimes) }
+
+// DistanceAt implements DistanceSource: completed steps times the assumed
+// stride.
+func (o *StepOdometer) DistanceAt(t float64) float64 {
+	lo, hi := 0, len(o.stepTimes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.stepTimes[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return float64(lo) * o.assumed
+}

@@ -1,0 +1,121 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/geo"
+	"rups/internal/mobility"
+)
+
+func pedestrianFixture(t *testing.T) (*mobility.Trace, []IMUSample) {
+	t.Helper()
+	c := city.Generate(city.DefaultConfig(52))
+	road := c.RoadsOfClass(city.FourLaneUrban)[0]
+	tr := mobility.Walk(mobility.WalkConfig{
+		Road:        road,
+		SideOffsetM: mobility.SidewalkOffset(city.FourLaneUrban),
+		StartS:      30,
+		Distance:    150,
+		Seed:        8,
+		PauseEveryM: 70,
+	})
+	cfg := DefaultIMUConfig(21, geo.RotZ(0.2))
+	imu := SimulatePedestrianIMU(tr, cfg, DefaultGaitConfig(), 4)
+	return tr, imu
+}
+
+func TestGaitOscillationPresent(t *testing.T) {
+	tr, imu := pedestrianFixture(t)
+	// While walking, |accel| swings well beyond gravity; while paused it
+	// hugs it.
+	var maxDevWalking, maxDevStill float64
+	for _, s := range imu {
+		dev := math.Abs(s.Accel.Norm() - Gravity)
+		if s.T < tr.States[0].T {
+			if dev > maxDevStill {
+				maxDevStill = dev
+			}
+		} else if tr.At(s.T).Speed > 1.0 {
+			if dev > maxDevWalking {
+				maxDevWalking = dev
+			}
+		}
+	}
+	if maxDevWalking < 1.5 {
+		t.Errorf("gait oscillation too weak: %v m/s²", maxDevWalking)
+	}
+	if maxDevStill > 0.8 {
+		t.Errorf("standing IMU too noisy: %v m/s²", maxDevStill)
+	}
+}
+
+func TestStepOdometerCountsSteps(t *testing.T) {
+	tr, imu := pedestrianFixture(t)
+	gait := DefaultGaitConfig()
+	odo := NewStepOdometer(imu, gait.StrideM)
+	dist := tr.Distance()
+	wantSteps := dist / gait.StrideM
+	got := float64(odo.Steps())
+	if math.Abs(got-wantSteps) > wantSteps*0.15 {
+		t.Errorf("detected %v steps, want ~%v", got, wantSteps)
+	}
+}
+
+func TestStepOdometerDistance(t *testing.T) {
+	tr, imu := pedestrianFixture(t)
+	gait := DefaultGaitConfig()
+	odo := NewStepOdometer(imu, gait.StrideM)
+	t0 := tr.States[0].T
+	tEnd := t0 + tr.Duration()
+	truth := tr.Distance()
+	got := odo.DistanceAt(tEnd)
+	if math.Abs(got-truth) > truth*0.15 {
+		t.Errorf("step odometer %v m vs truth %v m", got, truth)
+	}
+	// Monotone.
+	prev := -1.0
+	for ti := t0; ti < tEnd; ti += 1.5 {
+		d := odo.DistanceAt(ti)
+		if d < prev {
+			t.Fatalf("step odometer decreased at %v", ti)
+		}
+		prev = d
+	}
+	if odo.DistanceAt(t0-100) != 0 {
+		t.Error("distance before the walk should be 0")
+	}
+}
+
+func TestPedestrianDeadReckon(t *testing.T) {
+	tr, imu := pedestrianFixture(t)
+	gait := DefaultGaitConfig()
+	// The phone's residual attitude is recovered from gravity + the launch
+	// of walking; pedestrian launches are weak, so allow the fallback and
+	// use the known mount directly (documented simplification).
+	mount := geo.RotZ(0.2).Transpose()
+	odo := NewStepOdometer(imu, gait.StrideM)
+	g := DeadReckon(imu, mount, odo, tr.States[0].T)
+	if g.Len() < 100 {
+		t.Fatalf("only %d marks for a 150 m walk", g.Len())
+	}
+	// Heading tracks the sidewalk direction.
+	var errSum float64
+	for _, mk := range g.Marks {
+		errSum += math.Abs(geo.HeadingDiff(tr.At(mk.T).Heading, mk.Theta))
+	}
+	if mean := errSum / float64(g.Len()); mean > 8*math.Pi/180 {
+		t.Errorf("mean pedestrian heading error %.1f°", mean*180/math.Pi)
+	}
+}
+
+func TestSimulatePedestrianIMUPanics(t *testing.T) {
+	tr, _ := pedestrianFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SimulatePedestrianIMU(tr, IMUConfig{Mount: geo.Identity3()}, DefaultGaitConfig(), 1)
+}

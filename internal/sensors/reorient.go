@@ -1,0 +1,77 @@
+package sensors
+
+import (
+	"math"
+
+	"rups/internal/geo"
+)
+
+// EstimateMount recovers the coordinate-reorientation matrix R = [x; y; z]
+// (vehicle axes expressed in sensor coordinates; paper §IV-B) from the raw
+// IMU stream:
+//
+//   - the vehicle z axis is the mean specific-force direction while the
+//     vehicle is stationary (pure gravity reaction),
+//   - the vehicle y axis is the dominant horizontal specific-force
+//     direction during the first forward acceleration,
+//   - x = y × z, and z is recalibrated as x × y inside
+//     geo.RotationFromAxes to cancel slope effects.
+//
+// stationaryUntil separates the calibration rest phase from the drive.
+// Applying the returned matrix to a sensor-frame vector yields the vehicle
+// frame (x right, y forward, z up).
+func EstimateMount(samples []IMUSample, stationaryUntil float64) geo.Mat3 {
+	if len(samples) == 0 {
+		panic("sensors: EstimateMount with no samples")
+	}
+	// Gravity direction: average the stationary accelerometer readings.
+	var gSum geo.Vec3
+	var nG int
+	for _, s := range samples {
+		if s.T >= stationaryUntil {
+			break
+		}
+		gSum = gSum.Add(s.Accel)
+		nG++
+	}
+	if nG == 0 {
+		panic("sensors: no stationary samples before stationaryUntil")
+	}
+	z := gSum.Unit()
+
+	// Forward direction: strongest sustained horizontal specific force
+	// shortly after departure. Project gravity out, keep samples with a
+	// solid horizontal magnitude and low rotation (to avoid centripetal
+	// contamination during turns), and average.
+	var ySum geo.Vec3
+	var nY int
+	for _, s := range samples {
+		if s.T < stationaryUntil {
+			continue
+		}
+		horiz := s.Accel.Sub(z.Scale(s.Accel.Dot(z)))
+		if horiz.Norm() < 0.6 || s.Gyro.Norm() > 0.05 {
+			continue
+		}
+		ySum = ySum.Add(horiz.Unit())
+		nY++
+		if nY >= 2000 { // ~10 s of qualifying samples is plenty
+			break
+		}
+	}
+	if nY == 0 {
+		// Degenerate drive with no detectable launch; fall back to an
+		// arbitrary horizontal axis so the caller still gets a frame.
+		ySum = geo.Vec3{X: 1}.Sub(z.Scale(z.X))
+	}
+	y := ySum.Unit()
+	x := y.Cross(z).Unit()
+	return geo.RotationFromAxes(x, y)
+}
+
+// Heading returns the compass heading (radians clockwise from north) from a
+// magnetometer reading already rotated into the vehicle frame: the angle of
+// the horizontal field relative to the vehicle's forward axis.
+func Heading(magVehicle geo.Vec3) float64 {
+	return geo.NormalizeHeading(math.Atan2(-magVehicle.X, magVehicle.Y))
+}

@@ -1,0 +1,237 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/geo"
+	"rups/internal/mobility"
+)
+
+// Traceish bundles the deterministic drive and sensor streams shared by the
+// tests, built once per test binary.
+type Traceish struct {
+	tr    *mobility.Trace
+	mount geo.Mat3
+	imu   []IMUSample
+	obd   []OBDSample
+	wheel []float64
+	wcfg  WheelConfig
+}
+
+var cached *Traceish
+
+func getFixture(t *testing.T) *Traceish {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	c := city.Generate(city.DefaultConfig(21))
+	road := c.RoadsOfClass(city.FourLaneUrban)[0]
+	tr := mobility.Drive(mobility.DriveConfig{
+		Road: road, Lane: 0, StartS: 20, Distance: 600, Seed: 5,
+	})
+	// Sensor unit mounted yawed 25° and pitched 4°.
+	mount := geo.RotZ(25 * math.Pi / 180).Mul(geo.RotX(4 * math.Pi / 180))
+	imu := SimulateIMU(tr, DefaultIMUConfig(7, mount), 5)
+	obd := SimulateOBD(tr, DefaultOBDConfig(8))
+	wcfg := DefaultWheelConfig(9)
+	wheel := SimulateWheel(tr, wcfg)
+	cached = &Traceish{tr: tr, mount: mount, imu: imu, obd: obd, wheel: wheel, wcfg: wcfg}
+	return cached
+}
+
+func TestIMUStationaryGravity(t *testing.T) {
+	f := getFixture(t)
+	// During the stationary prefix the accelerometer magnitude is ~g.
+	var sum geo.Vec3
+	n := 0
+	for _, s := range f.imu {
+		if s.T >= f.tr.States[0].T {
+			break
+		}
+		sum = sum.Add(s.Accel)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no stationary samples")
+	}
+	mean := sum.Scale(1 / float64(n))
+	if math.Abs(mean.Norm()-Gravity) > 0.1 {
+		t.Errorf("stationary |accel| = %v, want ~%v", mean.Norm(), Gravity)
+	}
+}
+
+func TestEstimateMountRecovery(t *testing.T) {
+	f := getFixture(t)
+	r := EstimateMount(f.imu, f.tr.States[0].T)
+	if !r.IsOrthonormal(1e-9) {
+		t.Fatal("estimated mount not orthonormal")
+	}
+	// Applying the estimate to a sensor-frame forward push must recover
+	// vehicle-forward to within a few degrees.
+	forward := f.mount.Apply(geo.Vec3{Y: 1})
+	rec := r.Apply(forward)
+	angle := math.Acos(clamp(rec.Dot(geo.Vec3{Y: 1}), -1, 1))
+	if angle > 6*math.Pi/180 {
+		t.Errorf("reorientation error %.2f°, want < 6°", angle*180/math.Pi)
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func TestHeadingFromMag(t *testing.T) {
+	f := getFixture(t)
+	r := EstimateMount(f.imu, f.tr.States[0].T)
+	// Compare the instantaneous magnetometer heading with truth at a series
+	// of times while driving.
+	var errSum float64
+	n := 0
+	for _, s := range f.imu {
+		if s.T < f.tr.States[0].T+10 {
+			continue
+		}
+		h := Heading(r.Apply(s.Mag))
+		truth := f.tr.At(s.T).Heading
+		d := geo.HeadingDiff(truth, h)
+		errSum += math.Abs(d)
+		n++
+	}
+	mean := errSum / float64(n)
+	if mean > 5*math.Pi/180 {
+		t.Errorf("mean heading error %.2f°, want < 5°", mean*180/math.Pi)
+	}
+}
+
+func TestHeadingConvention(t *testing.T) {
+	// A vehicle pointing north sees the horizontal field along +y.
+	h := Heading(geo.Vec3{X: 0, Y: 30, Z: -40})
+	if math.Abs(h) > 1e-9 {
+		t.Errorf("north heading = %v", h)
+	}
+	// Pointing east: the field appears along -x... the horizontal field in
+	// vehicle frame for θ=π/2 is (-30, 0): Heading = atan2(30, 0) = π/2.
+	h = Heading(geo.Vec3{X: -30, Y: 0, Z: -40})
+	if math.Abs(h-math.Pi/2) > 1e-9 {
+		t.Errorf("east heading = %v, want π/2", h)
+	}
+}
+
+func TestOBDQuantization(t *testing.T) {
+	f := getFixture(t)
+	const quant = 1.0 / 3.6
+	for _, s := range f.obd {
+		steps := s.Speed / quant
+		if math.Abs(steps-math.Round(steps)) > 1e-9 {
+			t.Fatalf("OBD speed %v not on the 1 km/h grid", s.Speed)
+		}
+		truth := f.tr.At(s.T).Speed
+		if math.Abs(s.Speed-truth) > quant {
+			t.Fatalf("OBD speed %v vs truth %v: more than one quantum off", s.Speed, truth)
+		}
+	}
+}
+
+func TestWheelPulseCount(t *testing.T) {
+	f := getFixture(t)
+	want := f.tr.Distance() / f.wcfg.TrueCircumferenceM
+	got := float64(len(f.wheel))
+	if math.Abs(got-want) > 2 {
+		t.Errorf("pulse count %v, want ~%v", got, want)
+	}
+	// Pulses are (nearly) sorted in time; jitter may swap immediate
+	// neighbours but nothing more.
+	for i := 1; i < len(f.wheel); i++ {
+		if f.wheel[i] < f.wheel[i-1]-0.05 {
+			t.Fatalf("pulse %d badly out of order", i)
+		}
+	}
+}
+
+func TestOdometerTracksDistance(t *testing.T) {
+	f := getFixture(t)
+	odo := NewOdometer(f.wheel, f.wcfg, f.obd)
+	t0 := f.tr.States[0].T
+	for _, dt := range []float64{10, 25, 40} {
+		truth := f.tr.At(t0+dt).S - f.tr.States[0].S
+		got := odo.DistanceAt(t0 + dt)
+		// Error budget: 0.5% scale error plus one revolution of
+		// quantization.
+		tol := truth*0.01 + f.wcfg.AssumedCircumferenceM + 0.5
+		if math.Abs(got-truth) > tol {
+			t.Errorf("odometer at +%vs = %v, truth %v (tol %v)", dt, got, truth, tol)
+		}
+	}
+}
+
+func TestOdometerMonotone(t *testing.T) {
+	f := getFixture(t)
+	odo := NewOdometer(f.wheel, f.wcfg, f.obd)
+	prev := -1.0
+	for ti := f.tr.States[0].T; ti < f.tr.States[0].T+f.tr.Duration(); ti += 0.5 {
+		d := odo.DistanceAt(ti)
+		if d < prev-1e-9 {
+			t.Fatalf("odometer went backwards at t=%v", ti)
+		}
+		prev = d
+	}
+}
+
+func TestDeadReckonMarks(t *testing.T) {
+	f := getFixture(t)
+	r := EstimateMount(f.imu, f.tr.States[0].T)
+	odo := NewOdometer(f.wheel, f.wcfg, f.obd)
+	g := DeadReckon(f.imu, r, odo, f.tr.States[0].T)
+
+	// One mark per believed metre: the count must be within the scale error
+	// of the true distance.
+	want := f.tr.Distance()
+	got := float64(g.Len())
+	if math.Abs(got-want) > want*0.02+3 {
+		t.Errorf("marks = %v, want ~%v", got, want)
+	}
+	// Timestamps strictly non-decreasing.
+	for i := 1; i < g.Len(); i++ {
+		if g.Marks[i].T < g.Marks[i-1].T {
+			t.Fatalf("mark %d time goes backwards", i)
+		}
+	}
+	// Headings track the road: mean error below 5°.
+	var errSum float64
+	for _, mk := range g.Marks {
+		errSum += math.Abs(geo.HeadingDiff(f.tr.At(mk.T).Heading, mk.Theta))
+	}
+	if mean := errSum / float64(g.Len()); mean > 5*math.Pi/180 {
+		t.Errorf("mean mark heading error %.2f°", mean*180/math.Pi)
+	}
+}
+
+func TestTrajectoryErrorHelper(t *testing.T) {
+	f := getFixture(t)
+	r := EstimateMount(f.imu, f.tr.States[0].T)
+	odo := NewOdometer(f.wheel, f.wcfg, f.obd)
+	g := DeadReckon(f.imu, r, odo, f.tr.States[0].T)
+	e := TrajectoryError(g, func(tm float64) float64 { return f.tr.At(tm).Heading })
+	if e <= 0 || e > 0.1 {
+		t.Errorf("trajectory heading error = %v rad", e)
+	}
+}
+
+func TestSimulateIMUPanics(t *testing.T) {
+	f := getFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero sample rate")
+		}
+	}()
+	SimulateIMU(f.tr, IMUConfig{Mount: geo.Identity3()}, 1)
+}

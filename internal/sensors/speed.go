@@ -1,0 +1,214 @@
+package sensors
+
+import (
+	"math"
+
+	"rups/internal/geo"
+)
+
+// This file implements the paper's second speed-sensing option (§IV-B):
+// estimating the instant speed from motion sensors alone, in the spirit of
+// SenSpeed [31]. Forward acceleration is integrated between reference
+// points where the true speed is known to be zero — detected stops —
+// with the accelerometer bias re-estimated at every stop so the drift
+// between stops stays bounded.
+
+// stationaryWindowS is the detector's analysis window.
+const stationaryWindowS = 0.6
+
+// vibrationGate is the accelerometer standard deviation (m/s², per axis)
+// below which a window counts as stationary: a running engine at speed
+// produces markedly more vibration than this; a stopped car does not.
+const vibrationGate = 0.12
+
+// SpeedEstimate is one estimated instant speed.
+type SpeedEstimate struct {
+	T     float64
+	Speed float64
+}
+
+// SpeedFromIMU estimates the vehicle's speed over time from the raw IMU
+// stream alone: reorient with mount, detect stops via the vibration gate,
+// re-zero the velocity and re-estimate the forward-axis accelerometer bias
+// at each stop, and integrate in between. Returns estimates at the IMU
+// rate, starting at driveStart.
+func SpeedFromIMU(imu []IMUSample, mount geo.Mat3, driveStart float64) []SpeedEstimate {
+	if len(imu) == 0 {
+		return nil
+	}
+	// Pass 1: per-sample stationary flags from a centred rolling window on
+	// the accelerometer magnitude deviation.
+	stationary := detectStationary(imu)
+
+	// Pass 2: integrate forward acceleration with zero-velocity updates.
+	var out []SpeedEstimate
+	v := 0.0
+	bias := 0.0
+	// Bias estimation state: accumulate forward accel while stationary.
+	var biasSum float64
+	var biasN int
+	prevT := imu[0].T
+	for i, s := range imu {
+		dt := s.T - prevT
+		prevT = s.T
+		fwd := mount.Apply(s.Accel).Y
+		if stationary[i] {
+			v = 0
+			biasSum += fwd
+			biasN++
+			if biasN >= 40 { // ~0.2 s of rest: refresh the bias estimate
+				bias = biasSum / float64(biasN)
+			}
+		} else {
+			if biasN > 20 {
+				bias = biasSum / float64(biasN)
+			}
+			biasSum, biasN = 0, 0
+			v += (fwd - bias) * dt
+			if v < 0 {
+				v = 0
+			}
+		}
+		if s.T >= driveStart {
+			out = append(out, SpeedEstimate{T: s.T, Speed: v})
+		}
+	}
+	return out
+}
+
+// detectStationary flags samples whose surrounding window shows no
+// vibration. The window statistics use the accelerometer magnitude, which
+// is insensitive to mounting.
+func detectStationary(imu []IMUSample) []bool {
+	n := len(imu)
+	flags := make([]bool, n)
+	if n == 0 {
+		return flags
+	}
+	// Estimate the sample rate from the stream.
+	dt := (imu[n-1].T - imu[0].T) / float64(n-1)
+	if dt <= 0 {
+		dt = 0.005
+	}
+	half := int(stationaryWindowS / 2 / dt)
+	if half < 2 {
+		half = 2
+	}
+	mags := make([]float64, n)
+	for i, s := range imu {
+		mags[i] = s.Accel.Norm()
+	}
+	// Prefix sums for rolling mean/variance.
+	pre := make([]float64, n+1)
+	preSq := make([]float64, n+1)
+	for i, m := range mags {
+		pre[i+1] = pre[i] + m
+		preSq[i+1] = preSq[i] + m*m
+	}
+	for i := range flags {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		cnt := float64(hi - lo + 1)
+		mean := (pre[hi+1] - pre[lo]) / cnt
+		varr := (preSq[hi+1]-preSq[lo])/cnt - mean*mean
+		if varr < 0 {
+			varr = 0
+		}
+		flags[i] = math.Sqrt(varr) < vibrationGate
+	}
+	return flags
+}
+
+// DistanceSource yields believed travelled distance at a time — the
+// abstraction DeadReckon consumes. Odometer (wheel+OBD) is the primary
+// implementation; OBDOdometer and IMUOdometer are the degraded
+// alternatives the paper discusses.
+type DistanceSource interface {
+	DistanceAt(t float64) float64
+}
+
+// OBDOdometer integrates the zero-order-hold OBD speed feed — no wheel
+// sensor required, but distance resolution is limited by the speed
+// quantization and polling rate.
+type OBDOdometer struct {
+	times []float64
+	dists []float64
+}
+
+// NewOBDOdometer precomputes the integrated distance at each OBD sample.
+func NewOBDOdometer(obd []OBDSample) *OBDOdometer {
+	o := &OBDOdometer{}
+	d := 0.0
+	for i, s := range obd {
+		if i > 0 {
+			d += obd[i-1].Speed * (s.T - obd[i-1].T)
+		}
+		o.times = append(o.times, s.T)
+		o.dists = append(o.dists, d)
+	}
+	return o
+}
+
+// DistanceAt implements DistanceSource.
+func (o *OBDOdometer) DistanceAt(t float64) float64 {
+	return distanceAtZOH(o.times, o.dists, t, func(i int) float64 {
+		if i+1 < len(o.dists) {
+			return (o.dists[i+1] - o.dists[i]) / (o.times[i+1] - o.times[i])
+		}
+		return 0
+	})
+}
+
+// IMUOdometer integrates the IMU speed estimate.
+type IMUOdometer struct {
+	times []float64
+	dists []float64
+	rates []float64
+}
+
+// NewIMUOdometer precomputes integrated distance over the speed estimates.
+func NewIMUOdometer(speeds []SpeedEstimate) *IMUOdometer {
+	o := &IMUOdometer{}
+	d := 0.0
+	for i, s := range speeds {
+		if i > 0 {
+			d += speeds[i-1].Speed * (s.T - speeds[i-1].T)
+		}
+		o.times = append(o.times, s.T)
+		o.dists = append(o.dists, d)
+		o.rates = append(o.rates, s.Speed)
+	}
+	return o
+}
+
+// DistanceAt implements DistanceSource.
+func (o *IMUOdometer) DistanceAt(t float64) float64 {
+	return distanceAtZOH(o.times, o.dists, t, func(i int) float64 { return o.rates[i] })
+}
+
+// distanceAtZOH interpolates an integrated-distance series: piecewise
+// linear using the local rate.
+func distanceAtZOH(times, dists []float64, t float64, rate func(i int) float64) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	lo, hi := 0, len(times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	i := lo - 1
+	return dists[i] + rate(i)*(t-times[i])
+}

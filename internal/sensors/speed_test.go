@@ -1,0 +1,147 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/mobility"
+	"rups/internal/stats"
+)
+
+// stopAndGoFixture builds a drive with traffic stops so the speed estimator
+// has zero-velocity reference points.
+func stopAndGoFixture(t *testing.T) (*mobility.Trace, []IMUSample) {
+	t.Helper()
+	c := city.Generate(city.DefaultConfig(41))
+	road := c.RoadsOfClass(city.FourLaneUrban)[0]
+	tr := mobility.Drive(mobility.DriveConfig{
+		Road: road, Lane: 0, StartS: 20, Distance: 900, Seed: 9,
+		StopEveryM: 300, StopSeed: 77,
+	})
+	imu := SimulateIMU(tr, DefaultIMUConfig(17, testMount()), 5)
+	return tr, imu
+}
+
+func testMount() (m [3][3]float64) {
+	return [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+func TestDetectStationary(t *testing.T) {
+	tr, imu := stopAndGoFixture(t)
+	flags := detectStationary(imu)
+	var hit, miss, total int
+	for i, s := range imu {
+		truth := tr.At(s.T).Speed
+		if s.T < tr.States[0].T {
+			truth = 0
+		}
+		switch {
+		case truth < 0.05 && flags[i]:
+			hit++
+		case truth < 0.05 && !flags[i]:
+			miss++
+		case truth > 3 && flags[i]:
+			t.Fatalf("cruising at %v m/s flagged stationary at t=%v", truth, s.T)
+		}
+		total++
+	}
+	if hit == 0 {
+		t.Fatal("no stationary samples detected")
+	}
+	if frac := float64(hit) / float64(hit+miss); frac < 0.7 {
+		t.Errorf("stationary detection recall %v", frac)
+	}
+}
+
+func TestSpeedFromIMUTracksTruth(t *testing.T) {
+	tr, imu := stopAndGoFixture(t)
+	est := SpeedFromIMU(imu, testMount(), tr.States[0].T)
+	if len(est) == 0 {
+		t.Fatal("no estimates")
+	}
+	var errAcc stats.Online
+	for _, e := range est {
+		errAcc.Add(math.Abs(e.Speed - tr.At(e.T).Speed))
+	}
+	// Integrated-accel speed drifts between stops; ~1 m/s mean error is the
+	// realistic grade for this approach (SenSpeed reports sub-m/s with more
+	// reference points than we model).
+	if errAcc.Mean() > 1.5 {
+		t.Errorf("mean speed error %v m/s", errAcc.Mean())
+	}
+	if errAcc.Max() > 8 {
+		t.Errorf("max speed error %v m/s", errAcc.Max())
+	}
+}
+
+func TestIMUOdometerDistance(t *testing.T) {
+	tr, imu := stopAndGoFixture(t)
+	odo := NewIMUOdometer(SpeedFromIMU(imu, testMount(), tr.States[0].T))
+	t0 := tr.States[0].T
+	dur := tr.Duration()
+	truth := tr.At(t0+dur).S - tr.States[0].S
+	got := odo.DistanceAt(t0 + dur)
+	// Within ~8% of the true distance over a stop-and-go kilometre.
+	if math.Abs(got-truth) > truth*0.08 {
+		t.Errorf("IMU odometer distance %v vs truth %v", got, truth)
+	}
+	// Monotone non-decreasing.
+	prev := -1.0
+	for ti := t0; ti < t0+dur; ti += 0.5 {
+		d := odo.DistanceAt(ti)
+		if d < prev-1e-9 {
+			t.Fatalf("IMU odometer decreased at t=%v", ti)
+		}
+		prev = d
+	}
+}
+
+func TestOBDOdometerDistance(t *testing.T) {
+	tr, _ := stopAndGoFixture(t)
+	obd := SimulateOBD(tr, DefaultOBDConfig(3))
+	odo := NewOBDOdometer(obd)
+	t0 := tr.States[0].T
+	dur := tr.Duration()
+	truth := tr.At(t0+dur).S - tr.States[0].S
+	got := odo.DistanceAt(t0 + dur)
+	// ZOH integration of 1 Hz quantized speed: a few percent.
+	if math.Abs(got-truth) > truth*0.05 {
+		t.Errorf("OBD odometer distance %v vs truth %v", got, truth)
+	}
+	if odo.DistanceAt(t0-100) != 0 {
+		t.Error("distance before first sample should be 0")
+	}
+}
+
+func TestSpeedFromIMUEmptyInput(t *testing.T) {
+	if got := SpeedFromIMU(nil, testMount(), 0); got != nil {
+		t.Errorf("expected nil for empty input, got %v", got)
+	}
+}
+
+func TestOdometerSourcesComparable(t *testing.T) {
+	// All three odometry sources should agree on total distance within
+	// ~10%, with the wheel odometer the most accurate.
+	tr, imu := stopAndGoFixture(t)
+	t0 := tr.States[0].T
+	tEnd := t0 + tr.Duration()
+	truth := tr.At(tEnd).S - tr.States[0].S
+
+	obd := SimulateOBD(tr, DefaultOBDConfig(3))
+	wcfg := DefaultWheelConfig(4)
+	wheel := NewOdometer(SimulateWheel(tr, wcfg), wcfg, obd)
+	obdOnly := NewOBDOdometer(obd)
+	imuOnly := NewIMUOdometer(SpeedFromIMU(imu, testMount(), t0))
+
+	wheelErr := math.Abs(wheel.DistanceAt(tEnd) - truth)
+	obdErr := math.Abs(obdOnly.DistanceAt(tEnd) - truth)
+	imuErr := math.Abs(imuOnly.DistanceAt(tEnd) - truth)
+	if wheelErr > truth*0.02 {
+		t.Errorf("wheel odometer error %v over %v m", wheelErr, truth)
+	}
+	if obdErr > truth*0.06 || imuErr > truth*0.1 {
+		t.Errorf("alternative odometer errors too large: obd %v, imu %v (truth %v)",
+			obdErr, imuErr, truth)
+	}
+}

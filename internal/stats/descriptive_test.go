@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+	// Missing skipped.
+	if got := Mean([]float64{1, Missing, 3}); got != 2 {
+		t.Errorf("Mean with missing = %v, want 2", got)
+	}
+}
+
+func TestSelectiveMean(t *testing.T) {
+	// Drops min and max: {1, 5, 5, 5, 100} → mean(5,5,5) = 5.
+	if got := SelectiveMean([]float64{1, 5, 5, 5, 100}); got != 5 {
+		t.Errorf("SelectiveMean = %v, want 5", got)
+	}
+	// Fewer than 3 values: plain mean.
+	if got := SelectiveMean([]float64{2, 4}); got != 3 {
+		t.Errorf("SelectiveMean short = %v, want 3", got)
+	}
+	// All identical values.
+	if got := SelectiveMean([]float64{7, 7, 7}); got != 7 {
+		t.Errorf("SelectiveMean identical = %v, want 7", got)
+	}
+	// The headline behaviour: one wild outlier (the passing-truck case of
+	// Fig. 10) does not move the estimate.
+	clean := SelectiveMean([]float64{10, 10.2, 9.8, 10.1, 55})
+	if math.Abs(clean-10) > 0.2 {
+		t.Errorf("SelectiveMean with outlier = %v, want ~10", clean)
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Median(xs); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("Quantile interp = %v, want 1.5", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":      func() { Quantile(nil, 0.5) },
+		"q too big":  func() { Quantile([]float64{1}, 1.5) },
+		"q negative": func() { Quantile([]float64{1}, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, p float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); !almostEq(got, cse.p, 1e-12) {
+			t.Errorf("CDF.At(%v) = %v, want %v", cse.x, got, cse.p)
+		}
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	if got := c.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	c := NewCDF(xs)
+	sx, ps := c.Series(-40, 40, 200)
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			t.Fatalf("CDF not monotone at x=%v", sx[i])
+		}
+	}
+	if ps[0] != 0 || ps[len(ps)-1] != 1 {
+		t.Errorf("CDF range endpoints = %v..%v", ps[0], ps[len(ps)-1])
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw := MeanCI([]float64{5, 5, 5, 5})
+	if mean != 5 || hw != 0 {
+		t.Errorf("MeanCI constant = (%v,%v)", mean, hw)
+	}
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = 3 + rng.NormFloat64()
+	}
+	mean, hw = MeanCI(xs)
+	// 95% CI of N(3,1) with n=10000 has half width ≈ 1.96/100 ≈ 0.02.
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("MeanCI mean = %v, want ~3", mean)
+	}
+	if math.Abs(hw-0.0196) > 0.005 {
+		t.Errorf("MeanCI halfWidth = %v, want ~0.0196", hw)
+	}
+	if m, h := MeanCI(nil); m != 0 || h != 0 {
+		t.Errorf("MeanCI(nil) = (%v,%v)", m, h)
+	}
+}
+
+func TestKolmogorovSmirnovIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, p := KolmogorovSmirnov(xs, xs)
+	if d != 0 {
+		t.Errorf("D = %v for identical samples", d)
+	}
+	if p < 0.99 {
+		t.Errorf("p = %v for identical samples", p)
+	}
+}
+
+func TestKolmogorovSmirnovDisjoint(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 11, 12, 13, 14}
+	d, p := KolmogorovSmirnov(xs, ys)
+	if d != 1 {
+		t.Errorf("D = %v for disjoint samples, want 1", d)
+	}
+	if p > 0.05 {
+		t.Errorf("p = %v for disjoint samples", p)
+	}
+}
+
+func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 400)
+	ys := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	d, p := KolmogorovSmirnov(xs, ys)
+	if d > 0.15 {
+		t.Errorf("D = %v for same-distribution samples", d)
+	}
+	if p < 0.01 {
+		t.Errorf("p = %v should not reject", p)
+	}
+}
+
+func TestKolmogorovSmirnovShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 1
+	}
+	d, p := KolmogorovSmirnov(xs, ys)
+	if d < 0.3 {
+		t.Errorf("D = %v for clearly shifted samples", d)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %v should strongly reject", p)
+	}
+}
+
+func TestKolmogorovSmirnovPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	KolmogorovSmirnov(nil, []float64{1})
+}

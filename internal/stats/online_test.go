@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*5 + 2
+		o.Add(xs[i])
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("online var %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	if o.N() != len(xs) {
+		t.Errorf("N = %d", o.N())
+	}
+}
+
+func TestOnlineMinMax(t *testing.T) {
+	var o Online
+	for _, x := range []float64{3, -1, 7, 2} {
+		o.Add(x)
+	}
+	if o.Min() != -1 || o.Max() != 7 {
+		t.Errorf("min/max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineIgnoresMissing(t *testing.T) {
+	var o Online
+	o.Add(1)
+	o.Add(Missing)
+	o.Add(3)
+	if o.N() != 2 || o.Mean() != 2 {
+		t.Errorf("N=%d mean=%v", o.N(), o.Mean())
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.StdDev() != 0 || o.N() != 0 {
+		t.Error("zero value not neutral")
+	}
+}
+
+func TestOnlineMergeEquivalence(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, 100*math.Tanh(v/100))
+			}
+		}
+		var whole Online
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		var left, right Online
+		half := len(xs) / 2
+		for _, x := range xs[:half] {
+			left.Add(x)
+		}
+		for _, x := range xs[half:] {
+			right.Add(x)
+		}
+		left.Merge(&right)
+		if left.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return almostEq(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(left.Variance(), whole.Variance(), 1e-7) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineMergeEmptySides(t *testing.T) {
+	var a, b Online
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Errorf("merge empty changed state: N=%d mean=%v", a.N(), a.Mean())
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 || b.Min() != 1 || b.Max() != 3 {
+		t.Errorf("merge into empty: %+v", b)
+	}
+}

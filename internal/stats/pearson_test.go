@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Pearson positive = %v, want 1", got)
+	}
+	yn := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yn); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Pearson negative = %v, want -1", got)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed: x={1,2,3}, y={1,3,2} → r = 0.5.
+	if got := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2}); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("Pearson = %v, want 0.5", got)
+	}
+}
+
+func TestPearsonConstantVector(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("Pearson with constant x = %v, want 0", got)
+	}
+	if got := Pearson([]float64{1, 2, 3}, []float64{5, 5, 5}); got != 0 {
+		t.Errorf("Pearson with constant y = %v, want 0", got)
+	}
+}
+
+func TestPearsonMissing(t *testing.T) {
+	// Missing pairs are skipped: with the third pair masked the data is
+	// perfectly correlated.
+	x := []float64{1, 2, Missing, 4}
+	y := []float64{2, 4, 100, 8}
+	if got := Pearson(x, y); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Pearson with missing = %v, want 1", got)
+	}
+	// Fewer than 2 valid pairs → 0.
+	if got := Pearson([]float64{1, Missing}, []float64{1, 1}); got != 0 {
+		t.Errorf("Pearson with 1 valid pair = %v, want 0", got)
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestPearsonProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Pearson(x, y)
+		if r < -1 || r > 1 {
+			t.Fatalf("Pearson out of range: %v", r)
+		}
+		// Symmetry.
+		if !almostEq(r, Pearson(y, x), 1e-12) {
+			t.Fatalf("Pearson not symmetric")
+		}
+		// Invariance under positive affine transform of x.
+		xt := make([]float64, n)
+		for i := range x {
+			xt[i] = 3*x[i] + 7
+		}
+		if !almostEq(r, Pearson(xt, y), 1e-9) {
+			t.Fatalf("Pearson not affine invariant: %v vs %v", r, Pearson(xt, y))
+		}
+		// Self-correlation is 1 for non-constant vectors.
+		if !almostEq(Pearson(x, x), 1, 1e-12) {
+			t.Fatalf("self correlation = %v", Pearson(x, x))
+		}
+	}
+}
+
+func TestTrajCorrIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMatrix(rng, 10, 30)
+	if got := TrajCorr(a, a); !almostEq(got, 2, 1e-9) {
+		t.Errorf("TrajCorr(a,a) = %v, want 2", got)
+	}
+}
+
+func TestTrajCorrRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		a := randMatrix(rng, 5, 20)
+		b := randMatrix(rng, 5, 20)
+		r := TrajCorr(a, b)
+		if r < -2 || r > 2 {
+			t.Fatalf("TrajCorr out of [-2,2]: %v", r)
+		}
+		if !almostEq(r, TrajCorr(b, a), 1e-12) {
+			t.Fatalf("TrajCorr not symmetric")
+		}
+	}
+}
+
+func TestTrajCorrIndependentLow(t *testing.T) {
+	// Independent random matrices should score near 0, far below the
+	// paper's coherency threshold of 1.2.
+	rng := rand.New(rand.NewSource(9))
+	var sum float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		a := randMatrix(rng, 45, 100)
+		b := randMatrix(rng, 45, 100)
+		sum += TrajCorr(a, b)
+	}
+	if mean := sum / trials; math.Abs(mean) > 0.1 {
+		t.Errorf("mean TrajCorr of independent trajectories = %v, want ~0", mean)
+	}
+}
+
+func TestTrajCorrEmptyAndRagged(t *testing.T) {
+	if got := TrajCorr(nil, nil); got != 0 {
+		t.Errorf("TrajCorr(nil,nil) = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ragged matrix")
+		}
+	}()
+	TrajCorr([][]float64{{1, 2}, {1}}, [][]float64{{1, 2}, {1, 2}})
+}
+
+func TestRelativeChange(t *testing.T) {
+	x := []float64{3, 4}
+	if got := RelativeChange(x, x); got != 0 {
+		t.Errorf("RelativeChange(x,x) = %v, want 0", got)
+	}
+	// ‖x−x′‖ = 5 · (1) where x−x′ = {3,4} scaled... use x′ = {0,0}: diff
+	// norm = 5, x norm = 5 → 1.
+	if got := RelativeChange(x, []float64{0, 0}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("RelativeChange = %v, want 1", got)
+	}
+	if got := RelativeChange([]float64{0, 0}, x); got != 0 {
+		t.Errorf("RelativeChange with zero base = %v, want 0", got)
+	}
+	// Missing entries skipped.
+	got := RelativeChange([]float64{3, Missing, 4}, []float64{0, 9, 0})
+	if !almostEq(got, 1, 1e-12) {
+		t.Errorf("RelativeChange with missing = %v, want 1", got)
+	}
+}
+
+func TestRelativeChangeNonNegative(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		// Keep the property about geometry, not float overflow: squash
+		// arbitrary inputs into a bounded range (NaN maps to Missing).
+		squash := func(v float64) float64 {
+			if math.IsNaN(v) {
+				return Missing
+			}
+			return 1000 * math.Tanh(v/1000)
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i], y[i] = squash(xs[i]), squash(ys[i])
+		}
+		d := RelativeChange(x, y)
+		return d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, m)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+	}
+	return a
+}

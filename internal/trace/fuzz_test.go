@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom hammers the trace decoder with arbitrary bytes: it must
+// never panic and must reject everything malformed with an error.
+func FuzzReadFrom(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RUPT"))
+	f.Add(bytes.Repeat([]byte{0x52}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rec Record
+		if _, err := rec.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Accepted: both vehicles must be structurally consistent.
+		for _, v := range []*VehicleRecord{&rec.Leader, &rec.Follower} {
+			if v.Aware == nil {
+				t.Fatal("accepted record with nil trajectory")
+			}
+			if len(v.S) != len(v.Pos) || len(v.S) != len(v.GPSFix) || len(v.S) != len(v.GPSOK) {
+				t.Fatal("accepted record with ragged series")
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/core"
+	"rups/internal/sim"
+)
+
+var sharedRec *Record
+
+func getRecord(t *testing.T) *Record {
+	t.Helper()
+	if sharedRec == nil {
+		sc := sim.DefaultScenario(91, city.FourLaneUrban)
+		sc.DistanceM = 700
+		sharedRec = FromRun(sim.Execute(sc), "urban-4lane")
+	}
+	return sharedRec
+}
+
+func TestRecordQueryMatchesTruth(t *testing.T) {
+	rec := getRecord(t)
+	p := core.DefaultParams()
+	ok := 0
+	for i := 0; i < 12; i++ {
+		tm := rec.Follower.T0 + 45 + float64(i)*2.5
+		q := rec.Query(tm, p)
+		if q.TruthGap <= 0 {
+			t.Errorf("truth gap %v at t=%v", q.TruthGap, tm)
+		}
+		if q.OK {
+			ok++
+			if q.RDE > 25 {
+				t.Errorf("replayed RDE %v implausible", q.RDE)
+			}
+		}
+	}
+	if ok < 6 {
+		t.Errorf("only %d/12 replayed queries resolved", ok)
+	}
+}
+
+func TestRoundTripPreservesQueries(t *testing.T) {
+	rec := getRecord(t)
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if _, err := back.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != rec.Label || back.Seed != rec.Seed {
+		t.Error("metadata lost")
+	}
+	if back.Leader.Aware.Len() != rec.Leader.Aware.Len() {
+		t.Fatal("trajectory length changed")
+	}
+	p := core.DefaultParams()
+	for i := 0; i < 6; i++ {
+		tm := rec.Follower.T0 + 50 + float64(i)*4
+		q1 := rec.Query(tm, p)
+		q2 := back.Query(tm, p)
+		if q1.OK != q2.OK {
+			t.Fatalf("query %d resolution differs across round trip", i)
+		}
+		if q1.OK && math.Abs(q1.Est.Distance-q2.Est.Distance) > 8 {
+			// Wire quantization (1 dB) can flip which SYN segments win and
+			// move the aggregate by a few metres; larger shifts indicate
+			// corruption.
+			t.Fatalf("query %d distance %v vs %v", i, q1.Est.Distance, q2.Est.Distance)
+		}
+		if math.Abs(q1.TruthGap-q2.TruthGap) > 0.01 {
+			t.Fatalf("truth gap changed: %v vs %v", q1.TruthGap, q2.TruthGap)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	var rec Record
+	if _, err := rec.ReadFrom(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if _, err := getRecord(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := rec.ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestTruthInterpolation(t *testing.T) {
+	rec := getRecord(t)
+	v := &rec.Follower
+	// Interpolated S is monotone and spans the drive.
+	prev := -math.MaxFloat64
+	for i := 0; i < 200; i++ {
+		tm := v.T0 + float64(i)*0.37
+		s, _ := v.truthAt(tm)
+		if s < prev-1e-9 {
+			t.Fatalf("interpolated S not monotone at %v", tm)
+		}
+		prev = s
+	}
+	// Clamped outside the span.
+	sLo, _ := v.truthAt(v.T0 - 100)
+	if sLo != v.S[0] {
+		t.Error("not clamped at start")
+	}
+	sHi, _ := v.truthAt(v.T0 + 1e6)
+	if sHi != v.S[len(v.S)-1] {
+		t.Error("not clamped at end")
+	}
+}

@@ -1,0 +1,44 @@
+package trajectory
+
+import (
+	"testing"
+
+	"rups/internal/stats"
+)
+
+// FuzzUnmarshalBinary hammers the wire decoder with arbitrary bytes: it
+// must never panic, and whatever it accepts must re-encode cleanly.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := randomAware(1, 7).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("RUPS"))
+	f.Add(good[:len(good)/2])
+	corrupt := append([]byte(nil), good...)
+	corrupt[6] = 0xFF // length field
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a Aware
+		if err := a.UnmarshalBinary(data); err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Accepted: invariants must hold and re-encoding must succeed.
+		if len(a.Power) == 0 {
+			t.Fatal("accepted a trajectory with no channels")
+		}
+		for ch := range a.Power {
+			if len(a.Power[ch]) != a.Len() {
+				t.Fatal("ragged power matrix accepted")
+			}
+			for _, v := range a.Power[ch] {
+				if !stats.IsMissing(v) && (v < -110 || v > 145) {
+					t.Fatalf("decoded RSSI %v outside representable range", v)
+				}
+			}
+		}
+		if _, err := a.MarshalBinary(); err != nil {
+			t.Fatalf("accepted trajectory failed to re-encode: %v", err)
+		}
+	})
+}

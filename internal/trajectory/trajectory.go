@@ -1,0 +1,331 @@
+// Package trajectory defines the two trajectory representations at the
+// heart of RUPS (paper §IV-B/C):
+//
+//   - Geo, the geographical trajectory: one (θᵢ, tᵢ) mark per metre
+//     travelled, estimated by dead reckoning;
+//   - Aware, the GSM-aware trajectory: Geo plus the power matrix binding a
+//     power vector (RSSI over channels) to every metre mark, with missing
+//     channels (unscanned because the vehicle outran the scan) represented
+//     explicitly and fillable by linear interpolation over distance.
+//
+// Convention: index i is the i-th metre since recording began, so the most
+// recent metre is the *last* index. Sliding-window searches take "the most
+// recent segment" from the tail.
+package trajectory
+
+import (
+	"fmt"
+
+	"rups/internal/gsm"
+	"rups/internal/stats"
+)
+
+// GeoMark is one per-metre element of a geographical trajectory.
+type GeoMark struct {
+	Theta float64 // estimated heading at this metre, rad clockwise from north
+	T     float64 // timestamp at which this metre was completed, s
+}
+
+// Geo is a geographical trajectory: Marks[i] is the mark at the i-th metre.
+type Geo struct {
+	Marks []GeoMark
+}
+
+// Len returns the trajectory length in metres (number of marks).
+func (g Geo) Len() int { return len(g.Marks) }
+
+// Tail returns the most recent n metres (all of it if shorter). The
+// returned Geo shares backing storage with g.
+func (g Geo) Tail(n int) Geo {
+	if n >= len(g.Marks) {
+		return Geo{Marks: g.Marks}
+	}
+	return Geo{Marks: g.Marks[len(g.Marks)-n:]}
+}
+
+// Sample is one scanner reading to be bound to the trajectory.
+type Sample struct {
+	T    float64 // measurement time
+	Ch   int     // channel index
+	RSSI float64 // dBm
+}
+
+// Aware is a GSM-aware trajectory: the geographical trajectory with a
+// channel-major power matrix. Power[ch][i] is the RSSI (dBm) of channel ch
+// at metre i, or stats.Missing when that channel was not scanned near that
+// metre.
+type Aware struct {
+	Geo   Geo
+	Power [][]float64
+}
+
+// NewAware allocates an all-missing power matrix of the standard GSM width
+// for the given geographical trajectory.
+func NewAware(g Geo) *Aware { return NewAwareWidth(g, gsm.NumChannels) }
+
+// NewAwareWidth allocates an all-missing power matrix with an arbitrary
+// channel count — used by the multi-band extension (GSM + FM), where the
+// trajectory's rows concatenate several bands.
+func NewAwareWidth(g Geo, width int) *Aware {
+	if width <= 0 {
+		panic(fmt.Sprintf("trajectory: invalid width %d", width))
+	}
+	p := make([][]float64, width)
+	for ch := range p {
+		row := make([]float64, len(g.Marks))
+		for i := range row {
+			row[i] = stats.Missing
+		}
+		p[ch] = row
+	}
+	return &Aware{Geo: g, Power: p}
+}
+
+// Len returns the trajectory length in metres.
+func (a *Aware) Len() int { return len(a.Geo.Marks) }
+
+// Bind associates time-domain scanner samples with the geographical
+// trajectory (paper §IV-C): the samples taken during (t_{i-1}, t_i] belong
+// to metre i. Multiple readings of the same channel within one metre are
+// averaged. Samples outside the trajectory's time span are dropped.
+func Bind(g Geo, samples []Sample) *Aware {
+	return BindWidth(g, samples, gsm.NumChannels)
+}
+
+// BindWidth is Bind with an arbitrary channel count (multi-band).
+func BindWidth(g Geo, samples []Sample, width int) *Aware {
+	a := NewAwareWidth(g, width)
+	if len(g.Marks) == 0 {
+		return a
+	}
+	counts := make(map[[2]int]int)
+	mark := 0
+	for _, s := range samples {
+		if s.Ch < 0 || s.Ch >= width {
+			panic(fmt.Sprintf("trajectory: sample channel %d out of range", s.Ch))
+		}
+		// Samples must be fed in time order for the single forward sweep.
+		for mark < len(g.Marks) && g.Marks[mark].T < s.T {
+			mark++
+		}
+		if mark >= len(g.Marks) {
+			break // beyond the last completed metre
+		}
+		key := [2]int{s.Ch, mark}
+		if counts[key] == 0 {
+			a.Power[s.Ch][mark] = s.RSSI
+		} else {
+			// Running average of repeated readings.
+			n := float64(counts[key])
+			a.Power[s.Ch][mark] = (a.Power[s.Ch][mark]*n + s.RSSI) / (n + 1)
+		}
+		counts[key]++
+	}
+	return a
+}
+
+// MissingFrac returns the fraction of matrix entries that are missing —
+// the paper's missing-channel severity, which grows with vehicle speed and
+// shrinks with the number of scanning radios.
+func (a *Aware) MissingFrac() float64 {
+	if a.Len() == 0 {
+		return 0
+	}
+	missing := 0
+	total := 0
+	for ch := range a.Power {
+		for _, v := range a.Power[ch] {
+			total++
+			if stats.IsMissing(v) {
+				missing++
+			}
+		}
+	}
+	return float64(missing) / float64(total)
+}
+
+// Interpolate fills missing entries channel by channel with linear
+// interpolation between the nearest valid readings over distance (paper
+// §IV-C: "missing channels are estimated by linearly interpolating between
+// neighbouring power vectors over distance"). Leading and trailing gaps are
+// extended from the nearest valid value; channels never scanned stay
+// missing.
+func (a *Aware) Interpolate() {
+	for ch := range a.Power {
+		interpolateRow(a.Power[ch])
+	}
+}
+
+// interpolateRow fills missing runs in place.
+func interpolateRow(row []float64) {
+	prev := -1 // index of last valid value
+	for i := 0; i <= len(row); i++ {
+		if i < len(row) && stats.IsMissing(row[i]) {
+			continue
+		}
+		if i == len(row) {
+			// Trailing gap: extend the last valid value.
+			if prev >= 0 {
+				for j := prev + 1; j < len(row); j++ {
+					row[j] = row[prev]
+				}
+			}
+			break
+		}
+		if prev < 0 {
+			// Leading gap: extend backwards.
+			for j := 0; j < i; j++ {
+				row[j] = row[i]
+			}
+		} else if i > prev+1 {
+			// Interior gap: linear interpolation.
+			span := float64(i - prev)
+			for j := prev + 1; j < i; j++ {
+				f := float64(j-prev) / span
+				row[j] = row[prev]*(1-f) + row[i]*f
+			}
+		}
+		prev = i
+	}
+}
+
+// Window returns the power sub-matrix of the metres [start, start+length),
+// sharing backing storage. It panics when the range is out of bounds.
+func (a *Aware) Window(start, length int) [][]float64 {
+	if start < 0 || length <= 0 || start+length > a.Len() {
+		panic(fmt.Sprintf("trajectory: window [%d,%d) out of range 0..%d",
+			start, start+length, a.Len()))
+	}
+	w := make([][]float64, len(a.Power))
+	for ch := range a.Power {
+		w[ch] = a.Power[ch][start : start+length]
+	}
+	return w
+}
+
+// PrefixUntil returns the trajectory as known at time t: the marks
+// completed no later than t (sharing storage). Evaluation uses it to replay
+// queries against exactly the context a vehicle would have had.
+func (a *Aware) PrefixUntil(t float64) *Aware {
+	n := 0
+	for n < a.Len() && a.Geo.Marks[n].T <= t {
+		n++
+	}
+	p := &Aware{Geo: Geo{Marks: a.Geo.Marks[:n]}}
+	p.Power = make([][]float64, len(a.Power))
+	for ch := range a.Power {
+		p.Power[ch] = a.Power[ch][:n]
+	}
+	return p
+}
+
+// Tail returns the most recent n metres as an Aware sharing storage with a.
+func (a *Aware) Tail(n int) *Aware {
+	if n >= a.Len() {
+		return a
+	}
+	start := a.Len() - n
+	t := &Aware{Geo: a.Geo.Tail(n), Power: a.Window(start, n)}
+	return t
+}
+
+// TopChannels returns the indices of the k channels with the highest mean
+// RSSI over the trajectory — the paper's checking-window width selection
+// (§V-A uses the top 45 channels). Missing entries are skipped in the mean.
+func (a *Aware) TopChannels(k int) []int {
+	if k <= 0 {
+		panic(fmt.Sprintf("trajectory: TopChannels k=%d out of range", k))
+	}
+	if k > len(a.Power) {
+		k = len(a.Power)
+	}
+	type chMean struct {
+		ch   int
+		mean float64
+	}
+	ms := make([]chMean, len(a.Power))
+	for ch := range a.Power {
+		m := stats.Mean(a.Power[ch])
+		if m == 0 { // all missing ⇒ Mean returns 0; rank below the floor
+			m = gsm.NoiseFloorDBm - 1
+		}
+		ms[ch] = chMean{ch, m}
+	}
+	// Partial selection sort: k is small (≤194).
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(ms); j++ {
+			if ms[j].mean > ms[best].mean {
+				best = j
+			}
+		}
+		ms[i], ms[best] = ms[best], ms[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ms[i].ch
+	}
+	return out
+}
+
+// TopAudibleChannels returns the TopChannels ranking trimmed to channels
+// whose mean RSSI exceeds minDBm — sparse environments (suburbs) may not
+// have k audible carriers, and padding the checking window with noise-floor
+// rows only dilutes the trajectory correlation. At least minKeep channels
+// are always returned (the strongest ones), so the window never collapses.
+func (a *Aware) TopAudibleChannels(k int, minDBm float64, minKeep int) []int {
+	ranked := a.TopChannels(k)
+	if minKeep > len(ranked) {
+		minKeep = len(ranked)
+	}
+	keep := len(ranked)
+	for keep > minKeep {
+		if stats.Mean(a.Power[ranked[keep-1]]) > minDBm {
+			break
+		}
+		keep--
+	}
+	return ranked[:keep]
+}
+
+// Select returns the power matrix restricted to the given channel rows
+// (sharing storage).
+func (a *Aware) Select(channels []int) [][]float64 {
+	w := make([][]float64, len(channels))
+	for i, ch := range channels {
+		if ch < 0 || ch >= len(a.Power) {
+			panic(fmt.Sprintf("trajectory: channel %d out of range", ch))
+		}
+		w[i] = a.Power[ch]
+	}
+	return w
+}
+
+// DistanceBetween returns the metres travelled between mark i and the
+// trajectory's end — the d-values of the paper's relative-distance
+// resolution (§IV-E). By the per-metre construction this is simply the
+// index distance.
+func (a *Aware) DistanceBetween(mark int) float64 {
+	if mark < 0 || mark >= a.Len() {
+		panic(fmt.Sprintf("trajectory: mark %d out of range", mark))
+	}
+	return float64(a.Len() - 1 - mark)
+}
+
+// TimeSpan returns the first and last mark timestamps.
+func (a *Aware) TimeSpan() (t0, t1 float64) {
+	if a.Len() == 0 {
+		return 0, 0
+	}
+	return a.Geo.Marks[0].T, a.Geo.Marks[a.Len()-1].T
+}
+
+// Clone deep-copies the trajectory.
+func (a *Aware) Clone() *Aware {
+	g := Geo{Marks: append([]GeoMark(nil), a.Geo.Marks...)}
+	p := make([][]float64, len(a.Power))
+	for ch := range a.Power {
+		p[ch] = append([]float64(nil), a.Power[ch]...)
+	}
+	return &Aware{Geo: g, Power: p}
+}

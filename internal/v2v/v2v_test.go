@@ -1,0 +1,229 @@
+package v2v
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/gsm"
+	"rups/internal/noise"
+	"rups/internal/stats"
+	"rups/internal/trajectory"
+)
+
+func mkAware(seed uint64, m int) *trajectory.Aware {
+	g := trajectory.Geo{Marks: make([]trajectory.GeoMark, m)}
+	for i := range g.Marks {
+		g.Marks[i] = trajectory.GeoMark{
+			Theta: noise.Uniform(seed, uint64(i)) * 6,
+			T:     float64(i + 1),
+		}
+	}
+	a := trajectory.NewAware(g)
+	for ch := 0; ch < gsm.NumChannels; ch++ {
+		for i := 0; i < m; i++ {
+			a.Power[ch][i] = gsm.NoiseFloorDBm + 60*noise.Uniform(seed, uint64(ch), uint64(i))
+		}
+	}
+	return a
+}
+
+func TestTransferPaperArithmetic(t *testing.T) {
+	// §V-B: a 1 km context (~182 KB) needs ~130 WSMs and ~0.52 s.
+	l := &Link{Seed: 1}
+	size := trajectory.EncodedSize(1000, gsm.NumChannels)
+	c := l.Transfer(size)
+	if c.Packets < 110 || c.Packets > 160 {
+		t.Errorf("packets = %d, paper says ~130", c.Packets)
+	}
+	if c.Elapsed < 0.4 || c.Elapsed > 0.7 {
+		t.Errorf("elapsed = %v s, paper says ~0.52", c.Elapsed)
+	}
+	if c.Retrans != 0 {
+		t.Errorf("retransmissions on a lossless link: %d", c.Retrans)
+	}
+}
+
+func TestTransferWithLoss(t *testing.T) {
+	clean := &Link{Seed: 2}
+	lossy := &Link{Seed: 2, LossProb: 0.2}
+	n := 100 * WSMPayload
+	c0 := clean.Transfer(n)
+	c1 := lossy.Transfer(n)
+	if c1.Packets <= c0.Packets {
+		t.Errorf("lossy link used %d packets vs %d clean", c1.Packets, c0.Packets)
+	}
+	if c1.Retrans == 0 {
+		t.Error("no retransmissions at 20% loss")
+	}
+	// Expected inflation ≈ 1/(1-p) = 1.25.
+	ratio := float64(c1.Packets) / float64(c0.Packets)
+	if ratio < 1.1 || ratio > 1.5 {
+		t.Errorf("retransmission inflation %v, want ~1.25", ratio)
+	}
+}
+
+func TestTransferPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&Link{}).Transfer(0)
+}
+
+func TestExchangeTrajectory(t *testing.T) {
+	a := mkAware(3, 200)
+	l := &Link{Seed: 4, LossProb: 0.05}
+	got, cost, err := ExchangeTrajectory(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != a.Len() {
+		t.Fatalf("received %d marks, want %d", got.Len(), a.Len())
+	}
+	if cost.Bytes != trajectory.EncodedSize(200, gsm.NumChannels) {
+		t.Errorf("cost bytes %d", cost.Bytes)
+	}
+	// Quantization bounded by 0.5 dB + encoding round trip.
+	for ch := 0; ch < gsm.NumChannels; ch += 17 {
+		for i := 0; i < a.Len(); i += 13 {
+			if d := math.Abs(got.Power[ch][i] - a.Power[ch][i]); d > 0.51 {
+				t.Fatalf("power [%d][%d] off by %v", ch, i, d)
+			}
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	full := mkAware(5, 120)
+	// Peer holds the first 100 marks.
+	peer := full.PrefixUntil(100).Clone()
+	d, err := MakeDelta(full, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(peer); err != nil {
+		t.Fatal(err)
+	}
+	if peer.Len() != full.Len() {
+		t.Fatalf("after delta: %d marks, want %d", peer.Len(), full.Len())
+	}
+	for ch := 0; ch < gsm.NumChannels; ch += 23 {
+		for i := 0; i < full.Len(); i += 11 {
+			if a, b := peer.Power[ch][i], full.Power[ch][i]; a != b && !(stats.IsMissing(a) && stats.IsMissing(b)) {
+				t.Fatalf("power [%d][%d]: %v vs %v", ch, i, a, b)
+			}
+		}
+	}
+}
+
+func TestDeltaOverlapIdempotent(t *testing.T) {
+	full := mkAware(6, 60)
+	peer := full.PrefixUntil(50).Clone()
+	d, _ := MakeDelta(full, 40) // overlaps 10 already-held marks
+	if err := d.Apply(peer); err != nil {
+		t.Fatal(err)
+	}
+	if peer.Len() != 60 {
+		t.Fatalf("len after overlapping delta = %d", peer.Len())
+	}
+	// Applying the exact same delta again adds nothing.
+	if err := d.Apply(peer); err != nil {
+		t.Fatal(err)
+	}
+	if peer.Len() != 60 {
+		t.Fatalf("len after duplicate delta = %d", peer.Len())
+	}
+}
+
+func TestDeltaGapRejected(t *testing.T) {
+	full := mkAware(7, 60)
+	peer := full.PrefixUntil(20).Clone()
+	d, _ := MakeDelta(full, 40)
+	if err := d.Apply(peer); err == nil {
+		t.Error("applied a delta across a gap")
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	full := mkAware(8, 30)
+	if _, err := MakeDelta(full, -1); err == nil {
+		t.Error("negative from accepted")
+	}
+	if _, err := MakeDelta(full, 30); err == nil {
+		t.Error("out-of-range from accepted")
+	}
+}
+
+func TestDeltaMuchSmallerThanFull(t *testing.T) {
+	// The scalability claim: tracking updates are far cheaper than full
+	// context transfers.
+	full := mkAware(9, 1000)
+	d, _ := MakeDelta(full, 990) // 10 new metres at 10 Hz tracking
+	fullSize := trajectory.EncodedSize(1000, gsm.NumChannels)
+	if d.WireSize()*20 > fullSize {
+		t.Errorf("delta %d bytes not ≪ full %d bytes", d.WireSize(), fullSize)
+	}
+}
+
+func TestBeaconRoundTrip(t *testing.T) {
+	b := Beacon(42, 731)
+	id, n, err := ParseBeacon(b)
+	if err != nil || id != 42 || n != 731 {
+		t.Errorf("beacon round trip: %v %v %v", id, n, err)
+	}
+	if _, _, err := ParseBeacon(b[:10]); err == nil {
+		t.Error("short beacon accepted")
+	}
+}
+
+func TestDeltaWireRoundTrip(t *testing.T) {
+	full := mkAware(11, 80)
+	d, err := MakeDelta(full, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The arithmetic used for link billing matches the real encoding
+	// closely (small fixed-header difference allowed).
+	if diff := d.WireSize() - len(data); diff < -8 || diff > 8 {
+		t.Errorf("WireSize %d vs encoded %d", d.WireSize(), len(data))
+	}
+	var back Delta
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.FromMark != d.FromMark || len(back.Marks) != len(d.Marks) {
+		t.Fatal("delta header lost")
+	}
+	for ch := range d.Power {
+		for i := range d.Power[ch] {
+			if math.Abs(back.Power[ch][i]-d.Power[ch][i]) > 0.51 {
+				t.Fatalf("delta power [%d][%d]: %v vs %v", ch, i, back.Power[ch][i], d.Power[ch][i])
+			}
+		}
+	}
+	// Applying the decoded delta must extend the peer copy identically in
+	// shape.
+	peer := full.PrefixUntil(60).Clone()
+	if err := back.Apply(peer); err != nil {
+		t.Fatal(err)
+	}
+	if peer.Len() != full.Len() {
+		t.Fatalf("after decoded delta: %d marks", peer.Len())
+	}
+}
+
+func TestDeltaWireRejectsGarbage(t *testing.T) {
+	var d Delta
+	for name, data := range map[string][]byte{
+		"empty": nil, "short": make([]byte, 4), "magic": make([]byte, 30),
+	} {
+		if err := d.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

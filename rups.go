@@ -1,0 +1,18 @@
+// Package rups is a from-scratch reproduction of "RUPS: Fixing Relative
+// Distances among Urban Vehicles with Context-Aware Trajectories"
+// (IEEE IPDPS 2016): a fully distributed scheme that resolves the
+// front-rear distance between urban vehicles by cross-correlating
+// GSM-aware trajectories exchanged over V2V links — no GPS, no maps, no
+// synchronization, no infrastructure.
+//
+// The implementation lives under internal/: the RUPS algorithm in
+// internal/core, and every substrate the paper's evaluation depends on
+// (the GSM radio environment, city road network, vehicle mobility, IMU and
+// odometry sensing, scanning radios, DSRC link, GPS baseline) as its own
+// package. The executables in cmd/ and the programs in examples/ are the
+// entry points; bench_test.go at this root holds one benchmark per paper
+// table and figure. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package rups
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
