@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench eval eval-quick fuzz clean
+.PHONY: all build test test-short race lint bench eval eval-quick \
+	fuzz fuzz-trajectory fuzz-trace maps clean
 
 all: build test
 
@@ -13,8 +14,16 @@ test:
 test-short:
 	go test -short ./...
 
+# Race coverage is repo-wide; -short keeps the heavyweight eval scenarios
+# out so the run stays in CI-friendly territory.
 race:
-	go test -race ./internal/sim/ ./internal/node/ ./internal/core/
+	go test -race -short ./...
+
+# Static analysis: go vet plus the domain-aware analyzers in cmd/rups-lint
+# (floatcmp, indexunit, lockcheck, naninguard — see docs/STATIC_ANALYSIS.md).
+lint:
+	go vet ./...
+	go run ./cmd/rups-lint ./...
 
 bench:
 	go test -run XXXNONE -bench=. -benchmem ./...
@@ -25,8 +34,19 @@ eval:
 eval-quick:
 	go run ./cmd/rups-eval -quick
 
+# Both fuzzers always run, even when the first one finds a crasher; the
+# exit status still reflects any failure. Seed corpus entries live in each
+# package's testdata/fuzz/ directory.
 fuzz:
+	@rc=0; \
+	$(MAKE) fuzz-trajectory || rc=1; \
+	$(MAKE) fuzz-trace || rc=1; \
+	exit $$rc
+
+fuzz-trajectory:
 	go test -run FuzzUnmarshalBinary -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/trajectory/
+
+fuzz-trace:
 	go test -run FuzzReadFrom -fuzz FuzzReadFrom -fuzztime 30s ./internal/trace/
 
 maps:

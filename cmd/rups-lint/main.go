@@ -1,0 +1,105 @@
+// Command rups-lint is the repository's domain-aware multichecker. It runs
+// the custom analyzers from internal/analysis/... over the packages
+// matching the given go-list patterns (default ./...) and exits non-zero
+// when any diagnostic survives.
+//
+//	rups-lint              # lint the whole module
+//	rups-lint ./internal/core ./internal/sim
+//	rups-lint -list        # describe the analyzers
+//
+// Suppress an individual false positive with a mandatory reason:
+//
+//	//lint:ignore floatcmp zero value means "unset" in this config
+//
+// See docs/STATIC_ANALYSIS.md for the analyzer catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/floatcmp"
+	"rups/internal/analysis/indexunit"
+	"rups/internal/analysis/loader"
+	"rups/internal/analysis/lockcheck"
+	"rups/internal/analysis/naninguard"
+)
+
+// analyzers is the multichecker's roster. Adding an analyzer means
+// implementing the internal/analysis.Analyzer interface and listing it
+// here.
+var analyzers = []*analysis.Analyzer{
+	floatcmp.Analyzer,
+	indexunit.Analyzer,
+	lockcheck.Analyzer,
+	naninguard.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	roster := analyzers
+	if *only != "" {
+		roster = nil
+		wanted := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+		for _, a := range analyzers {
+			if wanted[a.Name] {
+				roster = append(roster, a)
+				delete(wanted, a.Name)
+			}
+		}
+		for name := range wanted {
+			fmt.Fprintf(os.Stderr, "rups-lint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "rups-lint: %s: %v\n", p.Path, terr)
+		}
+	}
+
+	diags, err := analysis.Run(pkgs, roster)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rups-lint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Package floatcmp flags == and != comparisons on floating-point values.
+//
+// Correlation scores, RSSI levels in dBm, and metre distances are all
+// float64 in this codebase, and exact equality on any of them is almost
+// always a latent bug: two mathematically equal scores rarely compare equal
+// after different summation orders. Compare with an ordered operator, an
+// epsilon helper such as stats.ApproxEqual, or suppress a deliberate exact
+// comparison with //lint:ignore floatcmp <reason>.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"rups/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags ==/!= on floating-point operands outside epsilon helpers; " +
+		"use ordered comparisons, stats.ApproxEqual, or an explicit //lint:ignore",
+	Run: run,
+}
+
+// epsilonHelper matches the names of functions allowed to compare floats
+// exactly: they exist to implement the tolerance themselves.
+var epsilonHelper = regexp.MustCompile(`(?i)(approx|almost|near|close|within|eps|tol)`)
+
+func run(pass *analysis.Pass) error {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, cmp.X) && !isFloat(pass, cmp.Y) {
+			return true
+		}
+		// x != x is the portable NaN test; leave it alone.
+		if sx := exprString(cmp.X); sx != "" && sx == exprString(cmp.Y) {
+			return true
+		}
+		// Comparisons between compile-time constants are exact by nature.
+		if isConst(pass, cmp.X) && isConst(pass, cmp.Y) {
+			return true
+		}
+		if name := analysis.EnclosingFunc(stack); epsilonHelper.MatchString(name) {
+			return true
+		}
+		pass.Reportf(cmp.OpPos,
+			"floating-point %s comparison; use an ordered comparison or an epsilon helper (e.g. stats.ApproxEqual)", cmp.Op)
+		return true
+	})
+	return nil
+}
+
+// isFloat reports whether e has floating-point type (including named types
+// whose underlying type is a float).
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// exprString renders a restricted class of expressions (identifiers and
+// selector chains) to text for the x != x check; anything more complex
+// yields a unique placeholder so it never compares equal.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprString(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+
+	"rups/internal/analysis/loader"
+)
+
+// ignoreSet records //lint:ignore directives: which analyzer names are
+// suppressed on which file:line. A directive written on its own line
+// suppresses the line below it; written at the end of a statement it
+// suppresses that statement's line.
+type ignoreSet struct {
+	// byLine maps filename → line → analyzer names ("all" wildcards).
+	byLine map[string]map[int][]string
+}
+
+// directivePrefix introduces a suppression comment:
+//
+//	//lint:ignore floatcmp exact zero is the documented sentinel
+//
+// The analyzer list may be comma-separated, or "all".
+const directivePrefix = "lint:ignore"
+
+// collectIgnores scans a package's comments for suppression directives.
+func collectIgnores(pkg *loader.Package) *ignoreSet {
+	set := &ignoreSet{byLine: make(map[string]map[int][]string)}
+	for _, file := range pkg.Syntax {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// A directive without a reason is ignored; the reason is
+					// mandatory so suppressions stay auditable.
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set.byLine[pos.Filename] = lines
+				}
+				// The directive covers its own line (end-of-line form) and
+				// the next line (own-line form).
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return set
+}
+
+// matches reports whether d is suppressed.
+func (s *ignoreSet) matches(d Diagnostic) bool {
+	lines, ok := s.byLine[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, name := range lines[d.Pos.Line] {
+		if name == "all" || name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

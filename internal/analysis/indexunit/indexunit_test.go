@@ -1,0 +1,12 @@
+package indexunit_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/indexunit"
+)
+
+func TestIndexunit(t *testing.T) {
+	analysistest.Run(t, "../testdata", indexunit.Analyzer, "indexunit")
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import "go/ast"
+
+// Preorder calls fn for every node in every file, in depth-first order.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// WithStack calls fn for every node with the stack of enclosing nodes,
+// outermost first (stack[0] is the *ast.File, stack[len-1] is n itself).
+// Returning false from fn prunes the subtree below n.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// ast.Inspect skips the closing nil callback for pruned
+				// subtrees, so pop the stack here.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the name of the innermost function declaration or
+// literal in stack, or "" when n is at file scope. Function literals
+// report the name of their nearest named ancestor function.
+func EnclosingFunc(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}

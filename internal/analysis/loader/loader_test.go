@@ -1,0 +1,73 @@
+package loader
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot returns the module root (two levels above this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "..")
+}
+
+func TestLoadTypeChecksModulePackage(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "rups/internal/stats" || p.Name != "stats" {
+		t.Fatalf("unexpected package identity %q %q", p.Path, p.Name)
+	}
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	if p.Types.Scope().Lookup("Pearson") == nil {
+		t.Fatal("stats.Pearson not found in package scope")
+	}
+	if len(p.Syntax) == 0 {
+		t.Fatal("no syntax trees")
+	}
+}
+
+func TestLoadResolvesIntraModuleImports(t *testing.T) {
+	// core imports rups/internal/stats and rups/internal/trajectory; both
+	// must come in through export data.
+	pkgs, err := Load(repoRoot(t), "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrors)
+	}
+}
+
+func TestLoadManyPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := Load(repoRoot(t), "./internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("expected the full internal tree, got %d packages", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) != 0 {
+			t.Fatalf("%s: type errors: %v", p.Path, p.TypeErrors)
+		}
+	}
+}

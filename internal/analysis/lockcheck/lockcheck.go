@@ -1,0 +1,292 @@
+// Package lockcheck guards the concurrency seams of the simulator and the
+// node network:
+//
+//   - copying a value whose type contains sync.Mutex, sync.RWMutex,
+//     sync.WaitGroup, sync.Once or sync.Cond forks the lock state — two
+//     goroutines end up synchronising on different locks. The check flags
+//     value copies through assignment, value parameters, value receivers
+//     and range-by-value.
+//   - a `go func(){...}` literal that writes a variable captured from the
+//     enclosing function without holding a lock (and without atomics or
+//     channels) is a data race by construction; `go test -race` only sees
+//     it when a test happens to schedule the collision.
+//
+// Writes to distinct elements of a captured slice (out[i] = ...) are the
+// sanctioned fan-out idiom and are not flagged.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rups/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "flags struct copies of lock-bearing types and goroutine closures " +
+		"writing captured variables without synchronization",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkCopies(pass)
+	checkGoroutines(pass)
+	return nil
+}
+
+// --- lock-bearing value copies -----------------------------------------
+
+// checkCopies flags operations that copy a lock-bearing value.
+func checkCopies(pass *analysis.Pass) {
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				return
+			}
+			for _, rhs := range n.Rhs {
+				if t := copiedLockType(pass, rhs); t != "" {
+					pass.Reportf(rhs.Pos(), "assignment copies lock value: %s contains %s", typeName(pass, rhs), t)
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, f := range n.Recv.List {
+					if t := lockInType(pass.TypesInfo.TypeOf(f.Type)); t != "" {
+						pass.Reportf(f.Type.Pos(), "value receiver copies lock value: %s contains %s", render(f.Type), t)
+					}
+				}
+			}
+			if n.Type.Params != nil {
+				for _, f := range n.Type.Params.List {
+					if t := lockInType(pass.TypesInfo.TypeOf(f.Type)); t != "" {
+						pass.Reportf(f.Type.Pos(), "value parameter copies lock value: %s contains %s", render(f.Type), t)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := lockInType(pass.TypesInfo.TypeOf(n.Value)); t != "" {
+					pass.Reportf(n.Value.Pos(), "range-by-value copies lock value: %s contains %s", render(n.Value), t)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if t := copiedLockType(pass, arg); t != "" {
+					pass.Reportf(arg.Pos(), "call passes lock by value: %s contains %s", typeName(pass, arg), t)
+				}
+			}
+		}
+	})
+}
+
+// copiedLockType returns the name of the lock type inside e's type when
+// evaluating e copies an existing lock-bearing value. Composite literals
+// and conversions construct fresh values and are fine.
+func copiedLockType(pass *analysis.Pass, e ast.Expr) string {
+	switch ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return ""
+	}
+	return lockInType(pass.TypesInfo.TypeOf(e))
+}
+
+// lockInType returns the qualified name of a sync primitive contained in t
+// (by value), or "".
+func lockInType(t types.Type) string {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := lockIn(u.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return ""
+}
+
+// --- goroutine closures -------------------------------------------------
+
+// checkGoroutines flags unsynchronised writes to captured variables inside
+// `go func(){...}` literals. Writes to loop variables get their own
+// message: under Go ≥ 1.22 each iteration has its own variable, so such a
+// write is silently lost when the iteration ends — a logic bug rather than
+// a race, and invisible to the race detector.
+func checkGoroutines(pass *analysis.Pass) {
+	loopVars := collectLoopVars(pass)
+	pass.Preorder(func(n ast.Node) {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if closureSynchronises(pass, lit) {
+			return
+		}
+		locals := localObjects(pass, lit)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // nested closures are their own problem
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportCapturedWrite(pass, lhs, locals, loopVars)
+				}
+			case *ast.IncDecStmt:
+				reportCapturedWrite(pass, n.X, locals, loopVars)
+			}
+			return true
+		})
+	})
+}
+
+// collectLoopVars gathers the objects declared as for/range loop variables
+// anywhere in the package.
+func collectLoopVars(pass *analysis.Pass) map[types.Object]bool {
+	loopVars := make(map[types.Object]bool)
+	define := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				define(n.Key)
+			}
+			if n.Value != nil {
+				define(n.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					define(lhs)
+				}
+			}
+		}
+	})
+	return loopVars
+}
+
+// closureSynchronises reports whether the closure body takes a lock or
+// uses sync/atomic — either makes the write analysis too imprecise to
+// second-guess. Calling sync.WaitGroup methods does NOT count: a
+// WaitGroup orders goroutine completion, it does not protect writes.
+func closureSynchronises(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock":
+			found = true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reportCapturedWrite flags lhs when it is a direct write to a scalar
+// variable declared outside the closure. Element writes (slice/map/pointer
+// indirection) are left to the race detector: writing distinct elements
+// concurrently is legitimate.
+func reportCapturedWrite(pass *analysis.Pass, lhs ast.Expr, locals, loopVars map[types.Object]bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil || locals[obj] {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	// Channels synchronise on their own.
+	if _, isChan := obj.Type().Underlying().(*types.Chan); isChan {
+		return
+	}
+	if loopVars[obj] {
+		pass.Reportf(id.Pos(),
+			"goroutine writes captured loop variable %q; each iteration has its own copy, so the write is lost", id.Name)
+		return
+	}
+	pass.Reportf(id.Pos(),
+		"goroutine writes captured variable %q without synchronization (no lock or atomic in closure)", id.Name)
+}
+
+// localObjects collects every object declared inside the closure,
+// including its parameters.
+func localObjects(pass *analysis.Pass, lit *ast.FuncLit) map[types.Object]bool {
+	locals := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				locals[obj] = true
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// typeName renders e's type for a diagnostic.
+func typeName(pass *analysis.Pass, e ast.Expr) string {
+	if t := pass.TypesInfo.TypeOf(e); t != nil {
+		return t.String()
+	}
+	return render(e)
+}
+
+// render produces a short printable form of an expression or type.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	case *ast.ArrayType:
+		return "[]" + render(e.Elt)
+	default:
+		return "value"
+	}
+}

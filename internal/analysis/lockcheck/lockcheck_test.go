@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockcheck.Analyzer, "lockcheck")
+}

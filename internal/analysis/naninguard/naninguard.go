@@ -1,0 +1,204 @@
+// Package naninguard enforces NaN hygiene around the correlation kernels.
+//
+// stats.Pearson and stats.TrajCorr document a 0 return for degenerate
+// windows today, but their callers routinely feed the result into score
+// comparisons and running averages where a NaN — introduced by a future
+// kernel change, an Inf overflow in the moment sums, or a missing-value
+// convention leak (stats.Missing IS a NaN) — would silently poison every
+// downstream estimate: NaN compares false with everything, so a
+// "best score" scan just skips it and returns a plausible wrong answer.
+//
+// The analyzer flags any correlation result that flows into a comparison
+// or arithmetic without a math.IsNaN / stats.IsMissing guard somewhere in
+// the same function.
+package naninguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rups/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "naninguard",
+	Doc: "flags stats.Pearson/stats.TrajCorr results used in comparisons or " +
+		"arithmetic without a math.IsNaN (or stats.IsMissing) guard in the same function",
+	Run: run,
+}
+
+// correlationFuncs are the guarded kernels, by package path and name.
+var correlationFuncs = map[string]map[string]bool{
+	"rups/internal/stats": {"Pearson": true, "TrajCorr": true},
+}
+
+// guardFuncs recognise a NaN test. stats.IsMissing is a documented alias
+// for math.IsNaN.
+var guardFuncs = map[string]map[string]bool{
+	"math":                {"IsNaN": true},
+	"rups/internal/stats": {"IsMissing": true},
+}
+
+func run(pass *analysis.Pass) error {
+	// The kernels' own package defines the degenerate-input contract; the
+	// guard obligation starts at its API boundary.
+	if _, isKernelPkg := correlationFuncs[pass.Pkg.Path()]; isKernelPkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc applies the per-function analysis: collect the variables that
+// hold correlation results, the variables that are NaN-guarded, and the
+// risky uses; then report unguarded flows.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	resultVars := make(map[types.Object]token.Pos) // corr-result var → assignment pos
+	guarded := make(map[types.Object]bool)         // var → appears in IsNaN/IsMissing
+
+	// Pass 1: find `v := stats.Pearson(...)` / `v = stats.TrajCorr(...)`
+	// bindings and IsNaN/IsMissing guards. Plain copies (`r := v`) of a
+	// result variable are results too; iterate to a fixed point so chains
+	// of copies are tracked regardless of source order.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if !isCorrelationCall(pass, rhs) && !isResultCopy(pass, rhs, resultVars) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							if _, seen := resultVars[obj]; !seen {
+								resultVars[obj] = n.Pos()
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if isGuardCall(pass, n) {
+					for _, arg := range n.Args {
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+							if obj := pass.TypesInfo.ObjectOf(id); obj != nil && !guarded[obj] {
+								guarded[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag risky uses. A use is risky when a correlation result —
+	// either a direct call or an unguarded result variable — is an operand
+	// of a comparison, of float arithmetic, or of a compound assignment.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ,
+				token.ADD, token.SUB, token.MUL, token.QUO:
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					reportRisky(pass, op, resultVars, guarded,
+						"flows into %q without a math.IsNaN guard in this function", n.Op)
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, rhs := range n.Rhs {
+					reportRisky(pass, rhs, resultVars, guarded,
+						"accumulates via %q without a math.IsNaN guard in this function", n.Tok)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportRisky reports op when it is an unguarded correlation result.
+func reportRisky(pass *analysis.Pass, op ast.Expr, resultVars map[types.Object]token.Pos, guarded map[types.Object]bool, format string, tok token.Token) {
+	op = ast.Unparen(op)
+	if isCorrelationCall(pass, op) {
+		pass.Reportf(op.Pos(), "correlation result "+format+"; bind it to a variable and guard it", tok)
+		return
+	}
+	if id, ok := op.(*ast.Ident); ok {
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if _, isResult := resultVars[obj]; isResult && !guarded[obj] {
+			pass.Reportf(op.Pos(), "correlation result %q "+format, id.Name, tok)
+		}
+	}
+}
+
+// isResultCopy reports whether e is a plain read of an already-tracked
+// result variable.
+func isResultCopy(pass *analysis.Pass, e ast.Expr, resultVars map[types.Object]token.Pos) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	_, tracked := resultVars[obj]
+	return tracked
+}
+
+// isCorrelationCall reports whether e calls one of the guarded kernels.
+func isCorrelationCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return calleeIn(pass, call, correlationFuncs)
+}
+
+// isGuardCall reports whether call is math.IsNaN or stats.IsMissing.
+func isGuardCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return calleeIn(pass, call, guardFuncs)
+}
+
+// calleeIn resolves call's callee to a package-level function and looks it
+// up in the path→name table.
+func calleeIn(pass *analysis.Pass, call *ast.CallExpr, table map[string]map[string]bool) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := table[fn.Pkg().Path()]
+	return ok && names[fn.Name()]
+}

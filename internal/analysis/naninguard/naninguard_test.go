@@ -1,0 +1,12 @@
+package naninguard_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/naninguard"
+)
+
+func TestNaninguard(t *testing.T) {
+	analysistest.Run(t, "../testdata", naninguard.Analyzer, "naninguard")
+}

@@ -1,0 +1,75 @@
+// Package floatcmp is the golden-diagnostic package for the floatcmp
+// analyzer: every // want comment marks a line that must fire, and every
+// silent line must stay silent.
+package floatcmp
+
+import "math"
+
+const tolerance = 1e-9
+
+// Scores compares correlation scores the wrong way.
+func Scores(score, best float64) bool {
+	if score == best { // want `floating-point == comparison`
+		return true
+	}
+	return score != best // want `floating-point != comparison`
+}
+
+// MixedOperands fires when only one side is a float.
+func MixedOperands(rssi float64) bool {
+	return rssi == -107 // want `floating-point == comparison`
+}
+
+// Float32 fires for the narrow type too.
+func Float32(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// NamedFloat fires for defined types with a floating underlying type.
+type DBm float64
+
+func NamedFloat(a, b DBm) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// NaNIdiom is the canonical self-comparison NaN test; it must not fire.
+func NaNIdiom(v float64) bool {
+	return v != v
+}
+
+// Ordered comparisons are the sanctioned alternative; they must not fire.
+func Ordered(a, b float64) bool {
+	return a <= b || a > b
+}
+
+// Ints are not the analyzer's business.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// ConstFold compares two compile-time constants; exact by nature.
+func ConstFold() bool {
+	return math.Pi == 3.141592653589793
+}
+
+// approxEqual is an epsilon helper: the exact comparison inside it is the
+// point of the function, so it must not fire.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tolerance
+}
+
+// Suppressed demonstrates //lint:ignore: the sentinel comparison is
+// deliberate and documented, so it must not fire.
+func Suppressed(width float64) float64 {
+	//lint:ignore floatcmp zero value means "unset" in this config struct
+	if width == 0 {
+		width = 900
+	}
+	return width
+}
+
+// Consumers keeps approxEqual referenced.
+var _ = approxEqual(1, 1)

@@ -1,0 +1,49 @@
+// Package indexunit is the golden-diagnostic package for the indexunit
+// analyzer.
+package indexunit
+
+import "rups/internal/trajectory"
+
+// SYN mimics core.SYNPoint: metre-indices into two trajectories.
+type SYN struct {
+	IdxA, IdxB int
+}
+
+// RawIndexToFloat is the exact confusion SYNPoint.RelativeDistance
+// invites: a metre-index silently becomes a metre distance.
+func RawIndexToFloat(s SYN, tailLen int) float64 {
+	dA := float64(s.IdxA) // want `raw float64\(\) of trajectory index "s.IdxA"`
+	dB := float64(s.IdxB) // want `raw float64\(\) of trajectory index "s.IdxB"`
+	return dB - dA + float64(tailLen)
+}
+
+// RawLocalIndex fires on plain locally named indices too.
+func RawLocalIndex(markIdx int) float64 {
+	return float64(markIdx) // want `raw float64\(\) of trajectory index "markIdx"`
+}
+
+// RawDistanceToInt fires in the other direction: a distance truncated into
+// an index without saying so.
+func RawDistanceToInt(distM float64) int {
+	return int(distM) // want `raw int\(\) of metre distance "distM"`
+}
+
+// RawGap fires for gap-named distances.
+func RawGap(initGapM float64) int64 {
+	return int64(initGapM) // want `raw int64\(\) of metre distance "initGapM"`
+}
+
+// Sanctioned conversions go through the helpers and must not fire.
+func Sanctioned(s SYN, distM float64) (float64, int) {
+	return trajectory.MetresFromIndex(s.IdxA), trajectory.IndexFromMetres(distM)
+}
+
+// PlainCounters are not indices; they must not fire.
+func PlainCounters(n, total int) float64 {
+	return float64(n) / float64(total)
+}
+
+// UnrelatedFloats are not distances; they must not fire.
+func UnrelatedFloats(score float64) int {
+	return int(score * 100)
+}

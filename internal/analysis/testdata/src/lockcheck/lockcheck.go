@@ -1,0 +1,128 @@
+// Package lockcheck is the golden-diagnostic package for the lockcheck
+// analyzer.
+package lockcheck
+
+import "sync"
+
+// Guarded embeds a mutex by value, like node.Network does.
+type Guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Nested buries the lock one level deeper; copies must still be caught.
+type Nested struct {
+	inner Guarded
+}
+
+// CopyAssign copies the lock state through an assignment.
+func CopyAssign(g Guarded) Guarded { // want `value parameter copies lock value`
+	snapshot := g // want `assignment copies lock value`
+	return snapshot
+}
+
+// ValueReceiver copies the lock on every call.
+func (g Guarded) ValueReceiver() int { // want `value receiver copies lock value`
+	return g.count
+}
+
+// RangeByValue copies each element's lock.
+func RangeByValue(gs []Nested) int {
+	total := 0
+	for _, g := range gs { // want `range-by-value copies lock value`
+		total += g.inner.count
+	}
+	return total
+}
+
+// PassByValue hands the lock to a callee by value.
+func PassByValue(g Guarded) { // want `value parameter copies lock value`
+	use(g) // want `call passes lock by value`
+}
+
+func use(Guarded) {} // want `value parameter copies lock value`
+
+// PointerUse is the correct idiom everywhere; it must not fire.
+func PointerUse(g *Guarded) *Guarded {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.count++
+	return g
+}
+
+// FreshLiteral constructs a new value rather than copying one; fine.
+func FreshLiteral() *Guarded {
+	g := Guarded{}
+	return &g
+}
+
+// RacyCounter is the textbook unsynchronised captured write.
+func RacyCounter(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want `goroutine writes captured variable "total" without synchronization`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// LostLoopVarWrite writes to the per-iteration loop variable; the update
+// dies with the iteration.
+func LostLoopVarWrite(items []int) {
+	var wg sync.WaitGroup
+	for _, item := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			item = item * 2 // want `goroutine writes captured loop variable "item"`
+		}()
+	}
+	wg.Wait()
+}
+
+// LockedCounter takes the lock in the closure; it must not fire.
+func LockedCounter(n int) int {
+	var g Guarded
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.mu.Lock()
+			g.count++
+			g.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return g.count
+}
+
+// ShardedWrites assigns distinct slice elements per goroutine — the
+// sanctioned fan-out idiom, invisible to this check on purpose.
+func ShardedWrites(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// ChannelResult communicates by channel; fine.
+func ChannelResult() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}

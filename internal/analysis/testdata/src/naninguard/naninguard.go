@@ -1,0 +1,65 @@
+// Package naninguard is the golden-diagnostic package for the naninguard
+// analyzer.
+package naninguard
+
+import (
+	"math"
+
+	"rups/internal/stats"
+)
+
+// UnguardedCompare feeds a correlation straight into a comparison.
+func UnguardedCompare(x, y []float64, threshold float64) bool {
+	r := stats.Pearson(x, y)
+	return r >= threshold // want `correlation result "r" flows into ">="`
+}
+
+// UnguardedAccumulate builds a running average without a guard.
+func UnguardedAccumulate(rows, cols [][]float64) float64 {
+	var sum float64
+	for i := range rows {
+		sum += stats.Pearson(rows[i], cols[i]) // want `correlation result accumulates via "\+="`
+	}
+	return sum / float64(len(rows))
+}
+
+// UnguardedDirect uses the call directly as a comparison operand.
+func UnguardedDirect(a, b [][]float64) bool {
+	return stats.TrajCorr(a, b) > 1.2 // want `correlation result flows into ">"`
+}
+
+// UnguardedCopy launders the result through a plain copy; still flagged.
+func UnguardedCopy(x, y []float64) bool {
+	r := stats.Pearson(x, y)
+	score := r
+	return score > 0.5 // want `correlation result "score" flows into ">"`
+}
+
+// GuardedCompare tests the result for NaN first; it must not fire.
+func GuardedCompare(x, y []float64, threshold float64) bool {
+	r := stats.Pearson(x, y)
+	if math.IsNaN(r) {
+		return false
+	}
+	return r >= threshold
+}
+
+// GuardedByIsMissing uses the stats alias for the NaN test; equally fine.
+func GuardedByIsMissing(a, b [][]float64) bool {
+	c := stats.TrajCorr(a, b)
+	if stats.IsMissing(c) {
+		return false
+	}
+	return c > 1.2
+}
+
+// PlainUse neither compares nor accumulates; recording the raw value is
+// fine.
+func PlainUse(x, y []float64, sink *[]float64) {
+	*sink = append(*sink, stats.Pearson(x, y))
+}
+
+// OtherMath is not a correlation kernel; it must not fire.
+func OtherMath(x []float64, threshold float64) bool {
+	return stats.Mean(x) >= threshold
+}

@@ -202,7 +202,7 @@ func (c *City) layoutRoad(class RoadClass, key uint64) *geo.Polyline {
 	// Start at a deterministic point inside the band.
 	ang := 2 * math.Pi * noise.Uniform(seed, 1)
 	rad := rMin + (rMax-rMin)*noise.Uniform(seed, 2)
-	if rMin == 0 {
+	if rMin <= 0 {
 		// Keep downtown starts away from the exact centre so headings
 		// distribute evenly.
 		rad = rMax * (0.2 + 0.7*noise.Uniform(seed, 2))

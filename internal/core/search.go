@@ -21,8 +21,10 @@ type SYNPoint struct {
 // point (paper §IV-E): how much farther B has travelled since the common
 // location than A has. Positive means B is ahead of A.
 func (s SYNPoint) RelativeDistance(a, b *trajectory.Aware) float64 {
-	dA := float64(a.Len()-1) - float64(s.IdxA)
-	dB := float64(b.Len()-1) - float64(s.IdxB)
+	// The metre-index → metre-distance unit change is explicit: mark i sits
+	// i metres from trajectory start (see trajectory.MetresFromIndex).
+	dA := trajectory.MetresFromIndex(a.Len()-1) - trajectory.MetresFromIndex(s.IdxA)
+	dB := trajectory.MetresFromIndex(b.Len()-1) - trajectory.MetresFromIndex(s.IdxB)
 	return dB - dA
 }
 
@@ -164,17 +166,27 @@ func (s *slidingScorer) scoreAt(j int) float64 {
 		pearsonFromSums(wf, s.refColSum, s.refColSq, sy, sqy, sxy)
 }
 
-// scoreSlow is the missing-tolerant fallback.
+// scoreSlow is the missing-tolerant fallback. Pearson documents a 0 return
+// for degenerate windows, but a NaN slipping through here would poison the
+// best-window scan (NaN compares false with every score), so each term is
+// guarded before it joins the sum.
 func (s *slidingScorer) scoreSlow(j int) float64 {
 	var chanSum float64
 	for i := 0; i < s.k; i++ {
-		chanSum += stats.Pearson(s.ref[i], s.tgt[i][j:j+s.w])
+		r := stats.Pearson(s.ref[i], s.tgt[i][j:j+s.w])
+		if math.IsNaN(r) {
+			continue
+		}
+		chanSum += r
 	}
 	if s.noCol {
 		return chanSum / float64(s.k)
 	}
-	return chanSum/float64(s.k) +
-		stats.Pearson(s.refCol, s.tgtCol[j:j+s.w])
+	colR := stats.Pearson(s.refCol, s.tgtCol[j:j+s.w])
+	if math.IsNaN(colR) {
+		colR = 0
+	}
+	return chanSum/float64(s.k) + colR
 }
 
 // pearsonFromSums computes Pearson's r from moment sums, matching

@@ -112,6 +112,11 @@ func Fig2(o Options) *Table {
 					if c.n == 10 {
 						r = rSub
 					}
+					// A NaN correlation (all-missing window) must count as
+					// "below threshold", not fall through the comparison.
+					if stats.IsMissing(r) {
+						continue
+					}
 					if r >= c.thr {
 						counts[ci][di]++
 					}

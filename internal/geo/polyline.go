@@ -28,7 +28,7 @@ func NewPolyline(pts ...Vec2) *Polyline {
 	}
 	for i := 1; i < len(pts); i++ {
 		d := pts[i].Dist(pts[i-1])
-		if d == 0 {
+		if d <= 0 {
 			panic(fmt.Sprintf("geo: polyline points %d and %d coincide at %v", i-1, i, pts[i]))
 		}
 		p.cum[i] = p.cum[i-1] + d

@@ -43,7 +43,7 @@ func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
 // unchanged.
 func (v Vec2) Unit() Vec2 {
 	n := v.Norm()
-	if n == 0 {
+	if n <= 0 {
 		return v
 	}
 	return v.Scale(1 / n)
@@ -124,7 +124,7 @@ func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
 // unchanged.
 func (v Vec3) Unit() Vec3 {
 	n := v.Norm()
-	if n == 0 {
+	if n <= 0 {
 		return v
 	}
 	return v.Scale(1 / n)

@@ -67,7 +67,9 @@ func (tr *Trace) At(t float64) State {
 		i = len(st) - 2
 	}
 	a, b := st[i], st[i+1]
-	if b.T == a.T {
+	// Timestamps are non-decreasing, so "not after" means "duplicate state";
+	// the ordered form also keeps the division below safe.
+	if b.T <= a.T {
 		return a
 	}
 	f := (t - a.T) / (b.T - a.T)

@@ -42,7 +42,7 @@ func Walk(cfg WalkConfig) *Trace {
 		panic("mobility: walk distance must be positive")
 	}
 	base := cfg.BaseSpeedMS
-	if base == 0 {
+	if base <= 0 {
 		base = 1.35
 	}
 

@@ -50,7 +50,7 @@ func (m *Map) WriteSVG(w io.Writer) error {
 	}
 	b := m.City.Bounds()
 	widthPx := m.WidthPx
-	if widthPx == 0 {
+	if widthPx <= 0 {
 		widthPx = 900
 	}
 	span := b.MaxX - b.MinX

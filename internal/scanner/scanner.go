@@ -191,8 +191,11 @@ func Scan(tr *mobility.Trace, f Source, cfg Config) []trajectory.Sample {
 		}
 	}
 	sort.SliceStable(samples, func(i, j int) bool {
-		if samples[i].T != samples[j].T {
-			return samples[i].T < samples[j].T
+		if samples[i].T < samples[j].T {
+			return true
+		}
+		if samples[i].T > samples[j].T {
+			return false
 		}
 		return samples[i].Ch < samples[j].Ch
 	})

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the documented behaviour of the statistical kernels on
+// degenerate inputs — zero-variance windows, all-missing channels,
+// single-sample windows — so it is a contract rather than whatever happens
+// to fall out of the arithmetic. The naninguard analyzer (cmd/rups-lint)
+// assumes exactly these guarantees at every call site.
+
+func allMissing(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = Missing
+	}
+	return xs
+}
+
+func TestPearsonDegenerateWindows(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+	}{
+		{"both empty", nil, nil},
+		{"single sample", []float64{3}, []float64{4}},
+		{"zero variance x", []float64{5, 5, 5, 5}, []float64{1, 2, 3, 4}},
+		{"zero variance y", []float64{1, 2, 3, 4}, []float64{-7, -7, -7, -7}},
+		{"zero variance both", []float64{2, 2, 2}, []float64{9, 9, 9}},
+		{"all missing x", allMissing(6), []float64{1, 2, 3, 4, 5, 6}},
+		{"all missing y", []float64{1, 2, 3, 4, 5, 6}, allMissing(6)},
+		{"all missing both", allMissing(4), allMissing(4)},
+		{"one valid pair", []float64{1, Missing, Missing}, []float64{2, Missing, Missing}},
+		{"disjoint validity", []float64{1, Missing, 3}, []float64{Missing, 2, Missing}},
+	}
+	for _, c := range cases {
+		if r := Pearson(c.x, c.y); r != 0 { //lint:ignore floatcmp the documented degenerate return is exactly 0
+			t.Errorf("%s: Pearson = %v, want exactly 0", c.name, r)
+		}
+	}
+}
+
+func TestTrajCorrAllMissingChannels(t *testing.T) {
+	// Every GSM channel unscanned over the whole window: each per-channel
+	// Pearson is degenerate (0) and the column means are all Missing, so
+	// the column term is degenerate too. The documented result is 0 — not
+	// NaN, which would poison every downstream score comparison.
+	width, m := 5, 20
+	a := make([][]float64, width)
+	b := make([][]float64, width)
+	for ch := 0; ch < width; ch++ {
+		a[ch] = allMissing(m)
+		b[ch] = allMissing(m)
+	}
+	if r := TrajCorr(a, b); r != 0 { //lint:ignore floatcmp the documented degenerate return is exactly 0
+		t.Fatalf("TrajCorr(all missing) = %v, want exactly 0", r)
+	}
+}
+
+func TestTrajCorrSingleSampleWindow(t *testing.T) {
+	// One-metre windows: every per-channel correlation has a single pair,
+	// which is below Pearson's two-pair minimum.
+	a := [][]float64{{-80}, {-90}, {-100}}
+	b := [][]float64{{-75}, {-95}, {-85}}
+	if r := TrajCorr(a, b); r != 0 { //lint:ignore floatcmp the documented degenerate return is exactly 0
+		t.Fatalf("TrajCorr(single sample) = %v, want exactly 0", r)
+	}
+}
+
+func TestTrajCorrNeverNaN(t *testing.T) {
+	// Sweep structured degenerate shapes: partial missing channels,
+	// constant channels, lone valid cells. The result must always be a
+	// finite number in [-2, 2].
+	shapes := []func(ch, i int) float64{
+		func(ch, i int) float64 { return Missing },
+		func(ch, i int) float64 {
+			if ch%2 == 0 {
+				return Missing
+			}
+			return -80
+		},
+		func(ch, i int) float64 {
+			if i == 0 {
+				return -70
+			}
+			return Missing
+		},
+		func(ch, i int) float64 { return float64(-100 + ch) }, // constant rows
+		func(ch, i int) float64 {
+			if (ch+i)%3 == 0 {
+				return Missing
+			}
+			return float64(-110 + ch*7 + i%5)
+		},
+	}
+	const width, m = 4, 9
+	build := func(f func(ch, i int) float64) [][]float64 {
+		rows := make([][]float64, width)
+		for ch := range rows {
+			rows[ch] = make([]float64, m)
+			for i := range rows[ch] {
+				rows[ch][i] = f(ch, i)
+			}
+		}
+		return rows
+	}
+	for si, fa := range shapes {
+		for sj, fb := range shapes {
+			r := TrajCorr(build(fa), build(fb))
+			if math.IsNaN(r) || r < -2 || r > 2 {
+				t.Errorf("shapes (%d,%d): TrajCorr = %v, want finite in [-2,2]", si, sj, r)
+			}
+		}
+	}
+}
+
+func TestMeanOKDistinguishesEmptyFromZero(t *testing.T) {
+	if m, ok := MeanOK(nil); ok || m != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("MeanOK(nil) = %v, %v; want 0, false", m, ok)
+	}
+	if m, ok := MeanOK(allMissing(5)); ok || m != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("MeanOK(all missing) = %v, %v; want 0, false", m, ok)
+	}
+	// A genuine mean of exactly zero keeps ok=true — the case plain Mean
+	// cannot distinguish.
+	if m, ok := MeanOK([]float64{-3, 3}); !ok || m != 0 { //lint:ignore floatcmp exact cancellation is the point
+		t.Errorf("MeanOK({-3,3}) = %v, %v; want 0, true", m, ok)
+	}
+	if m, ok := MeanOK([]float64{Missing, 4, Missing}); !ok || !ApproxEqual(m, 4, 1e-12) {
+		t.Errorf("MeanOK({Missing,4,Missing}) = %v, %v; want 4, true", m, ok)
+	}
+}
+
+func TestDescriptiveDegenerates(t *testing.T) {
+	if v := Variance([]float64{7}); v != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("Variance(single) = %v, want 0", v)
+	}
+	if v := Variance(allMissing(3)); v != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("Variance(all missing) = %v, want 0", v)
+	}
+	if s := StdDev(allMissing(3)); s != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("StdDev(all missing) = %v, want 0", s)
+	}
+	if m, hw := MeanCI(allMissing(4)); m != 0 || hw != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("MeanCI(all missing) = %v ± %v, want 0 ± 0", m, hw)
+	}
+	if m, hw := MeanCI([]float64{5}); !ApproxEqual(m, 5, 1e-12) || hw != 0 { //lint:ignore floatcmp documented zero half-width
+		t.Errorf("MeanCI(single) = %v ± %v, want 5 ± 0", m, hw)
+	}
+	if m := SelectiveMean(allMissing(6)); m != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("SelectiveMean(all missing) = %v, want 0", m)
+	}
+	if r := RelativeChange(allMissing(3), allMissing(3)); r != 0 { //lint:ignore floatcmp documented zero fallback
+		t.Errorf("RelativeChange(all missing) = %v, want 0", r)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("values within eps must compare approximately equal")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-9) {
+		t.Error("values beyond eps must not compare approximately equal")
+	}
+	if ApproxEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN must never be approximately equal, even to itself")
+	}
+	if ApproxEqual(math.Inf(1), math.Inf(1), 1) {
+		// Inf - Inf is NaN; infinities are beyond any finite tolerance.
+		t.Error("Inf must not be approximately equal under a finite eps")
+	}
+}

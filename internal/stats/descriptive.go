@@ -24,6 +24,34 @@ func Mean(xs []float64) float64 {
 	return s / float64(n)
 }
 
+// MeanOK returns the arithmetic mean of xs, skipping Missing entries, and
+// reports whether any valid value contributed. Use it instead of comparing
+// Mean's result against the 0 fallback: a genuine mean of exactly 0 and
+// "no data" are different answers.
+func MeanOK(xs []float64) (mean float64, ok bool) {
+	var s float64
+	var n int
+	for _, x := range xs {
+		if IsMissing(x) {
+			continue
+		}
+		s += x
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return s / float64(n), true
+}
+
+// ApproxEqual reports whether a and b agree within the absolute tolerance
+// eps. It is the sanctioned alternative to ==/!= on floating-point values
+// (see the floatcmp analyzer in cmd/rups-lint). NaNs are never
+// approximately equal to anything, including each other.
+func ApproxEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
 // Variance returns the unbiased sample variance of xs, skipping Missing
 // entries. Fewer than two valid values yield 0.
 func Variance(xs []float64) float64 {

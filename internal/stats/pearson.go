@@ -52,7 +52,10 @@ func Pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	// A non-positive sum of squares means the vector is constant over the
+	// valid pairs (the ordered comparison also rejects any rounding or
+	// overflow artefact that could turn the ratio into a NaN).
+	if sxx <= 0 || syy <= 0 {
 		return 0
 	}
 	r := sxy / math.Sqrt(sxx*syy)
@@ -132,7 +135,7 @@ func RelativeChange(x, xp []float64) float64 {
 		diff2 += d * d
 		norm2 += x[i] * x[i]
 	}
-	if norm2 == 0 {
+	if norm2 <= 0 {
 		return 0
 	}
 	return math.Sqrt(diff2 / norm2)

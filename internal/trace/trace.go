@@ -254,13 +254,22 @@ func decodeVehicle(v *VehicleRecord, b []byte) error {
 	if err := v.Aware.UnmarshalBinary(aw); err != nil {
 		return err
 	}
+	// Counts come off the wire; bound them by the bytes actually present
+	// before allocating, or a corrupt count means gigabytes of allocation
+	// and billions of loop iterations on a few hundred KB of input.
 	nPos := int(d.u32())
+	if nPos < 0 || nPos > d.remaining()/vecWireSize {
+		return fmt.Errorf("%w: mark count %d exceeds payload", ErrBadTrace, nPos)
+	}
 	v.MarkTruePos = make([]geo.Vec2, nPos)
 	for i := range v.MarkTruePos {
 		v.MarkTruePos[i] = d.vec()
 	}
 	v.T0 = math.Float64frombits(d.u64())
 	n := int(d.u32())
+	if n < 0 || n > d.remaining()/sampleWireSize {
+		return fmt.Errorf("%w: sample count %d exceeds payload", ErrBadTrace, n)
+	}
 	v.S = make([]float64, n)
 	v.Pos = make([]geo.Vec2, n)
 	v.GPSFix = make([]geo.Vec2, n)
@@ -277,12 +286,22 @@ func decodeVehicle(v *VehicleRecord, b []byte) error {
 	return nil
 }
 
+// Wire sizes of the repeated elements in a vehicle body, used to bound
+// decoded counts: a Vec2 is two float32s; a truth sample is one float32 S,
+// two Vec2s, and one GPSOK byte.
+const (
+	vecWireSize    = 8
+	sampleWireSize = 4 + 2*vecWireSize + 1
+)
+
 // decoder is a bounds-checked little-endian reader.
 type decoder struct {
 	data []byte
 	off  int
 	err  bool
 }
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
 
 func (d *decoder) bytes(n int) []byte {
 	if n < 0 || d.off+n > len(d.data) {

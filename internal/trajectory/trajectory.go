@@ -245,8 +245,8 @@ func (a *Aware) TopChannels(k int) []int {
 	}
 	ms := make([]chMean, len(a.Power))
 	for ch := range a.Power {
-		m := stats.Mean(a.Power[ch])
-		if m == 0 { // all missing ⇒ Mean returns 0; rank below the floor
+		m, ok := stats.MeanOK(a.Power[ch])
+		if !ok { // all missing: rank below the floor
 			m = gsm.NoiseFloorDBm - 1
 		}
 		ms[ch] = chMean{ch, m}

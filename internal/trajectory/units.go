@@ -1,0 +1,28 @@
+package trajectory
+
+// This file is the sanctioned crossing point between the codebase's two
+// "metre" units:
+//
+//   - a metre-INDEX (int): the i-th per-metre mark since recording began,
+//     used to address Geo.Marks and the columns of Aware.Power;
+//   - a metre-DISTANCE (float64): a length along the road.
+//
+// The two are numerically interchangeable — mark i sits i metres from the
+// trajectory start — which makes raw float64(idx) / int(dist) conversions
+// invisible unit changes. The indexunit analyzer (cmd/rups-lint) flags
+// such raw conversions and points here.
+
+// MetresFromIndex returns the distance in metres from the trajectory start
+// to the i-th metre mark.
+func MetresFromIndex(i int) float64 { return float64(i) }
+
+// IndexFromMetres returns the metre index whose mark covers the point d
+// metres from the trajectory start: the distance truncated to a whole
+// metre, clamped at 0 so callers cannot produce a negative index from
+// sensor noise near the origin.
+func IndexFromMetres(d float64) int {
+	if d <= 0 {
+		return 0
+	}
+	return int(d)
+}
