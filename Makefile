@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short race lint bench eval eval-quick \
-	fuzz fuzz-trajectory fuzz-trace maps clean
+.PHONY: all build test test-short race lint lint-sarif lint-ignores bench \
+	eval eval-quick fuzz fuzz-trajectory fuzz-trace fuzz-v2v maps clean
 
 all: build test
 
@@ -20,10 +20,19 @@ race:
 	go test -race -short ./...
 
 # Static analysis: go vet plus the domain-aware analyzers in cmd/rups-lint
-# (floatcmp, indexunit, lockcheck, naninguard — see docs/STATIC_ANALYSIS.md).
+# (ctxguard, errflow, floatcmp, indexunit, lockcheck, naninguard, wiretaint
+# — see docs/STATIC_ANALYSIS.md).
 lint:
 	go vet ./...
 	go run ./cmd/rups-lint ./...
+
+# SARIF 2.1.0 report for CI annotation (same findings as `make lint`).
+lint-sarif:
+	go run ./cmd/rups-lint -json ./... > rups-lint.sarif
+
+# Audit every lint:ignore suppression; fails if one lacks a justification.
+lint-ignores:
+	go run ./cmd/rups-lint -list-ignores ./...
 
 bench:
 	go test -run XXXNONE -bench=. -benchmem ./...
@@ -34,13 +43,14 @@ eval:
 eval-quick:
 	go run ./cmd/rups-eval -quick
 
-# Both fuzzers always run, even when the first one finds a crasher; the
+# All fuzzers always run, even when an earlier one finds a crasher; the
 # exit status still reflects any failure. Seed corpus entries live in each
 # package's testdata/fuzz/ directory.
 fuzz:
 	@rc=0; \
 	$(MAKE) fuzz-trajectory || rc=1; \
 	$(MAKE) fuzz-trace || rc=1; \
+	$(MAKE) fuzz-v2v || rc=1; \
 	exit $$rc
 
 fuzz-trajectory:
@@ -49,9 +59,12 @@ fuzz-trajectory:
 fuzz-trace:
 	go test -run FuzzReadFrom -fuzz FuzzReadFrom -fuzztime 30s ./internal/trace/
 
+fuzz-v2v:
+	go test -run FuzzV2VDecode -fuzz FuzzV2VDecode -fuzztime 30s ./internal/v2v/
+
 maps:
 	go run ./cmd/rups-map -out docs/city.svg
 	go run ./cmd/rups-map -scenario -out docs/scenario.svg
 
 clean:
-	rm -f drive.rupt
+	rm -f drive.rupt rups-lint.sarif

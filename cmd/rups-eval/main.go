@@ -87,7 +87,9 @@ func main() {
 			f, err := os.Create(path)
 			if err == nil {
 				err = r.table.WriteCSV(f)
-				f.Close()
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "rups-eval: csv %s: %v\n", path, err)

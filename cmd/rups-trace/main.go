@@ -49,7 +49,9 @@ func record(args []string) {
 	radios := fs.Int("radios", 4, "scanning radios")
 	distance := fs.Float64("distance", 1200, "drive length, m")
 	seed := fs.Uint64("seed", 7, "scenario seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 
 	rc := city.RoadClass(*class)
 	sc := sim.DefaultScenario(*seed, rc)
@@ -86,7 +88,9 @@ func load(path string) *trace.Record {
 func info(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "drive.rupt", "trace file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 	rec := load(*in)
 	fmt.Printf("label:    %s\n", rec.Label)
 	fmt.Printf("seed:     %d\n", rec.Seed)
@@ -102,7 +106,9 @@ func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("in", "drive.rupt", "trace file")
 	queries := fs.Int("queries", 50, "number of replayed queries")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 	rec := load(*in)
 
 	p := core.DefaultParams()

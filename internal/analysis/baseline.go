@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baselines let rups-lint adopt a new analyzer incrementally: known
+// findings are written to a JSON file once, suppressed on later runs,
+// and burned down over time. A finding is fingerprinted by analyzer,
+// repo-relative file, and message — but not line number, so unrelated
+// edits that shift code do not resurrect suppressed findings. Identical
+// findings in one file are counted, so fixing one of three leaves two
+// suppressed and flags a fourth.
+
+// BaselineEntry is one suppressed finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is a set of suppressed finding classes.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// NewBaseline fingerprints the given diagnostics relative to root.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, d := range diags {
+		key := fingerprint(d, root)
+		counts[key]++
+	}
+	b := &Baseline{}
+	for key, n := range counts {
+		key.Count = n
+		b.Entries = append(b.Entries, key)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteFile stores the baseline as indented JSON, suitable for review
+// and committing.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the diagnostics not covered by the baseline. Within one
+// fingerprint class the first Count diagnostics (in the driver's sorted
+// order) are suppressed and the rest reported.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	budget := make(map[BaselineEntry]int, len(b.Entries))
+	for _, e := range b.Entries {
+		n := e.Count
+		e.Count = 0
+		budget[e] += n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := fingerprint(d, root)
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// fingerprint is the line-independent identity of a diagnostic.
+func fingerprint(d Diagnostic, root string) BaselineEntry {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return BaselineEntry{Analyzer: d.Analyzer, File: file, Message: d.Message}
+}

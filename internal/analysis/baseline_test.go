@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := "/repo"
+	diags := []Diagnostic{
+		diag("errflow", "/repo/cmd/a/main.go", 10, "error dropped"),
+		diag("errflow", "/repo/cmd/a/main.go", 20, "error dropped"),
+		diag("wiretaint", "/repo/internal/x/x.go", 5, "tainted make"),
+	}
+	b := NewBaseline(diags, root)
+	if len(b.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (identical findings collapse): %+v", len(b.Entries), b.Entries)
+	}
+	// Entries are sorted by file; the repeated finding carries its count.
+	if b.Entries[0].File != "cmd/a/main.go" || b.Entries[0].Count != 2 {
+		t.Errorf("entry 0 = %+v, want cmd/a/main.go count 2", b.Entries[0])
+	}
+
+	// Everything baselined: nothing survives the filter.
+	if rest := b.Filter(diags, root); len(rest) != 0 {
+		t.Errorf("filter left %d diagnostics, want 0: %v", len(rest), rest)
+	}
+
+	// The same finding moving to another line stays suppressed.
+	moved := []Diagnostic{diag("wiretaint", "/repo/internal/x/x.go", 99, "tainted make")}
+	if rest := b.Filter(moved, root); len(rest) != 0 {
+		t.Errorf("line move resurrected a baselined finding: %v", rest)
+	}
+
+	// A third copy of a finding baselined twice is reported.
+	tripled := []Diagnostic{
+		diag("errflow", "/repo/cmd/a/main.go", 10, "error dropped"),
+		diag("errflow", "/repo/cmd/a/main.go", 20, "error dropped"),
+		diag("errflow", "/repo/cmd/a/main.go", 30, "error dropped"),
+	}
+	if rest := b.Filter(tripled, root); len(rest) != 1 {
+		t.Errorf("filter left %d diagnostics, want exactly the third copy", len(rest))
+	}
+
+	// A genuinely new finding passes through.
+	fresh := []Diagnostic{diag("ctxguard", "/repo/internal/x/x.go", 7, "orphan goroutine")}
+	if rest := b.Filter(fresh, root); len(rest) != 1 {
+		t.Errorf("new finding was swallowed: %v", rest)
+	}
+}
+
+func TestBaselineFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := NewBaseline([]Diagnostic{
+		diag("errflow", "/repo/a.go", 1, "error dropped"),
+	}, "/repo")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(loaded.Entries) != 1 || loaded.Entries[0] != b.Entries[0] {
+		t.Errorf("round trip mismatch: wrote %+v, read %+v", b.Entries, loaded.Entries)
+	}
+}
+
+func TestLoadBaselineMissing(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing baseline should fail, not silently succeed")
+	}
+}

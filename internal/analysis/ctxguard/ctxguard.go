@@ -1,0 +1,155 @@
+// Package ctxguard flags goroutines started without any cancellation
+// path. A worker that cannot be told to stop is a leak: in a
+// long-running RUPS service the scanner, v2v exchange, and simulation
+// layers all spawn per-query or per-peer goroutines, and every one of
+// them must be reachable by a context.Context, a done/quit channel, or
+// a sync.WaitGroup the parent waits on. A goroutine with none of those
+// outlives its request, pins its captures, and accumulates until the
+// process dies.
+//
+// Detection is structural: for each `go` statement, look for a
+// cancellation affordance among (a) the call's arguments, (b) the
+// callee's receiver, and (c) for function literals, any variable
+// referenced inside the body but declared outside it. An affordance is
+// a context.Context, any channel-bearing type, or a sync.WaitGroup. A
+// channel created *inside* the literal does not count — nobody outside
+// can signal on it.
+package ctxguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rups/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxguard",
+	Doc: "flags goroutines started without a cancellation path " +
+		"(no context.Context, done channel, or sync.WaitGroup reaches them)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		if hasCancellationPath(pass, g.Call) {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine started without a cancellation path: no context.Context, "+
+				"channel, or sync.WaitGroup reaches it, so it cannot be stopped")
+	})
+	return nil
+}
+
+// hasCancellationPath reports whether any cancellation affordance is
+// visible to the spawned goroutine.
+func hasCancellationPath(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isAffordance(pass.TypesInfo.TypeOf(arg)) {
+			return true
+		}
+	}
+	fun := ast.Unparen(call.Fun)
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		return closureCaptures(pass, lit)
+	}
+	// Named callee: the receiver may carry the affordance (method on a
+	// struct holding a quit channel or WaitGroup).
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if isAffordance(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+// closureCaptures reports whether the literal's body references an
+// affordance-typed variable declared outside the literal. Channels made
+// inside the body are excluded: they are invisible to the parent.
+func closureCaptures(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isAffordance(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the literal itself
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// isAffordance reports whether t is, or contains at one level of
+// struct/pointer nesting, a context.Context, a channel, or a
+// sync.WaitGroup.
+func isAffordance(t types.Type) bool {
+	return affordanceIn(t, make(map[types.Type]bool))
+}
+
+func affordanceIn(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isContext(t) || isWaitGroup(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return affordanceIn(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			ft := u.Field(i).Type()
+			if isContext(ft) || isWaitGroup(ft) {
+				return true
+			}
+			if _, ok := ft.Underlying().(*types.Chan); ok {
+				return true
+			}
+			if p, ok := ft.Underlying().(*types.Pointer); ok {
+				if affordanceIn(p.Elem(), seen) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (or *sync.WaitGroup
+// after the pointer unwrap in affordanceIn).
+func isWaitGroup(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

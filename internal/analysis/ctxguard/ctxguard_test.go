@@ -1,0 +1,12 @@
+package ctxguard_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/ctxguard"
+)
+
+func TestCtxguard(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxguard.Analyzer, "ctxguard")
+}

@@ -1,0 +1,154 @@
+package dataflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+	"rups/internal/analysis/loader"
+)
+
+// load builds a dataflow analysis over the wiretaint golden package,
+// which exercises every source, sink, and summary shape.
+func load(t *testing.T) (*analysis.Pass, *dataflow.Analysis) {
+	t.Helper()
+	dir := filepath.Join("..", "testdata", "src", "wiretaint")
+	pkgs, err := loader.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load golden package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors in golden package: %v", p.TypeErrors)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  &analysis.Analyzer{Name: "dataflow-test"},
+		Fset:      p.Fset,
+		Files:     p.Syntax,
+		Pkg:       p.Types,
+		TypesInfo: p.TypesInfo,
+	}
+	return pass, dataflow.New(pass)
+}
+
+// flowOf finds the FuncFlow for a named function or method.
+func flowOf(t *testing.T, df *dataflow.Analysis, name string) *dataflow.FuncFlow {
+	t.Helper()
+	for _, flow := range df.Flows {
+		if flow.Decl.Name.Name == name {
+			return flow
+		}
+	}
+	t.Fatalf("no flow for %s", name)
+	return nil
+}
+
+// sinkFact evaluates the first sink of the named function.
+func sinkFact(t *testing.T, df *dataflow.Analysis, flow *dataflow.FuncFlow, kind dataflow.SinkKind) dataflow.Fact {
+	t.Helper()
+	for _, sink := range flow.Sinks {
+		if sink.Kind == kind {
+			return df.Fact(sink.Val, flow, sink.Val.Pos())
+		}
+	}
+	t.Fatalf("%s has no %s sink", flow.Decl.Name.Name, kind)
+	return dataflow.Clean
+}
+
+func TestTaintReachesUnguardedMake(t *testing.T) {
+	_, df := load(t)
+	flow := flowOf(t, df, "ReadFromLegacy")
+	if got := sinkFact(t, df, flow, dataflow.SinkMake); got != dataflow.Tainted {
+		t.Errorf("ReadFromLegacy make sink: got %s, want tainted", got)
+	}
+}
+
+func TestBoundCheckPromotesToBounded(t *testing.T) {
+	_, df := load(t)
+	flow := flowOf(t, df, "ReadFromFixed")
+	if got := sinkFact(t, df, flow, dataflow.SinkMake); got != dataflow.Bounded {
+		t.Errorf("ReadFromFixed make sink: got %s, want bounded", got)
+	}
+}
+
+func TestMinClampIsBounded(t *testing.T) {
+	_, df := load(t)
+	flow := flowOf(t, df, "Clamped")
+	if got := sinkFact(t, df, flow, dataflow.SinkMake); got != dataflow.Bounded {
+		t.Errorf("Clamped make sink: got %s, want bounded", got)
+	}
+}
+
+func TestByteWideIsCapped(t *testing.T) {
+	_, df := load(t)
+	flow := flowOf(t, df, "ByteWide")
+	if got := sinkFact(t, df, flow, dataflow.SinkMake); got == dataflow.Tainted {
+		t.Errorf("ByteWide make sink: got tainted, want at most bounded")
+	}
+}
+
+func TestSummaryReturnsTainted(t *testing.T) {
+	_, df := load(t)
+	for _, name := range []string{"u32", "wireCount"} {
+		flow := flowOf(t, df, name)
+		s := df.SummaryOf(flow.Fn)
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if !s.ReturnsTainted {
+			t.Errorf("summary of %s: ReturnsTainted = false, want true", name)
+		}
+	}
+}
+
+func TestSummaryUnguardedParams(t *testing.T) {
+	_, df := load(t)
+	unguarded := flowOf(t, df, "allocRecords")
+	s := df.SummaryOf(unguarded.Fn)
+	if s == nil || len(s.UnguardedParams) != 1 || !s.UnguardedParams[0] {
+		t.Errorf("allocRecords: UnguardedParams = %+v, want [true]", s)
+	}
+	guarded := flowOf(t, df, "allocChecked")
+	s = df.SummaryOf(guarded.Fn)
+	if s == nil {
+		t.Fatal("no summary for allocChecked")
+	}
+	for i, bad := range s.UnguardedParams {
+		if bad {
+			t.Errorf("allocChecked: parameter %d reported unguarded", i)
+		}
+	}
+}
+
+func TestDefUseChainShape(t *testing.T) {
+	_, df := load(t)
+	flow := flowOf(t, df, "Clamped")
+	objs := flow.Objects()
+	if len(objs) == 0 {
+		t.Fatal("Clamped has no tracked objects")
+	}
+	// n has two Defs (:= and the min clamp) and at least one Use.
+	for _, obj := range objs {
+		if obj.Name() != "n" {
+			continue
+		}
+		defs, uses := 0, 0
+		for _, ev := range flow.EventsOf(obj) {
+			switch ev.Kind {
+			case dataflow.Def:
+				defs++
+			case dataflow.Use:
+				uses++
+			}
+		}
+		if defs != 2 || uses < 2 {
+			t.Errorf("n: %d defs / %d uses, want 2 defs and >=2 uses", defs, uses)
+		}
+		return
+	}
+	t.Fatal("no object named n in Clamped")
+}

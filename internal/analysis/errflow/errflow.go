@@ -1,0 +1,336 @@
+// Package errflow audits how error values travel: a dropped or
+// overwritten error silently converts an I/O or decode failure into a
+// plausible wrong answer, which in this codebase means a corrupt trace
+// replayed as truth or a half-written CSV shipped as results.
+//
+// Four checks, all on the def-use chains from internal/analysis/dataflow:
+//
+//   - a call statement discarding an error-bearing result entirely
+//     (fmt's print family, strings.Builder and bytes.Buffer writes are
+//     exempt: they are documented never to fail or to be best-effort);
+//   - an error result discarded via _ in an assignment;
+//   - an error variable overwritten by a second assignment in the same
+//     block with no read in between — the first failure is lost;
+//   - a := re-declaration shadowing an outer error variable that is read
+//     again after the inner scope ends: the shadowed error never reaches
+//     that read, so the function reports stale success.
+//
+// Deferred calls are exempt from the dropped-error check: defers are
+// cleanup, and the idiomatic `defer f.Close()` on a read path is not a
+// bug. Closing a written file is different — do it explicitly and check.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: "flags dropped, overwritten, _-discarded, and shadow-lost error " +
+		"values (outside deferred cleanup and fmt's print family)",
+	Run: run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	checkDiscards(pass)
+	df := dataflow.New(pass)
+	for _, flow := range df.Flows {
+		checkOverwrites(pass, flow)
+		checkNeverRead(pass, flow)
+		checkShadows(pass, flow)
+	}
+	return nil
+}
+
+// ---- discards ----------------------------------------------------------
+
+// checkDiscards flags expression statements that drop an error-bearing
+// result and assignments that discard an error into _.
+func checkDiscards(pass *analysis.Pass) {
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok || !returnsError(pass, call) || exempt(pass, call) {
+				return
+			}
+			pass.Reportf(n.Pos(), "result of %s carries an error that is dropped; check it or assign it",
+				callName(pass, call))
+		case *ast.AssignStmt:
+			checkBlankAssign(pass, n)
+		}
+	})
+}
+
+// checkBlankAssign flags `_` positions whose incoming value is an error.
+func checkBlankAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	for i, lhs := range n.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := blankType(pass, n, i)
+		if t == nil || !types.Identical(t, errorType) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "error discarded via _; handle it or document why it cannot happen")
+	}
+}
+
+// blankType resolves the type flowing into position i of the assignment.
+func blankType(pass *analysis.Pass, n *ast.AssignStmt, i int) types.Type {
+	if len(n.Rhs) == len(n.Lhs) {
+		return pass.TypesInfo.TypeOf(n.Rhs[i])
+	}
+	if len(n.Rhs) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(n.Rhs[0])
+	if tuple, ok := t.(*types.Tuple); ok && i < tuple.Len() {
+		return tuple.At(i).Type()
+	}
+	return nil
+}
+
+// returnsError reports whether the call's result is or contains an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// exempt reports calls whose dropped error is sanctioned: fmt's print
+// family (best-effort diagnostics) and the never-failing in-memory
+// writers strings.Builder and bytes.Buffer.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+		path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+		if (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders the callee for a diagnostic.
+func callName(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			return base.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "the call"
+}
+
+// ---- overwritten and unread errors -------------------------------------
+
+// checkOverwrites flags an error variable assigned twice in the same
+// block with no read between the assignments.
+func checkOverwrites(pass *analysis.Pass, flow *dataflow.FuncFlow) {
+	for _, obj := range flow.Objects() {
+		if !types.Identical(obj.Type(), errorType) {
+			continue
+		}
+		events := flow.EventsOf(obj)
+		var prev *dataflow.Event
+		for i := range events {
+			ev := &events[i]
+			if ev.Kind == dataflow.Use {
+				prev = nil
+				continue
+			}
+			if prev != nil && prev.Rhs != nil && ev.Rhs != nil &&
+				prev.Block == ev.Block && !ev.Compound {
+				pos := pass.Fset.Position(prev.Pos)
+				pass.Reportf(ev.Pos,
+					"error %q overwritten before the value assigned at line %d is checked",
+					obj.Name(), pos.Line)
+			}
+			prev = ev
+		}
+	}
+}
+
+// checkNeverRead flags a local error variable whose last assignment is
+// never read. Two execution orders that source positions cannot see are
+// exempted: a read earlier in a loop body that also holds the write
+// (next-iteration read), and any read inside a closure (deferred or
+// escaping reads run at unknowable times).
+func checkNeverRead(pass *analysis.Pass, flow *dataflow.FuncFlow) {
+	loops, lits := bodyRegions(flow.Decl.Body)
+	for _, obj := range flow.Objects() {
+		if !types.Identical(obj.Type(), errorType) || flow.IsResult(obj) {
+			continue
+		}
+		events := flow.EventsOf(obj)
+		var lastDef *dataflow.Event
+		readAfter, readInLit := false, false
+		for i := range events {
+			ev := &events[i]
+			if ev.Kind == dataflow.Def {
+				if ev.Rhs != nil {
+					lastDef = ev
+					readAfter = false
+				}
+				continue
+			}
+			if lastDef != nil && ev.Pos > lastDef.Pos {
+				readAfter = true
+			}
+			if within(lits, ev.Pos) {
+				readInLit = true
+			}
+		}
+		if lastDef == nil || readAfter || readInLit {
+			continue
+		}
+		// A read earlier in the same loop body reaches the write on the
+		// next iteration.
+		if loop := enclosing(loops, lastDef.Pos); loop != nil && usedWithin(events, loop) {
+			continue
+		}
+		pass.Reportf(lastDef.Pos, "error %q is assigned but never checked", obj.Name())
+	}
+}
+
+// region is a position interval of a syntactic construct.
+type region struct{ pos, end token.Pos }
+
+// bodyRegions collects loop-body and function-literal extents.
+func bodyRegions(body *ast.BlockStmt) (loops, lits []region) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, region{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, region{n.Body.Pos(), n.Body.End()})
+		case *ast.FuncLit:
+			lits = append(lits, region{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return loops, lits
+}
+
+func within(rs []region, p token.Pos) bool {
+	for _, r := range rs {
+		if p >= r.pos && p < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+func enclosing(rs []region, p token.Pos) *region {
+	for i := range rs {
+		if p >= rs[i].pos && p < rs[i].end {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+func usedWithin(events []dataflow.Event, r *region) bool {
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind == dataflow.Use && ev.Pos >= r.pos && ev.Pos < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- shadowed errors ---------------------------------------------------
+
+// checkShadows flags a := declaration of an error variable that shadows
+// an outer error which is read again after the inner scope closes: the
+// inner error can never reach that later read.
+func checkShadows(pass *analysis.Pass, flow *dataflow.FuncFlow) {
+	ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok.String() != ":=" {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			inner, ok := pass.TypesInfo.Defs[id].(*types.Var)
+			if !ok || !types.Identical(inner.Type(), errorType) {
+				continue
+			}
+			reportShadow(pass, flow, id, inner)
+		}
+		return true
+	})
+}
+
+func reportShadow(pass *analysis.Pass, flow *dataflow.FuncFlow, id *ast.Ident, inner *types.Var) {
+	scope := inner.Parent()
+	if scope == nil || scope.Parent() == nil {
+		return
+	}
+	_, outerObj := scope.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer.IsField() || !types.Identical(outer.Type(), errorType) {
+		return
+	}
+	if outer.Parent() == pass.Pkg.Scope() {
+		return // package-level sentinel, not a local flow
+	}
+	scopeEnd := scope.End()
+	for _, ev := range flow.EventsOf(outer) {
+		if ev.Kind == dataflow.Use && ev.Pos > scopeEnd {
+			outerLine := pass.Fset.Position(outer.Pos()).Line
+			readLine := pass.Fset.Position(ev.Pos).Line
+			pass.Reportf(id.Pos(),
+				"declaration of %q shadows the error from line %d, which is read again at line %d; "+
+					"the shadowed error is lost",
+				id.Name, outerLine, readLine)
+			return
+		}
+	}
+}

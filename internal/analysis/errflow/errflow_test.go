@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "../testdata", errflow.Analyzer, "errflow")
+}

@@ -1,10 +1,71 @@
 package analysis
 
 import (
+	"go/token"
+	"sort"
 	"strings"
 
 	"rups/internal/analysis/loader"
 )
+
+// Ignore is one //lint:ignore directive, justified or not. The lint
+// driver's -list-ignores mode prints these so every suppression in the
+// tree stays auditable, and CI fails on any with an empty Reason.
+type Ignore struct {
+	// Pos is where the directive comment sits.
+	Pos token.Position
+	// Analyzers lists the suppressed analyzer names ("all" wildcards).
+	Analyzers []string
+	// Reason is the justification text after the analyzer list; empty
+	// means the directive is unjustified and therefore inert.
+	Reason string
+}
+
+// CollectIgnores returns every suppression directive in the packages, in
+// file/line order, including unjustified ones (which suppress nothing
+// but must be surfaced rather than silently dropped).
+func CollectIgnores(pkgs []*loader.Package) []Ignore {
+	var out []Ignore
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					ig, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					ig.Pos = pkg.Fset.Position(c.Pos())
+					out = append(out, ig)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// parseDirective splits one comment into a directive, if it is one.
+func parseDirective(text string) (Ignore, bool) {
+	text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Ignore{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+	if rest == "" {
+		return Ignore{}, false
+	}
+	names, reason, _ := strings.Cut(rest, " ")
+	return Ignore{
+		Analyzers: strings.Split(names, ","),
+		Reason:    strings.TrimSpace(reason),
+	}, true
+}
 
 // ignoreSet records //lint:ignore directives: which analyzer names are
 // suppressed on which file:line. A directive written on its own line
@@ -28,19 +89,12 @@ func collectIgnores(pkg *loader.Package) *ignoreSet {
 	for _, file := range pkg.Syntax {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, directivePrefix) {
+				ig, ok := parseDirective(c.Text)
+				if !ok || ig.Reason == "" {
+					// A directive without a reason suppresses nothing; the
+					// reason is mandatory so suppressions stay auditable.
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					// A directive without a reason is ignored; the reason is
-					// mandatory so suppressions stay auditable.
-					continue
-				}
-				names := strings.Split(fields[0], ",")
 				pos := pkg.Fset.Position(c.Pos())
 				lines := set.byLine[pos.Filename]
 				if lines == nil {
@@ -49,8 +103,8 @@ func collectIgnores(pkg *loader.Package) *ignoreSet {
 				}
 				// The directive covers its own line (end-of-line form) and
 				// the next line (own-line form).
-				lines[pos.Line] = append(lines[pos.Line], names...)
-				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+				lines[pos.Line] = append(lines[pos.Line], ig.Analyzers...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], ig.Analyzers...)
 			}
 		}
 	}

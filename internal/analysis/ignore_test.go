@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rups/internal/analysis/loader"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		ok        bool
+		analyzers []string
+		reason    string
+	}{
+		{"//lint:ignore floatcmp zero means unset", true, []string{"floatcmp"}, "zero means unset"},
+		{"// lint:ignore wiretaint,errflow checked by caller", true, []string{"wiretaint", "errflow"}, "checked by caller"},
+		{"//lint:ignore all generated code", true, []string{"all"}, "generated code"},
+		{"//lint:ignore floatcmp", true, []string{"floatcmp"}, ""}, // unjustified: listed, but inert
+		{"// just a comment", false, nil, ""},
+		{"//lint:ignore", false, nil, ""},
+	}
+	for _, c := range cases {
+		ig, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q): ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(ig.Analyzers) != len(c.analyzers) {
+			t.Errorf("parseDirective(%q): analyzers = %v, want %v", c.text, ig.Analyzers, c.analyzers)
+			continue
+		}
+		for i := range c.analyzers {
+			if ig.Analyzers[i] != c.analyzers[i] {
+				t.Errorf("parseDirective(%q): analyzers = %v, want %v", c.text, ig.Analyzers, c.analyzers)
+			}
+		}
+		if ig.Reason != c.reason {
+			t.Errorf("parseDirective(%q): reason = %q, want %q", c.text, ig.Reason, c.reason)
+		}
+	}
+}
+
+// TestCollectIgnores walks the floatcmp golden package, which carries
+// exactly one justified suppression.
+func TestCollectIgnores(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "floatcmp")
+	pkgs, err := loader.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	ignores := CollectIgnores(pkgs)
+	if len(ignores) != 1 {
+		t.Fatalf("got %d ignores, want 1: %+v", len(ignores), ignores)
+	}
+	ig := ignores[0]
+	if len(ig.Analyzers) != 1 || ig.Analyzers[0] != "floatcmp" {
+		t.Errorf("analyzers = %v, want [floatcmp]", ig.Analyzers)
+	}
+	if ig.Reason == "" {
+		t.Error("reason is empty, want the justification text")
+	}
+	if ig.Pos.Line == 0 || filepath.Base(ig.Pos.Filename) != "floatcmp.go" {
+		t.Errorf("position = %v, want a line in floatcmp.go", ig.Pos)
+	}
+}
+
+// TestUnjustifiedDirectiveIsInert confirms the filtering contract: a
+// reasonless directive appears in CollectIgnores but suppresses nothing.
+func TestUnjustifiedDirectiveIsInert(t *testing.T) {
+	ig, ok := parseDirective("//lint:ignore floatcmp")
+	if !ok {
+		t.Fatal("directive not recognized")
+	}
+	if ig.Reason != "" {
+		t.Fatalf("reason = %q, want empty", ig.Reason)
+	}
+	// collectIgnores (the suppression path) drops it; CollectIgnores (the
+	// audit path) must keep it. The parse-level contract above is what
+	// both build on.
+}

@@ -1,0 +1,106 @@
+// Package ctxguard is the golden-diagnostic package for the ctxguard
+// analyzer: every // want comment marks a line that must fire, and every
+// silent line must stay silent.
+package ctxguard
+
+import (
+	"context"
+	"sync"
+)
+
+func work(n int) int { return n * 2 }
+
+// Orphan fires: nothing outside the goroutine can stop it.
+func Orphan() {
+	go func() { // want "goroutine started without a cancellation path"
+		for {
+			work(1)
+		}
+	}()
+}
+
+func count(n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+// OrphanNamed fires for named callees whose arguments carry no
+// affordance either.
+func OrphanNamed() {
+	go count(10) // want "goroutine started without a cancellation path"
+}
+
+// InternalChannel fires: a channel created inside the goroutine is
+// invisible to the parent, so it is not a cancellation path.
+func InternalChannel() {
+	go func() { // want "goroutine started without a cancellation path"
+		ch := make(chan int, 1)
+		ch <- work(1)
+	}()
+}
+
+// WithContext must stay silent: the captured ctx is the cancellation path.
+func WithContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// WithContextArg must stay silent: the context travels as an argument.
+func WithContextArg(ctx context.Context) {
+	go run(ctx)
+}
+
+// WithDone must stay silent: the captured done channel stops the loop.
+func WithDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work(1)
+			}
+		}
+	}()
+}
+
+// WithWaitGroup must stay silent: the parent waits on wg.
+func WithWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work(1)
+	}()
+	wg.Wait()
+}
+
+func worker(jobs chan int) {
+	for j := range jobs {
+		work(j)
+	}
+}
+
+// WithJobChannel must stay silent: closing jobs terminates the worker.
+func WithJobChannel(jobs chan int) {
+	go worker(jobs)
+}
+
+type server struct {
+	quit chan struct{}
+}
+
+func (s *server) loop() {
+	<-s.quit
+}
+
+// MethodReceiver must stay silent: the receiver carries the quit channel.
+func MethodReceiver(s *server) {
+	go s.loop()
+}

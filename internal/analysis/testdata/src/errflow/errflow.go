@@ -1,0 +1,184 @@
+// Package errflow is the golden-diagnostic package for the errflow
+// analyzer: every // want comment marks a line that must fire, and every
+// silent line must stay silent.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func step() error { return nil }
+
+func fetch() (int, error) { return 0, nil }
+
+// Dropped fires: the call's error result vanishes.
+func Dropped() {
+	step() // want "result of step carries an error that is dropped"
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// DroppedMethod fires on method calls too.
+func DroppedMethod(c closer) {
+	c.Close() // want "result of c.Close carries an error that is dropped"
+}
+
+// DeferredClose must stay silent: defers are cleanup, not data flow.
+func DeferredClose(c closer) error {
+	defer c.Close()
+	return step()
+}
+
+// PrintFamily must stay silent: fmt's print family is best-effort by
+// design.
+func PrintFamily() {
+	fmt.Println("status")
+	fmt.Fprintf(os.Stderr, "warn\n")
+}
+
+// BuilderWrites must stay silent: strings.Builder writes never fail.
+func BuilderWrites() string {
+	var sb strings.Builder
+	sb.WriteString("x")
+	return sb.String()
+}
+
+// Blank fires: the error is discarded via _.
+func Blank() int {
+	n, _ := fetch() // want "error discarded via _"
+	return n
+}
+
+// ExplicitDiscard fires: assigning a lone error to _ is still a drop.
+func ExplicitDiscard() {
+	_ = step() // want "error discarded via _"
+}
+
+// BlankNonError must stay silent: discarding a non-error value is fine.
+func BlankNonError() error {
+	_, err := fetch()
+	return err
+}
+
+// Overwrite fires: the first error is clobbered before anyone reads it.
+func Overwrite() error {
+	err := step()
+	err = step() // want "error .err. overwritten before the value assigned at line \\d+ is checked"
+	return err
+}
+
+// CheckedBetween must stay silent: the first error is read before the
+// second assignment.
+func CheckedBetween() error {
+	err := step()
+	if err != nil {
+		return err
+	}
+	err = step()
+	return err
+}
+
+// BranchAssign must stay silent: assignments on alternative paths are
+// not overwrites.
+func BranchAssign(flag bool) error {
+	var err error
+	if flag {
+		err = step()
+	} else {
+		err = errSentinel
+	}
+	return err
+}
+
+// Abandoned fires: the error from the read is never looked at.
+func Abandoned(path string) []byte {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	buf := make([]byte, 16)
+	n, err := f.Read(buf) // want "error .err. is assigned but never checked"
+	return buf[:n]
+}
+
+// PollLoop must stay silent: err is read at the top of the next pass.
+func PollLoop(n int) {
+	var err error
+	for i := 0; i < n; i++ {
+		if err != nil {
+			fmt.Println(err)
+		}
+		err = step()
+	}
+}
+
+// DeferredRead must stay silent: the deferred closure reads err at exit.
+func DeferredRead() {
+	var err error
+	defer func() {
+		if err != nil {
+			fmt.Println(err)
+		}
+	}()
+	err = step()
+}
+
+// Shadowed fires: the inner err never reaches the final return.
+func Shadowed(path string) error {
+	var err error
+	if path != "" {
+		f, err := os.Open(path) // want "shadows the error from line \\d+, which is read again at line \\d+"
+		if err != nil {
+			fmt.Println(err)
+		}
+		_ = f
+	}
+	return err
+}
+
+// ShadowedResult fires: the naked return reads the named result, not the
+// inner err.
+func ShadowedResult(path string) (err error) {
+	if path != "" {
+		f, err := os.Open(path) // want "shadows the error from line \\d+"
+		if err != nil {
+			fmt.Println(err)
+		}
+		_ = f
+	}
+	return
+}
+
+// InnerOnly must stay silent: there is no outer error to lose.
+func InnerOnly(path string) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Println(err)
+		}
+		_ = f
+	}
+}
+
+// ReassignSameScope must stay silent: := re-use of an existing err in
+// the same scope is an assignment, not a shadow.
+func ReassignSameScope(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_ = buf
+	return nil
+}

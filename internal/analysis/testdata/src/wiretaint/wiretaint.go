@@ -1,0 +1,156 @@
+// Package wiretaint is the golden-diagnostic package for the wiretaint
+// analyzer: every // want comment marks a line that must fire, and every
+// silent line must stay silent.
+package wiretaint
+
+import "encoding/binary"
+
+// Vec2 stands in for geo.Vec2: 16 bytes on the wire.
+type Vec2 struct{ X, Y float64 }
+
+// decoder mirrors the cursor-style decoder in internal/trace.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+// ReadFromLegacy reproduces the pre-fix trace.ReadFrom shape: a
+// wire-encoded count flows straight from the decoder into make. A
+// corrupt 4-byte count meant gigabytes of allocation.
+func ReadFromLegacy(data []byte) []Vec2 {
+	d := &decoder{data: data}
+	nPos := int(d.u32())
+	marks := make([]Vec2, nPos) // want "wire-decoded value .nPos. reaches make size without a bound check"
+	return marks
+}
+
+// ReadFromFixed is the post-fix shape: the count is validated against
+// the bytes actually present before the allocation. Must stay silent.
+func ReadFromFixed(data []byte) []Vec2 {
+	d := &decoder{data: data}
+	nPos := int(d.u32())
+	if nPos < 0 || nPos > d.remaining()/16 {
+		return nil
+	}
+	marks := make([]Vec2, nPos)
+	return marks
+}
+
+// DirectCount fires without the decoder indirection too.
+func DirectCount(data []byte) []Vec2 {
+	n := int(binary.LittleEndian.Uint32(data))
+	return make([]Vec2, n) // want "wire-decoded value .n. reaches make size"
+}
+
+// Clamped must stay silent: min() against the trusted buffer length is a
+// bound.
+func Clamped(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	n = min(n, len(data))
+	return make([]byte, n)
+}
+
+// LoopBound fires: an unchecked wire count steering a loop is the same
+// hang, one iteration at a time.
+func LoopBound(data []byte) int {
+	n := int(binary.LittleEndian.Uint16(data))
+	total := 0
+	for i := 0; i < n; i++ { // want "wire-decoded value .n. reaches loop bound"
+		total += int(data[2+i]) % 7
+	}
+	return total
+}
+
+// RangeInt fires for the range-over-int form as well.
+func RangeInt(data []byte) int {
+	n := int(binary.LittleEndian.Uint32(data))
+	s := 0
+	for i := range n { // want "wire-decoded value .n. reaches loop bound"
+		s += i
+	}
+	return s
+}
+
+// LenLoop must stay silent: len(data) measures bytes actually present.
+func LenLoop(data []byte) int {
+	s := 0
+	for i := 0; i < len(data); i++ {
+		s += int(data[i])
+	}
+	return s
+}
+
+// IndexOffset fires: a wire-decoded offset used as an index.
+func IndexOffset(data []byte) byte {
+	off := int(binary.LittleEndian.Uint32(data))
+	return data[off] // want "wire-decoded value .off. reaches index"
+}
+
+// SliceOffset fires on slice bounds.
+func SliceOffset(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint16(data))
+	return data[:n] // want "wire-decoded value .n. reaches slice bound"
+}
+
+// ByteWide must stay silent: a single byte cannot express a dangerous
+// count.
+func ByteWide(data []byte) []bool {
+	k := data[0]
+	return make([]bool, k)
+}
+
+// allocRecords allocates without checking its argument: callers own the
+// bound check, and wiretaint holds them to it via the call summary.
+func allocRecords(count int) []Vec2 {
+	return make([]Vec2, count)
+}
+
+// CallUnguarded fires at the call site: the tainted count crosses into a
+// helper whose parameter reaches make unchecked.
+func CallUnguarded(data []byte) []Vec2 {
+	n := int(binary.LittleEndian.Uint32(data))
+	return allocRecords(n) // want "wire-decoded value .n. passed to allocRecords, whose parameter .count. reaches"
+}
+
+// allocChecked validates its argument itself.
+func allocChecked(count, limit int) []Vec2 {
+	if count < 0 || count > limit {
+		return nil
+	}
+	return make([]Vec2, count)
+}
+
+// CallGuarded must stay silent: the helper bounds the count internally.
+func CallGuarded(data []byte) []Vec2 {
+	n := int(binary.LittleEndian.Uint32(data))
+	return allocChecked(n, len(data)/16)
+}
+
+// wireCount launders a wire value through a same-package return.
+func wireCount(data []byte) int {
+	return int(binary.LittleEndian.Uint32(data))
+}
+
+// ThroughReturn fires: the summary marks wireCount's result tainted.
+func ThroughReturn(data []byte) []Vec2 {
+	n := wireCount(data)
+	return make([]Vec2, n) // want "wire-decoded value .n. reaches make size"
+}
+
+// GuardedReturn must stay silent: the bound check after the call clears
+// the laundered value.
+func GuardedReturn(data []byte) []Vec2 {
+	n := wireCount(data)
+	if n > len(data)/16 {
+		return nil
+	}
+	return make([]Vec2, n)
+}

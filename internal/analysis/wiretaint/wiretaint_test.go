@@ -1,0 +1,12 @@
+package wiretaint_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/wiretaint"
+)
+
+func TestWiretaint(t *testing.T) {
+	analysistest.Run(t, "../testdata", wiretaint.Analyzer, "wiretaint")
+}

@@ -1,0 +1,77 @@
+package v2v
+
+import (
+	"testing"
+
+	"rups/internal/trajectory"
+)
+
+// FuzzV2VDecode hammers the delta packet decoder with arbitrary bytes,
+// mirroring trace.FuzzReadFrom: it must never panic, must reject
+// everything malformed with an error, and everything it accepts must be
+// structurally consistent and re-encodable. The committed corpus under
+// testdata/fuzz/FuzzV2VDecode includes an oversized-count packet — the
+// trace.ReadFrom bug class this package's length check exists to stop.
+func FuzzV2VDecode(f *testing.F) {
+	// A well-formed single-mark, single-channel delta.
+	valid, err := Delta{
+		FromMark: 3,
+		Marks:    []trajectory.GeoMark{{Theta: 1.5, T: 12.25}},
+		Power:    [][]float64{{-87}},
+	}.MarshalBinary()
+	if err != nil {
+		f.Fatalf("seed marshal: %v", err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("RUPD"))
+	// Header claiming 0xFFFFFFFF marks with no payload behind it.
+	oversized := append([]byte{0x44, 0x50, 0x55, 0x52}, make([]byte, 18)...)
+	oversized[8], oversized[9], oversized[10], oversized[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	oversized[12] = 1
+	f.Add(oversized)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Delta
+		if err := d.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted: every power row must span exactly the marks.
+		if len(d.Power) == 0 {
+			t.Fatal("accepted delta with zero channels")
+		}
+		for ch, row := range d.Power {
+			if len(row) != len(d.Marks) {
+				t.Fatalf("accepted delta with ragged row %d: %d cells for %d marks", ch, len(row), len(d.Marks))
+			}
+		}
+		if d.FromMark < 0 {
+			t.Fatalf("accepted delta with negative FromMark %d", d.FromMark)
+		}
+		// An accepted delta must survive re-encoding.
+		if _, err := d.MarshalBinary(); err != nil {
+			t.Fatalf("accepted delta does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzParseBeacon covers the other wire entry point: beacons are fixed
+// size, so everything else must be rejected without panicking.
+func FuzzParseBeacon(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Beacon(42, 1024))
+	f.Add(make([]byte, BeaconSize-1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, n, err := ParseBeacon(data)
+		if err != nil {
+			if len(data) == BeaconSize {
+				t.Fatalf("rejected a %d-byte beacon: %v", BeaconSize, err)
+			}
+			return
+		}
+		if len(data) != BeaconSize {
+			t.Fatalf("accepted a %d-byte beacon (id=%d n=%d)", len(data), id, n)
+		}
+	})
+}
