@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rups/internal/analysis"
@@ -233,10 +234,16 @@ func reportIgnores(pkgs []*loader.Package, root string) int {
 	return 0
 }
 
-// relPath is filepath.Rel without escaping the root.
+// relPath is filepath.Rel without escaping the root: a sibling path that
+// merely shares the root's string prefix (root=/u/repo, path=/u/repo2/x)
+// stays absolute rather than mis-relativizing to "2/x".
 func relPath(root, path string) (string, error) {
-	if !strings.HasPrefix(path, root) {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return "", err
+	}
+	if rel == ".." || strings.HasPrefix(rel, ".."+string(os.PathSeparator)) {
 		return "", fmt.Errorf("outside root")
 	}
-	return strings.TrimPrefix(strings.TrimPrefix(path, root), string(os.PathSeparator)), nil
+	return rel, nil
 }

@@ -129,7 +129,8 @@ type FuncFlow struct {
 	// Fn is the declaration's type object.
 	Fn *types.Func
 	// Events holds every Def and Use of function-local objects in
-	// source order.
+	// evaluation order: source-position order, except that reads inside
+	// an assignment's right-hand side precede the left-hand side's Def.
 	Events []Event
 	// Sinks are the allocation/index/loop-bound positions in the body.
 	Sinks []Sink
@@ -141,7 +142,7 @@ type FuncFlow struct {
 	start   token.Pos
 }
 
-// EventsOf returns obj's events in source order.
+// EventsOf returns obj's events in evaluation order.
 func (f *FuncFlow) EventsOf(obj types.Object) []Event {
 	idx := f.byObj[obj]
 	out := make([]Event, len(idx))
@@ -298,25 +299,26 @@ func buildFlow(pass *analysis.Pass, fd *ast.FuncDecl) *FuncFlow {
 		return true
 	})
 
-	// Second pass: one event per ident.
-	var blocks []*ast.BlockStmt
+	// Second pass: one event per ident. ast.Inspect calls the callback
+	// with nil after every visited node — not just block statements — so
+	// the stack must mirror every node: push each non-nil node, pop on
+	// each nil, and scan down the stack for the innermost enclosing
+	// *ast.BlockStmt.
+	var stack []ast.Node
 	innermost := func() *ast.BlockStmt {
-		if len(blocks) == 0 {
-			return fd.Body
+		for i := len(stack) - 1; i >= 0; i-- {
+			if b, ok := stack[i].(*ast.BlockStmt); ok {
+				return b
+			}
 		}
-		return blocks[len(blocks)-1]
+		return fd.Body
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil {
-			if len(blocks) > 0 {
-				blocks = blocks[:len(blocks)-1]
-			}
+			stack = stack[:len(stack)-1]
 			return true
 		}
-		if b, ok := n.(*ast.BlockStmt); ok {
-			blocks = append(blocks, b)
-			return true
-		}
+		stack = append(stack, n)
 		id, ok := n.(*ast.Ident)
 		if !ok || id.Name == "_" {
 			return true
@@ -357,13 +359,53 @@ func buildFlow(pass *analysis.Pass, fd *ast.FuncDecl) *FuncFlow {
 		})
 	}
 
-	sort.SliceStable(flow.Events, func(i, j int) bool {
-		a, b := flow.Events[i], flow.Events[j]
-		if a.Pos != b.Pos {
-			return a.Pos < b.Pos
+	// Sort events into evaluation order. Raw source position is almost
+	// right, with two corrections: at `x += f()` the read precedes the
+	// write at the same position, and the RHS of an assignment evaluates
+	// before its LHS is written even though the LHS ident sits first in
+	// the source — `err = fmt.Errorf("...: %w", err)` reads the previous
+	// error, it does not clobber it unread. A Use positioned inside a
+	// Def's Rhs extent therefore sorts just before that Def (the
+	// innermost such Def, for nested assignments).
+	key := make([]token.Pos, len(flow.Events))
+	for i := range flow.Events {
+		ev := &flow.Events[i]
+		key[i] = ev.Pos
+		if ev.Kind != Use {
+			continue
 		}
-		return a.Kind == Use && b.Kind == Def // read-before-write at x += f()
+		best := token.NoPos
+		for j := range flow.Events {
+			d := &flow.Events[j]
+			if d.Kind == Def && d.Rhs != nil && d.Pos < ev.Pos &&
+				d.Rhs.Pos() <= ev.Pos && ev.Pos < d.Rhs.End() && d.Pos > best {
+				best = d.Pos
+			}
+		}
+		if best != token.NoPos {
+			key[i] = best
+		}
+	}
+	order := make([]int, len(flow.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		a, b := &flow.Events[i], &flow.Events[j]
+		if key[i] != key[j] {
+			return key[i] < key[j]
+		}
+		if a.Kind != b.Kind {
+			return a.Kind == Use // read-before-write
+		}
+		return a.Pos < b.Pos
 	})
+	sorted := make([]Event, len(flow.Events))
+	for x, i := range order {
+		sorted[x] = flow.Events[i]
+	}
+	flow.Events = sorted
 	flow.byObj = make(map[types.Object][]int)
 	for i, ev := range flow.Events {
 		flow.byObj[ev.Obj] = append(flow.byObj[ev.Obj], i)

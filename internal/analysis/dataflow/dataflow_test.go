@@ -1,6 +1,7 @@
 package dataflow_test
 
 import (
+	"go/ast"
 	"path/filepath"
 	"testing"
 
@@ -120,6 +121,42 @@ func TestSummaryUnguardedParams(t *testing.T) {
 	for i, bad := range s.UnguardedParams {
 		if bad {
 			t.Errorf("allocChecked: parameter %d reported unguarded", i)
+		}
+	}
+}
+
+// TestEventBlocksAreInnermost asserts every event's Block is the
+// innermost block statement containing its position. Regression test for
+// the walk's node stack: ast.Inspect reports nil after every visited
+// node, not just blocks, so a stack popped on every nil but pushed only
+// for blocks drains immediately and everything falls back to the
+// function body.
+func TestEventBlocksAreInnermost(t *testing.T) {
+	_, df := load(t)
+	for _, flow := range df.Flows {
+		var blocks []*ast.BlockStmt
+		ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				blocks = append(blocks, b)
+			}
+			return true
+		})
+		for _, ev := range flow.Events {
+			if ev.Block == nil {
+				continue // parameters and synthesized naked-return reads
+			}
+			if ev.Pos < ev.Block.Pos() || ev.Pos >= ev.Block.End() {
+				t.Errorf("%s: event %q at %d has Block not containing it",
+					flow.Decl.Name.Name, ev.Obj.Name(), ev.Pos)
+				continue
+			}
+			for _, b := range blocks {
+				if ev.Pos >= b.Pos() && ev.Pos < b.End() && b.Pos() > ev.Block.Pos() {
+					t.Errorf("%s: event %q at %d: Block is not innermost (a nested block also contains it)",
+						flow.Decl.Name.Name, ev.Obj.Name(), ev.Pos)
+					break
+				}
+			}
 		}
 	}
 }

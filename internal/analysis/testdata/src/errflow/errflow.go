@@ -97,6 +97,40 @@ func BranchAssign(flag bool) error {
 	return err
 }
 
+// BranchAssignDeep must stay silent even when err is not the first
+// identifier in each branch block — a regression test for the block
+// tracking that once attributed both assignments to the function body.
+func BranchAssignDeep(flag bool) error {
+	var err error
+	if flag {
+		n := 1
+		_ = n
+		err = step()
+	} else {
+		m := 2
+		_ = m
+		err = errSentinel
+	}
+	return err
+}
+
+// WrapChain must stay silent: the RHS of the wrapping assignment reads
+// the previous error before the variable is overwritten.
+func WrapChain() error {
+	err := step()
+	err = fmt.Errorf("context: %w", err)
+	return err
+}
+
+// WrapThenClobber fires: the wrapped error is itself overwritten before
+// anyone reads it.
+func WrapThenClobber() error {
+	err := step()
+	err = fmt.Errorf("context: %w", err)
+	err = step() // want "error .err. overwritten before the value assigned at line \\d+ is checked"
+	return err
+}
+
 // Abandoned fires: the error from the read is never looked at.
 func Abandoned(path string) []byte {
 	f, err := os.Open(path)
