@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
 .PHONY: all build test test-short race lint lint-sarif lint-ignores bench \
-	eval eval-quick fuzz fuzz-trajectory fuzz-trace fuzz-v2v maps clean
+	bench-all eval eval-quick fuzz fuzz-trajectory fuzz-trace fuzz-v2v \
+	maps clean
 
 all: build test
 
@@ -34,7 +35,17 @@ lint-sarif:
 lint-ignores:
 	go run ./cmd/rups-lint -list-ignores ./...
 
+# The PR-3 perf trajectory: run the scorer-refactor and engine benchmarks,
+# then merge with the committed pre-refactor baseline into BENCH_3.json
+# (raw lines inside are benchstat-compatible).
 bench:
+	go test -run XXXNONE -bench 'BenchmarkFindSYNs$$|BenchmarkEngineResolve' \
+		-benchmem -count 3 . | tee results/bench_pr3_current.txt
+	go run ./cmd/rups-bench -baseline results/bench_pr3_baseline.txt \
+		-current results/bench_pr3_current.txt -out BENCH_3.json
+
+# The full suite (one benchmark per paper table/figure plus cost models).
+bench-all:
 	go test -run XXXNONE -bench=. -benchmem ./...
 
 eval:

@@ -12,6 +12,7 @@ import (
 
 	"rups/internal/city"
 	"rups/internal/core"
+	"rups/internal/engine"
 	"rups/internal/eval"
 	"rups/internal/geo"
 	"rups/internal/gsm"
@@ -231,6 +232,89 @@ func BenchmarkSynSearchNoColumnTerm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.FindSYN(a, bb, p)
+	}
+}
+
+// BenchmarkFindSYNs measures the full multi-SYN search (NumSYN = 5
+// segment offsets, both sliding directions each) over a 1 km context —
+// the per-query cost the engine amortizes by sharing the target-side
+// scorer precomputation across all segments and directions.
+func BenchmarkFindSYNs(b *testing.B) {
+	a, bb := getPair()
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if syns := core.FindSYNs(a, bb, p, p.NumSYN); len(syns) == 0 {
+			b.Fatal("no SYNs on overlapping synthetic pair")
+		}
+	}
+}
+
+// syntheticConvoy builds n dense 1 km trajectories staggered 25 m apart
+// along the same road — the batch-resolution workload.
+func syntheticConvoy(n int) []*trajectory.Aware {
+	area := gsm.Bounds{MinX: 0, MinY: 0, MaxX: 3000, MaxY: 3000}
+	f := gsm.NewField(7, gsm.GenerateTowers(7, area, gsm.ConstZone(gsm.Urban)), gsm.ConstZone(gsm.Urban))
+	out := make([]*trajectory.Aware, n)
+	for vi := 0; vi < n; vi++ {
+		const m = 1000
+		g := trajectory.Geo{Marks: make([]trajectory.GeoMark, m)}
+		t0 := 1000 - 2*float64(vi)
+		for i := range g.Marks {
+			g.Marks[i] = trajectory.GeoMark{Theta: math.Pi / 2, T: t0 + float64(i)/12}
+		}
+		a := trajectory.NewAware(g)
+		startX := 500 + 25*float64(n-1-vi)
+		for i := 0; i < m; i++ {
+			pos := geo.Vec2{X: startX + float64(i), Y: 1500}
+			for ch := 0; ch < gsm.NumChannels; ch++ {
+				a.Power[ch][i] = f.Sample(pos, ch, g.Marks[i].T)
+			}
+		}
+		out[vi] = a
+	}
+	return out
+}
+
+var (
+	convoyOnce  sync.Once
+	convoyTrajs []*trajectory.Aware
+)
+
+func getConvoy() []*trajectory.Aware {
+	convoyOnce.Do(func() { convoyTrajs = syntheticConvoy(6) })
+	return convoyTrajs
+}
+
+// BenchmarkEngineResolve measures one batch tick of the concurrent engine:
+// all 15 pairs of a 6-vehicle convoy resolved over the worker pool
+// (admission snapshots included — they are part of every real tick).
+func BenchmarkEngineResolve(b *testing.B) {
+	trajs := getConvoy()
+	p := core.DefaultParams()
+	e := engine.New(0)
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.ResolveAll(trajs, p)
+		if len(res) != 15 {
+			b.Fatal("wrong pair count")
+		}
+	}
+}
+
+// BenchmarkEngineResolveSequential is the same batch answered by the
+// sequential core.Resolve oracle — the speedup denominator.
+func BenchmarkEngineResolveSequential(b *testing.B) {
+	trajs := getConvoy()
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < len(trajs); x++ {
+			for y := x + 1; y < len(trajs); y++ {
+				core.Resolve(trajs[x], trajs[y], p)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,216 @@
+// Command rups-bench turns `go test -bench` output into a JSON perf
+// record: it parses a committed baseline file and a current run, pairs the
+// benchmarks, and emits speedup ratios alongside the raw benchstat-
+// compatible lines (the `raw` fields round-trip: extract them to files and
+// `benchstat baseline.txt current.txt` works on them directly).
+//
+// Usage:
+//
+//	rups-bench -baseline results/bench_pr3_baseline.txt \
+//	           -current  results/bench_pr3_current.txt  \
+//	           -out BENCH_3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// run is one parsed benchmark line.
+type run struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchmark aggregates the runs of one benchmark name (repeated -count
+// lines collapse into means).
+type benchmark struct {
+	Name            string  `json:"name"`
+	Runs            []run   `json:"runs"`
+	MeanNsPerOp     float64 `json:"mean_ns_per_op"`
+	MeanBytesPerOp  float64 `json:"mean_bytes_per_op,omitempty"`
+	MeanAllocsPerOp float64 `json:"mean_allocs_per_op,omitempty"`
+}
+
+// side is one parsed bench file.
+type side struct {
+	File       string       `json:"file"`
+	Env        []string     `json:"env,omitempty"` // goos/goarch/pkg/cpu header lines
+	Raw        []string     `json:"raw"`           // verbatim benchmark lines (benchstat input)
+	Benchmarks []*benchmark `json:"benchmarks"`
+}
+
+// speedup is baseline/current for one benchmark present on both sides
+// (> 1 means the current code is faster / lighter).
+type speedup struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Baseline *side               `json:"baseline"`
+	Current  *side               `json:"current"`
+	Speedup  map[string]*speedup `json:"speedup"`
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "baseline `file` of go test -bench output")
+		current  = flag.String("current", "", "current `file` of go test -bench output")
+		out      = flag.String("out", "", "output JSON `file` (default stdout)")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "rups-bench: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fatal(err)
+	}
+	rep := &report{Baseline: base, Current: cur, Speedup: map[string]*speedup{}}
+	for _, cb := range cur.Benchmarks {
+		bb := find(base.Benchmarks, cb.Name)
+		if bb == nil {
+			continue
+		}
+		sp := &speedup{}
+		if cb.MeanNsPerOp > 0 {
+			sp.NsPerOp = round3(bb.MeanNsPerOp / cb.MeanNsPerOp)
+		}
+		if cb.MeanBytesPerOp > 0 {
+			sp.BytesPerOp = round3(bb.MeanBytesPerOp / cb.MeanBytesPerOp)
+		}
+		if cb.MeanAllocsPerOp > 0 {
+			sp.AllocsPerOp = round3(bb.MeanAllocsPerOp / cb.MeanAllocsPerOp)
+		}
+		rep.Speedup[cb.Name] = sp
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	for name, sp := range rep.Speedup {
+		fmt.Fprintf(os.Stderr, "rups-bench: %s: %.2fx ns/op, %.2fx allocs/op\n",
+			name, sp.NsPerOp, sp.AllocsPerOp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rups-bench:", err)
+	os.Exit(1)
+}
+
+func find(bs []*benchmark, name string) *benchmark {
+	for _, b := range bs {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// parseFile reads one `go test -bench` text output file.
+func parseFile(path string) (*side, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &side{File: path}
+	byName := map[string]*benchmark{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			s.Env = append(s.Env, line)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Benchmark lines: Name iters value unit [value unit]...
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the -GOMAXPROCS suffix.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := run{Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		if r.NsPerOp <= 0 {
+			continue
+		}
+		s.Raw = append(s.Raw, line)
+		b := byName[name]
+		if b == nil {
+			b = &benchmark{Name: name}
+			byName[name] = b
+			s.Benchmarks = append(s.Benchmarks, b)
+		}
+		b.Runs = append(b.Runs, r)
+	}
+	for _, b := range s.Benchmarks {
+		var ns, by, al float64
+		for _, r := range b.Runs {
+			ns += r.NsPerOp
+			by += r.BytesPerOp
+			al += r.AllocsPerOp
+		}
+		n := float64(len(b.Runs))
+		b.MeanNsPerOp = round3(ns / n)
+		b.MeanBytesPerOp = round3(by / n)
+		b.MeanAllocsPerOp = round3(al / n)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return s, nil
+}

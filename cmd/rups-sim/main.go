@@ -1,10 +1,12 @@
-// Command rups-sim runs one live two-vehicle scenario and streams the
-// resolved relative distances next to ground truth and the GPS baseline —
-// what a dashboard in the rear car would show.
+// Command rups-sim runs one live scenario and streams the resolved
+// relative distances next to ground truth — what a dashboard in the rear
+// car would show. The default is the paper's two-vehicle setup with the
+// GPS baseline; -vehicles N > 2 drives an N-vehicle convoy and resolves
+// every pair per tick through the batch engine.
 //
 // Usage:
 //
-//	rups-sim [-class 1] [-radios 4] [-lane-gap 0] [-distance 1200] [-trucks 0] [-seed 7] [-interval 2]
+//	rups-sim [-class 1] [-radios 4] [-lane-gap 0] [-distance 1200] [-trucks 0] [-seed 7] [-interval 2] [-vehicles 2] [-workers 0]
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 
 	"rups/internal/city"
 	"rups/internal/core"
+	"rups/internal/engine"
 	"rups/internal/sim"
 )
 
@@ -26,11 +29,17 @@ func main() {
 		trucks   = flag.Int("trucks", 0, "passing-truck perturbation events")
 		seed     = flag.Uint64("seed", 7, "scenario seed")
 		interval = flag.Float64("interval", 2, "query interval, seconds")
+		vehicles = flag.Int("vehicles", 2, "convoy size; above 2 resolves all pairs per tick via the engine")
+		workers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *class < 0 || *class >= city.NumRoadClasses {
 		fmt.Fprintln(os.Stderr, "rups-sim: -class must be 0..3")
+		os.Exit(2)
+	}
+	if *vehicles < 2 {
+		fmt.Fprintln(os.Stderr, "rups-sim: -vehicles must be at least 2")
 		os.Exit(2)
 	}
 	rc := city.RoadClass(*class)
@@ -42,6 +51,11 @@ func main() {
 	sc.LeaderLane = *laneGap
 	if sc.LeaderLane >= rc.Lanes() {
 		sc.LeaderLane = rc.Lanes() - 1
+	}
+
+	if *vehicles > 2 {
+		runConvoy(sc, rc, *vehicles, *workers, *interval)
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "simulating %s, %d radios, %v m, lanes %d/%d ...\n",
@@ -68,4 +82,36 @@ func main() {
 			t-t0, q.TruthGap, rupsStr, errStr, scoreStr, q.GPSEst, q.GPSRDE)
 	}
 	fmt.Fprintf(os.Stderr, "resolved %d/%d queries\n", resolved, total)
+}
+
+// runConvoy streams per-tick pairwise resolutions of an n-vehicle convoy,
+// batched through the engine.
+func runConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interval float64) {
+	fmt.Fprintf(os.Stderr, "simulating %d-vehicle convoy on %s, %d radios, %v m ...\n",
+		n, rc, sc.Radios, sc.DistanceM)
+	r := sim.ExecuteConvoy(sc, n)
+	e := engine.New(workers)
+	defer e.Close()
+	p := core.DefaultParams()
+
+	fmt.Printf("%8s  %5s  %9s  %9s  %7s  %7s\n",
+		"t (s)", "pair", "truth (m)", "RUPS (m)", "err (m)", "score")
+	t0, t1 := r.TimeSpan()
+	resolved, total := 0, 0
+	for t := t0 + 20; t <= t1; t += interval {
+		for _, res := range r.ResolveAllAt(e, t, p) {
+			total++
+			truth := r.TruthGapAt(res.A, res.B, t)
+			rupsStr, errStr, scoreStr := "-", "-", "-"
+			if res.OK {
+				resolved++
+				rupsStr = fmt.Sprintf("%.1f", res.Est.Distance)
+				errStr = fmt.Sprintf("%.1f", res.Est.Distance-truth)
+				scoreStr = fmt.Sprintf("%.2f", res.Est.Score)
+			}
+			fmt.Printf("%8.1f  %2d-%-2d  %9.1f  %9s  %7s  %7s\n",
+				t-t0, res.A, res.B, truth, rupsStr, errStr, scoreStr)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "resolved %d/%d pair queries\n", resolved, total)
 }

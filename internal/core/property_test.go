@@ -161,19 +161,22 @@ func TestScorerRangeInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ref := randRows(rng, 9, 30)
 	tgt := randRows(rng, 9, 90)
-	s := newSlidingScorer(ref, tgt)
+	idxRef, idxTgt := newMatrixIndex(ref), newMatrixIndex(tgt)
+	s := newSegScorer(idxRef, idxTgt, 0, 30, false)
 	for j := 0; j < s.positions(); j++ {
 		if sc := s.scoreAt(j); sc < -2-1e-9 || sc > 2+1e-9 {
 			t.Fatalf("score %v out of range at %d", sc, j)
 		}
 	}
+	s.release()
 	// And within [-1, 1] with the column term ablated.
-	s.noCol = true
+	s = newSegScorer(idxRef, idxTgt, 0, 30, true)
 	for j := 0; j < s.positions(); j++ {
 		if sc := s.scoreAt(j); sc < -1-1e-9 || sc > 1+1e-9 {
 			t.Fatalf("noCol score %v out of range at %d", sc, j)
 		}
 	}
+	s.release()
 }
 
 // TestMissingTolerantSearch: a planted pair with missing cells still

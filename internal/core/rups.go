@@ -26,6 +26,22 @@ type Estimate struct {
 	Score float64
 }
 
+// Parallel runs a set of independent tasks to completion. The argument
+// tasks never depend on each other, so any execution order — or genuine
+// concurrency — is valid. Sequential is the in-order default used by the
+// plain FindSYNs/Resolve entry points; the batch-resolution engine
+// substitutes its bounded worker pool. Every task is internally
+// deterministic and writes only its own result slot, so results are
+// bit-identical under any Parallel implementation.
+type Parallel func(tasks ...func())
+
+// Sequential runs the tasks one after another on the calling goroutine.
+var Sequential Parallel = func(tasks ...func()) {
+	for _, t := range tasks {
+		t()
+	}
+}
+
 // clip returns the trajectory limited to the most recent MaxContextMeters,
 // plus the index offset mapping local indices back to the original.
 func clip(a *trajectory.Aware, p Params) (*trajectory.Aware, int) {
@@ -35,156 +51,223 @@ func clip(a *trajectory.Aware, p Params) (*trajectory.Aware, int) {
 	return a, 0
 }
 
-// FindSYN runs the double-sliding check (paper §IV-D) between the most
-// recent segments of a and b and returns the best SYN point. ok is false
-// when no window position reaches the coherency threshold — the
-// trajectories are considered unrelated.
-func FindSYN(a, b *trajectory.Aware, p Params) (SYNPoint, bool) {
-	p.validate()
-	return findSYNSeg(a, b, p, 0)
+// Searcher owns the shared precomputation for SYN searches between one
+// pair of trajectories: the clipped contexts, the checking-window channel
+// selection, and one matrixIndex per side. Building it costs the O(k·m)
+// preprocessing once; every segment offset and both sliding directions of
+// every subsequent search reuse it, instead of rebuilding it 2·NumSYN
+// times per query as the layered FindSYN→findSYNWindow path used to.
+//
+// A Searcher reads the trajectories it was built on but never writes them.
+// It must not be shared across goroutines while trajectory appends are in
+// flight — resolve on snapshots (trajectory.Aware.Snapshot); the engine
+// does this at query admission.
+type Searcher struct {
+	a, b       *trajectory.Aware
+	aCtx, bCtx *trajectory.Aware
+	offA, offB int
+	p          Params
+	idxA, idxB *matrixIndex
 }
 
-// findSYNSeg is FindSYN with the reference segments ending endOff metres
-// before each trajectory's most recent mark — the mechanism behind multiple
-// SYN points (§VI-C). The §V-C flexible window applies when the available
-// context is shorter than the configured window: the window shrinks (down
-// to the floor) and the relaxed threshold applies. Retrying smaller windows
-// on failure was evaluated and rejected: at the relaxed threshold, short
-// windows admit wrong matches (see the ablations experiment's history).
-func findSYNSeg(a, b *trajectory.Aware, p Params, endOff int) (SYNPoint, bool) {
-	aCtx, offA := clip(a, p)
-	bCtx, offB := clip(b, p)
+// NewSearcher prepares the shared per-pair state for resolving relative
+// distances between a and b under p.
+func NewSearcher(a, b *trajectory.Aware, p Params) *Searcher {
+	p.validate()
+	s := &Searcher{a: a, b: b, p: p}
+	s.aCtx, s.offA = clip(a, p)
+	s.bCtx, s.offB = clip(b, p)
+	// Checking-window width: the strongest channels, but never channels
+	// idling at the noise floor — sparse suburbs may not have
+	// WindowChannels audible carriers, and constant rows only dilute the
+	// correlation.
+	channels := s.aCtx.TopAudibleChannels(p.WindowChannels, audibleFloorDBm, minWindowChannels)
+	s.idxA = newMatrixIndex(s.aCtx.Select(channels))
+	s.idxB = newMatrixIndex(s.bCtx.Select(channels))
+	return s
+}
 
-	avail := aCtx.Len() - endOff
-	if m := bCtx.Len() - endOff; m < avail {
+// segmentPlan is one planned double-sliding check: the window length and
+// threshold findSYNSeg derived from the available context at one segment
+// offset.
+type segmentPlan struct {
+	endOff    int
+	w         int
+	threshold float64
+	// Direction results: A's segment over B, and B's segment over A.
+	posB, posA       int
+	scoreAB, scoreBA float64
+}
+
+// planSegment derives the window length for the segment ending endOff
+// metres before the most recent mark. ok is false when the remaining
+// context cannot support even the §V-C minimum window. The §V-C flexible
+// window applies when the available context is shorter than the configured
+// window: the window shrinks (down to the floor) and the relaxed threshold
+// applies. Retrying smaller windows on failure was evaluated and rejected:
+// at the relaxed threshold, short windows admit wrong matches (see the
+// ablations experiment's history).
+func (s *Searcher) planSegment(endOff int) (segmentPlan, bool) {
+	avail := s.aCtx.Len() - endOff
+	if m := s.bCtx.Len() - endOff; m < avail {
 		avail = m
 	}
-	w := p.WindowMeters
+	w := s.p.WindowMeters
 	if avail <= w {
 		// A window as long as the whole context leaves no room to slide;
 		// take two thirds — the remaining third is the largest detectable
 		// misalignment.
 		w = avail * 2 / 3
 	}
-	if w < p.MinWindowMeters {
-		return SYNPoint{}, false
+	if w < s.p.MinWindowMeters {
+		return segmentPlan{}, false
 	}
-	return findSYNWindow(aCtx, bCtx, offA, offB, p, endOff, w)
+	pl := segmentPlan{endOff: endOff, w: w, threshold: s.p.Coherency}
+	if w < s.p.WindowMeters {
+		pl.threshold = s.p.ShortCoherency
+	}
+	// Freeze the per-window placement statistics for both scan targets now,
+	// on the planning goroutine: the direction scans may run concurrently
+	// and only read the indexes.
+	s.idxB.ensureWindowStats(w)
+	if !s.p.SingleSided {
+		s.idxA.ensureWindowStats(w)
+	}
+	return pl, true
 }
 
-// findSYNWindow runs the double-sliding check at one window length.
-func findSYNWindow(aCtx, bCtx *trajectory.Aware, offA, offB int, p Params, endOff, w int) (SYNPoint, bool) {
-	threshold := p.Coherency
-	if w < p.WindowMeters {
-		threshold = p.ShortCoherency
-	}
+// bounds returns the admissible window placements on a target of the given
+// length (§IV-A locality): a placement j implies a relative distance of
+// (targetLen − w − j) − endOff metres, so plausible placements form an
+// interval around the aligned position.
+func (s *Searcher) bounds(targetLen, w, endOff int) (lo, hi int) {
+	centre := targetLen - w - endOff
+	return centre - s.p.MaxRelDistM, centre + s.p.MaxRelDistM
+}
 
-	// Checking-window width: the strongest channels, but never channels
-	// idling at the noise floor — sparse suburbs may not have
-	// WindowChannels audible carriers, and constant rows only dilute the
-	// correlation.
-	channels := aCtx.TopAudibleChannels(p.WindowChannels, audibleFloorDBm, minWindowChannels)
-	rowsA := aCtx.Select(channels)
-	rowsB := bCtx.Select(channels)
+// scanAB runs direction 1 of the double-sliding check: A's reference
+// segment slides over B.
+func (s *Searcher) scanAB(pl *segmentPlan) {
+	endA := s.aCtx.Len() - 1 - pl.endOff
+	sc := newSegScorer(s.idxA, s.idxB, endA-pl.w+1, pl.w, s.p.NoColumnTerm)
+	lo, hi := s.bounds(s.bCtx.Len(), pl.w, pl.endOff)
+	pl.posB, pl.scoreAB = sc.bestWindowIn(lo, hi)
+	sc.release()
+}
 
-	// Locality bound (§IV-A): only window placements implying a plausible
-	// relative distance are examined. A placement j on the target implies
-	// a relative distance of (targetLen − w − j) − endOff metres, so the
-	// admissible placements form an interval around the aligned position.
-	bounds := func(targetLen int) (lo, hi int) {
-		centre := targetLen - w - endOff
-		return centre - p.MaxRelDistM, centre + p.MaxRelDistM
-	}
+// scanBA runs direction 2: B's reference segment slides over A (skipped in
+// the single-sided ablation).
+func (s *Searcher) scanBA(pl *segmentPlan) {
+	endB := s.bCtx.Len() - 1 - pl.endOff
+	sc := newSegScorer(s.idxB, s.idxA, endB-pl.w+1, pl.w, s.p.NoColumnTerm)
+	lo, hi := s.bounds(s.aCtx.Len(), pl.w, pl.endOff)
+	pl.posA, pl.scoreBA = sc.bestWindowIn(lo, hi)
+	sc.release()
+}
 
-	// Direction 1: A's segment slides over B.
-	endA := aCtx.Len() - 1 - endOff
-	refA := sliceRows(rowsA, endA-w+1, endA+1)
-	lo, hi := bounds(bCtx.Len())
-	sc1 := newSlidingScorer(refA, rowsB)
-	sc1.noCol = p.NoColumnTerm
-	posB, scoreAB := sc1.bestWindowIn(lo, hi)
-
-	// Direction 2: B's segment slides over A (skipped in the single-sided
-	// ablation).
-	posA := -1
-	scoreBA := math.Inf(-1)
-	endB := bCtx.Len() - 1 - endOff
-	if !p.SingleSided {
-		refB := sliceRows(rowsB, endB-w+1, endB+1)
-		lo, hi = bounds(aCtx.Len())
-		sc2 := newSlidingScorer(refB, rowsA)
-		sc2.noCol = p.NoColumnTerm
-		posA, scoreBA = sc2.bestWindowIn(lo, hi)
-	}
-	if posB < 0 && posA < 0 {
+// combine folds the two direction results into the segment's SYN point
+// (paper §IV-D: the better-scoring direction wins), applying the coherency
+// threshold and the heading gate.
+func (s *Searcher) combine(pl *segmentPlan) (SYNPoint, bool) {
+	if pl.posB < 0 && pl.posA < 0 {
 		return SYNPoint{}, false
 	}
-
-	best := SYNPoint{WindowLen: w}
-	if scoreAB >= scoreBA {
-		best.Score = scoreAB
-		best.IdxA = offA + endA
-		best.IdxB = offB + posB + w - 1
+	best := SYNPoint{WindowLen: pl.w}
+	endA := s.aCtx.Len() - 1 - pl.endOff
+	endB := s.bCtx.Len() - 1 - pl.endOff
+	if pl.scoreAB >= pl.scoreBA {
+		best.Score = pl.scoreAB
+		best.IdxA = s.offA + endA
+		best.IdxB = s.offB + pl.posB + pl.w - 1
 	} else {
-		best.Score = scoreBA
-		best.IdxA = offA + posA + w - 1
-		best.IdxB = offB + endB
+		best.Score = pl.scoreBA
+		best.IdxA = s.offA + pl.posA + pl.w - 1
+		best.IdxB = s.offB + endB
 	}
-	if best.Score < threshold {
+	if best.Score < pl.threshold {
 		return SYNPoint{}, false
 	}
-	if p.HeadingGateRad > 0 {
-		ha := aCtx.Geo.Marks[best.IdxA-offA].Theta
-		hb := bCtx.Geo.Marks[best.IdxB-offB].Theta
-		if d := geo.HeadingDiff(ha, hb); math.Abs(d) > p.HeadingGateRad {
+	if s.p.HeadingGateRad > 0 {
+		ha := s.aCtx.Geo.Marks[best.IdxA-s.offA].Theta
+		hb := s.bCtx.Geo.Marks[best.IdxB-s.offB].Theta
+		if d := geo.HeadingDiff(ha, hb); math.Abs(d) > s.p.HeadingGateRad {
 			return SYNPoint{}, false
 		}
 	}
 	return best, true
 }
 
-// sliceRows returns each row restricted to [lo, hi).
-func sliceRows(rows [][]float64, lo, hi int) [][]float64 {
-	out := make([][]float64, len(rows))
-	for i := range rows {
-		out[i] = rows[i][lo:hi]
+// FindSYNSeg runs the double-sliding check for the segment ending endOff
+// metres before the most recent mark and returns the best SYN point. ok is
+// false when no window position reaches the coherency threshold.
+func (s *Searcher) FindSYNSeg(endOff int) (SYNPoint, bool) {
+	pl, ok := s.planSegment(endOff)
+	if !ok {
+		return SYNPoint{}, false
 	}
-	return out
+	pl.posA, pl.scoreBA = -1, math.Inf(-1)
+	s.scanAB(&pl)
+	if !s.p.SingleSided {
+		s.scanBA(&pl)
+	}
+	return s.combine(&pl)
 }
 
 // FindSYNs locates up to n SYN points from segments ending at successive
-// strides back from the most recent mark (§VI-C).
-func FindSYNs(a, b *trajectory.Aware, p Params, n int) []SYNPoint {
-	p.validate()
-	var out []SYNPoint
+// strides back from the most recent mark (§VI-C), running the 2·n
+// independent direction scans through par. Results are combined in segment
+// order, so the output is bit-identical for any Parallel implementation.
+func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
+	plans := make([]*segmentPlan, 0, n)
+	tasks := make([]func(), 0, 2*n)
 	for i := 0; i < n; i++ {
-		if s, ok := findSYNSeg(a, b, p, i*p.SegmentStrideMeters); ok {
-			out = append(out, s)
+		pl, ok := s.planSegment(i * s.p.SegmentStrideMeters)
+		if !ok {
+			plans = append(plans, nil)
+			continue
+		}
+		pl.posA, pl.scoreBA = -1, math.Inf(-1)
+		p := new(segmentPlan)
+		*p = pl
+		plans = append(plans, p)
+		tasks = append(tasks, func() { s.scanAB(p) })
+		if !s.p.SingleSided {
+			tasks = append(tasks, func() { s.scanBA(p) })
+		}
+	}
+	par(tasks...)
+	var out []SYNPoint
+	for _, pl := range plans {
+		if pl == nil {
+			continue
+		}
+		if syn, ok := s.combine(pl); ok {
+			out = append(out, syn)
 		}
 	}
 	return out
 }
 
-// Resolve is the full RUPS pipeline for one query: find up to NumSYN SYN
-// points, turn each into a distance estimate, and aggregate them according
-// to p.Aggregation. ok is false when no SYN point was found.
-func Resolve(a, b *trajectory.Aware, p Params) (Estimate, bool) {
-	p.validate()
-	syns := FindSYNs(a, b, p, p.NumSYN)
+// Resolve is the full RUPS pipeline for this pair: find up to NumSYN SYN
+// points (direction scans fanned out through par), turn each into a
+// distance estimate, and aggregate them according to p.Aggregation. ok is
+// false when no SYN point was found.
+func (s *Searcher) Resolve(par Parallel) (Estimate, bool) {
+	syns := s.FindSYNs(s.p.NumSYN, par)
 	if len(syns) == 0 {
 		return Estimate{}, false
 	}
 	est := Estimate{SYNs: syns}
 	dists := make([]float64, len(syns))
 	bestI := 0
-	for i, s := range syns {
-		dists[i] = s.RelativeDistance(a, b)
-		if s.Score > syns[bestI].Score {
+	for i, syn := range syns {
+		dists[i] = syn.RelativeDistance(s.a, s.b)
+		if syn.Score > syns[bestI].Score {
 			bestI = i
 		}
 	}
 	est.Score = syns[bestI].Score
-	switch p.Aggregation {
+	switch s.p.Aggregation {
 	case SingleSYN:
 		est.Distance = dists[bestI]
 	case MeanAgg:
@@ -195,4 +278,27 @@ func Resolve(a, b *trajectory.Aware, p Params) (Estimate, bool) {
 		panic("core: unknown aggregation mode")
 	}
 	return est, true
+}
+
+// FindSYN runs the double-sliding check (paper §IV-D) between the most
+// recent segments of a and b and returns the best SYN point. ok is false
+// when no window position reaches the coherency threshold — the
+// trajectories are considered unrelated.
+func FindSYN(a, b *trajectory.Aware, p Params) (SYNPoint, bool) {
+	return NewSearcher(a, b, p).FindSYNSeg(0)
+}
+
+// FindSYNs locates up to n SYN points from segments ending at successive
+// strides back from the most recent mark (§VI-C).
+func FindSYNs(a, b *trajectory.Aware, p Params, n int) []SYNPoint {
+	return NewSearcher(a, b, p).FindSYNs(n, Sequential)
+}
+
+// Resolve is the full RUPS pipeline for one query: find up to NumSYN SYN
+// points, turn each into a distance estimate, and aggregate them according
+// to p.Aggregation. ok is false when no SYN point was found. This is the
+// sequential oracle path; the batch-resolution engine produces
+// bit-identical estimates by running the same Searcher over its pool.
+func Resolve(a, b *trajectory.Aware, p Params) (Estimate, bool) {
+	return NewSearcher(a, b, p).Resolve(Sequential)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"rups/internal/stats"
 	"rups/internal/trajectory"
@@ -28,83 +29,194 @@ func (s SYNPoint) RelativeDistance(a, b *trajectory.Aware) float64 {
 	return dB - dA
 }
 
-// slidingScorer scores the trajectory correlation (stats.TrajCorr, Eq. 2)
-// between a fixed reference segment and every same-length window of a
-// target trajectory, in O(w) per position after O(k·m) preprocessing —
-// the O(m·w·k) total the paper quotes (§V-A).
-type slidingScorer struct {
-	ref   [][]float64 // k rows × w columns, the fixed segment
-	tgt   [][]float64 // k rows × m columns
-	w, k  int
-	m     int
-	dense bool // no missing entries anywhere: fast path is valid
-	noCol bool // ablation: drop Eq. 2's column-mean term
+// matrixIndex is the per-matrix half of the sliding trajectory-correlation
+// scorer (stats.TrajCorr, Eq. 2): everything that depends only on one
+// selected power matrix (k channel rows × m metres). A Searcher builds one
+// index per trajectory snapshot and shares it across all NumSYN segment
+// offsets and both sliding directions — the O(k·m) preprocessing of the
+// paper's §V-A complexity argument is paid once per (pair, snapshot)
+// instead of 2·NumSYN times per query.
+//
+// All dense-path moments are accumulated about a per-row shift (the row's
+// mean over the whole matrix). Pearson's r is invariant under a constant
+// shift of either vector, but the accumulated sums stay at deviation scale:
+// the windowed variance Σy² − (Σy)²/w cannot catastrophically cancel the
+// way raw moments do at RSSI magnitudes (~−100 dBm).
+type matrixIndex struct {
+	rows [][]float64 // k rows × m columns (shares storage with the snapshot)
+	k, m int
+	// dense reports no missing entries anywhere in rows.
+	dense bool
+	// missPre[i][j] counts missing entries in rows[i][0:j); built only when
+	// the matrix is not dense, so segment density checks stay O(k).
+	missPre [][]int32
 
-	// Reference row statistics.
-	refSum, refSq []float64
-	// Target prefix sums per row: pre[i][j] = Σ tgt[i][0..j).
-	preSum, preSq [][]float64
-	// Column means for Eq. 2's second term.
-	refCol []float64
-	tgtCol []float64
-	// Prefix sums of tgtCol.
-	colSum, colSq []float64
-	refColSum     float64
-	refColSq      float64
+	// Dense fast path (nil when !dense).
+	shift   []float64   // per-row shift: the row mean over all m columns
+	shifted [][]float64 // shifted[i][j] = rows[i][j] − shift[i]
+	preSum  [][]float64 // preSum[i][j] = Σ shifted[i][0:j)
+	preSq   [][]float64 // preSq[i][j]  = Σ shifted[i][0:j)²
+
+	// Column means for Eq. 2's second term (missing-skipping, so valid in
+	// both paths), plus their shifted prefix sums for the dense path.
+	col        []float64
+	colShift   float64
+	colShifted []float64
+	colPre     []float64
+	colPreSq   []float64
+
+	// wins caches per-window-length placement statistics (one entry per
+	// distinct w the Searcher planned). Built sequentially at planning
+	// time via ensureWindowStats, then read immutably by concurrent
+	// direction scans.
+	wins []winStats
 }
 
-func newSlidingScorer(ref, tgt [][]float64) *slidingScorer {
-	s := &slidingScorer{
-		ref: ref, tgt: tgt,
-		k: len(ref), w: len(ref[0]), m: len(tgt[0]),
-		dense: true,
+// winStats holds, for one window length, the reciprocal √variance of every
+// window placement per row — invSqrt[i][j] = 1/√vy(i, j), or 0 when the
+// placement is degenerate (vy ≤ 0, the multiplicative identity of "no
+// evidence" since r = sxy′·invSqrtVx·invSqrtVy). Precomputing these once
+// per (pair, w) removes the per-position sqrt and division from the scan
+// of every segment offset and both directions.
+type winStats struct {
+	w          int
+	invSqrt    [][]float64
+	colInvSqrt []float64
+}
+
+// ensureWindowStats builds the winStats entry for window length w if the
+// dense fast path can use one. It must be called from a single goroutine
+// before scoring fans out — the Searcher does so while planning segments;
+// scans afterwards only read.
+func (idx *matrixIndex) ensureWindowStats(w int) {
+	if !idx.dense || idx.k == 0 || w <= 0 || w > idx.m || idx.windowStats(w) != nil {
+		return
 	}
-	for i := 0; i < s.k; i++ {
-		for _, v := range ref[i] {
-			if stats.IsMissing(v) {
-				s.dense = false
+	n := idx.m - w + 1
+	wf := float64(w)
+	ws := winStats{w: w, invSqrt: make([][]float64, idx.k), colInvSqrt: make([]float64, n)}
+	for i := 0; i < idx.k; i++ {
+		ps, pq := idx.preSum[i], idx.preSq[i]
+		inv := make([]float64, n)
+		for j := 0; j < n; j++ {
+			sy := ps[j+w] - ps[j]
+			if vy := pq[j+w] - pq[j] - sy*sy/wf; vy > 0 {
+				inv[j] = 1 / math.Sqrt(vy)
 			}
 		}
-		for _, v := range tgt[i] {
+		ws.invSqrt[i] = inv
+	}
+	for j := 0; j < n; j++ {
+		sy := idx.colPre[j+w] - idx.colPre[j]
+		if vy := idx.colPreSq[j+w] - idx.colPreSq[j] - sy*sy/wf; vy > 0 {
+			ws.colInvSqrt[j] = 1 / math.Sqrt(vy)
+		}
+	}
+	idx.wins = append(idx.wins, ws)
+}
+
+// windowStats returns the cached entry for w, or nil.
+func (idx *matrixIndex) windowStats(w int) *winStats {
+	for i := range idx.wins {
+		if idx.wins[i].w == w {
+			return &idx.wins[i]
+		}
+	}
+	return nil
+}
+
+// newMatrixIndex builds the shared precomputation for one selected power
+// matrix. A zero-row or zero-column matrix yields a valid index with no
+// window positions rather than a panic.
+func newMatrixIndex(rows [][]float64) *matrixIndex {
+	idx := &matrixIndex{rows: rows, k: len(rows), dense: true}
+	if idx.k == 0 {
+		idx.col = nil
+		return idx
+	}
+	idx.m = len(rows[0])
+	for i := 0; i < idx.k; i++ {
+		for _, v := range rows[i] {
 			if stats.IsMissing(v) {
-				s.dense = false
+				idx.dense = false
 			}
 		}
 	}
-	s.refCol = columnMeansDense(ref)
-	s.tgtCol = columnMeansDense(tgt)
-	if !s.dense {
-		return s
-	}
-	s.refSum = make([]float64, s.k)
-	s.refSq = make([]float64, s.k)
-	s.preSum = make([][]float64, s.k)
-	s.preSq = make([][]float64, s.k)
-	for i := 0; i < s.k; i++ {
-		for _, v := range ref[i] {
-			s.refSum[i] += v
-			s.refSq[i] += v * v
+	idx.col = columnMeansDense(rows)
+	if !idx.dense {
+		idx.missPre = make([][]int32, idx.k)
+		for i := 0; i < idx.k; i++ {
+			mp := make([]int32, idx.m+1)
+			for j, v := range rows[i] {
+				mp[j+1] = mp[j]
+				if stats.IsMissing(v) {
+					mp[j+1]++
+				}
+			}
+			idx.missPre[i] = mp
 		}
-		ps := make([]float64, s.m+1)
-		pq := make([]float64, s.m+1)
-		for j, v := range tgt[i] {
-			ps[j+1] = ps[j] + v
-			pq[j+1] = pq[j] + v*v
+		return idx
+	}
+
+	idx.shift = make([]float64, idx.k)
+	idx.shifted = make([][]float64, idx.k)
+	idx.preSum = make([][]float64, idx.k)
+	idx.preSq = make([][]float64, idx.k)
+	for i := 0; i < idx.k; i++ {
+		var sum float64
+		for _, v := range rows[i] {
+			sum += v
 		}
-		s.preSum[i] = ps
-		s.preSq[i] = pq
+		c := 0.0
+		if idx.m > 0 {
+			c = sum / float64(idx.m) //lint:ignore indexunit m is the sample count of the row mean here, not a metre distance
+		}
+		idx.shift[i] = c
+		sh := make([]float64, idx.m)
+		ps := make([]float64, idx.m+1)
+		pq := make([]float64, idx.m+1)
+		for j, v := range rows[i] {
+			d := v - c
+			sh[j] = d
+			ps[j+1] = ps[j] + d
+			pq[j+1] = pq[j] + d*d
+		}
+		idx.shifted[i] = sh
+		idx.preSum[i] = ps
+		idx.preSq[i] = pq
 	}
-	s.colSum = make([]float64, s.m+1)
-	s.colSq = make([]float64, s.m+1)
-	for j, v := range s.tgtCol {
-		s.colSum[j+1] = s.colSum[j] + v
-		s.colSq[j+1] = s.colSq[j] + v*v
+
+	var colSum float64
+	for _, v := range idx.col {
+		colSum += v
 	}
-	for _, v := range s.refCol {
-		s.refColSum += v
-		s.refColSq += v * v
+	if idx.m > 0 {
+		idx.colShift = colSum / float64(idx.m) //lint:ignore indexunit m is the sample count of the column-mean shift, not a metre distance
 	}
-	return s
+	idx.colShifted = make([]float64, idx.m)
+	idx.colPre = make([]float64, idx.m+1)
+	idx.colPreSq = make([]float64, idx.m+1)
+	for j, v := range idx.col {
+		d := v - idx.colShift
+		idx.colShifted[j] = d
+		idx.colPre[j+1] = idx.colPre[j] + d
+		idx.colPreSq[j+1] = idx.colPreSq[j] + d*d
+	}
+	return idx
+}
+
+// segmentDense reports whether rows[i][lo:lo+w) holds no missing entry for
+// any row — O(k) via the missing-count prefixes.
+func (idx *matrixIndex) segmentDense(lo, w int) bool {
+	if idx.dense {
+		return true
+	}
+	for i := 0; i < idx.k; i++ {
+		if idx.missPre[i][lo+w]-idx.missPre[i][lo] > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // columnMeansDense averages each column over rows, skipping missing values.
@@ -129,68 +241,291 @@ func columnMeansDense(a [][]float64) []float64 {
 	return out
 }
 
+// segScratch holds the per-segment scratch buffers a segScorer materializes
+// (reference deviations and their statistics). Pooled: a platoon-scale
+// batch runs 2·NumSYN segment scans per pair, and the engine's workers
+// churn through them concurrently.
+type segScratch struct {
+	devBack []float64   // backing array for dev rows (k·w)
+	dev     [][]float64 // row headers into devBack
+	colDev  []float64
+	devSum  []float64
+	devVar  []float64
+	invVx   []float64 // 1/√devVar, 0 when the reference row is degenerate
+	colR    []float64 // per-placement column correlations for the pruned scan
+}
+
+var segPool = sync.Pool{New: func() any { return new(segScratch) }}
+
+// grow readies the scratch for k rows × w columns.
+func (s *segScratch) grow(k, w int) {
+	if cap(s.devBack) < k*w {
+		s.devBack = make([]float64, k*w)
+	}
+	s.devBack = s.devBack[:k*w]
+	if cap(s.dev) < k {
+		s.dev = make([][]float64, k)
+	}
+	s.dev = s.dev[:k]
+	for i := 0; i < k; i++ {
+		s.dev[i] = s.devBack[i*w : (i+1)*w]
+	}
+	if cap(s.colDev) < w {
+		s.colDev = make([]float64, w)
+	}
+	s.colDev = s.colDev[:w]
+	for _, p := range []*[]float64{&s.devSum, &s.devVar, &s.invVx} {
+		if cap(*p) < k {
+			*p = make([]float64, k)
+		}
+		*p = (*p)[:k]
+	}
+}
+
+// growColR readies the column-correlation buffer for n placements.
+func (s *segScratch) growColR(n int) []float64 {
+	if cap(s.colR) < n {
+		s.colR = make([]float64, n)
+	}
+	s.colR = s.colR[:n]
+	return s.colR
+}
+
+// segScorer scores the trajectory correlation between one fixed reference
+// segment — src.rows[i][lo:lo+w) — and every same-length window of the
+// target matrix, in O(k·w) per position after the shared O(k·m)
+// preprocessing held by the two indexes.
+type segScorer struct {
+	src, tgt *matrixIndex
+	lo, w    int
+	dense    bool // fast path valid: ref segment and whole target dense
+	noCol    bool // ablation: drop Eq. 2's column-mean term
+
+	// Dense path, per reference row: deviations from the row's exact
+	// segment mean (two-pass, matching stats.Pearson's accumulation), the
+	// (tiny) deviation sum, and the deviation sum of squares.
+	scratch *segScratch
+	// Column term: deviations of the reference column means.
+	refColDevSum, refColVar float64
+	colInvVx                float64 // 1/√refColVar, 0 when degenerate
+
+	// ws is the target's precomputed placement statistics for this window
+	// length (nil when the Searcher did not plan this w — e.g. directly
+	// constructed scorers in tests — in which case scoring falls back to
+	// pearsonFromSums with per-position variance differences).
+	ws *winStats
+}
+
+// newSegScorer prepares a reference segment scorer. Degenerate inputs
+// (k == 0, w <= 0, segment out of range) yield a scorer with no positions
+// instead of a panic.
+func newSegScorer(src, tgt *matrixIndex, lo, w int, noCol bool) *segScorer {
+	s := &segScorer{src: src, tgt: tgt, lo: lo, w: w, noCol: noCol}
+	if src.k == 0 || tgt.k == 0 || w <= 0 || lo < 0 || lo+w > src.m {
+		s.w = 0
+		return s
+	}
+	s.dense = tgt.dense && src.segmentDense(lo, w)
+	if !s.dense {
+		return s
+	}
+	s.ws = tgt.windowStats(w)
+	sc := segPool.Get().(*segScratch)
+	sc.grow(src.k, w)
+	s.scratch = sc
+	for i := 0; i < src.k; i++ {
+		row := src.rows[i][lo : lo+w]
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		mean := sum / float64(w)
+		dev := sc.dev[i]
+		var dsum, dvar float64
+		for u, v := range row {
+			d := v - mean
+			dev[u] = d
+			dsum += d
+			dvar += d * d
+		}
+		sc.devSum[i] = dsum
+		sc.devVar[i] = dvar
+		sc.invVx[i] = 0
+		if dvar > 0 {
+			sc.invVx[i] = 1 / math.Sqrt(dvar)
+		}
+	}
+	if !noCol {
+		// Reference column means are a slice of the source's column means
+		// (the segment's columns are the source's columns).
+		refCol := src.col[lo : lo+w]
+		var sum float64
+		for _, v := range refCol {
+			sum += v
+		}
+		mean := sum / float64(w)
+		var dsum, dvar float64
+		for u, v := range refCol {
+			d := v - mean
+			sc.colDev[u] = d
+			dsum += d
+			dvar += d * d
+		}
+		s.refColDevSum = dsum
+		s.refColVar = dvar
+		if dvar > 0 {
+			s.colInvVx = 1 / math.Sqrt(dvar)
+		}
+	}
+	return s
+}
+
+// release returns the scratch buffers to the pool. The scorer must not be
+// used afterwards.
+func (s *segScorer) release() {
+	if s.scratch != nil {
+		segPool.Put(s.scratch)
+		s.scratch = nil
+	}
+}
+
 // positions returns how many window placements exist on the target.
-func (s *slidingScorer) positions() int { return s.m - s.w + 1 }
+func (s *segScorer) positions() int {
+	if s.w <= 0 || s.tgt.k == 0 {
+		return 0
+	}
+	if n := s.tgt.m - s.w + 1; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// dot returns Σ a[u]·b[u]. Unrolled four-wide: this product is the inner
+// loop of the whole SYN search (k·w multiplies per window position), and
+// the independent accumulators let the hardware overlap the chains. The
+// loop bound u < len(a)-3 together with the up-front reslice of b lets the
+// compiler drop every bounds check in the hot loop (-d=ssa/check_bce).
+func dot(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	u := 0
+	for ; u < len(a)-3; u += 4 {
+		x, y := a[u:u+4:u+4], b[u:u+4:u+4]
+		s0 += x[0] * y[0]
+		s1 += x[1] * y[1]
+		s2 += x[2] * y[2]
+		s3 += x[3] * y[3]
+	}
+	for ; u < len(a); u++ {
+		s0 += a[u] * b[u]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
 
 // scoreAt returns the trajectory correlation of the reference segment
 // against the target window starting at column j.
-func (s *slidingScorer) scoreAt(j int) float64 {
+func (s *segScorer) scoreAt(j int) float64 {
+	if s.positions() == 0 {
+		return 0
+	}
 	if !s.dense {
 		return s.scoreSlow(j)
 	}
-	wf := float64(s.w)
-	var chanSum float64
-	for i := 0; i < s.k; i++ {
-		sy := s.preSum[i][j+s.w] - s.preSum[i][j]
-		sqy := s.preSq[i][j+s.w] - s.preSq[i][j]
-		var sxy float64
-		refRow := s.ref[i]
-		tgtRow := s.tgt[i][j : j+s.w]
-		for u := 0; u < s.w; u++ {
-			sxy += refRow[u] * tgtRow[u]
-		}
-		chanSum += pearsonFromSums(wf, s.refSum[i], s.refSq[i], sy, sqy, sxy)
-	}
 	if s.noCol {
-		return chanSum / float64(s.k)
+		return s.chanTerm(j)
 	}
-	// Second term: correlation of the column means.
-	sy := s.colSum[j+s.w] - s.colSum[j]
-	sqy := s.colSq[j+s.w] - s.colSq[j]
-	var sxy float64
-	tgtCol := s.tgtCol[j : j+s.w]
-	for u := 0; u < s.w; u++ {
-		sxy += s.refCol[u] * tgtCol[u]
+	return s.chanTerm(j) + s.colTerm(j)
+}
+
+// chanTerm is Eq. 2's first term: the mean per-channel Pearson correlation
+// of the reference segment against the target window at j (dense path).
+// With precomputed window statistics each row costs one dot product and
+// two multiplies; otherwise the variance difference is formed per position.
+func (s *segScorer) chanTerm(j int) float64 {
+	wf := float64(s.w)
+	sc := s.scratch
+	var chanSum float64
+	if ws := s.ws; ws != nil {
+		for i := 0; i < s.src.k; i++ {
+			ps := s.tgt.preSum[i]
+			sy := ps[j+s.w] - ps[j]
+			sxy := dot(sc.dev[i], s.tgt.shifted[i][j:j+s.w])
+			r := (sxy - sc.devSum[i]*sy/wf) * sc.invVx[i] * ws.invSqrt[i][j]
+			if r > 1 {
+				r = 1
+			} else if r < -1 {
+				r = -1
+			}
+			chanSum += r
+		}
+		return chanSum / float64(s.src.k)
 	}
-	return chanSum/float64(s.k) +
-		pearsonFromSums(wf, s.refColSum, s.refColSq, sy, sqy, sxy)
+	for i := 0; i < s.src.k; i++ {
+		ps := s.tgt.preSum[i]
+		pq := s.tgt.preSq[i]
+		sy := ps[j+s.w] - ps[j]
+		sqy := pq[j+s.w] - pq[j]
+		sxy := dot(sc.dev[i], s.tgt.shifted[i][j:j+s.w])
+		chanSum += pearsonFromSums(wf, sc.devSum[i], sc.devVar[i], sy, sqy, sxy)
+	}
+	return chanSum / float64(s.src.k)
+}
+
+// colTerm is Eq. 2's second term: the correlation of the column means
+// (dense path).
+func (s *segScorer) colTerm(j int) float64 {
+	wf := float64(s.w)
+	sy := s.tgt.colPre[j+s.w] - s.tgt.colPre[j]
+	sxy := dot(s.scratch.colDev[:s.w], s.tgt.colShifted[j:j+s.w])
+	if ws := s.ws; ws != nil {
+		r := (sxy - s.refColDevSum*sy/wf) * s.colInvVx * ws.colInvSqrt[j]
+		if r > 1 {
+			return 1
+		}
+		if r < -1 {
+			return -1
+		}
+		return r
+	}
+	sqy := s.tgt.colPreSq[j+s.w] - s.tgt.colPreSq[j]
+	return pearsonFromSums(wf, s.refColDevSum, s.refColVar, sy, sqy, sxy)
 }
 
 // scoreSlow is the missing-tolerant fallback. Pearson documents a 0 return
 // for degenerate windows, but a NaN slipping through here would poison the
 // best-window scan (NaN compares false with every score), so each term is
 // guarded before it joins the sum.
-func (s *slidingScorer) scoreSlow(j int) float64 {
+func (s *segScorer) scoreSlow(j int) float64 {
 	var chanSum float64
-	for i := 0; i < s.k; i++ {
-		r := stats.Pearson(s.ref[i], s.tgt[i][j:j+s.w])
+	for i := 0; i < s.src.k; i++ {
+		r := stats.Pearson(s.src.rows[i][s.lo:s.lo+s.w], s.tgt.rows[i][j:j+s.w])
 		if math.IsNaN(r) {
 			continue
 		}
 		chanSum += r
 	}
+	chanSum /= float64(s.src.k)
 	if s.noCol {
-		return chanSum / float64(s.k)
+		return chanSum
 	}
-	colR := stats.Pearson(s.refCol, s.tgtCol[j:j+s.w])
+	colR := stats.Pearson(s.src.col[s.lo:s.lo+s.w], s.tgt.col[j:j+s.w])
 	if math.IsNaN(colR) {
 		colR = 0
 	}
-	return chanSum/float64(s.k) + colR
+	return chanSum + colR
 }
 
 // pearsonFromSums computes Pearson's r from moment sums, matching
 // stats.Pearson's conventions (0 for degenerate inputs, clamped to [-1,1]).
+//
+// Numerical contract: callers accumulate the sums about a per-vector shift
+// (the fast path shifts x by the exact segment mean and y by the target
+// row's matrix-wide mean), so sx, sqx, sy, sqy arrive at deviation scale
+// and the variance differences below cannot catastrophically cancel. With
+// raw −100 dBm moments the old sqy − sy²/n form lost up to eight digits on
+// low-variance rows and could diverge from the two-pass stats.Pearson.
+// Pearson's r is invariant under constant shifts, so the formula is
+// unchanged — only its inputs are pre-centred.
 func pearsonFromSums(n, sx, sqx, sy, sqy, sxy float64) float64 {
 	vx := sqx - sx*sx/n
 	vy := sqy - sy*sy/n
@@ -210,12 +545,18 @@ func pearsonFromSums(n, sx, sqx, sy, sqy, sxy float64) float64 {
 // bestWindowIn scans the window placements j ∈ [lo, hi] (clamped to the
 // valid range) and returns the best-scoring position and score. A
 // position of -1 with score -Inf means the range was empty.
-func (s *slidingScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
+func (s *segScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
 	if lo < 0 {
 		lo = 0
 	}
 	if hi > s.positions()-1 {
 		hi = s.positions() - 1
+	}
+	if hi < lo {
+		return -1, math.Inf(-1)
+	}
+	if s.dense && !s.noCol && s.ws != nil {
+		return s.bestWindowPruned(lo, hi)
 	}
 	best := math.Inf(-1)
 	bestJ := -1
@@ -228,7 +569,46 @@ func (s *slidingScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
 	return bestJ, best
 }
 
+// bestWindowPruned is the dense-path scan with a branch-and-bound prune:
+// Eq. 2's per-channel mean term is a mean of clamped correlations, so it
+// never exceeds 1, and a placement can only beat the incumbent when its
+// (cheap, single-dot) column term satisfies colR + 1 > best. Column terms
+// are evaluated first for the whole range; placements are then visited
+// centre-outward — the locality bound centres the range on the aligned
+// position, where the true match usually lies, so a strong incumbent
+// appears early and prunes most of the k·w channel work elsewhere. Same
+// maximum as the plain scan; only evaluation order differs.
+func (s *segScorer) bestWindowPruned(lo, hi int) (pos int, score float64) {
+	colR := s.scratch.growColR(hi - lo + 1)
+	for j := lo; j <= hi; j++ {
+		colR[j-lo] = s.colTerm(j)
+	}
+	best := math.Inf(-1)
+	bestJ := -1
+	visit := func(j int) {
+		cr := colR[j-lo]
+		if cr+1 <= best {
+			return
+		}
+		if sc := s.chanTerm(j) + cr; sc > best {
+			best = sc
+			bestJ = j
+		}
+	}
+	mid := lo + (hi-lo)/2
+	visit(mid)
+	for d := 1; mid+d <= hi || mid-d >= lo; d++ {
+		if mid+d <= hi {
+			visit(mid + d)
+		}
+		if mid-d >= lo {
+			visit(mid - d)
+		}
+	}
+	return bestJ, best
+}
+
 // bestWindow scans every window placement.
-func (s *slidingScorer) bestWindow() (pos int, score float64) {
+func (s *segScorer) bestWindow() (pos int, score float64) {
 	return s.bestWindowIn(0, s.positions()-1)
 }

@@ -19,13 +19,19 @@ func randRows(rng *rand.Rand, k, m int) [][]float64 {
 	return a
 }
 
+// scorerOver builds a segment scorer whose reference is the whole ref
+// matrix — the shape the pre-refactor slidingScorer tests used.
+func scorerOver(ref, tgt [][]float64) *segScorer {
+	return newSegScorer(newMatrixIndex(ref), newMatrixIndex(tgt), 0, len(ref[0]), false)
+}
+
 // TestScorerMatchesTrajCorr verifies the incremental fast path against the
 // reference implementation of Eq. 2 at every window position.
 func TestScorerMatchesTrajCorr(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	ref := randRows(rng, 7, 20)
 	tgt := randRows(rng, 7, 60)
-	s := newSlidingScorer(ref, tgt)
+	s := scorerOver(ref, tgt)
 	if !s.dense {
 		t.Fatal("expected dense fast path")
 	}
@@ -47,7 +53,7 @@ func TestScorerSlowPathMatchesTrajCorr(t *testing.T) {
 	ref[2][3] = stats.Missing
 	tgt[4][11] = stats.Missing
 	tgt[0][0] = stats.Missing
-	s := newSlidingScorer(ref, tgt)
+	s := scorerOver(ref, tgt)
 	if s.dense {
 		t.Fatal("expected slow path with missing entries")
 	}
@@ -57,6 +63,35 @@ func TestScorerSlowPathMatchesTrajCorr(t *testing.T) {
 		if math.Abs(got-want) > 1e-9 {
 			t.Fatalf("scoreAt(%d) = %v, want %v", j, got, want)
 		}
+	}
+}
+
+// TestScorerSegmentDenseFastPath: a ref segment that is dense inside a
+// source matrix with missing entries elsewhere still takes the fast path
+// against a dense target, and matches the reference.
+func TestScorerSegmentDenseFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	src := randRows(rng, 6, 50)
+	tgt := randRows(rng, 6, 80)
+	src[3][2] = stats.Missing // outside the [20, 35) segment
+	idxS, idxT := newMatrixIndex(src), newMatrixIndex(tgt)
+	s := newSegScorer(idxS, idxT, 20, 15, false)
+	defer s.release()
+	if !s.dense {
+		t.Fatal("dense segment of a sparse matrix should use the fast path")
+	}
+	ref := sliceRows(src, 20, 35)
+	for j := 0; j < s.positions(); j++ {
+		want := stats.TrajCorr(ref, sliceRows(tgt, j, j+15))
+		if got := s.scoreAt(j); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("scoreAt(%d) = %v, want %v", j, got, want)
+		}
+	}
+	// And a segment covering the hole falls back.
+	s2 := newSegScorer(idxS, idxT, 0, 15, false)
+	defer s2.release()
+	if s2.dense {
+		t.Fatal("segment containing a missing entry must not be dense")
 	}
 }
 
@@ -74,7 +109,7 @@ func TestScorerFindsPlantedAlignment(t *testing.T) {
 			ref[i][u] = tgt[i][at+u] + 0.5*rng.NormFloat64()
 		}
 	}
-	s := newSlidingScorer(ref, tgt)
+	s := scorerOver(ref, tgt)
 	pos, score := s.bestWindow()
 	if pos != at {
 		t.Errorf("bestWindow at %d, want %d (score %v)", pos, at, score)
@@ -84,11 +119,87 @@ func TestScorerFindsPlantedAlignment(t *testing.T) {
 	}
 }
 
+// TestScorerDenseMatchesSlowShifted is the numerical-stability property
+// test for the mean-shifted fast path: across randomized dense
+// trajectories — including ones offset to RSSI magnitudes (−100 dBm) with
+// nearly-constant rows, where the old raw-moment formula sqy − sy²/n
+// catastrophically cancelled — the dense scoreAt must agree with the
+// two-pass scoreSlow (stats.Pearson) to 1e-9.
+func TestScorerDenseMatchesSlowShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		k := 3 + rng.Intn(8)
+		w := 10 + rng.Intn(40)
+		m := w + 20 + rng.Intn(200)
+		offset := 0.0
+		sigma := 1.0
+		switch trial % 4 {
+		case 1:
+			offset = -100 // the paper's RSSI regime
+		case 2:
+			offset, sigma = -100, 0.01 // low-variance rows at −100 dBm
+		case 3:
+			offset, sigma = -100, 1e-4 // nearly constant rows
+		}
+		ref := make([][]float64, k)
+		tgt := make([][]float64, k)
+		for i := 0; i < k; i++ {
+			ref[i] = make([]float64, w)
+			tgt[i] = make([]float64, m)
+			for u := range ref[i] {
+				ref[i][u] = offset + sigma*rng.NormFloat64()
+			}
+			for u := range tgt[i] {
+				tgt[i][u] = offset + sigma*rng.NormFloat64()
+			}
+		}
+		s := scorerOver(ref, tgt)
+		if !s.dense {
+			t.Fatalf("trial %d: expected dense path", trial)
+		}
+		for j := 0; j < s.positions(); j++ {
+			fast := s.scoreAt(j)
+			slow := s.scoreSlow(j)
+			if math.Abs(fast-slow) > 1e-9 {
+				t.Fatalf("trial %d (offset %v, sigma %v): scoreAt(%d) = %.15g, scoreSlow = %.15g, diff %g",
+					trial, offset, sigma, j, fast, slow, fast-slow)
+			}
+		}
+		s.release()
+	}
+}
+
 func TestPearsonFromSumsDegenerate(t *testing.T) {
 	// Constant rows have zero variance → 0, matching stats.Pearson.
 	if got := pearsonFromSums(5, 10, 20, 7, 9.8, 14); got != 0 {
 		t.Errorf("degenerate = %v, want 0", got)
 	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 85, 100} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var want float64
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			want += a[i] * b[i]
+		}
+		if got := dot(a, b); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("dot(len %d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// sliceRows returns each row restricted to [lo, hi).
+func sliceRows(rows [][]float64, lo, hi int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i := range rows {
+		out[i] = rows[i][lo:hi]
+	}
+	return out
 }
 
 func TestSYNPointRelativeDistance(t *testing.T) {

@@ -1,0 +1,171 @@
+// Package engine batches relative-distance resolution across a platoon: it
+// owns a bounded worker pool and resolves many vehicle pairs concurrently,
+// fanning both the per-pair queries and each query's 2·NumSYN direction
+// scans over the same pool. Results are bit-identical to the sequential
+// core.Resolve oracle — every scheduled task is internally deterministic
+// and writes only its own result slot, and combination happens in a fixed
+// order — so concurrency changes latency, never answers.
+//
+// Trajectories are decoupled at query admission: the engine snapshots every
+// live trajectory once (trajectory.Aware.Snapshot) before any worker
+// touches it, so vehicles may keep appending marks while a batch resolves.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"rups/internal/core"
+	"rups/internal/trajectory"
+)
+
+// Engine is a bounded worker pool for batch relative-distance resolution.
+// The zero value is not usable; construct with New and release with Close.
+type Engine struct {
+	workers int
+	// tasks carries scheduled work to the workers. The channel doubles as
+	// the workers' shutdown signal: Close closes it and the workers drain
+	// and exit.
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// New starts an engine with the given number of workers; workers <= 0 means
+// GOMAXPROCS. The pool is shared by every batch submitted to this engine.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: workers, tasks: make(chan func())}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// worker drains the task channel until Close.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for t := range e.tasks {
+		t()
+	}
+}
+
+// Close shuts the pool down and waits for in-flight tasks to finish. The
+// engine must not be used afterwards. Close is idempotent.
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		close(e.tasks)
+		e.wg.Wait()
+	})
+}
+
+// run is the engine's core.Parallel implementation. Handoff is help-first:
+// a task is given to an idle worker when one is ready to receive, and run
+// inline on the calling goroutine otherwise. Workers executing a pair task
+// therefore never block waiting for pool capacity when the pair fans out
+// its direction scans — nested fan-out cannot deadlock, and the pool degrades
+// to sequential execution under saturation instead of queueing.
+func (e *Engine) run(tasks ...func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		select {
+		case e.tasks <- func() { defer wg.Done(); t() }:
+		default:
+			t()
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// Result is one resolved pair of a batch. A and B index the trajectory
+// slice the batch was admitted with; Est is the resolved estimate
+// (Est.Distance > 0 means B is ahead of A). OK is false when no SYN point
+// passed the coherency threshold, or the pair's indexes were out of range.
+type Result struct {
+	A, B int
+	Est  core.Estimate
+	OK   bool
+}
+
+// Batch is a set of trajectories admitted for resolution: every trajectory
+// was snapshotted exactly once when Admit ran. Resolution reads only the
+// snapshots, so once Admit has returned, the live trajectories may keep
+// appending marks while the batch resolves.
+type Batch struct {
+	e     *Engine
+	snaps []*trajectory.Aware
+}
+
+// Admit is the copy-on-read admission boundary: it snapshots every
+// trajectory once, on the calling goroutine. The caller must own the
+// trajectories for the duration of the call — admit at a quiescent point
+// (a tick boundary, or the vehicle goroutine handing its own trajectory
+// over); Admit returning is the synchronization point after which appends
+// may resume concurrently with the batch's resolution.
+func (e *Engine) Admit(trajs ...*trajectory.Aware) *Batch {
+	b := &Batch{e: e, snaps: make([]*trajectory.Aware, len(trajs))}
+	for i, t := range trajs {
+		b.snaps[i] = t.Snapshot()
+	}
+	return b
+}
+
+// Len reports how many trajectories the batch admitted.
+func (b *Batch) Len() int { return len(b.snaps) }
+
+// ResolveAll resolves every unordered pair (i < j) of the batch and
+// returns the results in pair-enumeration order. Identical to calling the
+// sequential core.Resolve on every pair of snapshots, bit for bit.
+func (b *Batch) ResolveAll(p core.Params) []Result {
+	pairs := make([][2]int, 0, len(b.snaps)*(len(b.snaps)-1)/2)
+	for i := 0; i < len(b.snaps); i++ {
+		for j := i + 1; j < len(b.snaps); j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return b.ResolvePairs(pairs, p)
+}
+
+// ResolvePairs resolves the given pairs (indexes into the admitted slice)
+// and returns results in input order. Pairs with out-of-range indexes
+// yield OK == false rather than a panic.
+func (b *Batch) ResolvePairs(pairs [][2]int, p core.Params) []Result {
+	out := make([]Result, len(pairs))
+	tasks := make([]func(), 0, len(pairs))
+	for pi, pr := range pairs {
+		pi, pr := pi, pr
+		out[pi] = Result{A: pr[0], B: pr[1]}
+		if pr[0] < 0 || pr[0] >= len(b.snaps) || pr[1] < 0 || pr[1] >= len(b.snaps) {
+			continue
+		}
+		tasks = append(tasks, func() {
+			s := core.NewSearcher(b.snaps[pr[0]], b.snaps[pr[1]], p)
+			out[pi].Est, out[pi].OK = s.Resolve(b.e.run)
+		})
+	}
+	b.e.run(tasks...)
+	return out
+}
+
+// ResolveAll admits the platoon and resolves every unordered pair — the
+// one-call form for callers already at a quiescent point.
+func (e *Engine) ResolveAll(trajs []*trajectory.Aware, p core.Params) []Result {
+	return e.Admit(trajs...).ResolveAll(p)
+}
+
+// Resolve answers a single pair through the pool (admitting both
+// trajectories first). The batch entry points amortize better; this exists
+// for callers resolving one query at a time.
+func (e *Engine) Resolve(a, b *trajectory.Aware, p core.Params) (core.Estimate, bool) {
+	batch := e.Admit(a, b)
+	return core.NewSearcher(batch.snaps[0], batch.snaps[1], p).Resolve(e.run)
+}

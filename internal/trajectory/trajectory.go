@@ -124,6 +124,22 @@ func BindWidth(g Geo, samples []Sample, width int) *Aware {
 	return a
 }
 
+// Append extends the live trajectory by one metre mark with its power
+// vector (stats.Missing for unscanned channels); len(power) must match the
+// matrix width. Appending may reallocate the backing arrays, and it writes
+// the live storage in any case — readers holding views (Tail, Window,
+// Select, PrefixUntil) race with it, readers holding a Snapshot do not.
+func (a *Aware) Append(mark GeoMark, power []float64) {
+	if len(power) != len(a.Power) {
+		panic(fmt.Sprintf("trajectory: Append power width %d, matrix width %d",
+			len(power), len(a.Power)))
+	}
+	a.Geo.Marks = append(a.Geo.Marks, mark)
+	for ch := range a.Power {
+		a.Power[ch] = append(a.Power[ch], power[ch])
+	}
+}
+
 // MissingFrac returns the fraction of matrix entries that are missing —
 // the paper's missing-channel severity, which grows with vehicle speed and
 // shrinks with the number of scanning radios.
@@ -220,6 +236,14 @@ func (a *Aware) PrefixUntil(t float64) *Aware {
 }
 
 // Tail returns the most recent n metres as an Aware sharing storage with a.
+//
+// Aliasing contract: the returned trajectory is a *view* — its Geo.Marks
+// and Power rows alias a's backing arrays, as do the results of Window,
+// Select, and PrefixUntil. Views are only safe to read while the live
+// trajectory is not being extended or rewritten; a resolution running
+// concurrently with trajectory appends through a view is a data race. Code
+// that hands a trajectory to another goroutine (the batch-resolution
+// engine, trackers) must decouple first with Snapshot.
 func (a *Aware) Tail(n int) *Aware {
 	if n >= a.Len() {
 		return a
@@ -329,3 +353,12 @@ func (a *Aware) Clone() *Aware {
 	}
 	return &Aware{Geo: g, Power: p}
 }
+
+// Snapshot returns an independent copy of the trajectory as it stands now —
+// the copy-on-read admission boundary for concurrent resolution. Unlike
+// Tail/Window/Select/PrefixUntil, which return views aliasing the live
+// backing arrays (see Tail's aliasing contract), a snapshot shares no
+// storage with a: readers holding it never race appends to the live
+// trajectory. The batch-resolution engine snapshots every trajectory at
+// query admission before fanning work out to its workers.
+func (a *Aware) Snapshot() *Aware { return a.Clone() }
