@@ -35,14 +35,17 @@ lint-sarif:
 lint-ignores:
 	go run ./cmd/rups-lint -list-ignores ./...
 
-# The PR-3 perf trajectory: run the scorer-refactor and engine benchmarks,
-# then merge with the committed pre-refactor baseline into BENCH_3.json
-# (raw lines inside are benchstat-compatible).
+# The PR-4 perf trajectory: run the search, engine, and telemetry-overhead
+# benchmarks, then merge with the committed PR-3 record into BENCH_4.json
+# (raw lines inside are benchstat-compatible). BenchmarkSearcherInstrumented
+# vs the baseline BenchmarkFindSYNs is the disabled-telemetry overhead
+# check: it must stay within ~2% ns/op and at identical allocs/op.
 bench:
-	go test -run XXXNONE -bench 'BenchmarkFindSYNs$$|BenchmarkEngineResolve' \
-		-benchmem -count 3 . | tee results/bench_pr3_current.txt
-	go run ./cmd/rups-bench -baseline results/bench_pr3_baseline.txt \
-		-current results/bench_pr3_current.txt -out BENCH_3.json
+	go test -run XXXNONE \
+		-bench 'BenchmarkFindSYNs$$|BenchmarkSearcherInstrumented|BenchmarkEngineResolve' \
+		-benchmem -count 3 . | tee results/bench_pr4_current.txt
+	go run ./cmd/rups-bench -baseline results/bench_pr3_current.txt \
+		-current results/bench_pr4_current.txt -out BENCH_4.json
 
 # The full suite (one benchmark per paper table/figure plus cost models).
 bench-all:

@@ -17,6 +17,7 @@ import (
 	"rups/internal/geo"
 	"rups/internal/gsm"
 	"rups/internal/node"
+	"rups/internal/obs"
 	"rups/internal/sim"
 	"rups/internal/stats"
 	"rups/internal/trajectory"
@@ -250,6 +251,45 @@ func BenchmarkFindSYNs(b *testing.B) {
 	}
 }
 
+// BenchmarkSearcherInstrumented is BenchmarkFindSYNs with the telemetry
+// layer explicitly disabled — the overhead guard for PR 4's instrument
+// sites. b.ReportAllocs pins the disabled hot path at the same allocs/op
+// as the uninstrumented baseline, and the ns/op mean lands in BENCH_4.json
+// next to the committed PR 3 BenchmarkFindSYNs record (budget: ≤2%).
+func BenchmarkSearcherInstrumented(b *testing.B) {
+	obs.Disable()
+	obs.SetRecorder(nil)
+	a, bb := getPair()
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if syns := core.FindSYNs(a, bb, p, p.NumSYN); len(syns) == 0 {
+			b.Fatal("no SYNs on overlapping synthetic pair")
+		}
+	}
+}
+
+// BenchmarkSearcherInstrumentedEnabled is the same workload with a live
+// registry and span recorder — the enabled-path price tag.
+func BenchmarkSearcherInstrumentedEnabled(b *testing.B) {
+	obs.Enable(obs.NewRegistry())
+	obs.SetRecorder(obs.NewRecorder(obs.DefaultRingSize))
+	defer func() {
+		obs.Disable()
+		obs.SetRecorder(nil)
+	}()
+	a, bb := getPair()
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if syns := core.FindSYNs(a, bb, p, p.NumSYN); len(syns) == 0 {
+			b.Fatal("no SYNs on overlapping synthetic pair")
+		}
+	}
+}
+
 // syntheticConvoy builds n dense 1 km trajectories staggered 25 m apart
 // along the same road — the batch-resolution workload.
 func syntheticConvoy(n int) []*trajectory.Aware {
@@ -296,8 +336,8 @@ func BenchmarkEngineResolve(b *testing.B) {
 	defer e.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := e.ResolveAll(trajs, p)
-		if len(res) != 15 {
+		res, err := e.ResolveAll(trajs, p)
+		if err != nil || len(res) != 15 {
 			b.Fatal("wrong pair count")
 		}
 	}

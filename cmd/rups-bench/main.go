@@ -80,24 +80,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep := &report{Baseline: base, Current: cur, Speedup: map[string]*speedup{}}
-	for _, cb := range cur.Benchmarks {
-		bb := find(base.Benchmarks, cb.Name)
-		if bb == nil {
-			continue
-		}
-		sp := &speedup{}
-		if cb.MeanNsPerOp > 0 {
-			sp.NsPerOp = round3(bb.MeanNsPerOp / cb.MeanNsPerOp)
-		}
-		if cb.MeanBytesPerOp > 0 {
-			sp.BytesPerOp = round3(bb.MeanBytesPerOp / cb.MeanBytesPerOp)
-		}
-		if cb.MeanAllocsPerOp > 0 {
-			sp.AllocsPerOp = round3(bb.MeanAllocsPerOp / cb.MeanAllocsPerOp)
-		}
-		rep.Speedup[cb.Name] = sp
-	}
+	rep := buildReport(base, cur)
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -121,6 +104,30 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rups-bench:", err)
 	os.Exit(1)
+}
+
+// buildReport pairs the two sides' benchmarks and computes the
+// baseline/current speedup ratios (> 1 means current is faster/lighter).
+func buildReport(base, cur *side) *report {
+	rep := &report{Baseline: base, Current: cur, Speedup: map[string]*speedup{}}
+	for _, cb := range cur.Benchmarks {
+		bb := find(base.Benchmarks, cb.Name)
+		if bb == nil {
+			continue
+		}
+		sp := &speedup{}
+		if cb.MeanNsPerOp > 0 {
+			sp.NsPerOp = round3(bb.MeanNsPerOp / cb.MeanNsPerOp)
+		}
+		if cb.MeanBytesPerOp > 0 {
+			sp.BytesPerOp = round3(bb.MeanBytesPerOp / cb.MeanBytesPerOp)
+		}
+		if cb.MeanAllocsPerOp > 0 {
+			sp.AllocsPerOp = round3(bb.MeanAllocsPerOp / cb.MeanAllocsPerOp)
+		}
+		rep.Speedup[cb.Name] = sp
+	}
+	return rep
 }
 
 func find(bs []*benchmark, name string) *benchmark {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parseTestFile(t *testing.T, name string) *side {
+	t.Helper()
+	s, err := parseFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestParseFileSkipsMalformedLines: only well-formed benchmark lines count —
+// bad iteration counts, short lines, zero ns/op, and non-benchmark text are
+// all skipped, and the -GOMAXPROCS suffix is stripped from names.
+func TestParseFileSkipsMalformedLines(t *testing.T) {
+	cur := parseTestFile(t, "current.txt")
+	want := map[string]int{"FindSYNs": 2, "TrajCorr": 1, "OnlyHere": 1}
+	if len(cur.Benchmarks) != len(want) {
+		names := make([]string, 0, len(cur.Benchmarks))
+		for _, b := range cur.Benchmarks {
+			names = append(names, b.Name)
+		}
+		t.Fatalf("parsed benchmarks %v, want exactly %v", names, want)
+	}
+	for _, b := range cur.Benchmarks {
+		if want[b.Name] != len(b.Runs) {
+			t.Errorf("%s: %d runs, want %d", b.Name, len(b.Runs), want[b.Name])
+		}
+	}
+	if len(cur.Env) != 4 {
+		t.Errorf("env header lines = %d, want 4", len(cur.Env))
+	}
+	// Raw keeps one verbatim line per accepted run, benchstat-compatible.
+	if len(cur.Raw) != 4 {
+		t.Errorf("raw lines = %d, want 4", len(cur.Raw))
+	}
+}
+
+// TestParseFileMeans: repeated -count lines collapse into means.
+func TestParseFileMeans(t *testing.T) {
+	base := parseTestFile(t, "baseline.txt")
+	b := find(base.Benchmarks, "FindSYNs")
+	if b == nil {
+		t.Fatal("FindSYNs not parsed from baseline")
+	}
+	if b.MeanNsPerOp != 6100000 {
+		t.Errorf("mean ns/op = %v, want 6100000", b.MeanNsPerOp)
+	}
+	if b.MeanBytesPerOp != 3000000 || b.MeanAllocsPerOp != 400 {
+		t.Errorf("mean B/op, allocs/op = %v, %v", b.MeanBytesPerOp, b.MeanAllocsPerOp)
+	}
+}
+
+// TestBuildReportRatios: speedup is baseline/current, rounded to 3 decimals,
+// and only benchmarks present on both sides are paired.
+func TestBuildReportRatios(t *testing.T) {
+	rep := buildReport(parseTestFile(t, "baseline.txt"), parseTestFile(t, "current.txt"))
+	sp := rep.Speedup["FindSYNs"]
+	if sp == nil {
+		t.Fatal("no FindSYNs speedup")
+	}
+	if sp.NsPerOp != 2.0 {
+		t.Errorf("ns/op speedup = %v, want 2.0", sp.NsPerOp)
+	}
+	if sp.BytesPerOp != 2.0 || sp.AllocsPerOp != 2.0 {
+		t.Errorf("B/op, allocs/op speedups = %v, %v, want 2.0", sp.BytesPerOp, sp.AllocsPerOp)
+	}
+	if sp := rep.Speedup["TrajCorr"]; sp == nil || sp.NsPerOp != 2.0 {
+		t.Errorf("TrajCorr speedup = %+v, want 2.0x ns/op", sp)
+	}
+	if _, ok := rep.Speedup["OnlyHere"]; ok {
+		t.Error("benchmark missing from the baseline must not get a ratio")
+	}
+}
+
+// TestParseFileErrors: unreadable files and files without any benchmark
+// line both error instead of producing an empty side.
+func TestParseFileErrors(t *testing.T) {
+	if _, err := parseFile(filepath.Join("testdata", "does-not-exist.txt")); err == nil {
+		t.Error("missing file: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\nok rups 1.0s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFile(empty); err == nil {
+		t.Error("file without benchmark lines: want error")
+	}
+}

@@ -1,0 +1,58 @@
+// Command rups-promcheck validates a Prometheus text-format metrics
+// snapshot (as written by rups-sim -metrics-snapshot or served on
+// /metrics): the file must parse, and every metric named on the command
+// line must exist with a nonzero value somewhere in its family — for a
+// histogram named m, the m_count/m_sum/m_bucket series count. Names given
+// via -present only need to exist. CI uses it to assert that an
+// instrumented convoy run actually exercised the pipeline.
+//
+// Usage:
+//
+//	rups-promcheck [-present name,name] out.prom metric_name...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	presentFlag := flag.String("present", "", "comma-separated metric names that must exist (any value)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: rups-promcheck [-present names] file metric_name...")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
+		os.Exit(1)
+	}
+	metrics, err := parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, name := range flag.Args()[1:] {
+		if err := checkNonzero(metrics, name); err != nil {
+			fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
+			failed = true
+		}
+	}
+	if *presentFlag != "" {
+		for _, name := range strings.Split(*presentFlag, ",") {
+			if err := checkPresent(metrics, name); err != nil {
+				fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("rups-promcheck: %s ok (%d series)\n", flag.Arg(0), len(metrics))
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed series: a metric name, its (raw) label block, and
+// the sample value. The label block is kept verbatim — the checks here
+// only need name-level matching.
+type sample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parse reads Prometheus text exposition format 0.0.4: comment/HELP/TYPE
+// lines are skipped, every other non-blank line must be
+// `name[{labels}] value [timestamp]`.
+func parse(text string) ([]sample, error) {
+	var out []sample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s sample
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				return nil, fmt.Errorf("line %d: unterminated label block: %q", ln+1, line)
+			}
+			s.name, s.labels, rest = rest[:i], rest[i+1:j], strings.TrimSpace(rest[j+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: want `name value`, got %q", ln+1, line)
+			}
+			s.name, rest = fields[0], strings.Join(fields[1:], " ")
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("line %d: want `value [timestamp]`, got %q", ln+1, line)
+		}
+		if !validMetricName(s.name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", ln+1, s.name)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, fields[0], err)
+		}
+		s.value = v
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no metric samples found")
+	}
+	return out, nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// inFamily reports whether series s belongs to the metric family name: the
+// exact series, or a histogram/summary child (_count, _sum, _bucket).
+func inFamily(s sample, name string) bool {
+	if s.name == name {
+		return true
+	}
+	for _, suf := range []string{"_count", "_sum", "_bucket"} {
+		if s.name == name+suf {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPresent errors unless some series of the family exists.
+func checkPresent(metrics []sample, name string) error {
+	for _, s := range metrics {
+		if inFamily(s, name) {
+			return nil
+		}
+	}
+	return fmt.Errorf("metric %s: not found", name)
+}
+
+// checkNonzero errors unless some series of the family has a nonzero value.
+func checkNonzero(metrics []sample, name string) error {
+	if err := checkPresent(metrics, name); err != nil {
+		return err
+	}
+	for _, s := range metrics {
+		//lint:ignore floatcmp counters are written as exact integers; "nonzero" means literally not the zero value
+		if inFamily(s, name) && s.value != 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("metric %s: present but zero everywhere", name)
+}

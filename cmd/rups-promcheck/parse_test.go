@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const exposition = `# HELP rups_searcher_windows_scanned_total window placements fully scored
+# TYPE rups_searcher_windows_scanned_total counter
+rups_searcher_windows_scanned_total 1234
+# HELP rups_engine_queue_depth tasks in flight
+# TYPE rups_engine_queue_depth gauge
+rups_engine_queue_depth 0
+# HELP rups_sim_pair_error_metres abs error
+# TYPE rups_sim_pair_error_metres histogram
+rups_sim_pair_error_metres_bucket{le="0.0625"} 0
+rups_sim_pair_error_metres_bucket{le="+Inf"} 12
+rups_sim_pair_error_metres_sum 31.5
+rups_sim_pair_error_metres_count 12
+`
+
+func TestParseExposition(t *testing.T) {
+	metrics, err := parse(exposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 6 {
+		t.Fatalf("parsed %d series, want 6", len(metrics))
+	}
+	if metrics[0].name != "rups_searcher_windows_scanned_total" || metrics[0].value != 1234 {
+		t.Fatalf("first series wrong: %+v", metrics[0])
+	}
+	if got := metrics[3]; got.labels != `le="+Inf"` || got.value != 12 {
+		t.Fatalf("labelled series wrong: %+v", got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"# only comments\n",
+		"name_without_value\n",
+		"9starts_with_digit 1\n",
+		"bad value\n",
+		"unterminated{le=\"1\" 3\n",
+	} {
+		if _, err := parse(bad); err == nil {
+			t.Errorf("parse(%q): want error", bad)
+		}
+	}
+}
+
+func TestChecks(t *testing.T) {
+	metrics, err := parse(exposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact counter, nonzero.
+	if err := checkNonzero(metrics, "rups_searcher_windows_scanned_total"); err != nil {
+		t.Error(err)
+	}
+	// Histogram family: the base name matches via _count/_sum/_bucket.
+	if err := checkNonzero(metrics, "rups_sim_pair_error_metres"); err != nil {
+		t.Error(err)
+	}
+	// Present but zero: fails nonzero, passes present.
+	if err := checkNonzero(metrics, "rups_engine_queue_depth"); err == nil ||
+		!strings.Contains(err.Error(), "zero") {
+		t.Errorf("zero gauge: got %v, want zero-value error", err)
+	}
+	if err := checkPresent(metrics, "rups_engine_queue_depth"); err != nil {
+		t.Error(err)
+	}
+	// Missing entirely.
+	if err := checkPresent(metrics, "rups_nope_total"); err == nil {
+		t.Error("missing metric: want error")
+	}
+}

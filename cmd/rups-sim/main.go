@@ -4,12 +4,19 @@
 // GPS baseline; -vehicles N > 2 drives an N-vehicle convoy and resolves
 // every pair per tick through the batch engine.
 //
+// Telemetry: -debug-addr serves live Prometheus metrics (/metrics), the
+// span ring (/debug/spans), and pprof while the simulation runs;
+// -metrics-snapshot writes the final registry state to a file, and
+// -dump-spans prints the recorded pipeline timeline.
+//
 // Usage:
 //
 //	rups-sim [-class 1] [-radios 4] [-lane-gap 0] [-distance 1200] [-trucks 0] [-seed 7] [-interval 2] [-vehicles 2] [-workers 0]
+//	         [-debug-addr 127.0.0.1:6060] [-metrics-snapshot out.prom] [-dump-spans]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +24,7 @@ import (
 	"rups/internal/city"
 	"rups/internal/core"
 	"rups/internal/engine"
+	"rups/internal/obs"
 	"rups/internal/sim"
 )
 
@@ -31,6 +39,10 @@ func main() {
 		interval = flag.Float64("interval", 2, "query interval, seconds")
 		vehicles = flag.Int("vehicles", 2, "convoy size; above 2 resolves all pairs per tick via the engine")
 		workers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/spans, and pprof on this address (host defaults to loopback)")
+		snapshot  = flag.String("metrics-snapshot", "", "write the final Prometheus metrics snapshot to this file")
+		dumpSpans = flag.Bool("dump-spans", false, "print the recorded span timeline to stderr at exit")
 	)
 	flag.Parse()
 
@@ -42,6 +54,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rups-sim: -vehicles must be at least 2")
 		os.Exit(2)
 	}
+
+	// Telemetry is on for every rups-sim run: the binary is the live
+	// harness, and the registry is how its runs are inspected.
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(obs.DefaultRingSize)
+	obs.Enable(reg)
+	obs.SetRecorder(rec)
+	if *debugAddr != "" {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		srv, err := obs.ServeDebug(ctx, *debugAddr, reg, rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rups-sim: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (metrics, debug/spans, debug/pprof)\n", srv.Addr())
+	}
+	defer func() {
+		if *snapshot != "" {
+			f, err := os.Create(*snapshot)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rups-sim: metrics snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			werr := reg.WritePrometheus(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "rups-sim: metrics snapshot: %v\n", werr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *snapshot)
+		}
+		if *dumpSpans {
+			printSpans(rec)
+		}
+	}()
+
 	rc := city.RoadClass(*class)
 	sc := sim.DefaultScenario(*seed, rc)
 	sc.Radios = *radios
@@ -99,7 +151,12 @@ func runConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interval floa
 	t0, t1 := r.TimeSpan()
 	resolved, total := 0, 0
 	for t := t0 + 20; t <= t1; t += interval {
-		for _, res := range r.ResolveAllAt(e, t, p) {
+		results, err := r.ResolveAllAt(e, t, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rups-sim: %v\n", err)
+			os.Exit(1)
+		}
+		for _, res := range results {
 			total++
 			truth := r.TruthGapAt(res.A, res.B, t)
 			rupsStr, errStr, scoreStr := "-", "-", "-"
@@ -114,4 +171,22 @@ func runConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interval floa
 		}
 	}
 	fmt.Fprintf(os.Stderr, "resolved %d/%d pair queries\n", resolved, total)
+}
+
+// printSpans dumps the span ring as a per-trace timeline: each trace is one
+// pipeline pass (a vehicle's scan→bind→interpolate leg, an engine exchange,
+// or a searcher's resolve with its direction scans).
+func printSpans(rec *obs.Recorder) {
+	events := rec.Events()
+	fmt.Fprintf(os.Stderr, "\nspan timeline (%d events recorded, ring holds %d):\n",
+		rec.Total(), len(events))
+	var last obs.TraceID
+	for _, ev := range events {
+		if ev.Trace != last {
+			fmt.Fprintf(os.Stderr, "trace %d:\n", ev.Trace)
+			last = ev.Trace
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s arg=%-8d %10.3fms\n",
+			ev.Name, ev.Arg, float64(ev.Dur.Microseconds())/1000)
+	}
 }

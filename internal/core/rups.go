@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"rups/internal/geo"
+	"rups/internal/obs"
 	"rups/internal/stats"
 	"rups/internal/trajectory"
 )
@@ -68,6 +69,14 @@ type Searcher struct {
 	offA, offB int
 	p          Params
 	idxA, idxB *matrixIndex
+
+	// Telemetry, resolved once per searcher: tel is nil while the metrics
+	// registry is disabled, rec is nil while span tracing is disabled, and
+	// every instrument site guards on that nil — the whole disabled-path
+	// cost (proven alloc-free by TestSearcherTelemetryDisabledCostsNothing).
+	tel   *searchTelemetry
+	rec   *obs.Recorder
+	trace obs.TraceID
 }
 
 // NewSearcher prepares the shared per-pair state for resolving relative
@@ -75,6 +84,9 @@ type Searcher struct {
 func NewSearcher(a, b *trajectory.Aware, p Params) *Searcher {
 	p.validate()
 	s := &Searcher{a: a, b: b, p: p}
+	s.tel = searchTel.Get()
+	s.rec = obs.ActiveRecorder()
+	s.trace = s.rec.NewTrace()
 	s.aCtx, s.offA = clip(a, p)
 	s.bCtx, s.offB = clip(b, p)
 	// Checking-window width: the strongest channels, but never channels
@@ -148,21 +160,38 @@ func (s *Searcher) bounds(targetLen, w, endOff int) (lo, hi int) {
 // scanAB runs direction 1 of the double-sliding check: A's reference
 // segment slides over B.
 func (s *Searcher) scanAB(pl *segmentPlan) {
+	sp := s.rec.Start(s.trace, "scan_ab")
+	sp.Arg = int64(pl.endOff)
 	endA := s.aCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxA, s.idxB, endA-pl.w+1, pl.w, s.p.NoColumnTerm)
 	lo, hi := s.bounds(s.bCtx.Len(), pl.w, pl.endOff)
 	pl.posB, pl.scoreAB = sc.bestWindowIn(lo, hi)
+	s.flushScan(sc)
 	sc.release()
+	sp.End()
+}
+
+// flushScan folds one direction scan's placement counts into the metrics
+// registry (two atomic adds; skipped entirely while telemetry is off).
+func (s *Searcher) flushScan(sc *segScorer) {
+	if t := s.tel; t != nil {
+		t.windows.Add(uint64(sc.visited))
+		t.pruned.Add(uint64(sc.pruned))
+	}
 }
 
 // scanBA runs direction 2: B's reference segment slides over A (skipped in
 // the single-sided ablation).
 func (s *Searcher) scanBA(pl *segmentPlan) {
+	sp := s.rec.Start(s.trace, "scan_ba")
+	sp.Arg = int64(pl.endOff)
 	endB := s.bCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxB, s.idxA, endB-pl.w+1, pl.w, s.p.NoColumnTerm)
 	lo, hi := s.bounds(s.aCtx.Len(), pl.w, pl.endOff)
 	pl.posA, pl.scoreBA = sc.bestWindowIn(lo, hi)
+	s.flushScan(sc)
 	sc.release()
+	sp.End()
 }
 
 // combine folds the two direction results into the segment's SYN point
@@ -170,6 +199,9 @@ func (s *Searcher) scanBA(pl *segmentPlan) {
 // threshold and the heading gate.
 func (s *Searcher) combine(pl *segmentPlan) (SYNPoint, bool) {
 	if pl.posB < 0 && pl.posA < 0 {
+		if t := s.tel; t != nil {
+			t.rejected.Inc()
+		}
 		return SYNPoint{}, false
 	}
 	best := SYNPoint{WindowLen: pl.w}
@@ -184,15 +216,27 @@ func (s *Searcher) combine(pl *segmentPlan) (SYNPoint, bool) {
 		best.IdxA = s.offA + pl.posA + pl.w - 1
 		best.IdxB = s.offB + endB
 	}
+	if t := s.tel; t != nil {
+		t.margin.Observe(best.Score - pl.threshold)
+	}
 	if best.Score < pl.threshold {
+		if t := s.tel; t != nil {
+			t.rejected.Inc()
+		}
 		return SYNPoint{}, false
 	}
 	if s.p.HeadingGateRad > 0 {
 		ha := s.aCtx.Geo.Marks[best.IdxA-s.offA].Theta
 		hb := s.bCtx.Geo.Marks[best.IdxB-s.offB].Theta
 		if d := geo.HeadingDiff(ha, hb); math.Abs(d) > s.p.HeadingGateRad {
+			if t := s.tel; t != nil {
+				t.rejected.Inc()
+			}
 			return SYNPoint{}, false
 		}
+	}
+	if t := s.tel; t != nil {
+		t.accepted.Inc()
 	}
 	return best, true
 }
@@ -218,6 +262,9 @@ func (s *Searcher) FindSYNSeg(endOff int) (SYNPoint, bool) {
 // independent direction scans through par. Results are combined in segment
 // order, so the output is bit-identical for any Parallel implementation.
 func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
+	if t := s.tel; t != nil {
+		t.searches.Inc()
+	}
 	plans := make([]*segmentPlan, 0, n)
 	tasks := make([]func(), 0, 2*n)
 	for i := 0; i < n; i++ {
@@ -225,6 +272,9 @@ func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
 		if !ok {
 			plans = append(plans, nil)
 			continue
+		}
+		if t := s.tel; t != nil {
+			t.segments.Inc()
 		}
 		pl.posA, pl.scoreBA = -1, math.Inf(-1)
 		p := new(segmentPlan)
@@ -253,10 +303,15 @@ func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
 // distance estimate, and aggregate them according to p.Aggregation. ok is
 // false when no SYN point was found.
 func (s *Searcher) Resolve(par Parallel) (Estimate, bool) {
+	rsp := s.rec.Start(s.trace, "resolve")
+	defer rsp.End()
 	syns := s.FindSYNs(s.p.NumSYN, par)
 	if len(syns) == 0 {
 		return Estimate{}, false
 	}
+	asp := s.rec.Start(s.trace, "aggregate")
+	asp.Arg = int64(len(syns))
+	defer asp.End()
 	est := Estimate{SYNs: syns}
 	dists := make([]float64, len(syns))
 	bestI := 0

@@ -314,6 +314,12 @@ type segScorer struct {
 	// constructed scorers in tests — in which case scoring falls back to
 	// pearsonFromSums with per-position variance differences).
 	ws *winStats
+
+	// Scan telemetry, accumulated as plain ints during the placement loops
+	// and flushed to the searcher's counters once per direction scan:
+	// visited placements had their channel term evaluated, pruned ones were
+	// rejected on the column-term bound alone.
+	visited, pruned int
 }
 
 // newSegScorer prepares a reference segment scorer. Degenerate inputs
@@ -560,6 +566,7 @@ func (s *segScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
 	}
 	best := math.Inf(-1)
 	bestJ := -1
+	s.visited += hi - lo + 1
 	for j := lo; j <= hi; j++ {
 		if sc := s.scoreAt(j); sc > best {
 			best = sc
@@ -588,8 +595,10 @@ func (s *segScorer) bestWindowPruned(lo, hi int) (pos int, score float64) {
 	visit := func(j int) {
 		cr := colR[j-lo]
 		if cr+1 <= best {
+			s.pruned++
 			return
 		}
+		s.visited++
 		if sc := s.chanTerm(j) + cr; sc > best {
 			best = sc
 			bestJ = j

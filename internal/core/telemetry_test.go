@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"rups/internal/obs"
+)
+
+// TestSearcherTelemetryDisabledCostsNothing: with the registry disabled, a
+// full search allocates exactly what the uninstrumented searcher did — an
+// enable/disable cycle in between must not leave any residue (cached
+// handles are keyed on the registry pointer and go nil again). The timing
+// side of the ≤2% budget is tracked by BenchmarkSearcherInstrumented in
+// BENCH_4.json.
+func TestSearcherTelemetryDisabledCostsNothing(t *testing.T) {
+	obs.Disable()
+	obs.SetRecorder(nil)
+	a, b := plantedPair(11, 400, 30, 1.0)
+	p := DefaultParams()
+	search := func() {
+		if syns := NewSearcher(a, b, p).FindSYNs(p.NumSYN, Sequential); len(syns) == 0 {
+			t.Fatal("no SYNs on overlapping synthetic pair")
+		}
+	}
+
+	before := testing.AllocsPerRun(10, search)
+
+	// Exercise the enabled path, then disable again.
+	obs.Enable(obs.NewRegistry())
+	obs.SetRecorder(obs.NewRecorder(64))
+	search()
+	obs.Disable()
+	obs.SetRecorder(nil)
+
+	after := testing.AllocsPerRun(10, search)
+	if diff := after - before; diff > 2 || diff < -2 {
+		t.Errorf("disabled-telemetry search allocs drifted: %v before, %v after enable/disable cycle",
+			before, after)
+	}
+
+	// And the counters really were fed while enabled.
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer func() {
+		obs.Disable()
+		obs.SetRecorder(nil)
+	}()
+	search()
+	tel := searchTel.Get()
+	if tel == nil {
+		t.Fatal("view nil while enabled")
+	}
+	if tel.searches.Value() == 0 || tel.windows.Value() == 0 || tel.margin.Count() == 0 {
+		t.Errorf("enabled search left counters empty: searches=%d windows=%d margins=%d",
+			tel.searches.Value(), tel.windows.Value(), tel.margin.Count())
+	}
+}

@@ -12,12 +12,18 @@
 package engine
 
 import (
+	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"rups/internal/core"
+	"rups/internal/obs"
 	"rups/internal/trajectory"
 )
+
+// ErrClosed is returned by admission entry points called after Close.
+var ErrClosed = errors.New("engine: closed")
 
 // Engine is a bounded worker pool for batch relative-distance resolution.
 // The zero value is not usable; construct with New and release with Close.
@@ -29,6 +35,12 @@ type Engine struct {
 	tasks chan func()
 	wg    sync.WaitGroup
 	once  sync.Once
+
+	// mu guards closed, and crucially is read-held across every channel
+	// send: Close flips closed under the write lock before closing the
+	// channel, so no submit can race a send against the close.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // New starts an engine with the given number of workers; workers <= 0 means
@@ -56,13 +68,42 @@ func (e *Engine) worker() {
 	}
 }
 
-// Close shuts the pool down and waits for in-flight tasks to finish. The
-// engine must not be used afterwards. Close is idempotent.
+// Close shuts the pool down and waits for in-flight tasks to finish. Close
+// is idempotent. Afterwards Admit/ResolveAll/Resolve return ErrClosed;
+// batches admitted before Close still resolve correctly, degraded to
+// inline (sequential) execution.
 func (e *Engine) Close() {
 	e.once.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
 		close(e.tasks)
 		e.wg.Wait()
 	})
+}
+
+// isClosed reports whether Close has begun.
+func (e *Engine) isClosed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
+}
+
+// submit hands t to an idle worker if one is ready and the pool is still
+// open. The read lock spans the send so Close cannot close the channel
+// between the closed check and the send.
+func (e *Engine) submit(t func()) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return false
+	}
+	select {
+	case e.tasks <- t:
+		return true
+	default:
+		return false
+	}
 }
 
 // run is the engine's core.Parallel implementation. Handoff is help-first:
@@ -70,18 +111,43 @@ func (e *Engine) Close() {
 // inline on the calling goroutine otherwise. Workers executing a pair task
 // therefore never block waiting for pool capacity when the pair fans out
 // its direction scans — nested fan-out cannot deadlock, and the pool degrades
-// to sequential execution under saturation instead of queueing.
+// to sequential execution under saturation (or after Close) instead of
+// queueing.
 func (e *Engine) run(tasks ...func()) {
+	tel := engineTel.Get()
 	var wg sync.WaitGroup
 	for _, t := range tasks {
 		t := t
 		wg.Add(1)
-		select {
-		case e.tasks <- func() { defer wg.Done(); t() }:
-		default:
-			t()
-			wg.Done()
+		if tel == nil {
+			// Disabled-telemetry fast path: byte-for-byte the allocation
+			// profile of the uninstrumented pool (one wrapper closure per
+			// pooled handoff, nothing else).
+			if !e.submit(func() { defer wg.Done(); t() }) {
+				t()
+				wg.Done()
+			}
+			continue
 		}
+		tel.tasks.Inc()
+		// Count the task as queued before the handoff attempt: a worker may
+		// start (and finish) it before submit even returns.
+		tel.peak.RaiseTo(tel.depth.Add(1))
+		if e.submit(func() {
+			defer wg.Done()
+			start := time.Now()
+			t()
+			tel.taskSec.Observe(time.Since(start).Seconds())
+			tel.depth.Add(-1)
+		}) {
+			continue
+		}
+		tel.depth.Add(-1) // never reached a worker
+		tel.inline.Inc()
+		start := time.Now()
+		t()
+		tel.taskSec.Observe(time.Since(start).Seconds())
+		wg.Done()
 	}
 	wg.Wait()
 }
@@ -110,13 +176,23 @@ type Batch struct {
 // trajectories for the duration of the call — admit at a quiescent point
 // (a tick boundary, or the vehicle goroutine handing its own trajectory
 // over); Admit returning is the synchronization point after which appends
-// may resume concurrently with the batch's resolution.
-func (e *Engine) Admit(trajs ...*trajectory.Aware) *Batch {
+// may resume concurrently with the batch's resolution. Admission is the
+// simulation's stand-in for the paper's context exchange, so it records an
+// "exchange" span (Arg = trajectories admitted). Returns ErrClosed after
+// Close.
+func (e *Engine) Admit(trajs ...*trajectory.Aware) (*Batch, error) {
+	if e.isClosed() {
+		return nil, ErrClosed
+	}
+	rec := obs.ActiveRecorder()
+	sp := rec.Start(rec.NewTrace(), "exchange")
+	sp.Arg = int64(len(trajs))
+	defer sp.End()
 	b := &Batch{e: e, snaps: make([]*trajectory.Aware, len(trajs))}
 	for i, t := range trajs {
 		b.snaps[i] = t.Snapshot()
 	}
-	return b
+	return b, nil
 }
 
 // Len reports how many trajectories the batch admitted.
@@ -139,6 +215,12 @@ func (b *Batch) ResolveAll(p core.Params) []Result {
 // and returns results in input order. Pairs with out-of-range indexes
 // yield OK == false rather than a panic.
 func (b *Batch) ResolvePairs(pairs [][2]int, p core.Params) []Result {
+	tel := engineTel.Get()
+	var start time.Time
+	if tel != nil {
+		tel.batches.Inc()
+		start = time.Now()
+	}
 	out := make([]Result, len(pairs))
 	tasks := make([]func(), 0, len(pairs))
 	for pi, pr := range pairs {
@@ -153,19 +235,31 @@ func (b *Batch) ResolvePairs(pairs [][2]int, p core.Params) []Result {
 		})
 	}
 	b.e.run(tasks...)
+	if tel != nil {
+		tel.batchSec.Observe(time.Since(start).Seconds())
+	}
 	return out
 }
 
 // ResolveAll admits the platoon and resolves every unordered pair — the
-// one-call form for callers already at a quiescent point.
-func (e *Engine) ResolveAll(trajs []*trajectory.Aware, p core.Params) []Result {
-	return e.Admit(trajs...).ResolveAll(p)
+// one-call form for callers already at a quiescent point. Returns ErrClosed
+// after Close.
+func (e *Engine) ResolveAll(trajs []*trajectory.Aware, p core.Params) ([]Result, error) {
+	b, err := e.Admit(trajs...)
+	if err != nil {
+		return nil, err
+	}
+	return b.ResolveAll(p), nil
 }
 
 // Resolve answers a single pair through the pool (admitting both
 // trajectories first). The batch entry points amortize better; this exists
-// for callers resolving one query at a time.
-func (e *Engine) Resolve(a, b *trajectory.Aware, p core.Params) (core.Estimate, bool) {
-	batch := e.Admit(a, b)
-	return core.NewSearcher(batch.snaps[0], batch.snaps[1], p).Resolve(e.run)
+// for callers resolving one query at a time. Returns ErrClosed after Close.
+func (e *Engine) Resolve(a, b *trajectory.Aware, p core.Params) (core.Estimate, bool, error) {
+	batch, err := e.Admit(a, b)
+	if err != nil {
+		return core.Estimate{}, false, err
+	}
+	est, ok := core.NewSearcher(batch.snaps[0], batch.snaps[1], p).Resolve(e.run)
+	return est, ok, nil
 }

@@ -68,7 +68,10 @@ func TestEngineMatchesOracle(t *testing.T) {
 	p := convoyParams()
 	e := engine.New(0)
 	defer e.Close()
-	got := e.ResolveAll(trajs, p)
+	got, err := e.ResolveAll(trajs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 15 {
 		t.Fatalf("6-vehicle platoon has %d results, want 15", len(got))
 	}
@@ -99,7 +102,10 @@ func TestEngineSingleWorkerNestedFanout(t *testing.T) {
 	p := convoyParams()
 	e := engine.New(1)
 	defer e.Close()
-	got := e.ResolveAll(trajs, p)
+	got, err := e.ResolveAll(trajs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range got {
 		wantEst, wantOK := core.Resolve(trajs[r.A], trajs[r.B], p)
 		if r.OK != wantOK || !reflect.DeepEqual(r.Est, wantEst) {
@@ -119,7 +125,10 @@ func TestEngineConcurrentAppend(t *testing.T) {
 	defer e.Close()
 
 	// Admission happens at quiescence; appends start only afterwards.
-	batch := e.Admit(trajs...)
+	batch, err := e.Admit(trajs...)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -165,16 +174,23 @@ func TestEngineDegenerate(t *testing.T) {
 	p := convoyParams()
 	e := engine.New(2)
 	defer e.Close()
-	if res := e.ResolveAll(nil, p); len(res) != 0 {
-		t.Fatalf("empty batch produced %d results", len(res))
+	if res, err := e.ResolveAll(nil, p); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(res))
 	}
 	empty := trajectory.NewAware(trajectory.Geo{})
-	res := e.ResolveAll([]*trajectory.Aware{empty, empty}, p)
+	res, err := e.ResolveAll([]*trajectory.Aware{empty, empty}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 1 || res[0].OK {
 		t.Fatalf("empty trajectories resolved: %+v", res)
 	}
 	trajs := syntheticConvoy(4, 2, 250, 20, 1.0)
-	res = e.Admit(trajs...).ResolvePairs([][2]int{{0, 5}, {-1, 1}, {0, 1}}, p)
+	batch, err := e.Admit(trajs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = batch.ResolvePairs([][2]int{{0, 5}, {-1, 1}, {0, 1}}, p)
 	if len(res) != 3 {
 		t.Fatalf("got %d results, want 3", len(res))
 	}
@@ -196,9 +212,76 @@ func TestEngineResolveSingle(t *testing.T) {
 	p := convoyParams()
 	e := engine.New(0)
 	defer e.Close()
-	gotEst, gotOK := e.Resolve(trajs[0], trajs[1], p)
+	gotEst, gotOK, err := e.Resolve(trajs[0], trajs[1], p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantEst, wantOK := core.Resolve(trajs[0], trajs[1], p)
 	if gotOK != wantOK || !reflect.DeepEqual(gotEst, wantEst) {
 		t.Fatalf("single resolve diverged: %+v vs %+v", gotEst, wantEst)
+	}
+}
+
+// TestEngineAdmitAfterClose: Close used to leave the task channel closed
+// while Admit/schedule still tried to send on it — a panic. Every admission
+// entry point must now answer ErrClosed instead, and Close must stay
+// idempotent.
+func TestEngineAdmitAfterClose(t *testing.T) {
+	trajs := syntheticConvoy(6, 2, 250, 20, 1.0)
+	p := convoyParams()
+	e := engine.New(2)
+
+	// Admit a batch before Close: it must still resolve afterwards (the
+	// pool degrades to inline execution) without panicking.
+	batch, err := e.Admit(trajs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+
+	if _, err := e.Admit(trajs...); err != engine.ErrClosed {
+		t.Fatalf("Admit after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := e.ResolveAll(trajs, p); err != engine.ErrClosed {
+		t.Fatalf("ResolveAll after Close: err = %v, want ErrClosed", err)
+	}
+	if _, _, err := e.Resolve(trajs[0], trajs[1], p); err != engine.ErrClosed {
+		t.Fatalf("Resolve after Close: err = %v, want ErrClosed", err)
+	}
+
+	res := batch.ResolveAll(p)
+	if len(res) != 1 {
+		t.Fatalf("pre-Close batch resolved %d pairs, want 1", len(res))
+	}
+	wantEst, wantOK := core.Resolve(trajs[0], trajs[1], p)
+	if res[0].OK != wantOK || !reflect.DeepEqual(res[0].Est, wantEst) {
+		t.Fatal("pre-Close batch diverged from oracle after Close")
+	}
+}
+
+// TestEngineCloseDuringResolve hammers Close against in-flight admission
+// and resolution — under -race this is the regression test for the
+// send-on-closed-channel panic.
+func TestEngineCloseDuringResolve(t *testing.T) {
+	trajs := syntheticConvoy(7, 3, 250, 20, 1.0)
+	p := convoyParams()
+	for round := 0; round < 8; round++ {
+		e := engine.New(2)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := e.ResolveAll(trajs, p); err != nil && err != engine.ErrClosed {
+					t.Errorf("ResolveAll: %v", err)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			e.Close()
+		}()
+		wg.Wait()
 	}
 }

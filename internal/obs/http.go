@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewDebugMux builds the debug endpoint's handler tree: Prometheus text
+// exposition at /metrics, the span ring as JSON at /debug/spans, and the
+// net/http/pprof handlers at /debug/pprof/. Either argument may be nil —
+// the corresponding endpoint then serves an empty document.
+func NewDebugMux(reg *Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "rups debug endpoint\n\n/metrics\n/debug/spans\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to do.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore errflow an encode failure here means the client hung up; there is no one left to tell
+		_ = enc.Encode(struct {
+			Total  uint64      `json:"total"`
+			Events []SpanEvent `json:"events"`
+		}{Total: rec.Total(), Events: rec.Events()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug endpoint. It shuts down when the context
+// passed to ServeDebug is cancelled or when Close is called, whichever
+// comes first.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+	// done closes when the serve loop has exited; it is both the clean-
+	// shutdown barrier and the cancellation affordance of the goroutines.
+	done chan struct{}
+}
+
+// shutdownTimeout bounds how long in-flight debug requests may delay
+// process exit.
+const shutdownTimeout = 2 * time.Second
+
+// ServeDebug binds addr and serves the debug endpoint in the background.
+//
+// Security: an address without a host part (":8080", ":0") binds the
+// loopback interface, not the wildcard — the endpoint exposes pprof and
+// internals, so reaching it from another machine must be an explicit
+// decision (pass an interface address to opt in). The listener's actual
+// address is available from Addr, which is how a ":0" caller learns its
+// port.
+func ServeDebug(ctx context.Context, addr string, reg *Registry, rec *Recorder) (*DebugServer, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug address %q: %w", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	s := &DebugServer{
+		srv: &http.Server{
+			Handler:           NewDebugMux(reg, rec),
+			ReadHeaderTimeout: 5 * time.Second,
+			BaseContext:       func(net.Listener) context.Context { return ctx },
+		},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		// Serve returns once Shutdown or Close is called; announcing that
+		// through done releases the watcher and any Close caller.
+		//lint:ignore errflow Serve always returns ErrServerClosed after Shutdown; real errors surface via Close
+		_ = s.srv.Serve(ln)
+		close(s.done)
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+			defer cancel()
+			//lint:ignore errflow best-effort shutdown on context cancellation; Close reports the error to callers who wait
+			_ = s.srv.Shutdown(sctx)
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's address — the way to learn the port after
+// binding ":0".
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close drains in-flight requests (bounded by shutdownTimeout) and waits
+// for the serve loop to exit. Safe to call after the context already
+// cancelled the server.
+func (s *DebugServer) Close() error {
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(sctx)
+	<-s.done
+	return err
+}

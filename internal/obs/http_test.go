@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_hits_total", "hits").Add(3)
+	rec := NewRecorder(16)
+	sp := rec.Start(rec.NewTrace(), "bind")
+	sp.Arg = 42
+	sp.End()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := ServeDebug(ctx, "127.0.0.1:0", reg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	if code, body := getBody(t, base+"/metrics"); code != 200 ||
+		!strings.Contains(body, "test_hits_total 3") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	code, body := getBody(t, base+"/debug/spans")
+	if code != 200 {
+		t.Fatalf("/debug/spans = %d", code)
+	}
+	var spans struct {
+		Total  uint64      `json:"total"`
+		Events []SpanEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/debug/spans not JSON: %v\n%s", err, body)
+	}
+	if spans.Total != 1 || len(spans.Events) != 1 ||
+		spans.Events[0].Name != "bind" || spans.Events[0].Arg != 42 {
+		t.Fatalf("/debug/spans content wrong: %+v", spans)
+	}
+	if code, body := getBody(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, _ := getBody(t, base+"/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestDebugServerLoopbackDefault(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := ServeDebug(ctx, ":0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.HasPrefix(s.Addr(), "127.0.0.1:") {
+		t.Fatalf("host-less address bound %q, want loopback", s.Addr())
+	}
+	// Nil registry and recorder still serve valid (empty) documents.
+	if code, _ := getBody(t, "http://"+s.Addr()+"/metrics"); code != 200 {
+		t.Fatalf("/metrics with nil registry = %d", code)
+	}
+	if _, body := getBody(t, "http://"+s.Addr()+"/debug/spans"); !strings.Contains(body, `"total": 0`) {
+		t.Fatalf("/debug/spans with nil recorder:\n%s", body)
+	}
+}
+
+func TestDebugServerContextShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := ServeDebug(ctx, "127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-s.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on context cancellation")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after context shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}
+
+func TestDebugServerBadAddress(t *testing.T) {
+	if _, err := ServeDebug(context.Background(), "no-port-here", nil, nil); err == nil {
+		t.Fatal("want error for an address without a port")
+	}
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil counter is a valid
+// no-op — the disabled-telemetry fast path hands these out.
+type Counter struct {
+	nm, help string
+	v        atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for the nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) name() string { return c.nm }
+
+func (c *Counter) write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+		c.nm, c.help, c.nm, c.nm, c.v.Load())
+	return err
+}
+
+// Gauge is a settable instantaneous value. The nil gauge is a valid no-op.
+type Gauge struct {
+	nm, help string
+	v        atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d and returns the new value (0 for nil).
+func (g *Gauge) Add(d int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(d)
+}
+
+// RaiseTo lifts the gauge to v if v is greater — the high-water-mark
+// operation behind *_peak gauges.
+func (g *Gauge) RaiseTo(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for the nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) name() string { return g.nm }
+
+func (g *Gauge) write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+		g.nm, g.help, g.nm, g.nm, g.v.Load())
+	return err
+}
+
+// Histogram is a log-linear-bucket distribution: two linear sub-buckets
+// per power-of-two octave spanning [2^minExp, 2^maxExp]. Values at or
+// below 2^minExp (including zero and negatives) land in the underflow
+// bucket; values above 2^maxExp land in the +Inf bucket; NaN observations
+// are dropped. Observe is lock-free and allocation-free. The nil histogram
+// is a valid no-op.
+type Histogram struct {
+	nm, help       string
+	minExp, maxExp int
+	lo, hi         float64   // 2^minExp, 2^maxExp
+	bounds         []float64 // finite upper bounds, ascending
+	counts         []atomic.Uint64
+	count          atomic.Uint64
+	sumBits        atomic.Uint64
+}
+
+func newHistogram(name, help string, minExp, maxExp int) *Histogram {
+	if minExp >= maxExp {
+		panic(fmt.Sprintf("obs: histogram %s: minExp %d >= maxExp %d", name, minExp, maxExp))
+	}
+	h := &Histogram{
+		nm: name, help: help, minExp: minExp, maxExp: maxExp,
+		lo: math.Ldexp(1, minExp), hi: math.Ldexp(1, maxExp),
+	}
+	h.bounds = append(h.bounds, h.lo)
+	for e := minExp; e < maxExp; e++ {
+		h.bounds = append(h.bounds, math.Ldexp(1.5, e), math.Ldexp(1, e+1))
+	}
+	h.counts = make([]atomic.Uint64, len(h.bounds)+1) // + the +Inf bucket
+	return h
+}
+
+// bucketOf maps an observation to its bucket index; bounds are ≤
+// boundaries (Prometheus `le` semantics).
+func (h *Histogram) bucketOf(v float64) int {
+	if v <= h.lo {
+		return 0
+	}
+	if v > h.hi {
+		return len(h.counts) - 1
+	}
+	if v >= h.hi { // exactly the top bound: last finite bucket
+		return len(h.counts) - 2
+	}
+	// v is a positive normal number strictly inside (2^minExp, 2^maxExp):
+	// its binary exponent and top mantissa bit address the octave and the
+	// linear sub-bucket directly, with no log on the hot path.
+	bits := math.Float64bits(v)
+	exp := int(bits>>52&0x7ff) - 1023
+	sub := int(bits >> 51 & 1)
+	idx := 1 + (exp-h.minExp)*2 + sub
+	// Exact boundary values (2^e and 1.5·2^e — mantissa zero below the
+	// sub-bucket bit) sit on the previous bucket's ≤ upper bound.
+	if bits&(1<<51-1) == 0 {
+		idx--
+	}
+	return idx
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.counts[h.bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for the nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for the nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) name() string { return h.nm }
+
+func (h *Histogram) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.nm, h.help, h.nm); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm,
+			strconv.FormatFloat(b, 'g', -1, 64), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.counts)-1].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		h.nm, cum, h.nm, strconv.FormatFloat(h.Sum(), 'g', -1, 64), h.nm, h.count.Load())
+	return err
+}
+
+// metric is the exposition interface all handle types share.
+type metric interface {
+	name() string
+	write(w io.Writer) error
+}
+
+// Registry owns a process's metrics. Handle constructors are idempotent —
+// asking twice for the same name returns the same handle — and panic on a
+// name reused across metric kinds or violating the Prometheus grammar
+// (programming errors, not runtime conditions). All Registry methods
+// accept a nil receiver and return nil (no-op) handles, which is the
+// disabled-telemetry fast path.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookupOrCreate(name, func() metric { return &Counter{nm: name, help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookupOrCreate(name, func() metric { return &Gauge{nm: name, help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// log-linear buckets over [2^minExp, 2^maxExp] if new.
+func (r *Registry) Histogram(name, help string, minExp, maxExp int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookupOrCreate(name, func() metric { return newHistogram(name, help, minExp, maxExp) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s already registered as %T", name, m))
+	}
+	return h
+}
+
+func (r *Registry) lookupOrCreate(name string, mk func() metric) metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := mk()
+	r.byName[name] = m
+	return m
+}
+
+// validName checks the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus writes every registered metric in text exposition format
+// (version 0.0.4), sorted by name for deterministic output. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]metric, 0, len(r.byName))
+	for _, m := range r.byName {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name() < ms[j].name() })
+	for _, m := range ms {
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

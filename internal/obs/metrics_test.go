@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value %d, want 5", got)
+	}
+	if again := r.Counter("test_events_total", "events"); again != c {
+		t.Fatal("re-registering a counter must return the same handle")
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(3)
+	if got := g.Add(2); got != 5 {
+		t.Fatalf("gauge Add returned %d, want 5", got)
+	}
+	g.RaiseTo(4)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("RaiseTo lowered the gauge to %d", got)
+	}
+	g.RaiseTo(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("RaiseTo did not lift the gauge: %d", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	g.RaiseTo(5)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", 0, 4) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatal("nil registry exposition must be empty")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	// Span [2^0, 2^4] = [1, 16], two sub-buckets per octave:
+	// bounds 1, 1.5, 2, 3, 4, 6, 8, 12, 16, +Inf.
+	h := newHistogram("test_h", "h", 0, 4)
+	want := []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16}
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds %v, want %v", h.bounds, want)
+	}
+	for i, b := range want {
+		if h.bounds[i] != b {
+			t.Fatalf("bounds %v, want %v", h.bounds, want)
+		}
+	}
+	cases := []struct {
+		v    float64
+		want int // bucket index; len(bounds) = +Inf
+	}{
+		{-3, 0}, {0, 0}, {0.5, 0}, {1, 0}, // underflow: le=1
+		{1.2, 1}, {1.5, 1}, // le=1.5
+		{1.7, 2}, {2, 2},   // le=2
+		{2.5, 3}, {3, 3},   // le=3
+		{3.5, 4}, {4, 4},   // le=4
+		{5, 5}, {6, 5},     // le=6
+		{7, 6}, {8, 6},     // le=8
+		{9, 7}, {12, 7},    // le=12
+		{13, 8}, {16, 8},   // le=16
+		{16.5, 9}, {1e9, 9}, {math.Inf(1), 9}, // +Inf
+	}
+	for _, c := range cases {
+		if got := h.bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket boundary value must land in the bucket it bounds (le is
+	// inclusive), and a value just above must land in the next one.
+	for i, b := range h.bounds {
+		if got := h.bucketOf(b); got != i {
+			t.Errorf("bucketOf(bound %v) = %d, want %d", b, got, i)
+		}
+		if got := h.bucketOf(b * 1.001); got != i+1 {
+			t.Errorf("bucketOf(%v) = %d, want %d", b*1.001, got, i+1)
+		}
+	}
+
+	h.Observe(2.5)
+	h.Observe(100)
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2 (NaN must be dropped)", h.Count())
+	}
+	if h.Sum() != 102.5 {
+		t.Fatalf("sum %v, want 102.5", h.Sum())
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_use", "")
+	for name, f := range map[string]func(){
+		"kind clash":   func() { r.Gauge("dual_use", "") },
+		"bad name":     func() { r.Counter("0starts_with_digit", "") },
+		"empty name":   func() { r.Counter("", "") },
+		"bad rune":     func() { r.Counter("has-dash", "") },
+		"bad exponent": func() { r.Histogram("test_h2", "", 4, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorts last").Add(2)
+	r.Gauge("aa_first", "sorts first").Set(-7)
+	h := r.Histogram("mid_seconds", "a histogram", -1, 1) // bounds 0.5, 0.75, 1, 1.5, 2
+	h.Observe(0.8)
+	h.Observe(0.8)
+	h.Observe(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP aa_first sorts first
+# TYPE aa_first gauge
+aa_first -7
+# HELP mid_seconds a histogram
+# TYPE mid_seconds histogram
+mid_seconds_bucket{le="0.5"} 0
+mid_seconds_bucket{le="0.75"} 0
+mid_seconds_bucket{le="1"} 2
+mid_seconds_bucket{le="1.5"} 2
+mid_seconds_bucket{le="2"} 2
+mid_seconds_bucket{le="+Inf"} 3
+mid_seconds_sum 6.6
+mid_seconds_count 3
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 2
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestViewTracksRegistry(t *testing.T) {
+	defer Disable()
+	type handles struct{ c *Counter }
+	builds := 0
+	v := NewView(func(r *Registry) *handles {
+		builds++
+		return &handles{c: r.Counter("view_total", "")}
+	})
+	Disable()
+	if v.Get() != nil {
+		t.Fatal("disabled telemetry must yield a nil view")
+	}
+	r1 := NewRegistry()
+	Enable(r1)
+	h1 := v.Get()
+	if h1 == nil || v.Get() != h1 {
+		t.Fatal("view must cache handles for the enabled registry")
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	h1.c.Inc()
+	r2 := NewRegistry()
+	Enable(r2)
+	h2 := v.Get()
+	if h2 == h1 {
+		t.Fatal("view must rebuild for a new registry")
+	}
+	h2.c.Inc()
+	if r1.Counter("view_total", "").Value() != 1 || r2.Counter("view_total", "").Value() != 1 {
+		t.Fatal("counts must land in their own registries")
+	}
+	Disable()
+	if v.Get() != nil {
+		t.Fatal("view must go nil again after Disable")
+	}
+}

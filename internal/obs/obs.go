@@ -1,0 +1,80 @@
+// Package obs is the repo's zero-dependency telemetry layer: a metrics
+// registry (atomic counters, gauges, and log-linear-bucket histograms), a
+// span recorder tracing the resolution pipeline into a fixed-size ring, and
+// a debug HTTP endpoint serving Prometheus text exposition, the span ring,
+// and net/http/pprof.
+//
+// Telemetry is off by default and the disabled state is free: every handle
+// type tolerates a nil receiver, Enable/SetRecorder install the package
+// defaults atomically, and instrumented packages fetch their handles
+// through a View — one atomic load when disabled, one atomic load plus a
+// pointer compare when enabled. The hot-path operations (Counter.Add,
+// Gauge.Set, Histogram.Observe, Span End into the ring) allocate nothing
+// in either state; obs's alloc tests pin that down with
+// testing.AllocsPerRun.
+package obs
+
+import "sync/atomic"
+
+var (
+	defReg atomic.Pointer[Registry]
+	defRec atomic.Pointer[Recorder]
+)
+
+// Enable installs r as the process-wide default registry. Instrumented
+// packages pick it up on their next View.Get. Enable(nil) is Disable.
+func Enable(r *Registry) { defReg.Store(r) }
+
+// Disable removes the default registry; instrument sites fall back to the
+// nil-registry fast path (no-op handles, no atomics touched).
+func Disable() { defReg.Store(nil) }
+
+// Default returns the enabled registry, or nil when telemetry is off. All
+// Registry methods accept a nil receiver and return nil handles, so
+// obs.Default().Counter(...) is always safe.
+func Default() *Registry { return defReg.Load() }
+
+// SetRecorder installs r as the process-wide span recorder (nil disables
+// span tracing).
+func SetRecorder(r *Recorder) { defRec.Store(r) }
+
+// ActiveRecorder returns the enabled span recorder, or nil. Recorder
+// methods accept a nil receiver, and a Span started from a nil recorder is
+// an inert value whose End is a no-op.
+func ActiveRecorder() *Recorder { return defRec.Load() }
+
+// View caches one package's telemetry handles keyed by the enabled
+// registry, so instrument sites pay a map lookup only when the registry
+// changes, not per call. Get returns nil while telemetry is disabled — the
+// caller's single nil check is the whole disabled-path cost. The build
+// function must be idempotent against one registry (Registry handle
+// constructors are), because concurrent first Gets may both run it.
+type View[T any] struct {
+	build func(*Registry) *T
+	cur   atomic.Pointer[viewBox[T]]
+}
+
+type viewBox[T any] struct {
+	reg *Registry
+	val *T
+}
+
+// NewView declares a lazily-built handle bundle.
+func NewView[T any](build func(*Registry) *T) *View[T] {
+	return &View[T]{build: build}
+}
+
+// Get returns the handles for the currently enabled registry, or nil when
+// telemetry is disabled.
+func (v *View[T]) Get() *T {
+	reg := Default()
+	if reg == nil {
+		return nil
+	}
+	if b := v.cur.Load(); b != nil && b.reg == reg {
+		return b.val
+	}
+	b := &viewBox[T]{reg: reg, val: v.build(reg)}
+	v.cur.Store(b)
+	return b.val
+}

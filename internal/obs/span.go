@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID groups the span events of one pipeline pass — one vehicle
+// pipeline build, one batch admission, one pair resolution. 0 is the
+// disabled/unassigned trace.
+type TraceID uint64
+
+// SpanEvent is one completed pipeline stage in the recorder's ring.
+type SpanEvent struct {
+	Seq   uint64        `json:"seq"`           // recording order, monotonic
+	Trace TraceID       `json:"trace"`         // pipeline pass this stage belongs to
+	Name  string        `json:"name"`          // stage name (bind, scan_ab, aggregate, ...)
+	Arg   int64         `json:"arg,omitempty"` // stage-specific small argument (segment offset, counts)
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Recorder keeps the most recent span events in a fixed-size ring. Ends
+// overwrite the oldest event once the ring is full; recording takes the
+// ring mutex but allocates nothing. The nil recorder is a valid no-op, and
+// spans started from it are inert.
+type Recorder struct {
+	ids atomic.Uint64
+	mu  sync.Mutex
+	// ring and n are guarded by mu; n counts all events ever recorded.
+	ring []SpanEvent
+	n    uint64
+}
+
+// DefaultRingSize is the span capacity NewRecorder uses for size <= 0 —
+// enough for tens of convoy resolution ticks.
+const DefaultRingSize = 4096
+
+// NewRecorder returns a recorder keeping the last size events.
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Recorder{ring: make([]SpanEvent, size)}
+}
+
+// NewTrace allocates a fresh trace ID (0 from the nil recorder).
+func (r *Recorder) NewTrace() TraceID {
+	if r == nil {
+		return 0
+	}
+	return TraceID(r.ids.Add(1))
+}
+
+// Span is an in-flight pipeline stage. It is a plain value: start it with
+// Recorder.Start, optionally set Arg, and call End to record it. The zero
+// Span (from a nil recorder) does nothing on End.
+type Span struct {
+	rec   *Recorder
+	trace TraceID
+	name  string
+	start time.Time
+	// Arg is an optional stage-specific argument recorded with the event —
+	// a segment offset, a SYN count, a batch size.
+	Arg int64
+}
+
+// Start opens a span on trace. The nil recorder returns an inert span
+// without reading the clock.
+func (r *Recorder) Start(trace TraceID, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, trace: trace, name: name, start: time.Now()}
+}
+
+// End records the span into the ring. No-op for inert spans.
+func (s Span) End() {
+	if s.rec == nil {
+		return
+	}
+	ev := SpanEvent{Trace: s.trace, Name: s.name, Arg: s.Arg,
+		Start: s.start, Dur: time.Since(s.start)}
+	r := s.rec
+	r.mu.Lock()
+	ev.Seq = r.n
+	r.ring[r.n%uint64(len(r.ring))] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the ring's events, oldest first (nil from the
+// nil recorder).
+func (r *Recorder) Events() []SpanEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := uint64(len(r.ring))
+	kept := r.n
+	if kept > size {
+		kept = size
+	}
+	out := make([]SpanEvent, 0, kept)
+	for i := r.n - kept; i < r.n; i++ {
+		out = append(out, r.ring[i%size])
+	}
+	return out
+}
+
+// Total reports how many events were ever recorded, including overwritten
+// ones (0 from the nil recorder).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

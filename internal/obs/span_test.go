@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	tr := r.NewTrace()
+	if tr == 0 {
+		t.Fatal("NewTrace must hand out nonzero IDs")
+	}
+	for i := 0; i < 6; i++ {
+		sp := r.Start(tr, "stage")
+		sp.Arg = int64(i)
+		sp.End()
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total %d, want 6", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantArg := int64(i + 2) // events 0 and 1 were overwritten
+		if ev.Arg != wantArg || ev.Trace != tr || ev.Name != "stage" {
+			t.Fatalf("event %d = %+v, want arg %d", i, ev, wantArg)
+		}
+		if ev.Seq != uint64(i+2) {
+			t.Fatalf("event %d seq %d, want %d", i, ev.Seq, i+2)
+		}
+		if i > 0 && evs[i-1].Seq >= ev.Seq {
+			t.Fatal("events must be ordered oldest first")
+		}
+	}
+	if evs[0].Dur < 0 || evs[0].Start.IsZero() {
+		t.Fatalf("event has no timing: %+v", evs[0])
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder(8)
+	r.Start(r.NewTrace(), "only").End()
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Name != "only" {
+		t.Fatalf("partial ring returned %+v", evs)
+	}
+}
+
+func TestNilRecorderAndInertSpan(t *testing.T) {
+	var r *Recorder
+	if r.NewTrace() != 0 || r.Total() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must read as empty")
+	}
+	sp := r.Start(1, "x")
+	if !sp.start.IsZero() {
+		t.Fatal("inert span must not read the clock")
+	}
+	sp.End() // must not panic
+}
+
+func TestSpanMeasuresDuration(t *testing.T) {
+	r := NewRecorder(2)
+	sp := r.Start(r.NewTrace(), "sleep")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Dur < time.Millisecond {
+		t.Fatalf("span duration %v, want >= 1ms", evs[0].Dur)
+	}
+}
+
+func TestDefaultRecorderInstall(t *testing.T) {
+	defer SetRecorder(nil)
+	if ActiveRecorder() != nil {
+		t.Fatal("recorder must start disabled")
+	}
+	r := NewRecorder(0)
+	if len(r.ring) != DefaultRingSize {
+		t.Fatalf("default ring size %d, want %d", len(r.ring), DefaultRingSize)
+	}
+	SetRecorder(r)
+	if ActiveRecorder() != r {
+		t.Fatal("SetRecorder did not install")
+	}
+	SetRecorder(nil)
+	if ActiveRecorder() != nil {
+		t.Fatal("SetRecorder(nil) did not disable")
+	}
+}

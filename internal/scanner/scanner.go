@@ -199,5 +199,8 @@ func Scan(tr *mobility.Trace, f Source, cfg Config) []trajectory.Sample {
 		}
 		return samples[i].Ch < samples[j].Ch
 	})
+	if c := scanSamples.Get(); c != nil {
+		c.Add(uint64(len(samples)))
+	}
 	return samples
 }

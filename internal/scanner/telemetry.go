@@ -1,0 +1,8 @@
+package scanner
+
+import "rups/internal/obs"
+
+var scanSamples = obs.NewView(func(r *obs.Registry) *obs.Counter {
+	return r.Counter("rups_scanner_samples_total",
+		"RSSI samples produced by the scanning radio bank")
+})

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"rups/internal/city"
 	"rups/internal/core"
@@ -100,7 +101,24 @@ func (r *ConvoyRun) ContextsAt(t float64) []*trajectory.Aware {
 // through the engine: contexts are admitted once, then all pairs resolve
 // concurrently over the pool. Result (i, j) estimates how far vehicle j is
 // ahead of vehicle i; each is bit-identical to the sequential
-// core.Resolve on the same contexts.
-func (r *ConvoyRun) ResolveAllAt(e *engine.Engine, t float64, p core.Params) []engine.Result {
-	return e.ResolveAll(r.ContextsAt(t), p)
+// core.Resolve on the same contexts. Returns engine.ErrClosed if the
+// engine was closed. When telemetry is enabled, each resolved pair's
+// |d_r error| against the mobility ground truth lands in the
+// rups_sim_pair_error_metres histogram.
+func (r *ConvoyRun) ResolveAllAt(e *engine.Engine, t float64, p core.Params) ([]engine.Result, error) {
+	res, err := e.ResolveAll(r.ContextsAt(t), p)
+	if err != nil {
+		return nil, err
+	}
+	if tel := simTel.Get(); tel != nil {
+		for _, pr := range res {
+			if !pr.OK {
+				tel.unresolved.Inc()
+				continue
+			}
+			tel.resolved.Inc()
+			tel.pairError.Observe(math.Abs(pr.Est.Distance - r.TruthGapAt(pr.A, pr.B, t)))
+		}
+	}
+	return res, nil
 }

@@ -53,7 +53,10 @@ func TestConvoyEngineMatchesSequential(t *testing.T) {
 
 	e := engine.New(0)
 	defer e.Close()
-	got := r.ResolveAllAt(e, tq, p)
+	got, err := r.ResolveAllAt(e, tq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 {
 		t.Fatalf("3-vehicle tick produced %d results, want 3", len(got))
 	}

@@ -23,6 +23,7 @@ import (
 	"rups/internal/gsm"
 	"rups/internal/mobility"
 	"rups/internal/noise"
+	"rups/internal/obs"
 	"rups/internal/rangefinder"
 	"rups/internal/scanner"
 	"rups/internal/sensors"
@@ -281,11 +282,23 @@ func runVehicle(truth *mobility.Trace, field scanner.Source, radios int, placeme
 	}
 	g := sensors.DeadReckon(imu, r, odo, truth.States[0].T)
 
+	// One trace covers this vehicle's scan → bind → interpolate leg of the
+	// pipeline; the searcher/engine stages trace their own passes.
+	rec := obs.ActiveRecorder()
+	tr := rec.NewTrace()
+	sp := rec.Start(tr, "scan")
 	samples := scanner.Scan(truth, field, scanner.DefaultConfig(noise.Hash(seed, 7), radios, placement))
+	sp.Arg = int64(len(samples))
+	sp.End()
+	sp = rec.Start(tr, "bind")
 	aware := trajectory.BindWidth(g, samples, field.Channels())
+	sp.Arg = int64(aware.Len())
+	sp.End()
 	missing := aware.MissingFrac()
 	if !skipInterp {
+		sp = rec.Start(tr, "interpolate")
 		aware.Interpolate()
+		sp.End()
 	}
 
 	truePos := make([]geo.Vec2, len(g.Marks))
@@ -348,6 +361,14 @@ func (r *Run) Query(t float64, p core.Params) QueryResult {
 		res.Est = est
 		res.RDE = math.Abs(est.Distance - res.TruthGap)
 		res.SYNErrM = r.synError(est)
+	}
+	if tel := simTel.Get(); tel != nil {
+		if res.OK {
+			tel.resolved.Inc()
+			tel.pairError.Observe(res.RDE)
+		} else {
+			tel.unresolved.Inc()
+		}
 	}
 
 	truthF := r.Follower.Truth.At(t).Pos

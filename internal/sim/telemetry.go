@@ -1,0 +1,25 @@
+package sim
+
+import "rups/internal/obs"
+
+// simTelemetry is the simulation harness's metric roster (see
+// docs/OBSERVABILITY.md): per-pair resolution outcomes and the d_r error
+// against the mobility ground truth — the live counterpart of the offline
+// experiment tables.
+type simTelemetry struct {
+	resolved   *obs.Counter
+	unresolved *obs.Counter
+	pairError  *obs.Histogram
+}
+
+var simTel = obs.NewView(func(r *obs.Registry) *simTelemetry {
+	return &simTelemetry{
+		resolved: r.Counter("rups_sim_pairs_resolved_total",
+			"pairwise queries that produced an estimate"),
+		unresolved: r.Counter("rups_sim_pairs_unresolved_total",
+			"pairwise queries with no SYN point above the coherency threshold"),
+		// |estimate − truth| in metres: 2^-4 = 0.0625 m up to 2^9 = 512 m.
+		pairError: r.Histogram("rups_sim_pair_error_metres",
+			"absolute relative-distance error of a resolved pair against ground truth", -4, 9),
+	}
+})

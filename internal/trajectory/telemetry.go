@@ -1,0 +1,31 @@
+package trajectory
+
+import "rups/internal/obs"
+
+// trajTelemetry is the binding/interpolation metric roster (see
+// docs/OBSERVABILITY.md): how much of the context matrix is measured
+// versus reconstructed, and how big the snapshots handed to the engine
+// are.
+type trajTelemetry struct {
+	marksBound   *obs.Counter
+	measured     *obs.Counter
+	interpolated *obs.Counter
+	snapshots    *obs.Counter
+	snapMetres   *obs.Histogram
+}
+
+var trajTel = obs.NewView(func(r *obs.Registry) *trajTelemetry {
+	return &trajTelemetry{
+		marksBound: r.Counter("rups_trajectory_marks_bound_total",
+			"metre marks bound to scanner samples (BindWidth calls × trajectory length)"),
+		measured: r.Counter("rups_trajectory_cells_measured_total",
+			"matrix cells holding at least one real scanner reading after binding"),
+		interpolated: r.Counter("rups_trajectory_cells_interpolated_total",
+			"missing matrix cells filled by linear interpolation"),
+		snapshots: r.Counter("rups_trajectory_snapshots_total",
+			"trajectory snapshots taken (engine admission copies)"),
+		// Snapshot length in metres: 2^2 = 4 m up to 2^14 = 16 km.
+		snapMetres: r.Histogram("rups_trajectory_snapshot_metres",
+			"length of a snapshotted trajectory", 2, 14),
+	}
+})

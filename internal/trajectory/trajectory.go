@@ -121,6 +121,10 @@ func BindWidth(g Geo, samples []Sample, width int) *Aware {
 		}
 		counts[key]++
 	}
+	if t := trajTel.Get(); t != nil {
+		t.marksBound.Add(uint64(len(g.Marks)))
+		t.measured.Add(uint64(len(counts)))
+	}
 	return a
 }
 
@@ -167,13 +171,19 @@ func (a *Aware) MissingFrac() float64 {
 // extended from the nearest valid value; channels never scanned stay
 // missing.
 func (a *Aware) Interpolate() {
+	filled := 0
 	for ch := range a.Power {
-		interpolateRow(a.Power[ch])
+		filled += interpolateRow(a.Power[ch])
+	}
+	if t := trajTel.Get(); t != nil {
+		t.interpolated.Add(uint64(filled))
 	}
 }
 
-// interpolateRow fills missing runs in place.
-func interpolateRow(row []float64) {
+// interpolateRow fills missing runs in place and reports how many cells it
+// filled.
+func interpolateRow(row []float64) int {
+	filled := 0
 	prev := -1 // index of last valid value
 	for i := 0; i <= len(row); i++ {
 		if i < len(row) && stats.IsMissing(row[i]) {
@@ -184,6 +194,7 @@ func interpolateRow(row []float64) {
 			if prev >= 0 {
 				for j := prev + 1; j < len(row); j++ {
 					row[j] = row[prev]
+					filled++
 				}
 			}
 			break
@@ -192,6 +203,7 @@ func interpolateRow(row []float64) {
 			// Leading gap: extend backwards.
 			for j := 0; j < i; j++ {
 				row[j] = row[i]
+				filled++
 			}
 		} else if i > prev+1 {
 			// Interior gap: linear interpolation.
@@ -199,10 +211,12 @@ func interpolateRow(row []float64) {
 			for j := prev + 1; j < i; j++ {
 				f := float64(j-prev) / span
 				row[j] = row[prev]*(1-f) + row[i]*f
+				filled++
 			}
 		}
 		prev = i
 	}
+	return filled
 }
 
 // Window returns the power sub-matrix of the metres [start, start+length),
@@ -361,4 +375,10 @@ func (a *Aware) Clone() *Aware {
 // storage with a: readers holding it never race appends to the live
 // trajectory. The batch-resolution engine snapshots every trajectory at
 // query admission before fanning work out to its workers.
-func (a *Aware) Snapshot() *Aware { return a.Clone() }
+func (a *Aware) Snapshot() *Aware {
+	if t := trajTel.Get(); t != nil {
+		t.snapshots.Inc()
+		t.snapMetres.Observe(float64(a.Len()))
+	}
+	return a.Clone()
+}
