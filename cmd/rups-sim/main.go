@@ -9,9 +9,17 @@
 // -metrics-snapshot writes the final registry state to a file, and
 // -dump-spans prints the recorded pipeline timeline.
 //
+// Link faults: -loss/-burst/-reorder/-dup/-corrupt/-link-seed switch the
+// convoy onto a fault-injected DSRC link with the reliable sync protocol
+// in between — pairs then resolve from what the channel actually
+// delivered, flagged stale or refused entirely as copies age
+// (-stale-after/-expire-after). -heal-frac clears the faults partway
+// through to show recovery.
+//
 // Usage:
 //
 //	rups-sim [-class 1] [-radios 4] [-lane-gap 0] [-distance 1200] [-trucks 0] [-seed 7] [-interval 2] [-vehicles 2] [-workers 0]
+//	         [-loss 0] [-burst 0] [-reorder 0] [-dup 0] [-corrupt 0] [-link-seed 0] [-heal-frac 0.7] [-stale-after 30] [-expire-after 150]
 //	         [-debug-addr 127.0.0.1:6060] [-metrics-snapshot out.prom] [-dump-spans]
 package main
 
@@ -24,8 +32,10 @@ import (
 	"rups/internal/city"
 	"rups/internal/core"
 	"rups/internal/engine"
+	"rups/internal/link"
 	"rups/internal/obs"
 	"rups/internal/sim"
+	"rups/internal/v2v"
 )
 
 func main() {
@@ -39,6 +49,16 @@ func main() {
 		interval = flag.Float64("interval", 2, "query interval, seconds")
 		vehicles = flag.Int("vehicles", 2, "convoy size; above 2 resolves all pairs per tick via the engine")
 		workers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+
+		loss        = flag.Float64("loss", 0, "i.i.d. frame drop probability on the V2V link")
+		burst       = flag.Float64("burst", 0, "Gilbert–Elliott burst-entry probability (burst = full outage until exit)")
+		reorder     = flag.Float64("reorder", 0, "frame reorder probability")
+		dup         = flag.Float64("dup", 0, "frame duplication probability")
+		corrupt     = flag.Float64("corrupt", 0, "frame bit-corruption probability")
+		linkSeed    = flag.Uint64("link-seed", 0, "fault-model seed; any nonzero value (or any fault flag) engages the lossy link")
+		healFrac    = flag.Float64("heal-frac", 0.7, "fraction of the run after which link faults clear (1 = never heal)")
+		staleAfter  = flag.Float64("stale-after", 30, "flag pair results stale past this context age, seconds (0 disables)")
+		expireAfter = flag.Float64("expire-after", 150, "refuse pair results past this context age, seconds (0 disables)")
 
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/spans, and pprof on this address (host defaults to loopback)")
 		snapshot  = flag.String("metrics-snapshot", "", "write the final Prometheus metrics snapshot to this file")
@@ -103,6 +123,25 @@ func main() {
 	sc.LeaderLane = *laneGap
 	if sc.LeaderLane >= rc.Lanes() {
 		sc.LeaderLane = rc.Lanes() - 1
+	}
+
+	lossy := *loss > 0 || *burst > 0 || *reorder > 0 || *dup > 0 || *corrupt > 0 || *linkSeed != 0
+	if lossy {
+		faults := link.Params{
+			Seed: *linkSeed, Loss: *loss,
+			BurstEnter: *burst, BurstExit: 0.1,
+			Reorder: *reorder, Duplicate: *dup, Corrupt: *corrupt,
+		}
+		if faults.Seed == 0 {
+			faults.Seed = 1
+		}
+		pol := core.Staleness{StaleAfterSec: *staleAfter, ExpireAfterSec: *expireAfter}
+		n := *vehicles
+		if n < 2 {
+			n = 2
+		}
+		runLinkedConvoy(sc, rc, n, *workers, *interval, faults, pol, *healFrac)
+		return
 	}
 
 	if *vehicles > 2 {
@@ -171,6 +210,62 @@ func runConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interval floa
 		}
 	}
 	fmt.Fprintf(os.Stderr, "resolved %d/%d pair queries\n", resolved, total)
+}
+
+// runLinkedConvoy streams per-tick pairwise resolutions over the
+// fault-injected DSRC mesh: deltas cross the lossy link through the
+// reliable sync protocol, and pairs resolve from the link-delivered copies
+// under the staleness policy.
+func runLinkedConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interval float64,
+	faults link.Params, pol core.Staleness, healFrac float64) {
+	fmt.Fprintf(os.Stderr,
+		"simulating %d-vehicle convoy on %s over a lossy link (seed %d, loss %.2f, burst %.3f, reorder %.2f) ...\n",
+		n, rc, faults.Seed, faults.Loss, faults.BurstEnter, faults.Reorder)
+	r := sim.ExecuteConvoy(sc, n)
+	lc := sim.NewLinkedConvoy(r, faults, v2v.SyncConfig{Seed: faults.Seed}, pol)
+	e := engine.New(workers)
+	defer e.Close()
+	p := core.DefaultParams()
+
+	fmt.Printf("%8s  %5s  %9s  %9s  %7s  %7s  %6s\n",
+		"t (s)", "pair", "truth (m)", "RUPS (m)", "err (m)", "score", "state")
+	t0, t1 := r.TimeSpan()
+	healAt := t0 + healFrac*(t1-t0)
+	healed := false
+	resolved, stale, total := 0, 0, 0
+	for t := t0 + 20; t <= t1; t += interval {
+		if !healed && healFrac < 1 && t >= healAt {
+			lc.SetFaults(link.Params{Seed: faults.Seed})
+			healed = true
+			fmt.Fprintf(os.Stderr, "link healed at t=%.1f s\n", t-t0)
+		}
+		lc.Advance(t)
+		results, err := lc.ResolveAllAt(e, t, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rups-sim: %v\n", err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			total++
+			truth := r.TruthGapAt(res.A, res.B, t)
+			rupsStr, errStr, scoreStr, state := "-", "-", "-", "----"
+			if res.OK {
+				resolved++
+				rupsStr = fmt.Sprintf("%.1f", res.Est.Distance)
+				errStr = fmt.Sprintf("%.1f", res.Est.Distance-truth)
+				scoreStr = fmt.Sprintf("%.2f", res.Est.Score)
+				state = "ok"
+				if res.Stale {
+					stale++
+					state = "stale"
+				}
+			}
+			fmt.Printf("%8.1f  %2d-%-2d  %9.1f  %9s  %7s  %7s  %6s\n",
+				t-t0, res.A, res.B, truth, rupsStr, errStr, scoreStr, state)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "resolved %d/%d pair queries (%d stale); final sync lag %d marks\n",
+		resolved, total, stale, lc.MaxLag())
 }
 
 // printSpans dumps the span ring as a per-trace timeline: each trace is one

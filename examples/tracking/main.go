@@ -58,23 +58,27 @@ func main() {
 		if nowFront.Len() > copyOfFront.Len() {
 			d, err := v2v.MakeDelta(nowFront, copyOfFront.Len())
 			if err == nil {
-				// Real wire round trip: what the rear car applies is the
-				// quantized delta it received, not the sender's floats.
-				wire := mustMarshal(d)
-				cost := link.Transfer(len(wire))
-				totalDeltaBytes += cost.Bytes
-				totalDeltaPackets += cost.Packets
-				totalAir += cost.Elapsed
-				var rx v2v.Delta
-				if err := rx.UnmarshalBinary(wire); err != nil {
-					panic(err)
-				}
-				if err := rx.Apply(copyOfFront); err != nil {
-					// Gap (shouldn't happen with a reliable link): resync.
-					copyOfFront = nowFront.Clone()
-					c := link.Transfer(len(mustMarshal(nowFront)))
-					totalAir += c.Elapsed
-					fullResyncs++
+				// Real wire round trip, split to the WSM payload bound: what
+				// the rear car applies is the quantized delta it received,
+				// not the sender's floats.
+				for _, c := range v2v.ChunkDelta(d) {
+					wire := mustMarshal(c)
+					cost := link.Transfer(len(wire))
+					totalDeltaBytes += cost.Bytes
+					totalDeltaPackets += cost.Packets
+					totalAir += cost.Elapsed
+					var rx v2v.Delta
+					if err := rx.UnmarshalBinary(wire); err != nil {
+						panic(err)
+					}
+					if err := rx.Apply(copyOfFront); err != nil {
+						// Gap (shouldn't happen with a reliable link): resync.
+						copyOfFront = nowFront.Clone()
+						c := link.Transfer(len(mustMarshal(nowFront)))
+						totalAir += c.Elapsed
+						fullResyncs++
+						break
+					}
 				}
 			}
 		}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+
+	"rups/internal/trajectory"
+)
+
+// Graceful degradation under a lossy exchange (paper §III-B): GSM
+// fingerprints are only *temporarily* stable — the paper measures them
+// trustworthy for no more than ~25 minutes — so a peer copy that stopped
+// receiving deltas does not stay resolvable forever. Rather than silently
+// answering from fossil context, resolution degrades in two steps:
+//
+//	fresh  → the copy's newest mark is recent; answer normally.
+//	stale  → past StaleAfterSec; still answer (the freshest contiguous
+//	         snapshot is the best available), but flag the result so the
+//	         caller can widen its error budget or trigger a resync.
+//	expired→ past ExpireAfterSec; refuse to answer. A wrong d_r presented
+//	         as valid is worse than no answer.
+//
+// The defaults scale the paper's 25-minute stability bound by the
+// simulation's ~10× compressed timeline: expiry at 150 s, with the stale
+// warning at 30 s.
+
+// Freshness classifies a context's age under a Staleness policy.
+type Freshness int
+
+const (
+	FreshContext Freshness = iota
+	StaleContext
+	ExpiredContext
+)
+
+// String names the freshness class.
+func (f Freshness) String() string {
+	switch f {
+	case FreshContext:
+		return "fresh"
+	case StaleContext:
+		return "stale"
+	case ExpiredContext:
+		return "expired"
+	default:
+		return "unknown"
+	}
+}
+
+// Staleness is the trajectory-age policy. The zero value disables the
+// policy entirely (every context classifies fresh) so existing callers
+// keep their behaviour.
+type Staleness struct {
+	// StaleAfterSec marks results degraded past this context age. 0
+	// disables the stale tier.
+	StaleAfterSec float64
+	// ExpireAfterSec refuses resolution past this context age. 0 disables
+	// the expired tier.
+	ExpireAfterSec float64
+}
+
+// DefaultStaleness returns the paper's ≤25 min temporary-stability bound
+// scaled to sim time (÷10): stale at 30 s, expired at 150 s.
+func DefaultStaleness() Staleness {
+	return Staleness{StaleAfterSec: 30, ExpireAfterSec: 150}
+}
+
+// Enabled reports whether any tier of the policy is active.
+func (s Staleness) Enabled() bool {
+	return s.StaleAfterSec > 0 || s.ExpireAfterSec > 0
+}
+
+// Classify maps a context age (seconds; +Inf for an empty context) to its
+// freshness class.
+func (s Staleness) Classify(age float64) Freshness {
+	if !s.Enabled() {
+		return FreshContext
+	}
+	if math.IsInf(age, 1) {
+		return ExpiredContext
+	}
+	if s.ExpireAfterSec > 0 && age > s.ExpireAfterSec {
+		return ExpiredContext
+	}
+	if s.StaleAfterSec > 0 && age > s.StaleAfterSec {
+		return StaleContext
+	}
+	return FreshContext
+}
+
+// ContextAge returns how old a trajectory's newest mark is at sim time
+// now. Empty trajectories age +Inf: no context at all is the extreme of
+// staleness, never the freshest case.
+func ContextAge(a *trajectory.Aware, now float64) float64 {
+	if a.Len() == 0 {
+		return math.Inf(1)
+	}
+	_, t1 := a.TimeSpan()
+	age := now - t1
+	if age < 0 {
+		age = 0
+	}
+	return age
+}

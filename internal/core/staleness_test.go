@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rups/internal/trajectory"
+)
+
+func TestStalenessClassify(t *testing.T) {
+	pol := Staleness{StaleAfterSec: 30, ExpireAfterSec: 150}
+	for _, tc := range []struct {
+		age  float64
+		want Freshness
+	}{
+		{0, FreshContext},
+		{30, FreshContext}, // boundary is inclusive-fresh
+		{30.01, StaleContext},
+		{150, StaleContext},
+		{150.01, ExpiredContext},
+		{math.Inf(1), ExpiredContext},
+	} {
+		if got := pol.Classify(tc.age); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.age, got, tc.want)
+		}
+	}
+}
+
+func TestStalenessDisabledIsAlwaysFresh(t *testing.T) {
+	var pol Staleness
+	if pol.Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	for _, age := range []float64{0, 1e6, math.Inf(1)} {
+		if got := pol.Classify(age); got != FreshContext {
+			t.Errorf("disabled policy classified age %v as %v", age, got)
+		}
+	}
+}
+
+func TestStalenessSingleTier(t *testing.T) {
+	// Only an expiry horizon: nothing is ever merely stale.
+	pol := Staleness{ExpireAfterSec: 100}
+	if got := pol.Classify(50); got != FreshContext {
+		t.Errorf("age 50 under expire-only policy = %v", got)
+	}
+	if got := pol.Classify(101); got != ExpiredContext {
+		t.Errorf("age 101 under expire-only policy = %v", got)
+	}
+	// Only a stale horizon: nothing ever expires.
+	pol = Staleness{StaleAfterSec: 10}
+	if got := pol.Classify(1e9); got != StaleContext {
+		t.Errorf("age 1e9 under stale-only policy = %v", got)
+	}
+}
+
+func TestContextAge(t *testing.T) {
+	g := trajectory.Geo{Marks: []trajectory.GeoMark{{T: 10}, {T: 20}}}
+	a := trajectory.NewAwareWidth(g, 4)
+	if got := ContextAge(a, 25); got != 5 {
+		t.Errorf("age at t=25 = %v, want 5", got)
+	}
+	// A clock slightly behind the newest mark clamps to zero, not negative.
+	if got := ContextAge(a, 15); got != 0 {
+		t.Errorf("age at t=15 = %v, want 0", got)
+	}
+	empty := trajectory.NewAwareWidth(trajectory.Geo{}, 4)
+	if got := ContextAge(empty, 100); !math.IsInf(got, 1) {
+		t.Errorf("empty context age = %v, want +Inf", got)
+	}
+}
+
+func TestDefaultStalenessMatchesPaperScaling(t *testing.T) {
+	pol := DefaultStaleness()
+	// 25 min ÷ 10 = 150 s expiry.
+	if pol.ExpireAfterSec != 150 || pol.StaleAfterSec != 30 {
+		t.Errorf("default policy %+v", pol)
+	}
+	if !pol.Enabled() {
+		t.Error("default policy disabled")
+	}
+}

@@ -33,7 +33,14 @@ func TestSearcherTelemetryDisabledCostsNothing(t *testing.T) {
 	obs.SetRecorder(nil)
 
 	after := testing.AllocsPerRun(10, search)
-	if diff := after - before; diff > 2 || diff < -2 {
+	// The race detector's bookkeeping makes AllocsPerRun jitter by a few
+	// counts in either direction; widen the window there (a genuine handle
+	// leak would show up as hundreds of extra allocs, not ±1%).
+	tol := 2.0
+	if raceEnabled {
+		tol = 2 + 0.02*before
+	}
+	if diff := after - before; diff > tol || diff < -tol {
 		t.Errorf("disabled-telemetry search allocs drifted: %v before, %v after enable/disable cycle",
 			before, after)
 	}

@@ -155,11 +155,15 @@ func (e *Engine) run(tasks ...func()) {
 // Result is one resolved pair of a batch. A and B index the trajectory
 // slice the batch was admitted with; Est is the resolved estimate
 // (Est.Distance > 0 means B is ahead of A). OK is false when no SYN point
-// passed the coherency threshold, or the pair's indexes were out of range.
+// passed the coherency threshold, the pair's indexes were out of range, or
+// a staleness policy expired the pair's context. Stale flags results
+// resolved from degraded (aged but not yet expired) context — see
+// core.Staleness.
 type Result struct {
-	A, B int
-	Est  core.Estimate
-	OK   bool
+	A, B  int
+	Est   core.Estimate
+	OK    bool
+	Stale bool
 }
 
 // Batch is a set of trajectories admitted for resolution: every trajectory
@@ -209,6 +213,58 @@ func (b *Batch) ResolveAll(p core.Params) []Result {
 		}
 	}
 	return b.ResolvePairs(pairs, p)
+}
+
+// ResolvePairsAt resolves the given pairs under a staleness policy at sim
+// time now — the graceful-degradation entry point for lossy-link callers.
+// A pair's age is the older of its two contexts' ages (a resolution is
+// only as current as its weaker side):
+//
+//   - expired pairs are not resolved at all: OK == false, no panic, no
+//     silently wrong d_r from fossil context;
+//   - stale pairs resolve normally but carry Stale == true;
+//   - fresh pairs behave exactly like ResolvePairs.
+//
+// A zero-value (disabled) policy makes this identical to ResolvePairs.
+func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol core.Staleness) []Result {
+	if !pol.Enabled() {
+		return b.ResolvePairs(pairs, p)
+	}
+	tel := engineTel.Get()
+	keep := make([][2]int, 0, len(pairs))
+	kept := make([]int, 0, len(pairs))
+	out := make([]Result, len(pairs))
+	stale := make([]bool, len(pairs))
+	for pi, pr := range pairs {
+		out[pi] = Result{A: pr[0], B: pr[1]}
+		if pr[0] < 0 || pr[0] >= len(b.snaps) || pr[1] < 0 || pr[1] >= len(b.snaps) {
+			continue
+		}
+		age := core.ContextAge(b.snaps[pr[0]], now)
+		if ab := core.ContextAge(b.snaps[pr[1]], now); ab > age {
+			age = ab
+		}
+		switch pol.Classify(age) {
+		case core.ExpiredContext:
+			if tel != nil {
+				tel.pairsExpired.Inc()
+			}
+			continue
+		case core.StaleContext:
+			if tel != nil {
+				tel.pairsStale.Inc()
+			}
+			stale[pi] = true
+		}
+		keep = append(keep, pr)
+		kept = append(kept, pi)
+	}
+	for i, r := range b.ResolvePairs(keep, p) {
+		pi := kept[i]
+		r.Stale = stale[pi]
+		out[pi] = r
+	}
+	return out
 }
 
 // ResolvePairs resolves the given pairs (indexes into the admitted slice)

@@ -6,13 +6,15 @@ import "rups/internal/obs"
 // Handles are re-fetched per run/batch through the obs.View, so a disabled
 // registry costs one atomic load per call and no task-level work at all.
 type engineTelemetry struct {
-	tasks   *obs.Counter
-	inline  *obs.Counter
-	batches *obs.Counter
-	depth   *obs.Gauge
-	peak    *obs.Gauge
-	taskSec *obs.Histogram
-	batchSec *obs.Histogram
+	tasks        *obs.Counter
+	inline       *obs.Counter
+	batches      *obs.Counter
+	depth        *obs.Gauge
+	peak         *obs.Gauge
+	taskSec      *obs.Histogram
+	batchSec     *obs.Histogram
+	pairsStale   *obs.Counter
+	pairsExpired *obs.Counter
 }
 
 var engineTel = obs.NewView(func(r *obs.Registry) *engineTelemetry {
@@ -34,5 +36,9 @@ var engineTel = obs.NewView(func(r *obs.Registry) *engineTelemetry {
 		// Batches span many pairs: 2^-10 s ≈ 1 ms up to 2^6 = 64 s.
 		batchSec: r.Histogram("rups_engine_batch_seconds",
 			"wall time of one Batch.ResolvePairs call", -10, 6),
+		pairsStale: r.Counter("rups_engine_pairs_stale_total",
+			"pairs resolved from degraded (aged) context and flagged stale"),
+		pairsExpired: r.Counter("rups_engine_pairs_expired_total",
+			"pairs refused because a context aged past the expiry horizon"),
 	}
 })

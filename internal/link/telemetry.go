@@ -1,0 +1,39 @@
+package link
+
+import "rups/internal/obs"
+
+// linkTelemetry is the channel fault model's metric roster (see
+// docs/OBSERVABILITY.md): what the simulated air interface did to the
+// frames offered to it. Together with the v2v sync metrics these are the
+// per-run link-health record the chaos CI job validates.
+type linkTelemetry struct {
+	sent       *obs.Counter
+	sentBytes  *obs.Counter
+	delivered  *obs.Counter
+	dropped    *obs.Counter
+	corrupted  *obs.Counter
+	duplicated *obs.Counter
+	reordered  *obs.Counter
+	oversized  *obs.Counter
+}
+
+var linkTel = obs.NewView(func(r *obs.Registry) *linkTelemetry {
+	return &linkTelemetry{
+		sent: r.Counter("rups_link_frames_sent_total",
+			"frames offered to the simulated DSRC channel"),
+		sentBytes: r.Counter("rups_link_bytes_sent_total",
+			"payload bytes offered to the simulated DSRC channel"),
+		delivered: r.Counter("rups_link_frames_delivered_total",
+			"frames handed to receivers (includes duplicates)"),
+		dropped: r.Counter("rups_link_frames_dropped_total",
+			"frames lost to i.i.d. loss or a Gilbert–Elliott burst"),
+		corrupted: r.Counter("rups_link_frames_corrupted_total",
+			"delivered frames with an in-flight bit flip"),
+		duplicated: r.Counter("rups_link_frames_duplicated_total",
+			"frames the channel delivered twice"),
+		reordered: r.Counter("rups_link_frames_reordered_total",
+			"frames held back so later frames overtake them"),
+		oversized: r.Counter("rups_link_frames_oversized_total",
+			"sends rejected for exceeding the WSM MTU"),
+	}
+})

@@ -213,19 +213,23 @@ func (nw *Network) maintain(t float64, n, peer *Node, ps *peerState) {
 	if err != nil {
 		return
 	}
-	data, err := d.MarshalBinary()
-	if err != nil {
-		return
-	}
-	ps.readyAt = nw.Medium.Send(t, len(data))
-	var rx v2v.Delta
-	if err := rx.UnmarshalBinary(data); err != nil {
-		return
-	}
-	if err := rx.Apply(ps.copy); err != nil {
-		// Gap: force a resync next round.
-		ps.haveFull = false
-		return
+	// A 10 Hz delta usually fits one WSM, but a tracker catching up after a
+	// stall may not: split to the wire bound like a real sender must.
+	for _, c := range v2v.ChunkDelta(d) {
+		data, err := c.MarshalBinary()
+		if err != nil {
+			return
+		}
+		ps.readyAt = nw.Medium.Send(t, len(data))
+		var rx v2v.Delta
+		if err := rx.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := rx.Apply(ps.copy); err != nil {
+			// Gap: force a resync next round.
+			ps.haveFull = false
+			return
+		}
 	}
 	ps.deltaTransfers++
 }

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rups/internal/core"
+	"rups/internal/engine"
+	"rups/internal/link"
+	"rups/internal/trajectory"
+	"rups/internal/v2v"
+)
+
+// LinkedConvoy overlays a fault-injected DSRC mesh on an executed convoy:
+// every unordered vehicle pair (i < j) gets a reliable sync session
+// carrying j's trajectory to i over its own data/ack channel pair, all
+// under one link.Params fault model. The resolver for pair (i, j) is
+// vehicle i, answering from its own live context and its link-delivered
+// copy of j — the engine only ever admits what the channel actually
+// delivered, which is the whole point: a dropped delta no longer
+// teleports.
+//
+// Advance is tick-driven and synchronous (no goroutines): each wall tick
+// of sim time buys elapsed/v2v.PacketRTT protocol rounds, with an early
+// exit once every session is quiescent. Runs are deterministic per fault
+// seed.
+type LinkedConvoy struct {
+	Run *ConvoyRun
+	// Policy is the staleness policy applied at resolution
+	// (zero = disabled).
+	Policy core.Staleness
+
+	links []*pairLink
+	round int
+	lastT float64
+}
+
+// pairLink is one unordered pair's sync state: vehicle peer streams to
+// vehicle resolver.
+type pairLink struct {
+	resolver, peer int
+	data, ack      *link.Channel
+	sess           *v2v.Session
+}
+
+// NewLinkedConvoy builds the mesh. Channel salts derive from the pair
+// indexes, so every pair sees independent fault draws from the one seed in
+// faults.Seed.
+func NewLinkedConvoy(run *ConvoyRun, faults link.Params, sync v2v.SyncConfig, pol core.Staleness) *LinkedConvoy {
+	n := len(run.Vehicles)
+	lc := &LinkedConvoy{Run: run, Policy: pol}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			salt := uint64(i*n+j) * 2
+			data := link.New(faults, salt)
+			ack := link.New(faults, salt+1)
+			lc.links = append(lc.links, &pairLink{
+				resolver: i, peer: j,
+				data: data, ack: ack,
+				sess: v2v.NewSession(run.Vehicles[j].Aware, data, ack, sync),
+			})
+		}
+	}
+	// Protocol time starts at the convoy's common start, not at zero:
+	// nothing can have been exchanged before both vehicles exist.
+	lc.lastT, _ = run.TimeSpan()
+	return lc
+}
+
+// SetFaults swaps the fault model on every channel — the chaos scenarios'
+// mid-run outage/heal knob. In-flight frames are kept.
+func (lc *LinkedConvoy) SetFaults(p link.Params) {
+	for _, pl := range lc.links {
+		pl.data.SetParams(p)
+		pl.ack.SetParams(p)
+	}
+}
+
+// Advance runs the sync protocol up to sim time t: the elapsed interval
+// buys elapsed/PacketRTT rounds (at least one), shared by all sessions in
+// lockstep, stopping early once everything is quiescent. Also records
+// every pair's copy staleness at t.
+func (lc *LinkedConvoy) Advance(t float64) {
+	if t < lc.lastT {
+		panic(fmt.Sprintf("sim: linked convoy advanced backwards: %v < %v", t, lc.lastT))
+	}
+	budget := int((t - lc.lastT) / v2v.PacketRTT)
+	if budget < 1 {
+		budget = 1
+	}
+	lc.lastT = t
+	for b := 0; b < budget; b++ {
+		lc.round++
+		quiet := true
+		for _, pl := range lc.links {
+			pl.sess.Step(lc.round, t)
+			if !pl.sess.Quiescent() {
+				quiet = false
+			}
+		}
+		if quiet {
+			break
+		}
+	}
+	for _, pl := range lc.links {
+		pl.sess.ObserveCopyAge(t)
+	}
+}
+
+// Quiescent reports whether every pair's session has fully delivered the
+// trajectory visible at the last Advance.
+func (lc *LinkedConvoy) Quiescent() bool {
+	for _, pl := range lc.links {
+		if !pl.sess.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxLag returns the largest per-pair backlog (marks recorded by a peer
+// but not yet delivered to its resolver) — a convoy-wide sync-health
+// summary for logs and tests.
+func (lc *LinkedConvoy) MaxLag() int {
+	worst := 0
+	for _, pl := range lc.links {
+		if l := pl.sess.Lag(); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// ResolveAllAt answers every pairwise query at time t from link-delivered
+// context: for each pair (i, j), vehicle i's own prefix and its synced
+// copy of j are admitted, and the pair resolves under the convoy's
+// staleness policy. Results carry vehicle indexes (A = resolver i,
+// B = peer j) in the same (i < j) enumeration order as
+// ConvoyRun.ResolveAllAt, so the two paths are directly comparable — with
+// a clean link and quiescent sessions they are byte-equivalent.
+func (lc *LinkedConvoy) ResolveAllAt(e *engine.Engine, t float64, p core.Params) ([]engine.Result, error) {
+	trajs := make([]*trajectory.Aware, 0, 2*len(lc.links))
+	pairs := make([][2]int, 0, len(lc.links))
+	for _, pl := range lc.links {
+		trajs = append(trajs, lc.Run.Vehicles[pl.resolver].Aware.PrefixUntil(t), pl.sess.Copy())
+		pairs = append(pairs, [2]int{len(trajs) - 2, len(trajs) - 1})
+	}
+	b, err := e.Admit(trajs...)
+	if err != nil {
+		return nil, err
+	}
+	res := b.ResolvePairsAt(pairs, p, t, lc.Policy)
+	tel := simTel.Get()
+	for k := range res {
+		res[k].A = lc.links[k].resolver
+		res[k].B = lc.links[k].peer
+		if tel != nil {
+			if !res[k].OK {
+				tel.unresolved.Inc()
+				continue
+			}
+			tel.resolved.Inc()
+			tel.pairError.Observe(math.Abs(res[k].Est.Distance - lc.Run.TruthGapAt(res[k].A, res[k].B, t)))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rups/internal/city"
+	"rups/internal/core"
+	"rups/internal/engine"
+	"rups/internal/link"
+	"rups/internal/v2v"
+)
+
+// settle drives the mesh to quiescence at time t, bounded.
+func settle(t *testing.T, lc *LinkedConvoy, at float64) {
+	t.Helper()
+	for i := 0; i < 50000 && !lc.Quiescent(); i++ {
+		lc.Advance(at)
+	}
+	if !lc.Quiescent() {
+		t.Fatalf("mesh not quiescent at t=%.1f (max lag %d marks)", at, lc.MaxLag())
+	}
+}
+
+// TestLinkedCleanMatchesDirectAdmit is the acceptance oracle: with loss=0
+// the reliable path — chunked, fragmented, CRC-framed, acked, reassembled —
+// must produce byte-equivalent pair resolutions to handing the engine the
+// trajectories directly.
+func TestLinkedCleanMatchesDirectAdmit(t *testing.T) {
+	r := getConvoy(t)
+	t0, t1 := r.TimeSpan()
+	tq := t0 + 0.8*(t1-t0)
+	lc := NewLinkedConvoy(r, link.Params{Seed: 1}, v2v.SyncConfig{}, core.Staleness{})
+	for ts := t0 + 0.5; ts < tq; ts += 0.5 {
+		lc.Advance(ts)
+	}
+	lc.Advance(tq)
+	settle(t, lc, tq)
+
+	e := engine.New(0)
+	defer e.Close()
+	p := core.DefaultParams()
+	got, err := lc.ResolveAllAt(e, tq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.ResolveAllAt(e, tq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clean reliable path diverged from direct Admit:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// chaosFaults is the lossy regime of the chaos scenarios: 20% i.i.d. loss
+// with occasional multi-frame burst outages, light reordering, duplication
+// and corruption.
+func chaosFaults(seed uint64) link.Params {
+	return link.Params{
+		Seed: seed, Loss: 0.2,
+		BurstEnter: 0.01, BurstExit: 0.1,
+		Reorder: 0.05, Duplicate: 0.02, Corrupt: 0.02, Jitter: 2,
+	}
+}
+
+// runChaosConvoy executes the 6-vehicle lossy-then-healed scenario and
+// returns the final pair resolutions with the query time.
+func runChaosConvoy(t *testing.T, run *ConvoyRun, linkSeed uint64) ([]engine.Result, float64) {
+	t.Helper()
+	t0, t1 := run.TimeSpan()
+	lc := NewLinkedConvoy(run, chaosFaults(linkSeed), v2v.SyncConfig{Seed: linkSeed}, core.DefaultStaleness())
+	healAt := t0 + 0.6*(t1-t0)
+	tq := t0 + 0.9*(t1-t0)
+	healed := false
+	for ts := t0 + 0.5; ts < tq; ts += 0.5 {
+		if !healed && ts >= healAt {
+			lc.SetFaults(link.Params{Seed: linkSeed})
+			healed = true
+		}
+		lc.Advance(ts)
+	}
+	lc.Advance(tq)
+	settle(t, lc, tq)
+
+	e := engine.New(0)
+	defer e.Close()
+	res, err := lc.ResolveAllAt(e, tq, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tq
+}
+
+// TestChaosConvoyConvergesAfterHeal: a 6-vehicle convoy syncs under 20%
+// i.i.d. loss plus burst outages for most of the drive; once the link
+// heals, every one of the 15 pairs must resolve within tolerance —
+// deterministically for the link seed. Run in CI under -race across three
+// fixed seeds.
+func TestChaosConvoyConvergesAfterHeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos convoy sim skipped in -short mode")
+	}
+	// A scenario where the direct (perfect-channel) path resolves all 15
+	// pairs, so any failure here is the link layer's fault.
+	sc := DefaultScenario(29, city.FourLaneUrban)
+	sc.DistanceM = 900
+	sc.Radios = 8
+	sc.InitGapM = 10
+	run := ExecuteConvoy(sc, 6)
+
+	res, tq := runChaosConvoy(t, run, 1701)
+	if len(res) != 15 {
+		t.Fatalf("6-vehicle convoy produced %d pair results, want 15", len(res))
+	}
+	for _, pr := range res {
+		if !pr.OK {
+			t.Errorf("pair (%d,%d) unresolved after the link healed", pr.A, pr.B)
+			continue
+		}
+		if pr.Stale {
+			t.Errorf("pair (%d,%d) still stale after full recovery", pr.A, pr.B)
+		}
+		truth := run.TruthGapAt(pr.A, pr.B, tq)
+		if err := math.Abs(pr.Est.Distance - truth); err > 30 {
+			t.Errorf("pair (%d,%d): estimate %.1f vs truth %.1f (err %.1f m)",
+				pr.A, pr.B, pr.Est.Distance, truth, err)
+		}
+	}
+
+	// Determinism: the same link seed replays the identical lossy run.
+	again, _ := runChaosConvoy(t, run, 1701)
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("same link seed produced different chaos results")
+	}
+}
+
+// TestLinkedOutageDegradesGracefully: under a permanent total outage the
+// mesh keeps stepping (backing off, not spinning), copies stay empty, and
+// resolution refuses every pair via the staleness policy instead of
+// panicking or fabricating distances.
+func TestLinkedOutageDegradesGracefully(t *testing.T) {
+	r := getConvoy(t)
+	t0, t1 := r.TimeSpan()
+	dead := link.Params{Seed: 3, BurstEnter: 1, BurstExit: 0}
+	lc := NewLinkedConvoy(r, dead, v2v.SyncConfig{Seed: 3}, core.DefaultStaleness())
+	tq := t0 + 0.5*(t1-t0)
+	for ts := t0 + 0.5; ts <= tq; ts += 0.5 {
+		lc.Advance(ts)
+	}
+	if lag := lc.MaxLag(); lag == 0 {
+		t.Fatal("total outage but no sync lag — frames got through a dead link")
+	}
+	e := engine.New(0)
+	defer e.Close()
+	res, err := lc.ResolveAllAt(e, tq, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res {
+		if pr.OK {
+			t.Errorf("pair (%d,%d) resolved from an empty link-delivered copy", pr.A, pr.B)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package v2v
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rups/internal/trajectory"
+)
+
+// The reliable sync protocol's wire formats.
+//
+// A *chunk* is the protocol's sequence-numbered unit: a contiguous run of
+// trajectory marks starting at mark FromMark, encoded *losslessly* (raw
+// float64 bits). Unlike the legacy quantized Delta encoding, a chunk round
+// trip is bit-exact, so a fully synced copy is byte-identical to the
+// sender's prefix — which is what lets the reliable path degrade to the
+// perfect-channel baseline exactly when the link is clean.
+//
+// One mark spans 16 B of geometry plus 8 B per channel (194 GSM channels
+// ≈ 1.6 KB), so chunks exceed the 1400 B WSM payload and are fragmented
+// into DATA frames; every frame carries a CRC32 so in-flight corruption is
+// detected and the frame dropped rather than applied.
+//
+// DATA frame (little endian):
+//
+//	magic    uint16 'RL'
+//	type     uint8  1
+//	reserved uint8
+//	fromMark uint32  chunk sequence number: first mark carried
+//	nMarks   uint16
+//	channels uint16
+//	fragIdx  uint16  fragment index within the chunk
+//	nFrags   uint16
+//	total    uint32  chunk blob length, bytes
+//	offset   uint32  this fragment's byte offset into the blob
+//	plen     uint16  payload bytes in this frame
+//	payload  plen bytes
+//	crc      uint32  IEEE CRC32 over everything above
+//
+// ACK frame (little endian):
+//
+//	magic    uint16 'RL'
+//	type     uint8  2
+//	reserved uint8
+//	cum      uint32  cumulative contiguous marks held by the receiver
+//	crc      uint32
+const (
+	frameMagic uint16 = 0x4C52 // "RL"
+	frameData  byte   = 1
+	frameAck   byte   = 2
+
+	dataHeaderLen = 26
+	frameCRCLen   = 4
+	ackFrameLen   = 4 + 4 + frameCRCLen
+
+	// maxFragPayload keeps every DATA frame within the WSM payload bound.
+	maxFragPayload = WSMPayload - dataHeaderLen - frameCRCLen
+
+	chunkHeaderLen = 8 // fromMark u32, nMarks u16, channels u16
+)
+
+var errBadFrame = errors.New("v2v: malformed frame")
+
+// encodeChunk serializes a chunk losslessly: header, per-mark geometry
+// (theta, t as float64 bits), then the channel-major power rows.
+func encodeChunk(d Delta) []byte {
+	n := len(d.Marks)
+	chans := len(d.Power)
+	buf := make([]byte, 0, chunkHeaderLen+n*16+chans*n*8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.FromMark))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(n))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(chans))
+	for _, mk := range d.Marks {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(mk.Theta))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(mk.T))
+	}
+	for ch := 0; ch < chans; ch++ {
+		row := d.Power[ch]
+		for i := 0; i < n; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(row[i]))
+		}
+	}
+	return buf
+}
+
+// decodeChunk inverts encodeChunk, validating the size arithmetic.
+func decodeChunk(b []byte) (Delta, error) {
+	if len(b) < chunkHeaderLen {
+		return Delta{}, errBadFrame
+	}
+	from := int(binary.LittleEndian.Uint32(b[0:]))
+	n := int(binary.LittleEndian.Uint16(b[4:]))
+	chans := int(binary.LittleEndian.Uint16(b[6:]))
+	if n == 0 || chans == 0 {
+		return Delta{}, errBadFrame
+	}
+	if len(b) != chunkHeaderLen+n*16+chans*n*8 {
+		return Delta{}, fmt.Errorf("v2v: chunk size %d, want %d", len(b), chunkHeaderLen+n*16+chans*n*8)
+	}
+	d := Delta{FromMark: from, Marks: make([]trajectory.GeoMark, n)}
+	off := chunkHeaderLen
+	for i := 0; i < n; i++ {
+		d.Marks[i] = trajectory.GeoMark{
+			Theta: math.Float64frombits(binary.LittleEndian.Uint64(b[off:])),
+			T:     math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])),
+		}
+		off += 16
+	}
+	d.Power = make([][]float64, chans)
+	for ch := 0; ch < chans; ch++ {
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+		d.Power[ch] = row
+	}
+	return d, nil
+}
+
+// dataFrames encodes the chunk and fragments it into WSM-bounded DATA
+// frames.
+func dataFrames(d Delta) [][]byte {
+	blob := encodeChunk(d)
+	nFrags := (len(blob) + maxFragPayload - 1) / maxFragPayload
+	out := make([][]byte, 0, nFrags)
+	for f := 0; f < nFrags; f++ {
+		off := f * maxFragPayload
+		end := off + maxFragPayload
+		if end > len(blob) {
+			end = len(blob)
+		}
+		payload := blob[off:end]
+		fr := make([]byte, 0, dataHeaderLen+len(payload)+frameCRCLen)
+		fr = binary.LittleEndian.AppendUint16(fr, frameMagic)
+		fr = append(fr, frameData, 0)
+		fr = binary.LittleEndian.AppendUint32(fr, uint32(d.FromMark))
+		fr = binary.LittleEndian.AppendUint16(fr, uint16(len(d.Marks)))
+		fr = binary.LittleEndian.AppendUint16(fr, uint16(len(d.Power)))
+		fr = binary.LittleEndian.AppendUint16(fr, uint16(f))
+		fr = binary.LittleEndian.AppendUint16(fr, uint16(nFrags))
+		fr = binary.LittleEndian.AppendUint32(fr, uint32(len(blob)))
+		fr = binary.LittleEndian.AppendUint32(fr, uint32(off))
+		fr = binary.LittleEndian.AppendUint16(fr, uint16(len(payload)))
+		fr = append(fr, payload...)
+		fr = binary.LittleEndian.AppendUint32(fr, crc32.ChecksumIEEE(fr))
+		out = append(out, fr)
+	}
+	return out
+}
+
+// ackFrameBytes encodes a cumulative-ack beacon.
+func ackFrameBytes(cum int) []byte {
+	fr := make([]byte, 0, ackFrameLen)
+	fr = binary.LittleEndian.AppendUint16(fr, frameMagic)
+	fr = append(fr, frameAck, 0)
+	fr = binary.LittleEndian.AppendUint32(fr, uint32(cum))
+	return binary.LittleEndian.AppendUint32(fr, crc32.ChecksumIEEE(fr))
+}
+
+// frame is a parsed protocol frame.
+type frame struct {
+	typ byte
+	// ACK
+	cum int
+	// DATA
+	from            int
+	nMarks, chans   int
+	fragIdx, nFrags int
+	total, offset   int
+	payload         []byte
+}
+
+// parseFrame validates the CRC and structure of a received frame. Frames
+// the link corrupted (or that never were protocol frames) fail here and
+// are dropped by the caller.
+func parseFrame(b []byte) (frame, error) {
+	if len(b) < 4+frameCRCLen || binary.LittleEndian.Uint16(b[0:]) != frameMagic {
+		return frame{}, errBadFrame
+	}
+	body, tail := b[:len(b)-frameCRCLen], b[len(b)-frameCRCLen:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return frame{}, errors.New("v2v: frame CRC mismatch")
+	}
+	fr := frame{typ: b[2]}
+	switch fr.typ {
+	case frameAck:
+		if len(b) != ackFrameLen {
+			return frame{}, errBadFrame
+		}
+		fr.cum = int(binary.LittleEndian.Uint32(b[4:]))
+		return fr, nil
+	case frameData:
+		if len(b) < dataHeaderLen+frameCRCLen {
+			return frame{}, errBadFrame
+		}
+		fr.from = int(binary.LittleEndian.Uint32(b[4:]))
+		fr.nMarks = int(binary.LittleEndian.Uint16(b[8:]))
+		fr.chans = int(binary.LittleEndian.Uint16(b[10:]))
+		fr.fragIdx = int(binary.LittleEndian.Uint16(b[12:]))
+		fr.nFrags = int(binary.LittleEndian.Uint16(b[14:]))
+		fr.total = int(binary.LittleEndian.Uint32(b[16:]))
+		fr.offset = int(binary.LittleEndian.Uint32(b[20:]))
+		plen := int(binary.LittleEndian.Uint16(b[24:]))
+		if len(b) != dataHeaderLen+plen+frameCRCLen {
+			return frame{}, errBadFrame
+		}
+		if fr.nMarks == 0 || fr.chans == 0 || fr.nFrags == 0 || fr.fragIdx >= fr.nFrags {
+			return frame{}, errBadFrame
+		}
+		if fr.total <= 0 || fr.offset < 0 || fr.offset+plen > fr.total {
+			return frame{}, errBadFrame
+		}
+		fr.payload = b[dataHeaderLen : dataHeaderLen+plen]
+		return fr, nil
+	default:
+		return frame{}, errBadFrame
+	}
+}

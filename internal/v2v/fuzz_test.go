@@ -30,11 +30,25 @@ func FuzzV2VDecode(f *testing.F) {
 	oversized[8], oversized[9], oversized[10], oversized[11] = 0xFF, 0xFF, 0xFF, 0xFF
 	oversized[12] = 1
 	f.Add(oversized)
+	// The crasher shape the WSM bound exists for: a packet whose header
+	// arithmetic is self-consistent but whose size (1632 B) exceeds the
+	// 1400 B payload a real WSM can carry. Also committed to the corpus as
+	// oversized-consistent-1632.
+	overWSM := make([]byte, 22+230*6+230)
+	copy(overWSM, []byte{0x44, 0x50, 0x55, 0x52})
+	overWSM[8] = 230
+	overWSM[12] = 1
+	f.Add(overWSM)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var d Delta
 		if err := d.UnmarshalBinary(data); err != nil {
 			return
+		}
+		// Accepted: the packet must have fit one WSM — anything larger
+		// cannot have crossed the air interface.
+		if len(data) > WSMPayload {
+			t.Fatalf("accepted a %d-byte packet over the %d WSM bound", len(data), WSMPayload)
 		}
 		// Accepted: every power row must span exactly the marks.
 		if len(d.Power) == 0 {

@@ -1,0 +1,446 @@
+package v2v
+
+import (
+	"sort"
+
+	"rups/internal/link"
+	"rups/internal/noise"
+	"rups/internal/trajectory"
+)
+
+// Reliable trajectory sync over a lossy DSRC channel.
+//
+// A Session streams one vehicle's GSM-aware trajectory to one peer over a
+// pair of link.Channels (data one way, cumulative-ack beacons the other),
+// surviving the link's drops, bursts, reordering, duplication, and
+// corruption. The design is go-back-N over mark indexes:
+//
+//   - The sequence space is the mark index itself: a chunk carries marks
+//     [FromMark, FromMark+n), and the receiver acks the length of its
+//     contiguous prefix. There is no separate packet numbering to keep
+//     consistent with trajectory state.
+//   - The sender keeps a window of unacked chunks and one retransmission
+//     timer. On expiry it goes back to the cumulative ack and resends,
+//     doubling the RTO up to a cap with deterministic jitter (Karn's rule:
+//     retransmitted chunks never produce RTT samples).
+//   - The receiver reassembles fragments per chunk (frames are
+//     CRC-checked; corrupt ones are dropped and retransmission covers
+//     them), applies chunks that extend its contiguous prefix, buffers
+//     out-of-order chunks until the gap before them fills, and suppresses
+//     duplicates. The engine therefore only ever sees contiguous,
+//     bit-exact prefixes of the sender's trajectory.
+//
+// Time is the link's round clock (one round ≈ one WSM slot of PacketRTT
+// seconds). Step is synchronous and single-threaded: the simulation drives
+// both endpoints of a session from one goroutine, which keeps lossy runs
+// deterministic per link seed.
+
+// SyncConfig tunes the reliable sync protocol. Zero values take defaults.
+type SyncConfig struct {
+	// ChunkMarks is the number of marks per chunk (default 8). A
+	// 194-channel mark is ~1.6 KB on the wire, so chunks span several
+	// WSM fragments regardless; larger chunks amortize headers, smaller
+	// ones localize loss.
+	ChunkMarks int
+	// Window is the maximum number of unacked chunks in flight
+	// (default 8).
+	Window int
+	// RTORounds is the initial retransmission timeout in rounds
+	// (default 8 ≈ 32 ms).
+	RTORounds int
+	// MaxRTORounds caps the exponential backoff (default 128 ≈ 0.5 s).
+	MaxRTORounds int
+	// Seed drives the deterministic retransmission jitter.
+	Seed uint64
+}
+
+// DefaultSyncConfig returns the protocol defaults.
+func DefaultSyncConfig() SyncConfig {
+	return SyncConfig{ChunkMarks: 8, Window: 8, RTORounds: 8, MaxRTORounds: 128}
+}
+
+func (c SyncConfig) withDefaults() SyncConfig {
+	d := DefaultSyncConfig()
+	if c.ChunkMarks <= 0 {
+		c.ChunkMarks = d.ChunkMarks
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.RTORounds <= 0 {
+		c.RTORounds = d.RTORounds
+	}
+	if c.MaxRTORounds <= 0 {
+		c.MaxRTORounds = d.MaxRTORounds
+	}
+	if c.MaxRTORounds < c.RTORounds {
+		c.MaxRTORounds = c.RTORounds
+	}
+	return c
+}
+
+// sentChunk is one unacked chunk in the sender's window.
+type sentChunk struct {
+	from, n int
+	round   int  // round of this transmission (for RTT sampling)
+	resent  bool // Karn's rule: no RTT sample from retransmissions
+}
+
+// fragBuf reassembles one chunk from its DATA frames.
+type fragBuf struct {
+	nMarks, chans, nFrags, total int
+	have                         []bool
+	got                          int
+	buf                          []byte
+}
+
+// Session is one direction of a reliable trajectory sync: it streams src
+// to a peer copy over data (chunks out) and ack (beacons back). Both
+// protocol endpoints live in the one value — the sender side reads src and
+// the ack channel, the receiver side writes the copy and the data channel —
+// because the simulation steps both ends in lockstep. Not safe for
+// concurrent use.
+type Session struct {
+	cfg  SyncConfig
+	src  *trajectory.Aware
+	copy *trajectory.Aware
+	data *link.Channel
+	ack  *link.Channel
+
+	// Sender state.
+	visible     int // marks of src completed by "now" and eligible to send
+	base        int // cumulative ack: peer holds marks [0, base)
+	next        int // next mark index to transmit
+	highWater   int // highest mark index ever transmitted
+	window      []sentChunk
+	rto         int
+	deadline    int    // round the retransmit timer fires; -1 disarmed
+	arms        uint64 // timer armings, the jitter address
+	timeoutRuns uint64
+
+	// Receiver state.
+	frags   map[int]*fragBuf
+	held    map[int]Delta // out-of-order chunks keyed by FromMark
+	ackDue  bool
+	applied int // chunks applied, exposed for tests
+}
+
+// NewSession builds a session streaming src over the given channels. The
+// peer copy starts empty with src's channel width.
+func NewSession(src *trajectory.Aware, data, ack *link.Channel, cfg SyncConfig) *Session {
+	return &Session{
+		cfg:      cfg.withDefaults(),
+		src:      src,
+		copy:     trajectory.NewAwareWidth(trajectory.Geo{}, len(src.Power)),
+		data:     data,
+		ack:      ack,
+		rto:      cfg.withDefaults().RTORounds,
+		deadline: -1,
+		frags:    make(map[int]*fragBuf),
+		held:     make(map[int]Delta),
+	}
+}
+
+// Copy returns the receiver's reconstruction: always a contiguous,
+// bit-exact prefix of src. The engine admits this, never src directly.
+func (s *Session) Copy() *trajectory.Aware { return s.copy }
+
+// Acked returns the sender's cumulative-ack watermark.
+func (s *Session) Acked() int { return s.base }
+
+// Lag returns how many sendable marks the peer copy is missing.
+func (s *Session) Lag() int { return s.visible - s.copy.Len() }
+
+// Quiescent reports whether the session has nothing left to do for the
+// current visibility horizon: everything sent, acked, applied, and no
+// frames in flight. The simulation uses it to stop burning rounds early on
+// a clean link.
+func (s *Session) Quiescent() bool {
+	return s.next >= s.visible && s.base >= s.visible &&
+		len(s.window) == 0 && len(s.frags) == 0 && len(s.held) == 0 &&
+		!s.ackDue && s.data.Pending() == 0 && s.ack.Pending() == 0
+}
+
+// Step runs one protocol round at sim time now: both endpoints receive,
+// the receiver acks, the sender times out and (re)fills its window.
+func (s *Session) Step(round int, now float64) {
+	s.receiveData(round)
+	s.receiveAcks(round)
+	s.maybeTimeout(round)
+	s.fillWindow(round, now)
+	s.flushAck(round)
+}
+
+// receiveData drains the data channel: validate, reassemble, apply.
+func (s *Session) receiveData(round int) {
+	tel := syncTel.Get()
+	for _, raw := range s.data.Receive(round) {
+		fr, err := parseFrame(raw)
+		if err != nil || fr.typ != frameData {
+			if tel != nil {
+				tel.rejected.Inc()
+			}
+			continue
+		}
+		// Any intact data frame triggers an ack: that is what heals lost
+		// acks (the sender retransmits, the receiver re-acks).
+		s.ackDue = true
+		if fr.from+fr.nMarks <= s.copy.Len() {
+			if tel != nil {
+				tel.dupSuppressed.Inc()
+			}
+			continue
+		}
+		fb := s.frags[fr.from]
+		if fb == nil || fb.total != fr.total || fb.nFrags != fr.nFrags ||
+			fb.nMarks != fr.nMarks || fb.chans != fr.chans {
+			// First fragment of this chunk — or a retransmission with a
+			// different layout (the sender's go-back may regroup marks),
+			// which supersedes any stale partial reassembly.
+			fb = &fragBuf{
+				nMarks: fr.nMarks, chans: fr.chans, nFrags: fr.nFrags,
+				total: fr.total,
+				have:  make([]bool, fr.nFrags),
+				buf:   make([]byte, fr.total),
+			}
+			s.frags[fr.from] = fb
+		}
+		if fr.offset+len(fr.payload) > fb.total || fb.have[fr.fragIdx] {
+			if fb.have[fr.fragIdx] && tel != nil {
+				tel.dupSuppressed.Inc()
+			}
+			continue
+		}
+		copy(fb.buf[fr.offset:], fr.payload)
+		fb.have[fr.fragIdx] = true
+		fb.got++
+		if fb.got < fb.nFrags {
+			continue
+		}
+		delete(s.frags, fr.from)
+		d, err := decodeChunk(fb.buf)
+		if err != nil {
+			if tel != nil {
+				tel.rejected.Inc()
+			}
+			continue
+		}
+		s.admitChunk(d, tel)
+	}
+	// Drop partial reassemblies of chunks another transmission already
+	// completed — they will never finish, their remaining fragments were
+	// superseded.
+	for k, fb := range s.frags {
+		if k+fb.nMarks <= s.copy.Len() {
+			delete(s.frags, k)
+		}
+	}
+}
+
+// admitChunk applies a reassembled chunk if it extends the contiguous
+// prefix, holds it if it is ahead of a gap, and then drains any held
+// chunks the application unblocked.
+func (s *Session) admitChunk(d Delta, tel *syncTelemetry) {
+	if d.FromMark+len(d.Marks) <= s.copy.Len() {
+		if tel != nil {
+			tel.dupSuppressed.Inc()
+		}
+		return
+	}
+	if d.FromMark > s.copy.Len() {
+		s.held[d.FromMark] = d
+		if tel != nil {
+			tel.chunksHeld.Inc()
+		}
+		return
+	}
+	if err := d.Apply(s.copy); err != nil {
+		if tel != nil {
+			tel.rejected.Inc()
+		}
+		return
+	}
+	s.applied++
+	if tel != nil {
+		tel.chunksApplied.Inc()
+	}
+	s.drainHeld(tel)
+}
+
+// drainHeld applies buffered out-of-order chunks that have become
+// contiguous. Keys are scanned in order so metric counts stay
+// deterministic.
+func (s *Session) drainHeld(tel *syncTelemetry) {
+	for {
+		keys := make([]int, 0, len(s.held))
+		for k := range s.held {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		progressed := false
+		for _, k := range keys {
+			d := s.held[k]
+			if d.FromMark > s.copy.Len() {
+				continue
+			}
+			delete(s.held, k)
+			if d.FromMark+len(d.Marks) <= s.copy.Len() {
+				if tel != nil {
+					tel.dupSuppressed.Inc()
+				}
+				continue
+			}
+			if err := d.Apply(s.copy); err != nil {
+				if tel != nil {
+					tel.rejected.Inc()
+				}
+				continue
+			}
+			s.applied++
+			if tel != nil {
+				tel.chunksApplied.Inc()
+			}
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// receiveAcks drains the ack channel and advances the sender's window.
+func (s *Session) receiveAcks(round int) {
+	tel := syncTel.Get()
+	for _, raw := range s.ack.Receive(round) {
+		fr, err := parseFrame(raw)
+		if err != nil || fr.typ != frameAck {
+			if tel != nil {
+				tel.rejected.Inc()
+			}
+			continue
+		}
+		if fr.cum <= s.base {
+			continue // stale or duplicate beacon
+		}
+		s.base = fr.cum
+		if s.next < s.base {
+			// A timeout rolled next back, then a late ack overtook it:
+			// never resend what the peer confirmed.
+			s.next = s.base
+		}
+		for len(s.window) > 0 && s.window[0].from+s.window[0].n <= s.base {
+			ch := s.window[0]
+			s.window = s.window[1:]
+			if !ch.resent && tel != nil {
+				tel.ackRTT.Observe(float64(round-ch.round) * PacketRTT)
+			}
+		}
+		if len(s.window) == 0 && s.next >= s.highWater {
+			// Everything outstanding confirmed: disarm and reset backoff.
+			s.deadline = -1
+			s.rto = s.cfg.RTORounds
+		} else {
+			s.arm(round)
+		}
+	}
+}
+
+// maybeTimeout fires the retransmission timer: go back to the cumulative
+// ack and back off the RTO.
+func (s *Session) maybeTimeout(round int) {
+	if s.deadline < 0 || round < s.deadline || len(s.window) == 0 {
+		return
+	}
+	if t := syncTel.Get(); t != nil {
+		t.timeouts.Inc()
+	}
+	s.timeoutRuns++
+	s.next = s.base
+	s.window = s.window[:0]
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTORounds {
+		s.rto = s.cfg.MaxRTORounds
+	}
+	s.deadline = -1 // fillWindow re-arms with the backed-off RTO
+}
+
+// arm (re)starts the retransmission timer with deterministic jitter of up
+// to a quarter RTO, desynchronizing the convoy's many sessions.
+func (s *Session) arm(round int) {
+	s.arms++
+	j := int(noise.Uniform(s.cfg.Seed, 0xAC4, s.arms) * float64(s.rto) / 4)
+	s.deadline = round + s.rto + j
+}
+
+// fillWindow advances the visibility horizon to now and transmits chunks
+// until the window is full or nothing sendable remains.
+func (s *Session) fillWindow(round int, now float64) {
+	tel := syncTel.Get()
+	for s.visible < s.src.Len() && s.src.Geo.Marks[s.visible].T <= now {
+		s.visible++
+	}
+	for s.next < s.visible && len(s.window) < s.cfg.Window {
+		n := s.cfg.ChunkMarks
+		if s.next+n > s.visible {
+			n = s.visible - s.next
+		}
+		d := Delta{FromMark: s.next, Marks: s.src.Geo.Marks[s.next : s.next+n]}
+		d.Power = make([][]float64, len(s.src.Power))
+		for ch := range s.src.Power {
+			d.Power[ch] = s.src.Power[ch][s.next : s.next+n]
+		}
+		for _, f := range dataFrames(d) {
+			// Send cannot fail: dataFrames fragments to the WSM bound.
+			if err := s.data.Send(round, f); err != nil {
+				panic(err)
+			}
+		}
+		resent := s.next < s.highWater
+		if tel != nil {
+			if resent {
+				tel.chunksResent.Inc()
+			} else {
+				tel.chunksSent.Inc()
+			}
+		}
+		s.window = append(s.window, sentChunk{from: s.next, n: n, round: round, resent: resent})
+		s.next += n
+		if s.next > s.highWater {
+			s.highWater = s.next
+		}
+		if s.deadline < 0 {
+			s.arm(round)
+		}
+	}
+}
+
+// flushAck emits at most one cumulative-ack beacon per round.
+func (s *Session) flushAck(round int) {
+	if !s.ackDue {
+		return
+	}
+	s.ackDue = false
+	if err := s.ack.Send(round, ackFrameBytes(s.copy.Len())); err != nil {
+		panic(err)
+	}
+	if t := syncTel.Get(); t != nil {
+		t.acksSent.Inc()
+	}
+}
+
+// ObserveCopyAge records how stale the peer copy is at sim time now — the
+// degradation signal the engine's staleness policy acts on. Empty copies
+// are not observed (they are unresolved, not stale).
+func (s *Session) ObserveCopyAge(now float64) {
+	if s.copy.Len() == 0 {
+		return
+	}
+	if t := syncTel.Get(); t != nil {
+		_, t1 := s.copy.TimeSpan()
+		age := now - t1
+		if age < 0 {
+			age = 0
+		}
+		t.copyAge.Observe(age)
+	}
+}

@@ -142,6 +142,41 @@ func SendDelta(l *Link, d Delta) Cost {
 	return l.Transfer(d.WireSize())
 }
 
+// MaxDeltaMarks returns how many marks of a channels-wide delta fit one
+// WSM payload under the quantized wire format (22 B header, 6 B geometry
+// and one power byte per channel per mark).
+func MaxDeltaMarks(channels int) int {
+	n := (WSMPayload - 22) / (6 + channels)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ChunkDelta splits a delta into consecutive deltas that each marshal
+// within the WSM payload bound, preserving coverage and order. Sub-deltas
+// share backing storage with d.
+func ChunkDelta(d Delta) []Delta {
+	per := MaxDeltaMarks(len(d.Power))
+	if len(d.Marks) <= per {
+		return []Delta{d}
+	}
+	out := make([]Delta, 0, (len(d.Marks)+per-1)/per)
+	for at := 0; at < len(d.Marks); at += per {
+		end := at + per
+		if end > len(d.Marks) {
+			end = len(d.Marks)
+		}
+		sub := Delta{FromMark: d.FromMark + at, Marks: d.Marks[at:end]}
+		sub.Power = make([][]float64, len(d.Power))
+		for ch := range d.Power {
+			sub.Power[ch] = d.Power[ch][at:end]
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
 // BeaconSize is the size of the periodic presence beacon (vehicle id,
 // position hint, context freshness) used for neighbour discovery.
 const BeaconSize = 64
@@ -173,10 +208,14 @@ func ParseBeacon(b []byte) (vehicleID uint32, contextLen int, err error) {
 //	power    channels × marks bytes (1 dB quantization, 0xFF missing)
 const deltaMagic = 0x52555044
 
-// MarshalBinary encodes the delta for transmission.
+// MarshalBinary encodes the delta for transmission. Deltas that would not
+// fit one WSM payload are refused — split them with ChunkDelta first.
 func (d Delta) MarshalBinary() ([]byte, error) {
 	if len(d.Power) == 0 || len(d.Power) > 0xFFFF {
 		return nil, fmt.Errorf("v2v: %d delta channels not encodable", len(d.Power))
+	}
+	if size := 22 + len(d.Marks)*6 + len(d.Power)*len(d.Marks); size > WSMPayload {
+		return nil, fmt.Errorf("v2v: delta encodes to %d bytes, over the %d WSM bound", size, WSMPayload)
 	}
 	m := len(d.Marks)
 	var tBase float64
@@ -205,9 +244,15 @@ func (d Delta) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBinary decodes a delta.
+// UnmarshalBinary decodes a delta. Packets over the 1400 B WSM payload
+// bound are rejected outright: a conforming sender cannot have produced
+// one, and the implied mark/channel counts would otherwise drive huge
+// attacker-controlled allocations.
 func (d *Delta) UnmarshalBinary(data []byte) error {
 	const header = 4 + 4 + 4 + 2 + 8
+	if len(data) > WSMPayload {
+		return fmt.Errorf("v2v: delta packet %d bytes exceeds the %d WSM bound", len(data), WSMPayload)
+	}
 	if len(data) < header {
 		return errors.New("v2v: short delta")
 	}

@@ -179,7 +179,9 @@ func TestBeaconRoundTrip(t *testing.T) {
 
 func TestDeltaWireRoundTrip(t *testing.T) {
 	full := mkAware(11, 80)
-	d, err := MakeDelta(full, 60)
+	// 5 marks × 194 channels ≈ 1 KB encoded: within the WSM payload bound
+	// the codec now enforces.
+	d, err := MakeDelta(full, 75)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +210,7 @@ func TestDeltaWireRoundTrip(t *testing.T) {
 	}
 	// Applying the decoded delta must extend the peer copy identically in
 	// shape.
-	peer := full.PrefixUntil(60).Clone()
+	peer := full.PrefixUntil(75).Clone()
 	if err := back.Apply(peer); err != nil {
 		t.Fatal(err)
 	}
@@ -225,5 +227,69 @@ func TestDeltaWireRejectsGarbage(t *testing.T) {
 		if err := d.UnmarshalBinary(data); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestDeltaWireEnforcesWSMBound(t *testing.T) {
+	full := mkAware(12, 80)
+	big, err := MakeDelta(full, 60) // 20 marks ≈ 4 KB encoded
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.MarshalBinary(); err == nil {
+		t.Error("marshalled a delta over the WSM payload bound")
+	}
+	// A self-consistent packet over 1400 B: 230 marks × 1 channel claims
+	// 1632 bytes, exactly matching its header arithmetic — only the WSM
+	// bound can reject it.
+	pkt := make([]byte, 22+230*6+230)
+	copy(pkt, []byte{0x44, 0x50, 0x55, 0x52})
+	pkt[8] = 230 // marks
+	pkt[12] = 1  // channels
+	var d Delta
+	if err := d.UnmarshalBinary(pkt); err == nil {
+		t.Error("accepted a packet over the WSM payload bound")
+	}
+}
+
+func TestChunkDeltaCoversAndFits(t *testing.T) {
+	full := mkAware(13, 100)
+	d, err := MakeDelta(full, 40) // 60 marks, far over one WSM
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := ChunkDelta(d)
+	if len(chunks) < 2 {
+		t.Fatalf("60-mark delta split into %d chunks", len(chunks))
+	}
+	peer := full.PrefixUntil(40).Clone()
+	next := d.FromMark
+	for i, c := range chunks {
+		if c.FromMark != next {
+			t.Fatalf("chunk %d starts at %d, want %d", i, c.FromMark, next)
+		}
+		next += len(c.Marks)
+		data, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("chunk %d does not marshal: %v", i, err)
+		}
+		if len(data) > WSMPayload {
+			t.Fatalf("chunk %d encodes to %d bytes", i, len(data))
+		}
+		var back Delta
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("chunk %d round trip: %v", i, err)
+		}
+		if err := back.Apply(peer); err != nil {
+			t.Fatalf("chunk %d apply: %v", i, err)
+		}
+	}
+	if next != full.Len() || peer.Len() != full.Len() {
+		t.Fatalf("chunks cover to %d, peer at %d, want %d", next, peer.Len(), full.Len())
+	}
+	// A delta that already fits passes through unsplit.
+	small, _ := MakeDelta(full, 97)
+	if got := ChunkDelta(small); len(got) != 1 {
+		t.Fatalf("3-mark delta split into %d chunks", len(got))
 	}
 }
