@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short race lint lint-sarif lint-ignores bench \
-	bench-all eval eval-quick fuzz fuzz-trajectory fuzz-trace fuzz-v2v \
-	maps clean
+.PHONY: all build test test-short race lint lint-sarif lint-ignores \
+	lint-prune bench bench-all eval eval-quick fuzz fuzz-trajectory \
+	fuzz-trace fuzz-v2v maps clean
 
 all: build test
 
@@ -20,20 +20,27 @@ test-short:
 race:
 	go test -race -short ./...
 
-# Static analysis: go vet plus the domain-aware analyzers in cmd/rups-lint
-# (ctxguard, errflow, floatcmp, indexunit, lockcheck, naninguard, wiretaint
-# — see docs/STATIC_ANALYSIS.md).
+# Static analysis: go vet plus the twelve domain-aware analyzers in
+# cmd/rups-lint (see docs/STATIC_ANALYSIS.md). Accepted findings live in
+# the committed lint-baseline.json, each entry carrying a "why"
+# justification; anything not in the baseline fails the build.
 lint:
 	go vet ./...
-	go run ./cmd/rups-lint ./...
+	go run ./cmd/rups-lint -baseline lint-baseline.json ./...
 
 # SARIF 2.1.0 report for CI annotation (same findings as `make lint`).
 lint-sarif:
-	go run ./cmd/rups-lint -json ./... > rups-lint.sarif
+	go run ./cmd/rups-lint -baseline lint-baseline.json -json ./... > rups-lint.sarif
 
 # Audit every lint:ignore suppression; fails if one lacks a justification.
 lint-ignores:
 	go run ./cmd/rups-lint -list-ignores ./...
+
+# Baseline freshness: fail if a committed baseline entry no longer fires —
+# the finding was fixed, so the stale suppression must be dropped
+# (go run ./cmd/rups-lint -baseline lint-baseline.json -prune-baseline rewrite ./...).
+lint-prune:
+	go run ./cmd/rups-lint -baseline lint-baseline.json -prune-baseline check ./...
 
 # The PR-4 perf trajectory: run the search, engine, and telemetry-overhead
 # benchmarks, then merge with the committed PR-3 record into BENCH_4.json

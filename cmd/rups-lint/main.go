@@ -11,6 +11,7 @@
 //	rups-lint -disable ctxguard    # run everything but
 //	rups-lint -write-baseline lint-baseline.json ./...
 //	rups-lint -baseline lint-baseline.json ./...
+//	rups-lint -baseline lint-baseline.json -prune-baseline check ./...
 //	rups-lint -list-ignores        # audit every lint:ignore directive
 //
 // Suppress an individual false positive with a mandatory reason:
@@ -31,13 +32,19 @@ import (
 	"strings"
 
 	"rups/internal/analysis"
+	"rups/internal/analysis/atomiccheck"
+	"rups/internal/analysis/chanclose"
 	"rups/internal/analysis/ctxguard"
+	"rups/internal/analysis/dataflow"
 	"rups/internal/analysis/errflow"
 	"rups/internal/analysis/floatcmp"
 	"rups/internal/analysis/indexunit"
 	"rups/internal/analysis/loader"
 	"rups/internal/analysis/lockcheck"
+	"rups/internal/analysis/lockorder"
 	"rups/internal/analysis/naninguard"
+	"rups/internal/analysis/obsdiscipline"
+	"rups/internal/analysis/timedet"
 	"rups/internal/analysis/wiretaint"
 )
 
@@ -45,12 +52,17 @@ import (
 // implementing the internal/analysis.Analyzer interface and listing it
 // here.
 var analyzers = []*analysis.Analyzer{
+	atomiccheck.Analyzer,
+	chanclose.Analyzer,
 	ctxguard.Analyzer,
 	errflow.Analyzer,
 	floatcmp.Analyzer,
 	indexunit.Analyzer,
 	lockcheck.Analyzer,
+	lockorder.Analyzer,
 	naninguard.Analyzer,
+	obsdiscipline.Analyzer,
+	timedet.Analyzer,
 	wiretaint.Analyzer,
 }
 
@@ -61,8 +73,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as SARIF 2.1.0 on stdout")
 	baselinePath := flag.String("baseline", "", "suppress findings fingerprinted in this baseline file")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	pruneBaseline := flag.String("prune-baseline", "", "with -baseline: \"check\" exits 1 if any entry no longer fires, \"rewrite\" drops stale entries from the file")
 	listIgnores := flag.Bool("list-ignores", false, "print every lint:ignore directive; exit 1 if any lacks a justification")
+	tags := flag.String("tags", "", "comma-separated build tags: lint the tagged variant of every package")
 	flag.Parse()
+
+	if *pruneBaseline != "" {
+		if *pruneBaseline != "check" && *pruneBaseline != "rewrite" {
+			fmt.Fprintf(os.Stderr, "rups-lint: -prune-baseline must be \"check\" or \"rewrite\", got %q\n", *pruneBaseline)
+			os.Exit(2)
+		}
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "rups-lint: -prune-baseline requires -baseline")
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		for _, a := range analyzers {
@@ -87,7 +112,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
 		os.Exit(2)
 	}
-	pkgs, err := loader.Load(cwd, patterns...)
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	pkgs, err := loader.LoadTags(cwd, tagList, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
 		os.Exit(2)
@@ -102,7 +131,10 @@ func main() {
 		os.Exit(reportIgnores(pkgs, cwd))
 	}
 
-	diags, err := analysis.Run(pkgs, roster)
+	// One interprocedural program is shared by every analyzer in the
+	// roster: call graph, effect summaries, and cross-package taint are
+	// computed once, not per analyzer.
+	diags, err := analysis.RunWithProgram(pkgs, roster, dataflow.NewProgram(pkgs))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
 		os.Exit(2)
@@ -122,6 +154,28 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
 			os.Exit(2)
+		}
+		if *pruneBaseline != "" {
+			kept, stale := b.Prune(diags, cwd)
+			for _, e := range stale {
+				fmt.Fprintf(os.Stderr, "rups-lint: stale baseline entry: %s %s: %q (%d unused)\n",
+					e.Analyzer, e.File, e.Message, e.Count)
+			}
+			switch {
+			case len(stale) == 0:
+				fmt.Fprintf(os.Stderr, "rups-lint: baseline %s is fresh (%d entries)\n", *baselinePath, len(b.Entries))
+			case *pruneBaseline == "rewrite":
+				if err := kept.WriteFile(*baselinePath); err != nil {
+					fmt.Fprintf(os.Stderr, "rups-lint: %v\n", err)
+					os.Exit(2)
+				}
+				fmt.Fprintf(os.Stderr, "rups-lint: pruned %d stale entr(ies) from %s\n", len(stale), *baselinePath)
+			default:
+				fmt.Fprintf(os.Stderr, "rups-lint: baseline %s has %d stale entr(ies); rerun with -prune-baseline rewrite\n",
+					*baselinePath, len(stale))
+				os.Exit(1)
+			}
+			return
 		}
 		diags = b.Filter(diags, cwd)
 	}

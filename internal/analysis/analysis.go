@@ -40,6 +40,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Program holds program-wide facts shared by every pass of one run:
+	// the interprocedural dataflow program (*dataflow.Program) when the
+	// driver built one. It is typed `any` because dataflow sits above this
+	// package; analyzers retrieve it with dataflow.ProgramOf, which falls
+	// back to a single-package program when the driver supplied none.
+	Program any
+
 	diags []Diagnostic
 }
 
@@ -74,6 +81,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // diagnostics sorted by position. Diagnostics on lines covered by a
 // matching //lint:ignore directive are dropped.
 func Run(pkgs []*loader.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithProgram(pkgs, analyzers, nil)
+}
+
+// RunWithProgram is Run with program-wide facts attached to every pass.
+// Drivers that load multiple packages build one *dataflow.Program over all
+// of them and pass it here, so interprocedural analyzers see call edges and
+// effect summaries across package boundaries instead of rebuilding a
+// single-package view per pass.
+func RunWithProgram(pkgs []*loader.Package, analyzers []*Analyzer, program any) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
@@ -84,6 +100,7 @@ func Run(pkgs []*loader.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Program:   program,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)

@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
 	"rups/internal/analysis/loader"
 )
 
@@ -32,29 +33,33 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads each package directory under testdata/src and applies the
-// analyzer, asserting that diagnostics and // want comments agree.
+// Run loads the package directories under testdata/src in one go — so
+// cross-package golden setups (a restricted package calling a helper
+// package) share one interprocedural program, exactly like the real
+// driver — and applies the analyzer, asserting that diagnostics and
+// // want comments agree.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	for _, pkg := range pkgs {
-		dir := filepath.Join(testdata, "src", pkg)
-		loaded, err := loader.Load(dir, ".")
-		if err != nil {
-			t.Errorf("%s: %v", pkg, err)
-			continue
-		}
-		for _, lp := range loaded {
-			if len(lp.TypeErrors) > 0 {
-				t.Errorf("%s: type errors in golden package: %v", pkg, lp.TypeErrors)
-			}
-		}
-		diags, err := analysis.Run(loaded, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Errorf("%s: %v", pkg, err)
-			continue
-		}
-		checkExpectations(t, pkg, loaded, diags)
+	patterns := make([]string, len(pkgs))
+	for i, pkg := range pkgs {
+		patterns[i] = "./" + pkg
 	}
+	loaded, err := loader.Load(filepath.Join(testdata, "src"), patterns...)
+	if err != nil {
+		t.Errorf("%v: %v", pkgs, err)
+		return
+	}
+	for _, lp := range loaded {
+		if len(lp.TypeErrors) > 0 {
+			t.Errorf("%s: type errors in golden package: %v", lp.Path, lp.TypeErrors)
+		}
+	}
+	diags, err := analysis.RunWithProgram(loaded, []*analysis.Analyzer{a}, dataflow.NewProgram(loaded))
+	if err != nil {
+		t.Errorf("%v: %v", pkgs, err)
+		return
+	}
+	checkExpectations(t, strings.Join(pkgs, ","), loaded, diags)
 }
 
 // checkExpectations matches diagnostics against want comments.

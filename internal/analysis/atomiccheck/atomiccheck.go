@@ -1,0 +1,66 @@
+// Package atomiccheck flags struct fields that are accessed through
+// sync/atomic (package functions or the typed atomics' methods) in one
+// function and by plain read or write in another. Mixing the two is a data
+// race even when each side looks locally consistent — the atomic side
+// establishes no happens-before for the plain side. The obs registry's
+// atomic handle cache is the motivating surface; its typed atomics make
+// plain access unrepresentable, which is the pattern this analyzer pushes
+// toward.
+//
+// Constructors are exempt: plain writes inside functions named New* or
+// init happen before the value is shared.
+package atomiccheck
+
+import (
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+)
+
+// Analyzer flags fields mixing atomic and plain access across functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc: "flags fields accessed via sync/atomic in one function and by " +
+		"plain read/write in another (no happens-before between the two sides)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog := dataflow.ProgramOf(pass)
+	local := func(s dataflow.Site) bool {
+		return s.Fn != nil && s.Fn.Pkg() != nil && s.Fn.Pkg().Path() == pass.Pkg.Path()
+	}
+	for _, id := range prog.FieldIDs() {
+		fa := prog.FieldAccessOf(id)
+		if len(fa.Atomic) == 0 {
+			continue
+		}
+		atomicFns := make(map[string]bool, len(fa.Atomic))
+		for _, s := range fa.Atomic {
+			atomicFns[s.FnID] = true
+		}
+		witness := dataflow.FuncLabel(fa.Atomic[0].Fn)
+		report := func(sites []dataflow.Site, how string) {
+			for _, s := range sites {
+				if !local(s) || atomicFns[s.FnID] || constructor(s) {
+					continue
+				}
+				pass.Reportf(s.Pos, "plain %s of field %s, which %s accesses "+
+					"atomically: mixed atomic/plain access is a data race",
+					how, fa.Name, witness)
+			}
+		}
+		report(fa.PlainReads, "read")
+		report(fa.PlainWrites, "write")
+	}
+	return nil
+}
+
+// constructor reports whether the site sits in a New*/init function, where
+// the value is not yet shared.
+func constructor(s dataflow.Site) bool {
+	if s.Fn == nil {
+		return false
+	}
+	name := s.Fn.Name()
+	return name == "init" || (len(name) >= 3 && name[:3] == "New")
+}

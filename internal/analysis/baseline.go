@@ -23,6 +23,18 @@ type BaselineEntry struct {
 	File     string `json:"file"`
 	Message  string `json:"message"`
 	Count    int    `json:"count"`
+	// Why is a human-written justification for keeping the finding
+	// suppressed rather than fixing it. It is preserved across Prune
+	// rewrites and ignored when matching diagnostics.
+	Why string `json:"why,omitempty"`
+}
+
+// key normalizes an entry to its matching identity: Count and Why carry
+// bookkeeping, not identity.
+func (e BaselineEntry) key() BaselineEntry {
+	e.Count = 0
+	e.Why = ""
+	return e
 }
 
 // Baseline is a set of suppressed finding classes.
@@ -84,9 +96,7 @@ func (b *Baseline) WriteFile(path string) error {
 func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
 	budget := make(map[BaselineEntry]int, len(b.Entries))
 	for _, e := range b.Entries {
-		n := e.Count
-		e.Count = 0
-		budget[e] += n
+		budget[e.key()] += e.Count
 	}
 	var out []Diagnostic
 	for _, d := range diags {
@@ -98,6 +108,37 @@ func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
 		out = append(out, d)
 	}
 	return out
+}
+
+// Prune splits the baseline against the diagnostics of a fresh run:
+// entries (or portions of an entry's count) that still fire are returned
+// in kept, with justifications preserved; suppression budget that no
+// longer matches anything is returned in stale, Count set to the number
+// of slots that went unused. A non-empty stale list means the baseline
+// has drifted — the fix landed but the suppression lives on, able to
+// mask a future regression of the same message.
+func (b *Baseline) Prune(diags []Diagnostic, root string) (kept *Baseline, stale []BaselineEntry) {
+	current := make(map[BaselineEntry]int)
+	for _, d := range diags {
+		current[fingerprint(d, root)]++
+	}
+	kept = &Baseline{}
+	for _, e := range b.Entries {
+		live := current[e.key()]
+		if live >= e.Count {
+			kept.Entries = append(kept.Entries, e)
+			continue
+		}
+		unused := e
+		unused.Count = e.Count - live
+		stale = append(stale, unused)
+		if live > 0 {
+			k := e
+			k.Count = live
+			kept.Entries = append(kept.Entries, k)
+		}
+	}
+	return kept, stale
 }
 
 // fingerprint is the line-independent identity of a diagnostic.

@@ -75,6 +75,97 @@ func TestBaselineFile(t *testing.T) {
 	}
 }
 
+func TestBaselinePrune(t *testing.T) {
+	root := "/repo"
+	all := []Diagnostic{
+		diag("errflow", "/repo/cmd/a/main.go", 10, "error dropped"),
+		diag("errflow", "/repo/cmd/a/main.go", 20, "error dropped"),
+		diag("wiretaint", "/repo/internal/x/x.go", 5, "tainted make"),
+		diag("timedet", "/repo/internal/sim/sim.go", 3, "time.Now in sim"),
+	}
+	b := NewBaseline(all, root)
+	for i := range b.Entries {
+		b.Entries[i].Why = "justified"
+	}
+
+	// Nothing fixed: kept is the whole baseline, nothing stale.
+	kept, stale := b.Prune(all, root)
+	if len(stale) != 0 {
+		t.Errorf("prune of an unchanged run found stale entries: %+v", stale)
+	}
+	if len(kept.Entries) != len(b.Entries) {
+		t.Errorf("prune kept %d of %d entries", len(kept.Entries), len(b.Entries))
+	}
+
+	// The wiretaint finding is fixed and one of two errflow findings is
+	// fixed: wiretaint's entry goes fully stale, errflow's count shrinks.
+	after := []Diagnostic{
+		diag("errflow", "/repo/cmd/a/main.go", 10, "error dropped"),
+		diag("timedet", "/repo/internal/sim/sim.go", 3, "time.Now in sim"),
+	}
+	kept, stale = b.Prune(after, root)
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale entries, want 2 (wiretaint whole, errflow partial): %+v", len(stale), stale)
+	}
+	for _, e := range stale {
+		switch e.Analyzer {
+		case "wiretaint":
+			if e.Count != 1 {
+				t.Errorf("wiretaint stale count = %d, want 1", e.Count)
+			}
+		case "errflow":
+			if e.Count != 1 {
+				t.Errorf("errflow stale count = %d, want 1 (one of two slots unused)", e.Count)
+			}
+		default:
+			t.Errorf("unexpected stale analyzer %q", e.Analyzer)
+		}
+	}
+	if len(kept.Entries) != 2 {
+		t.Fatalf("kept %d entries, want 2 (errflow shrunk + timedet): %+v", len(kept.Entries), kept.Entries)
+	}
+	for _, e := range kept.Entries {
+		if e.Why != "justified" {
+			t.Errorf("prune dropped the justification on %+v", e)
+		}
+		if e.Analyzer == "errflow" && e.Count != 1 {
+			t.Errorf("errflow kept count = %d, want 1", e.Count)
+		}
+	}
+
+	// The shrunk baseline still suppresses exactly the surviving findings.
+	if rest := kept.Filter(after, root); len(rest) != 0 {
+		t.Errorf("pruned baseline no longer covers the live findings: %v", rest)
+	}
+}
+
+func TestBaselineWhyIgnoredForMatching(t *testing.T) {
+	root := "/repo"
+	d := diag("floatcmp", "/repo/internal/x/x.go", 4, "== on float64")
+	b := NewBaseline([]Diagnostic{d}, root)
+	b.Entries[0].Why = "legacy comparison, fix tracked separately"
+
+	if rest := b.Filter([]Diagnostic{d}, root); len(rest) != 0 {
+		t.Errorf("a justification broke fingerprint matching: %v", rest)
+	}
+	if _, stale := b.Prune([]Diagnostic{d}, root); len(stale) != 0 {
+		t.Errorf("a justification made a live entry look stale: %+v", stale)
+	}
+
+	// And it survives the file round trip.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Entries[0].Why != b.Entries[0].Why {
+		t.Errorf("Why lost in round trip: %q", loaded.Entries[0].Why)
+	}
+}
+
 func TestLoadBaselineMissing(t *testing.T) {
 	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Error("loading a missing baseline should fail, not silently succeed")

@@ -1,0 +1,129 @@
+// Package chanclose flags channel lifecycle hazards across function and
+// package boundaries, using the interprocedural program's channel-operation
+// and lock-acquisition summaries:
+//
+//   - a send that can race a close in another function when no shared lock
+//     orders them — the engine.Close send-on-closed-channel panic shipped
+//     before PR 4's fix, where a plain `closed` bool was checked outside
+//     any lock;
+//   - a close executed in a loop or at multiple sites (double close);
+//   - a close of a channel received as a parameter — channels are closed
+//     by their owning sender, not by a callee handed the channel.
+//
+// The fixed engine shape stays silent: the send holds mu.RLock and the
+// closing function acquires mu before flipping the closed flag, so the
+// close is ordered after every in-flight send.
+package chanclose
+
+import (
+	"sort"
+	"strings"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+)
+
+// Analyzer flags send/close races, double closes, and closes by non-owners.
+var Analyzer = &analysis.Analyzer{
+	Name: "chanclose",
+	Doc: "flags sends racing a close without a shared lock, double closes, " +
+		"and closes of channels received as parameters (the engine.Close " +
+		"send-on-closed-channel bug class)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog := dataflow.ProgramOf(pass)
+	local := func(s dataflow.Site) bool {
+		return s.Fn != nil && s.Fn.Pkg() != nil && s.Fn.Pkg().Path() == pass.Pkg.Path()
+	}
+	for _, key := range prog.ChanKeys() {
+		var sends, closes []dataflow.ChanOp
+		for _, op := range prog.ChanOpsOf(key) {
+			switch op.Kind {
+			case dataflow.ChanSend:
+				sends = append(sends, op)
+			case dataflow.ChanClose:
+				closes = append(closes, op)
+			}
+		}
+		if len(closes) == 0 {
+			continue
+		}
+		sort.Slice(closes, func(i, j int) bool { return closes[i].Pos < closes[j].Pos })
+
+		for _, c := range closes {
+			if !local(c.Site) {
+				continue
+			}
+			if c.FromParam {
+				pass.Reportf(c.Pos, "close(%s) closes a channel received as a parameter: "+
+					"only the owning sender should close it", c.Name)
+			}
+			// A loop-resident close only double-closes when the channel is
+			// loop-invariant (a field or package var); a per-iteration local
+			// (range over a channel slice) is a fresh channel each time.
+			if c.InLoop && !strings.HasPrefix(c.Key, "local:") {
+				pass.Reportf(c.Pos, "close(%s) inside a loop: a second iteration "+
+					"panics with double close", c.Name)
+			}
+		}
+
+		// Multiple close sites double-close unless every one is guarded by
+		// sync.Once; the first (position-sorted) site is treated as the
+		// legitimate one.
+		if len(closes) > 1 && !allOnce(closes) {
+			for _, c := range closes[1:] {
+				if local(c.Site) {
+					pass.Reportf(c.Pos, "close(%s) is also closed at another site: "+
+						"possible double close", c.Name)
+				}
+			}
+		}
+
+		// A send races the close when they live in different functions and
+		// the sender holds no lock that the closing function acquires — with
+		// a shared lock (engine's mu.RLock around the send, mu.Lock before
+		// the close) the close is ordered after the send.
+		for _, s := range sends {
+			if !local(s.Site) {
+				continue
+			}
+			for _, c := range closes {
+				if c.FnID == s.FnID {
+					continue // sequential within one function
+				}
+				closeFn := prog.FuncByID(c.FnID)
+				if closeFn == nil {
+					continue
+				}
+				if holdsAny(s.Held, closeFn.Effects.Acquires) {
+					continue
+				}
+				pass.Reportf(s.Pos, "send on %s can race with close in %s: no shared "+
+					"lock orders the send before the close (send on a closed channel panics)",
+					s.Name, dataflow.FuncLabel(closeFn.Fn))
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func allOnce(ops []dataflow.ChanOp) bool {
+	for _, op := range ops {
+		if !op.InOnce {
+			return false
+		}
+	}
+	return true
+}
+
+func holdsAny(held []string, acquires map[string]bool) bool {
+	for _, h := range held {
+		if acquires[h] {
+			return true
+		}
+	}
+	return false
+}

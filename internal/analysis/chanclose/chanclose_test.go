@@ -1,0 +1,12 @@
+package chanclose_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/chanclose"
+)
+
+func TestChanclose(t *testing.T) {
+	analysistest.Run(t, "../testdata", chanclose.Analyzer, "chanclose")
+}

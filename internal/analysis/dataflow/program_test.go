@@ -1,0 +1,94 @@
+package dataflow_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rups/internal/analysis/dataflow"
+	"rups/internal/analysis/loader"
+)
+
+const (
+	innerPath = "rups/internal/analysis/testdata/src/proginner"
+	outerPath = "rups/internal/analysis/testdata/src/progouter"
+)
+
+func loadProgram(t *testing.T) *dataflow.Program {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir, "./proginner", "./progouter")
+	if err != nil {
+		t.Fatalf("loader.Load: %v", err)
+	}
+	return dataflow.NewProgram(pkgs)
+}
+
+// TestCrossPackageFixpoint checks that effects computed inside a mutually
+// recursive pair converge and propagate to a caller in another package.
+func TestCrossPackageFixpoint(t *testing.T) {
+	prog := loadProgram(t)
+
+	ping := prog.FuncByID(innerPath + ".Ping")
+	pong := prog.FuncByID(innerPath + ".Pong")
+	enter := prog.FuncByID(outerPath + ".Enter")
+	if ping == nil || pong == nil || enter == nil {
+		t.Fatalf("missing functions: ping=%v pong=%v enter=%v", ping, pong, enter)
+	}
+
+	// Pong has the direct effects; Ping only via the cycle; Enter only via
+	// the cross-package call into the cycle.
+	for _, pf := range []*dataflow.ProgFunc{pong, ping, enter} {
+		if !pf.Effects.ReachesTime {
+			t.Errorf("%s: ReachesTime = false, want true", pf.ID)
+		}
+		if _, ok := pf.Effects.Acquires[innerPath+".mu"]; !ok {
+			t.Errorf("%s: Acquires missing %s.mu (got %v)", pf.ID, innerPath, pf.Effects.Acquires)
+		}
+	}
+	if len(pong.Effects.TimeSites) == 0 {
+		t.Error("Pong: no direct TimeSites recorded")
+	}
+	if len(ping.Effects.TimeSites) != 0 {
+		t.Errorf("Ping: unexpected direct TimeSites %v (effect should be transitive only)", ping.Effects.TimeSites)
+	}
+
+	// The explanation chain from Enter must cross the package boundary and
+	// bottom out at time.Now without looping forever on the Ping/Pong cycle.
+	chain := prog.TimeChain(enter)
+	if len(chain) == 0 || chain[len(chain)-1] != "time.Now" {
+		t.Fatalf("TimeChain(Enter) = %v, want non-empty chain ending in time.Now", chain)
+	}
+	joined := strings.Join(chain, " -> ")
+	if !strings.Contains(joined, "proginner.") {
+		t.Errorf("TimeChain(Enter) = %q, want a hop through proginner", joined)
+	}
+}
+
+// TestCrossPackageTaintSummaries checks that wire-taint summaries are
+// visible program-wide by stable function ID.
+func TestCrossPackageTaintSummaries(t *testing.T) {
+	prog := loadProgram(t)
+
+	s := prog.TaintSummaryByID(innerPath + ".TaintedCount")
+	if s == nil {
+		t.Fatalf("no taint summary for %s.TaintedCount", innerPath)
+	}
+	if !s.ReturnsTainted {
+		t.Errorf("TaintedCount: ReturnsTainted = false, want true")
+	}
+
+	// Grow consumes the foreign tainted return into make: its own summary
+	// must not claim taint (it allocates, it does not return wire data),
+	// but the per-package analysis for progouter must exist.
+	grow := prog.FuncByID(outerPath + ".Grow")
+	if grow == nil {
+		t.Fatal("missing progouter.Grow")
+	}
+	if a := prog.AnalysisFor(grow.Pkg); a == nil {
+		t.Error("AnalysisFor(progouter) = nil, want shared analysis")
+	}
+}

@@ -178,7 +178,11 @@ func (a *Analysis) callFact(call *ast.CallExpr, flow *FuncFlow, at token.Pos, as
 			}
 		}
 	}
-	if s := a.summaries[callee]; s != nil {
+	s := a.summaries[callee]
+	if s == nil && a.foreign != nil {
+		s = a.foreign(callee)
+	}
+	if s != nil {
 		f := Clean
 		if s.ReturnsTainted {
 			f = Tainted

@@ -41,7 +41,7 @@ var errorType = types.Universe.Lookup("error").Type()
 
 func run(pass *analysis.Pass) error {
 	checkDiscards(pass)
-	df := dataflow.New(pass)
+	df := dataflow.AnalysisOf(pass)
 	for _, flow := range df.Flows {
 		checkOverwrites(pass, flow)
 		checkNeverRead(pass, flow)

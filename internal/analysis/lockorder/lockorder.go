@@ -1,0 +1,94 @@
+// Package lockorder flags lock-acquisition-order cycles across
+// sync.Mutex/RWMutex pairs, interprocedurally: the dataflow program
+// records every "lock A was held while lock B was acquired" edge —
+// including acquisitions reached through calls, in any loaded package —
+// and any cycle in that graph is a potential deadlock (two goroutines
+// taking the locks in opposite orders block each other forever).
+//
+// It extends the lockcheck family from copy mistakes to ordering
+// mistakes; the graph is global, so an engine function holding its mutex
+// while calling into sim is ordered against sim's own acquisitions.
+package lockorder
+
+import (
+	"strings"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+)
+
+// Analyzer flags interprocedural lock-order cycles.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flags lock-acquisition-order cycles across functions and packages " +
+		"(opposite-order acquisition deadlocks)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog := dataflow.ProgramOf(pass)
+	edges := prog.LockEdges()
+	if len(edges) == 0 {
+		return nil
+	}
+	// adjacency over lock IDs; an edge is part of a cycle iff its target
+	// can reach its source.
+	next := make(map[string][]string)
+	for _, e := range edges {
+		next[e.From] = append(next[e.From], e.To)
+	}
+	for _, e := range edges {
+		fn := prog.FuncByID(e.FnID)
+		if fn == nil || fn.Pkg.Path() != pass.Pkg.Path() {
+			continue
+		}
+		if !reaches(next, e.To, e.From) {
+			continue
+		}
+		via := ""
+		if e.Via != "" {
+			via = " (acquired via call to " + shortFunc(e.Via) + ")"
+		}
+		pass.Reportf(e.Pos, "acquiring %s while holding %s%s conflicts with the "+
+			"opposite acquisition order elsewhere: lock-order cycle, potential deadlock",
+			shortLock(e.To), shortLock(e.From), via)
+	}
+	return nil
+}
+
+// reaches reports whether from can reach to in the lock graph.
+func reaches(next map[string][]string, from, to string) bool {
+	seen := map[string]bool{from: true}
+	work := []string{from}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if cur == to {
+			return true
+		}
+		for _, n := range next[cur] {
+			if !seen[n] {
+				seen[n] = true
+				work = append(work, n)
+			}
+		}
+	}
+	return false
+}
+
+// shortLock trims the module path prefix off a lock ID for readability:
+// "rups/internal/engine.Engine.mu" reads as "engine.Engine.mu".
+func shortLock(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// shortFunc does the same for canonical function IDs.
+func shortFunc(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockorder.Analyzer, "lockorder")
+}

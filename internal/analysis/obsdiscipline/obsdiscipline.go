@@ -1,0 +1,86 @@
+// Package obsdiscipline enforces the telemetry layer's documented
+// zero-alloc disabled-path contract: instrument sites fetch handles
+// through a cached obs.View (one atomic load per call), never by raw
+// registry lookup or handle construction on a per-iteration or per-resolve
+// path. It flags:
+//
+//   - raw obs.Default / obs.ActiveRecorder lookups written inside a loop;
+//   - loop-resident calls whose loaded callee transitively performs a raw
+//     lookup (the lookup runs per iteration even though it is written
+//     elsewhere), with the call chain spelled out;
+//   - metric handle construction (Registry.Counter/Gauge/Histogram)
+//     anywhere outside an obs.NewView build function — handles are
+//     process-lifetime objects, built once.
+//
+// View.Get is the sanctioned cache and never flagged; internal/obs itself
+// is the owner of the raw lookups and exempt.
+package obsdiscipline
+
+import (
+	"strings"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+)
+
+// Analyzer flags telemetry lookups and handle construction off the cached
+// obs.View path.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsdiscipline",
+	Doc: "flags raw obs registry/recorder lookups in loops and metric handle " +
+		"construction outside obs.NewView builds (the cached-View contract)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil // the telemetry layer owns its raw lookups
+	}
+	prog := dataflow.ProgramOf(pass)
+	for _, pf := range prog.Functions() {
+		if pf.Pkg.Path() != pass.Pkg.Path() {
+			continue
+		}
+		eff := pf.Effects
+		for _, s := range eff.RawObsSites {
+			if s.InLoop {
+				pass.Reportf(s.Pos, "raw %s lookup inside a loop: cache handles "+
+					"in a package-level obs.View and call Get once per operation", s.What)
+			}
+		}
+		for _, s := range eff.HandleSites {
+			pass.Reportf(s.Pos, "%s creates a metric handle outside an obs.NewView "+
+				"build function: handles are process-lifetime, construct them once "+
+				"in a view", s.What)
+		}
+		reportLoopCalls(pass, prog, pf)
+	}
+	return nil
+}
+
+// reportLoopCalls flags loop-resident calls whose callee transitively does
+// a raw lookup — one report per (function, callee), since a tick loop
+// usually repeats the same call.
+func reportLoopCalls(pass *analysis.Pass, prog *dataflow.Program, pf *dataflow.ProgFunc) {
+	seen := make(map[string]bool)
+	for _, cs := range pf.Calls {
+		if !cs.InLoop || seen[cs.CalleeID] {
+			continue
+		}
+		var callee *dataflow.ProgFunc
+		for _, cal := range prog.Callees(cs) {
+			if cal.Effects.RawObs {
+				callee = cal
+				break
+			}
+		}
+		if callee == nil {
+			continue
+		}
+		seen[cs.CalleeID] = true
+		hops := append([]string{dataflow.FuncLabel(cs.Callee)}, prog.ObsChain(callee)...)
+		pass.Reportf(cs.Pos, "call in a loop reaches a raw telemetry lookup (%s): "+
+			"the lookup runs per iteration; cache handles in an obs.View outside "+
+			"the loop", strings.Join(hops, " -> "))
+	}
+}

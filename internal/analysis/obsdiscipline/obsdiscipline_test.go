@@ -1,0 +1,12 @@
+package obsdiscipline_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/obsdiscipline"
+)
+
+func TestObsdiscipline(t *testing.T) {
+	analysistest.Run(t, "../testdata", obsdiscipline.Analyzer, "obsdiscipline")
+}

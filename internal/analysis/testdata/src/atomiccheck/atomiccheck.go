@@ -1,0 +1,62 @@
+// Package atomiccheck is the golden-diagnostic package for the
+// atomiccheck analyzer.
+package atomiccheck
+
+import "sync/atomic"
+
+// Hits mixes package-function atomics with plain access.
+type Hits struct {
+	n     uint64
+	other int64
+}
+
+// Inc is the atomic side.
+func (h *Hits) Inc() {
+	atomic.AddUint64(&h.n, 1)
+}
+
+// Read races Inc: the load establishes no happens-before.
+func (h *Hits) Read() uint64 {
+	return h.n // want `plain read of field n`
+}
+
+// Reset races Inc the other way.
+func (h *Hits) Reset() {
+	h.n = 0 // want `plain write of field n`
+}
+
+// NewHits is a constructor: the value is not yet shared, so the plain
+// write is fine.
+func NewHits() *Hits {
+	h := &Hits{}
+	h.n = 0
+	return h
+}
+
+// bumpOther never touches an atomically-accessed field: silent.
+func (h *Hits) bumpOther() {
+	h.other++
+}
+
+// Typed uses a typed atomic — plain access is unrepresentable, and the
+// methods count as atomic sites only.
+type Typed struct {
+	v atomic.Int64
+}
+
+// Add is all-atomic: silent.
+func (t *Typed) Add(d int64) int64 {
+	return t.v.Add(d)
+}
+
+// mixedSameFunc touches the field both ways inside one function — the
+// analyzer only flags cross-function mixes, where neither side can see
+// the other's discipline.
+type mixedSameFunc struct {
+	k int64
+}
+
+func (m *mixedSameFunc) swapIn(v int64) int64 {
+	m.k = v
+	return atomic.LoadInt64(&m.k)
+}

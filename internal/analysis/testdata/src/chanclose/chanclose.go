@@ -1,0 +1,101 @@
+// Package chanclose is the golden-diagnostic package for the chanclose
+// analyzer. Engine below reproduces, line for line, the pre-fix PR 4
+// engine.Close shape — the send-on-closed-channel panic that escaped to
+// production — and SafeEngine the shipped fix, which must stay silent.
+package chanclose
+
+import "sync"
+
+// Engine is the pre-fix shape: Submit checks a plain bool outside any
+// lock, Close flips it and closes the channel. A Submit racing Close
+// passes the check, then sends on the closed channel and panics.
+type Engine struct {
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+}
+
+// Submit races Close: nothing orders the send before the close.
+func (e *Engine) Submit(f func()) bool {
+	if e.closed {
+		return false
+	}
+	e.tasks <- f // want `send on tasks can race with close`
+	return true
+}
+
+// Close is the pre-fix close path.
+func (e *Engine) Close() {
+	e.closed = true
+	close(e.tasks)
+	e.wg.Wait()
+}
+
+// SafeEngine is the PR 4 fix: the send happens under mu.RLock and Close
+// takes mu (then closes outside it, under a sync.Once) — every in-flight
+// send is ordered before the close, so the analyzer must stay silent.
+type SafeEngine struct {
+	mu     sync.RWMutex
+	closed bool
+	tasks  chan func()
+	once   sync.Once
+}
+
+// Submit holds the read lock across the closed check and the send.
+func (e *SafeEngine) Submit(f func()) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return false
+	}
+	e.tasks <- f // guarded: Close acquires mu, ordering it after this send
+	return true
+}
+
+// Close flips the flag under the write lock before closing.
+func (e *SafeEngine) Close() {
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
+		close(e.tasks)
+	})
+}
+
+// doubleClose closes the same channel twice in straight-line code.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `possible double close`
+}
+
+// Broadcaster closes a loop-invariant field channel inside a loop.
+type Broadcaster struct {
+	done chan struct{}
+}
+
+// Stop double-closes on the second iteration.
+func (b *Broadcaster) Stop(times int) {
+	for i := 0; i < times; i++ {
+		close(b.done) // want `inside a loop`
+	}
+}
+
+// fanIn closes per-iteration channels — a fresh channel each time, silent.
+func fanIn(chs []chan int) {
+	for _, ch := range chs {
+		close(ch)
+	}
+}
+
+// closeOwned is the canonical producer: a send-only parameter documents
+// ownership transfer, so the deferred close is the owner's close.
+func closeOwned(out chan<- int) {
+	defer close(out)
+	out <- 1
+}
+
+// closeBorrowed closes a bidirectional channel it does not own.
+func closeBorrowed(ch chan int) {
+	close(ch) // want `received as a parameter`
+}

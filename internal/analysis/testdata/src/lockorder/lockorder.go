@@ -1,0 +1,66 @@
+// Package lockorder is the golden-diagnostic package for the lockorder
+// analyzer.
+package lockorder
+
+import "sync"
+
+// S carries two locks taken in opposite orders by AB and BA.
+type S struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// AB takes a then b.
+func (s *S) AB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock-order cycle`
+	defer s.b.Unlock()
+	s.n++
+}
+
+// BA takes b then a — the opposite order: with AB running concurrently,
+// each holds what the other wants.
+func (s *S) BA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock() // want `lock-order cycle`
+	defer s.a.Unlock()
+	s.n++
+}
+
+// Outer holds a while calling takeB — the a→b edge is interprocedural and
+// still part of the cycle.
+func (s *S) Outer() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.takeB() // want `acquired via call`
+}
+
+func (s *S) takeB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.n++
+}
+
+// T's locks are always taken in one order: silent.
+type T struct {
+	c, d sync.Mutex
+	n    int
+}
+
+// CD is consistent with itself and has no reverse anywhere.
+func (t *T) CD() {
+	t.c.Lock()
+	defer t.c.Unlock()
+	t.d.Lock()
+	defer t.d.Unlock()
+	t.n++
+}
+
+// DThenNothing takes d alone — no ordering evidence.
+func (t *T) DThenNothing() {
+	t.d.Lock()
+	defer t.d.Unlock()
+	t.n++
+}

@@ -1,0 +1,36 @@
+// Package proginner hosts the callee side of the cross-package fixpoint
+// test: a mutually recursive pair whose effects must converge around the
+// cycle, plus a tainted decode helper.
+package proginner
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+// Ping and Pong recurse into each other; only Pong touches the lock and
+// the clock, so Ping's effects exist purely by propagation around the
+// cycle.
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+func Pong(n int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if n <= 0 {
+		return int(time.Now().Unix())
+	}
+	return Ping(n - 1)
+}
+
+// TaintedCount decodes a wire-encoded count; its return is tainted.
+func TaintedCount(buf []byte) uint32 {
+	return binary.BigEndian.Uint32(buf)
+}

@@ -1,0 +1,18 @@
+// Package progouter is the caller side of the cross-package fixpoint
+// test: it reaches proginner's recursive cycle and tainted decode from a
+// different package, exercising summary export across the boundary.
+package progouter
+
+import "rups/internal/analysis/testdata/src/proginner"
+
+// Enter reaches the clock and the lock only through proginner's
+// mutually recursive pair.
+func Enter(n int) int {
+	return proginner.Ping(n)
+}
+
+// Grow trusts a foreign-decoded count into make.
+func Grow(buf []byte) []int {
+	n := proginner.TaintedCount(buf)
+	return make([]int, n)
+}

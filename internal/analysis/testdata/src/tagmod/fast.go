@@ -1,0 +1,9 @@
+//go:build fastpath
+
+package tagmod
+
+// Mode identifies the fastpath variant.
+func Mode() string { return "fast" }
+
+// FastOnly exists only under the fastpath tag.
+func FastOnly() bool { return true }

@@ -1,0 +1,6 @@
+//go:build !fastpath
+
+package tagmod
+
+// Mode identifies the default (non-fastpath) variant.
+func Mode() string { return "slow" }

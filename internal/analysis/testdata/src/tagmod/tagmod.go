@@ -1,0 +1,7 @@
+// Package tagmod exercises loader.LoadTags: its file set changes with
+// the build-tag variant, and the loader test asserts which declarations
+// each variant exposes.
+package tagmod
+
+// Always is present in every variant.
+func Always() int { return 1 }

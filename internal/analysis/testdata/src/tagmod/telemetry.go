@@ -1,0 +1,7 @@
+//go:build telemetry
+
+package tagmod
+
+// Telemetry exists only when the telemetry tag is set, independently of
+// the fastpath choice — the multi-tag case.
+func Telemetry() bool { return true }

@@ -1,0 +1,52 @@
+// Package sim (golden for the timedet analyzer) is named into the
+// deterministic set on purpose: everything here is under the per-seed
+// reproducibility contract.
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"rups/internal/analysis/testdata/src/timedetutil"
+)
+
+// Tick reads the wall clock directly.
+func Tick() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic simulation code`
+}
+
+// Age uses time.Since — also wall-clock.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in deterministic simulation code`
+}
+
+// Jitter draws from the global math/rand source.
+func Jitter() float64 {
+	return rand.Float64() // want `global rand.Float64 in deterministic simulation code`
+}
+
+// Stamp reaches the clock through a non-deterministic helper package.
+func Stamp() int64 {
+	return timedetutil.Stamp() // want `call reaches wall-clock`
+}
+
+// Deep reaches it two hops out; the chain is spelled out.
+func Deep() int64 {
+	return timedetutil.Indirect() // want `call reaches wall-clock \(timedetutil.Indirect -> timedetutil.Stamp -> time.Now\)`
+}
+
+// Shake reaches the global source transitively.
+func Shake() float64 {
+	return timedetutil.Jitter() // want `call reaches global randomness`
+}
+
+// Relay calls another deterministic-package function that reaches time:
+// not re-flagged here — the finding lives at Stamp's own call site.
+func Relay() int64 {
+	return Stamp()
+}
+
+// Noise is deterministic: seeded source through the helper, silent.
+func Noise(seed int64) float64 {
+	return timedetutil.SeededNoise(seed)
+}

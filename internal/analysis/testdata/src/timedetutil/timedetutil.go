@@ -1,0 +1,29 @@
+// Package timedetutil is a helper package for the timedet golden: it is
+// outside the deterministic set, so its own sources are legal — the
+// findings appear where deterministic code calls in.
+package timedetutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the global source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Indirect reaches the clock one hop deeper.
+func Indirect() int64 {
+	return Stamp() + 1
+}
+
+// SeededNoise is deterministic: an explicitly seeded source.
+func SeededNoise(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

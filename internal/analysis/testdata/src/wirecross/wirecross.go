@@ -1,0 +1,34 @@
+// Package wirecross is the cross-package wiretaint golden: the pre-fix
+// trace.ReadFrom shape — a wire count trusted into make() — with the
+// decode helper living in another package, which the same-package
+// summaries of the original analyzer could not see.
+package wirecross
+
+import "rups/internal/analysis/testdata/src/wiredec"
+
+// ReadFrom is the historical bug shape across a package boundary.
+func ReadFrom(buf []byte) []float64 {
+	n := wiredec.Count(buf)
+	return make([]float64, n) // want `reaches make size`
+}
+
+// Relay hands the tainted count to a foreign function whose parameter
+// reaches an allocation unguarded.
+func Relay(buf []byte) []float64 {
+	n := wiredec.Count(buf)
+	return wiredec.Alloc(n) // want `passed to Alloc`
+}
+
+// Guarded bounds the count before use: silent.
+func Guarded(buf []byte) []float64 {
+	n := wiredec.Count(buf)
+	if n > 64 {
+		return nil
+	}
+	return make([]float64, n)
+}
+
+// RelayChecked calls the helper that guards internally: silent.
+func RelayChecked(buf []byte) []float64 {
+	return wiredec.AllocChecked(wiredec.Count(buf))
+}

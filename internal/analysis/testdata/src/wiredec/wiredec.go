@@ -1,0 +1,25 @@
+// Package wiredec is a decode-helper package for the cross-package
+// wiretaint golden: its outputs are wire-tainted and one of its
+// parameters reaches an allocation unguarded. The findings appear in the
+// importing package, through the interprocedural summaries.
+package wiredec
+
+import "encoding/binary"
+
+// Count decodes a wire-encoded count: the return is tainted.
+func Count(buf []byte) uint32 {
+	return binary.BigEndian.Uint32(buf)
+}
+
+// Alloc trusts its parameter into a make — an unguarded parameter.
+func Alloc(n uint32) []float64 {
+	return make([]float64, n)
+}
+
+// AllocChecked bounds the count against a limit first.
+func AllocChecked(n uint32) []float64 {
+	if n > 1<<16 {
+		return nil
+	}
+	return make([]float64, n)
+}

@@ -1,0 +1,15 @@
+package timedet_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/timedet"
+)
+
+func TestTimedet(t *testing.T) {
+	// Two packages in one load: the golden "sim" package is inside the
+	// deterministic set, timedetutil outside it — the cross-package reach
+	// reports land in sim with the chain spelled out.
+	analysistest.Run(t, "../testdata", timedet.Analyzer, "timedet", "timedetutil")
+}

@@ -34,7 +34,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	df := dataflow.New(pass)
+	df := dataflow.AnalysisOf(pass)
 	for _, flow := range df.Flows {
 		checkSinks(pass, df, flow)
 		checkCallSites(pass, df, flow)
@@ -64,10 +64,13 @@ func checkCallSites(pass *analysis.Pass, df *dataflow.Analysis, flow *dataflow.F
 			return true
 		}
 		callee := calleeFunc(pass, call)
-		if callee == nil || callee.Pkg() != pass.Pkg {
+		if callee == nil {
 			return true
 		}
-		s := df.SummaryOf(callee)
+		// Same-package summaries resolve directly; cross-package ones come
+		// from the interprocedural program — a tainted count handed to a
+		// decode helper in another package is the same bug.
+		s := df.SummaryAny(callee)
 		if s == nil {
 			return true
 		}

@@ -10,3 +10,10 @@ import (
 func TestWiretaint(t *testing.T) {
 	analysistest.Run(t, "../testdata", wiretaint.Analyzer, "wiretaint")
 }
+
+// TestWiretaintCrossPackage pins the pre-fix trace.ReadFrom shape with the
+// decode helper split into a second package: the finding only exists when
+// taint summaries propagate across package boundaries.
+func TestWiretaintCrossPackage(t *testing.T) {
+	analysistest.Run(t, "../testdata", wiretaint.Analyzer, "wirecross", "wiredec")
+}

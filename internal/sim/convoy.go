@@ -11,6 +11,7 @@ import (
 	"rups/internal/gsm"
 	"rups/internal/mobility"
 	"rups/internal/noise"
+	"rups/internal/obs"
 	"rups/internal/scanner"
 	"rups/internal/trajectory"
 )
@@ -56,8 +57,10 @@ func ExecuteConvoy(sc Scenario, n int) *ConvoyRun {
 	}
 
 	run := &ConvoyRun{Scenario: sc, Vehicles: make([]*VehicleRun, n)}
+	// One recorder lookup for the whole convoy, outside the vehicle loop.
+	rec := obs.ActiveRecorder()
 	for vi, tr := range traces {
-		run.Vehicles[vi] = runVehicle(tr, src, sc.Radios, sc.Placement,
+		run.Vehicles[vi] = runVehicle(rec, tr, src, sc.Radios, sc.Placement,
 			noise.Hash(sc.Seed, 0xC0, uint64(vi)), sc.SkipInterpolation, sc.Odometry)
 	}
 	return run

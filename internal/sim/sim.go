@@ -216,8 +216,9 @@ func Execute(sc Scenario) *Run {
 		gpsFollower: sampleGPS(gps.NewReceiver(noise.Hash(sc.Seed, 0x6A5, 2), c), follower),
 		laser:       rangefinder.New(noise.Hash(sc.Seed, 0x1A5E)),
 	}
-	r.Leader = runVehicle(leader, src, sc.Radios, sc.Placement, noise.Hash(sc.Seed, 3), sc.SkipInterpolation, sc.Odometry)
-	r.Follower = runVehicle(follower, src, sc.FollowerRadios, sc.FollowerPlacement, noise.Hash(sc.Seed, 4), sc.SkipInterpolation, sc.Odometry)
+	rec := obs.ActiveRecorder()
+	r.Leader = runVehicle(rec, leader, src, sc.Radios, sc.Placement, noise.Hash(sc.Seed, 3), sc.SkipInterpolation, sc.Odometry)
+	r.Follower = runVehicle(rec, follower, src, sc.FollowerRadios, sc.FollowerPlacement, noise.Hash(sc.Seed, 4), sc.SkipInterpolation, sc.Odometry)
 	return r
 }
 
@@ -253,8 +254,11 @@ func truckFor(sc Scenario, road city.Road, follower *mobility.Trace, k int) gsm.
 	}
 }
 
-// runVehicle executes one vehicle's full on-board pipeline.
-func runVehicle(truth *mobility.Trace, field scanner.Source, radios int, placement scanner.Placement, seed uint64, skipInterp bool, odoSrc OdometrySource) *VehicleRun {
+// runVehicle executes one vehicle's full on-board pipeline. The span
+// recorder is threaded in from the run-level entry point — looked up once
+// per run, not once per vehicle — so every vehicle of a run traces into
+// the same recorder snapshot.
+func runVehicle(rec *obs.Recorder, truth *mobility.Trace, field scanner.Source, radios int, placement scanner.Placement, seed uint64, skipInterp bool, odoSrc OdometrySource) *VehicleRun {
 	// Mounting attitude: an arbitrary yaw and a slight pitch, unknown to
 	// the pipeline.
 	yaw := (noise.Uniform(seed, 1) - 0.5) * math.Pi / 2
@@ -284,7 +288,6 @@ func runVehicle(truth *mobility.Trace, field scanner.Source, radios int, placeme
 
 	// One trace covers this vehicle's scan → bind → interpolate leg of the
 	// pipeline; the searcher/engine stages trace their own passes.
-	rec := obs.ActiveRecorder()
 	tr := rec.NewTrace()
 	sp := rec.Start(tr, "scan")
 	samples := scanner.Scan(truth, field, scanner.DefaultConfig(noise.Hash(seed, 7), radios, placement))
@@ -318,7 +321,7 @@ func runVehicle(truth *mobility.Trace, field scanner.Source, radios int, placeme
 // ground-truth drive. It is the building block for multi-vehicle setups
 // beyond the two-vehicle Scenario, e.g. convoys.
 func PipelineVehicle(truth *mobility.Trace, field scanner.Source, radios int, placement scanner.Placement, seed uint64) *VehicleRun {
-	return runVehicle(truth, field, radios, placement, seed, false, WheelOBD)
+	return runVehicle(obs.ActiveRecorder(), truth, field, radios, placement, seed, false, WheelOBD)
 }
 
 // ResolveAt answers a rear→front relative-distance query between any two
