@@ -1,0 +1,130 @@
+package allocdiscipline_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/allocdiscipline"
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/dataflow"
+	"rups/internal/analysis/loader"
+)
+
+func TestAllocdiscipline(t *testing.T) {
+	analysistest.Run(t, "../testdata", allocdiscipline.Analyzer, "allocdiscipline")
+}
+
+// TestSuggestedFix checks the fix payload: the edit inserts the proven
+// capacity after the zero length argument.
+func TestSuggestedFix(t *testing.T) {
+	diags := runOnGolden(t)
+	var fixed []analysis.Diagnostic
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			fixed = append(fixed, d)
+		}
+	}
+	if len(fixed) != 2 {
+		t.Fatalf("got %d diagnostics with fixes, want 2", len(fixed))
+	}
+	for _, d := range fixed {
+		fix := d.Fixes[0]
+		if len(fix.Edits) != 1 {
+			t.Fatalf("fix has %d edits, want 1", len(fix.Edits))
+		}
+		e := fix.Edits[0]
+		if e.Pos.Offset != e.End.Offset {
+			t.Errorf("capacity fix must be a pure insertion, got [%d, %d)", e.Pos.Offset, e.End.Offset)
+		}
+		if !strings.HasPrefix(e.NewText, ", ") {
+			t.Errorf("edit %q does not insert a capacity argument", e.NewText)
+		}
+	}
+	// preallocTwoPerIter: 6 proven trips × 2 elements.
+	found := false
+	for _, d := range fixed {
+		for _, e := range d.Fixes[0].Edits {
+			if e.NewText == ", 12" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no fix inserts the summed capacity 12")
+	}
+}
+
+// TestReportRanksDepth checks the report's cost model on the golden
+// package: an allocation two loops deep outranks the same allocation one
+// loop deep.
+func TestReportRanksDepth(t *testing.T) {
+	prog := loadGolden(t)
+	sites := allocdiscipline.Report(prog)
+	if len(sites) == 0 {
+		t.Fatal("no allocation sites found")
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Score > sites[i-1].Score {
+			t.Fatalf("report not sorted: site %d score %.0f > site %d score %.0f",
+				i, sites[i].Score, i-1, sites[i-1].Score)
+		}
+	}
+	// Formatting stays stable enough to grep.
+	text := allocdiscipline.FormatReport(sites, 3)
+	if !strings.Contains(text, "depth=") || !strings.Contains(text, "count=") {
+		t.Errorf("report text missing columns:\n%s", text)
+	}
+}
+
+// TestReportRanksAdmitSnapshotFirst pins the acceptance contract on the
+// real module: the hottest allocation site is the engine.Admit snapshot
+// deep copy (trajectory.Clone reached via Admit -> Snapshot), the
+// prioritized target for snapshot interning.
+func TestReportRanksAdmitSnapshotFirst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module")
+	}
+	pkgs, err := loader.Load(filepath.Join("..", "..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	sites := allocdiscipline.Report(dataflow.NewProgram(pkgs))
+	if len(sites) == 0 {
+		t.Fatal("no allocation sites found")
+	}
+	top := sites[0]
+	if !strings.Contains(top.Fn, "Clone") || !strings.Contains(top.Pos.Filename, "trajectory") {
+		t.Fatalf("top site is %s at %s, want trajectory.(*Aware).Clone", top.Fn, top.Pos)
+	}
+	chain := strings.Join(top.Chain, " -> ")
+	if !strings.Contains(chain, "Admit") || !strings.Contains(chain, "Snapshot") {
+		t.Errorf("top site chain %q does not go through engine.Admit -> Snapshot", chain)
+	}
+	if top.Kind != "clone-append" {
+		t.Errorf("top site kind = %q, want clone-append (the deep copy)", top.Kind)
+	}
+}
+
+func loadGolden(t *testing.T) *dataflow.Program {
+	t.Helper()
+	pkgs, err := loader.Load(filepath.Join("..", "testdata", "src"), "./allocdiscipline")
+	if err != nil {
+		t.Fatalf("load golden package: %v", err)
+	}
+	return dataflow.NewProgram(pkgs)
+}
+
+func runOnGolden(t *testing.T) []analysis.Diagnostic {
+	t.Helper()
+	pkgs, err := loader.Load(filepath.Join("..", "testdata", "src"), "./allocdiscipline")
+	if err != nil {
+		t.Fatalf("load golden package: %v", err)
+	}
+	res, err := analysis.RunAll(pkgs, []*analysis.Analyzer{allocdiscipline.Analyzer}, dataflow.NewProgram(pkgs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Diags
+}

@@ -16,6 +16,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 
 	"rups/internal/analysis/loader"
 )
@@ -48,6 +49,7 @@ type Pass struct {
 	Program any
 
 	diags []Diagnostic
+	supps []SuppressRange
 }
 
 // Diagnostic is one reported problem.
@@ -55,6 +57,9 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Fixes carries suggested repairs the driver's -fix mode can apply;
+	// see fix.go. Nil for purely advisory diagnostics.
+	Fixes []Fix
 }
 
 // String formats the diagnostic the way compilers do, with the analyzer
@@ -90,8 +95,51 @@ func Run(pkgs []*loader.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // effect summaries across package boundaries instead of rebuilding a
 // single-package view per pass.
 func RunWithProgram(pkgs []*loader.Package, analyzers []*Analyzer, program any) ([]Diagnostic, error) {
-	var all []Diagnostic
-	for _, pkg := range pkgs {
+	res, err := RunAll(pkgs, analyzers, program, 1)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunResult is the full outcome of one analyzer run.
+type RunResult struct {
+	// Diags are the surviving diagnostics, sorted by position.
+	Diags []Diagnostic
+	// Suppressed counts diagnostics retired by suppression facts.
+	Suppressed int
+	// Facts are the suppression facts every pass emitted, sorted; see
+	// suppress.go.
+	Facts []SuppressRange
+}
+
+// RunAll applies every analyzer to every package on up to workers
+// goroutines and returns the surviving diagnostics sorted by position.
+// Packages are the unit of parallelism: one worker runs the full roster
+// over one package, so per-package state (ignore directives, suppression
+// facts) never crosses a goroutine. Because diagnostics are merged in
+// package order and then fully sorted — position, analyzer, message —
+// output is byte-identical for every worker count.
+//
+// Diagnostics on lines covered by a matching //lint:ignore directive are
+// dropped, then diagnostics covered by a suppression fact (from any
+// package's passes) are retired.
+func RunAll(pkgs []*loader.Package, analyzers []*Analyzer, program any, workers int) (*RunResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+
+	type pkgOut struct {
+		diags []Diagnostic
+		supps []SuppressRange
+		err   error
+	}
+	outs := make([]pkgOut, len(pkgs))
+	runPkg := func(i int) {
+		pkg := pkgs[i]
 		ignores := collectIgnores(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -103,15 +151,52 @@ func RunWithProgram(pkgs []*loader.Package, analyzers []*Analyzer, program any) 
 				Program:   program,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+				outs[i].err = fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+				return
 			}
 			for _, d := range pass.diags {
 				if !ignores.matches(d) {
-					all = append(all, d)
+					outs[i].diags = append(outs[i].diags, d)
 				}
 			}
+			outs[i].supps = append(outs[i].supps, pass.supps...)
 		}
 	}
+
+	if workers <= 1 {
+		for i := range pkgs {
+			runPkg(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runPkg(i)
+				}
+			}()
+		}
+		for i := range pkgs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	res := &RunResult{}
+	var all []Diagnostic
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		all = append(all, outs[i].diags...)
+		res.Facts = append(res.Facts, outs[i].supps...)
+	}
+	sortSuppressions(res.Facts)
+	all, res.Suppressed = applySuppressions(all, res.Facts)
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos
 		if a.Filename != b.Filename {
@@ -123,7 +208,11 @@ func RunWithProgram(pkgs []*loader.Package, analyzers []*Analyzer, program any) 
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return all[i].Analyzer < all[j].Analyzer
+		if all[i].Analyzer != all[j].Analyzer {
+			return all[i].Analyzer < all[j].Analyzer
+		}
+		return all[i].Message < all[j].Message
 	})
-	return all, nil
+	res.Diags = all
+	return res, nil
 }

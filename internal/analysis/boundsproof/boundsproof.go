@@ -1,0 +1,273 @@
+// Package boundsproof turns the dataflow interval engine into a bounds
+// checker with two outputs:
+//
+//   - diagnostics for index, slice, and make expressions that are
+//     *provably* wrong — the proven interval of the index (or length)
+//     cannot intersect the valid range, so the statement panics on every
+//     execution that reaches it;
+//   - suppression facts for loops whose total trip count is proven small:
+//     per-iteration cost findings (obsdiscipline's "call in a loop
+//     reaches a raw telemetry lookup") inside such a loop describe a
+//     compile-time-bounded cost, so the fact retires them, and
+//     `-prune-baseline rewrite` retires the matching baseline entries
+//     with the proof recorded.
+//
+// The analyzer only speaks when it has a proof: an unknown interval
+// produces neither a diagnostic nor a fact. Soundness of the suppression
+// accounts for nesting — a fact never covers the body of a nested loop
+// unless the *product* of the whole enclosing chain's trip bounds stays
+// under the limit.
+package boundsproof
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+)
+
+// boundedLoopLimit caps the total proven iteration count (product over
+// the enclosing loop chain) a suppression fact may cover: beyond it, "the
+// loop is bounded" stops being an argument that per-iteration cost is
+// negligible.
+const boundedLoopLimit = 1024
+
+// suppressTargets lists the analyzers whose per-iteration cost findings a
+// bounded-loop proof retires.
+var suppressTargets = []string{"obsdiscipline"}
+
+// Analyzer proves bounds and emits bounded-loop suppression facts.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundsproof",
+	Doc: "reports index/slice/make expressions proven out of range by interval " +
+		"analysis and retires per-iteration findings inside provably bounded loops",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog := dataflow.ProgramOf(pass)
+	df := prog.AnalysisFor(pass.Pkg)
+	if df == nil {
+		return nil
+	}
+	it := df.Interp()
+	for _, pf := range prog.Functions() {
+		if pf.Pkg.Path() != pass.Pkg.Path() {
+			continue
+		}
+		flow := df.FlowOf(pf.Decl)
+		if flow == nil {
+			continue
+		}
+		checkBounds(pass, it, flow)
+		suppressBoundedLoops(pass, it, flow)
+	}
+	return nil
+}
+
+// checkBounds reports expressions the intervals prove must panic.
+func checkBounds(pass *analysis.Pass, it *dataflow.Interp, flow *dataflow.FuncFlow) {
+	info := pass.TypesInfo
+	ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			t := info.TypeOf(e.X)
+			if t == nil || !isSequence(t) {
+				return true
+			}
+			idx := it.Eval(e.Index, flow, e.Pos())
+			ln := it.LenOf(e.X, flow, e.Pos())
+			if idx.HiBounded() && idx.Hi < 0 {
+				pass.Reportf(e.Index.Pos(), "index is provably negative (index ∈ %s)", idx)
+				return true
+			}
+			if idx.LoBounded() && ln.HiBounded() && idx.Lo >= ln.Hi {
+				pass.Reportf(e.Index.Pos(), "index provably out of range (index ∈ %s, len ∈ %s)", idx, ln)
+			}
+		case *ast.SliceExpr:
+			lo, hi := boundOrNil(it, flow, e.Low, e.Pos()), boundOrNil(it, flow, e.High, e.Pos())
+			if lo != nil && hi != nil && lo.LoBounded() && hi.HiBounded() && lo.Lo > hi.Hi {
+				pass.Reportf(e.Pos(), "slice bounds provably inverted (low ∈ %s, high ∈ %s)", *lo, *hi)
+				return true
+			}
+			// High beyond len is only a proof where cap == len: arrays and
+			// strings. A slice may have spare capacity.
+			if hi != nil && capEqualsLen(info.TypeOf(e.X)) {
+				ln := it.LenOf(e.X, flow, e.Pos())
+				if hi.LoBounded() && ln.HiBounded() && hi.Lo > ln.Hi {
+					pass.Reportf(e.High.Pos(), "slice high bound provably out of range (high ∈ %s, len ∈ %s)", *hi, ln)
+				}
+			}
+		case *ast.CallExpr:
+			if name := builtinName(info, e); name == "make" && len(e.Args) >= 2 {
+				ln := it.Eval(e.Args[1], flow, e.Pos())
+				if ln.HiBounded() && ln.Hi < 0 {
+					pass.Reportf(e.Args[1].Pos(), "make length is provably negative (len ∈ %s)", ln)
+					return true
+				}
+				if len(e.Args) >= 3 {
+					cp := it.Eval(e.Args[2], flow, e.Pos())
+					if ln.LoBounded() && cp.HiBounded() && ln.Lo > cp.Hi {
+						pass.Reportf(e.Args[1].Pos(), "make length provably exceeds capacity (len ∈ %s, cap ∈ %s)", ln, cp)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loopNest is one syntactic loop with its position in the nesting tree.
+type loopNest struct {
+	body   *ast.BlockStmt
+	parent int // index into the collected slice, -1 at top level
+	trips  dataflow.Interval
+	proven bool
+}
+
+// suppressBoundedLoops emits one fact per region whose innermost loop —
+// and every loop enclosing it — has a proven trip bound, with the chain's
+// product under boundedLoopLimit. Regions inside a nested loop are left
+// to the nested loop's own entry, so an unbounded inner loop is never
+// covered by its bounded parent.
+func suppressBoundedLoops(pass *analysis.Pass, it *dataflow.Interp, flow *dataflow.FuncFlow) {
+	var loops []loopNest
+	var walk func(n ast.Node, parent int)
+	walk = func(n ast.Node, parent int) {
+		ast.Inspect(n, func(nd ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := nd.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			trips, ok := it.LoopTrips(nd.(ast.Stmt), flow)
+			loops = append(loops, loopNest{body: body, parent: parent, trips: trips, proven: ok})
+			walk(body, len(loops)-1)
+			return false // children were walked with the right parent
+		})
+	}
+	walk(flow.Decl.Body, -1)
+
+	for i, l := range loops {
+		total, ok := chainProduct(loops, i)
+		if !ok || total > boundedLoopLimit {
+			continue
+		}
+		why := fmt.Sprintf("loop provably executes at most %d iteration(s): per-iteration cost is compile-time bounded", total)
+		for _, gap := range gaps(l.body, childSpans(loops, i)) {
+			for _, target := range suppressTargets {
+				pass.Suppress(target, gap.start, gap.end, why)
+			}
+		}
+	}
+}
+
+// chainProduct multiplies the proven trip bounds from loop i up through
+// every enclosing loop; ok is false when any link is unproven or
+// unbounded.
+func chainProduct(loops []loopNest, i int) (int64, bool) {
+	total := int64(1)
+	for ; i >= 0; i = loops[i].parent {
+		l := loops[i]
+		if !l.proven || !l.trips.HiBounded() || l.trips.Hi < 0 {
+			return 0, false
+		}
+		total *= l.trips.Hi
+		if total > boundedLoopLimit {
+			return total, true // caller rejects; avoid overflow on deep nests
+		}
+	}
+	return total, true
+}
+
+type span struct{ start, end token.Pos }
+
+// childSpans collects the source extents of loops directly nested in loop i.
+func childSpans(loops []loopNest, i int) []span {
+	var out []span
+	for j, l := range loops {
+		if l.parent == i {
+			out = append(out, span{loops[j].body.Pos(), loops[j].body.End()})
+		}
+	}
+	return out
+}
+
+// gaps splits the body extent around the child spans (which arrive in
+// source order from the walk).
+func gaps(body *ast.BlockStmt, children []span) []span {
+	var out []span
+	at := body.Pos()
+	for _, c := range children {
+		if c.start > at {
+			out = append(out, span{at, c.start})
+		}
+		if c.end > at {
+			at = c.end
+		}
+	}
+	if body.End() > at {
+		out = append(out, span{at, body.End()})
+	}
+	return out
+}
+
+func boundOrNil(it *dataflow.Interp, flow *dataflow.FuncFlow, e ast.Expr, at token.Pos) *dataflow.Interval {
+	if e == nil {
+		return nil
+	}
+	iv := it.Eval(e, flow, at)
+	return &iv
+}
+
+// isSequence reports whether indexing t is bounds-checked against a length
+// (maps and type parameters are not provable).
+func isSequence(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+// capEqualsLen reports whether t's high slice bound is checked against its
+// length rather than a possibly-larger capacity.
+func capEqualsLen(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+// builtinName resolves a call to a builtin's name, "" otherwise.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

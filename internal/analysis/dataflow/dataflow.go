@@ -198,7 +198,9 @@ type Summary struct {
 type Analysis struct {
 	pass      *analysis.Pass
 	Flows     []*FuncFlow
+	byDecl    map[*ast.FuncDecl]*FuncFlow
 	summaries map[*types.Func]*Summary
+	interp    *Interp
 
 	// foreign resolves call summaries for functions outside this package.
 	// The interprocedural Program installs it so cross-package calls see
@@ -209,17 +211,24 @@ type Analysis struct {
 // New builds def-use chains for every function declaration in the pass
 // and computes call summaries to a fixpoint.
 func New(pass *analysis.Pass) *Analysis {
-	a := &Analysis{pass: pass, summaries: make(map[*types.Func]*Summary)}
+	a := &Analysis{
+		pass:      pass,
+		byDecl:    make(map[*ast.FuncDecl]*FuncFlow),
+		summaries: make(map[*types.Func]*Summary),
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			a.Flows = append(a.Flows, buildFlow(pass, fd))
+			flow := buildFlow(pass, fd)
+			a.Flows = append(a.Flows, flow)
+			a.byDecl[fd] = flow
 		}
 	}
 	a.computeSummaries()
+	a.interp = newInterp(a)
 	return a
 }
 

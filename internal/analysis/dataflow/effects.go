@@ -636,6 +636,8 @@ func (p *Program) callees(cs *CallSite) []*ProgFunc {
 		}
 		return nil
 	}
+	p.dynMu.Lock()
+	defer p.dynMu.Unlock()
 	if impls, ok := p.dynCache[cs.CalleeID]; ok {
 		return impls
 	}

@@ -1,0 +1,1192 @@
+// Abstract interpretation over the interval domain: every integer
+// expression gets an Interval, every sliceable expression gets a length
+// Interval, and every for/range statement gets a trip-count Interval when
+// one is provable. Precision comes from three refinement sources layered
+// over the SSA-lite reaching definitions:
+//
+//   - loop-induction constraints (`for i := a; i < b; i += c` pins i to
+//     [a.lo, b.hi-1] across the body — the classic widen-then-narrow:
+//     the loop-carried definition widens the variable to Top, the loop
+//     condition narrows it back);
+//   - range constraints (the key of `range xs` sits in [0, len(xs)-1],
+//     the key of `range n` in [0, n-1]);
+//   - branch-condition constraints (inside `if x < y`'s body the
+//     comparison holds; after a diverting guard, or inside an else
+//     branch, its negation holds).
+//
+// Constraints are scoped to source extents and invalidated by an
+// intervening redefinition of the constrained object, mirroring the
+// position-approximated dominance the taint layer already uses.
+// Interprocedurally, the Program joins argument intervals over every
+// loaded call site into per-parameter assumptions (unexported functions
+// only — exported ones can be called from outside the load) and return
+// intervals per function, iterated to a widened fixpoint.
+package dataflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// Interp evaluates interval facts over one package's functions.
+type Interp struct {
+	a    *Analysis
+	info *types.Info
+
+	ssa  map[*ast.FuncDecl]*SSA
+	cons map[*ast.FuncDecl][]*constraint
+
+	// pkgLens holds proven lengths of package-level slice/array variables
+	// that are initialized with a countable literal and never reassigned
+	// or address-taken anywhere in the package.
+	pkgLens map[types.Object]Interval
+
+	// paramIvals narrows parameter objects to the join of every argument
+	// interval observed at loaded call sites; installed by the Program's
+	// interval fixpoint.
+	paramIvals map[types.Object]Interval
+
+	// retIval resolves a callee's return interval (any package, by
+	// canonical ID); installed by the Program's interval fixpoint.
+	retIval func(*types.Func) (Interval, bool)
+}
+
+// ienv is the per-query evaluation state: cycle guards for definitions
+// and constraints, plus a recursion fuse.
+type ienv struct {
+	seen  map[*Event]bool
+	cseen map[*constraint]bool
+	depth int
+}
+
+func newIenv() *ienv {
+	return &ienv{seen: make(map[*Event]bool), cseen: make(map[*constraint]bool)}
+}
+
+// constraint is one scoped refinement: within Span, obj relates to bound
+// by op (or to the closed-form interval `fixed` computes). The refinement
+// is dropped when obj is redefined between killFrom and the query
+// position; killFrom == NoPos disables that check (loop-induction
+// constraints verify at collection time that the body never assigns the
+// variable).
+type constraint struct {
+	obj      types.Object
+	span     Span
+	killFrom token.Pos
+
+	// isLen marks a refinement of len(obj) rather than of obj's value —
+	// the `if len(raw) < 8 { return }` wire-decoding idiom.
+	isLen bool
+
+	op    token.Token // LSS/LEQ/GTR/GEQ/EQL; ILLEGAL when fixed is set
+	bound ast.Expr
+	at    token.Pos // where the guard is evaluated (bound's values are read here)
+
+	fixed func(it *Interp, flow *FuncFlow, env *ienv) Interval
+}
+
+func newInterp(a *Analysis) *Interp {
+	it := &Interp{
+		a:          a,
+		info:       a.pass.TypesInfo,
+		ssa:        make(map[*ast.FuncDecl]*SSA),
+		cons:       make(map[*ast.FuncDecl][]*constraint),
+		paramIvals: make(map[types.Object]Interval),
+	}
+	it.pkgLens = buildPkgLens(a.pass.Files, it.info)
+	for _, flow := range a.Flows {
+		it.ssa[flow.Decl] = BuildSSA(flow)
+		it.cons[flow.Decl] = it.collectConstraints(flow)
+	}
+	return it
+}
+
+// Interp returns the package's interval engine.
+func (a *Analysis) Interp() *Interp { return a.interp }
+
+// FlowOf returns the def-use chain built for a declaration, or nil.
+func (a *Analysis) FlowOf(decl *ast.FuncDecl) *FuncFlow { return a.byDecl[decl] }
+
+// SSAOf returns the reaching-definition view for a declaration, or nil.
+func (it *Interp) SSAOf(decl *ast.FuncDecl) *SSA { return it.ssa[decl] }
+
+// ---- public queries ----------------------------------------------------
+
+// Eval returns the interval of an integer expression observed at a source
+// position within flow. Non-integer expressions evaluate to Top.
+func (it *Interp) Eval(e ast.Expr, flow *FuncFlow, at token.Pos) Interval {
+	return it.eval(e, flow, at, newIenv())
+}
+
+// LenOf returns the interval of len(e) for a slice/array/string/map
+// expression observed at a position. Lengths are never negative, so the
+// result is always ⊆ [0, +inf).
+func (it *Interp) LenOf(e ast.Expr, flow *FuncFlow, at token.Pos) Interval {
+	return it.lenOf(e, flow, at, newIenv())
+}
+
+// LoopTrips bounds the number of iterations a for/range statement can
+// execute. ok reports a finite upper bound was proven; breaks only lower
+// the count, so the bound is an over-approximation.
+func (it *Interp) LoopTrips(stmt ast.Stmt, flow *FuncFlow) (Interval, bool) {
+	env := newIenv()
+	switch n := stmt.(type) {
+	case *ast.RangeStmt:
+		t := it.info.TypeOf(n.X)
+		if t == nil {
+			return Top(), false
+		}
+		var iv Interval
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			switch {
+			case u.Info()&types.IsInteger != 0:
+				iv = it.eval(n.X, flow, n.Pos(), env).Meet(AtLeast(0))
+			case u.Info()&types.IsString != 0:
+				iv = it.lenOf(n.X, flow, n.Pos(), env)
+			default:
+				return Top(), false
+			}
+		case *types.Slice, *types.Array, *types.Pointer, *types.Map:
+			iv = it.lenOf(n.X, flow, n.Pos(), env)
+		default:
+			return Top(), false // channels, funcs: no length
+		}
+		return iv, iv.HiBounded()
+	case *ast.ForStmt:
+		ind := it.parseInduction(n)
+		if ind == nil {
+			return Top(), false
+		}
+		a := it.eval(ind.init, flow, n.Pos(), env)
+		b := it.eval(ind.bound, flow, n.Pos(), env)
+		var span Interval
+		if ind.step > 0 {
+			span = b.Sub(a) // iterations cover [a, b)
+		} else {
+			span = a.Sub(b)
+		}
+		if ind.op == token.LEQ || ind.op == token.GEQ {
+			span = span.Add(Const(1))
+		}
+		if !span.HiBounded() {
+			return Top(), false
+		}
+		step := ind.step
+		if step < 0 {
+			step = -step
+		}
+		trips := (span.Hi + step - 1) / step
+		if trips < 0 {
+			trips = 0
+		}
+		return Range(0, trips), true
+	}
+	return Top(), false
+}
+
+// ---- expression evaluation ---------------------------------------------
+
+func (it *Interp) eval(e ast.Expr, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	if env.depth > 64 {
+		return Top()
+	}
+	env.depth++
+	defer func() { env.depth-- }()
+
+	info := it.info
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if v := constant.ToInt(tv.Value); v.Kind() == constant.Int {
+			if i, exact := constant.Int64Val(v); exact {
+				return Const(i)
+			}
+		}
+		return Top()
+	}
+	raw := it.rawEval(e, flow, at, env)
+	return raw.Meet(typeInterval(info.TypeOf(e)))
+}
+
+func (it *Interp) rawEval(e ast.Expr, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return it.eval(e.X, flow, at, env)
+	case *ast.Ident:
+		obj := it.info.ObjectOf(e)
+		if obj == nil {
+			return Top()
+		}
+		return it.objIval(obj, flow, at, env)
+	case *ast.BinaryExpr:
+		return it.binaryIval(e, flow, at, env)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			return it.eval(e.X, flow, at, env).Neg()
+		case token.ADD:
+			return it.eval(e.X, flow, at, env)
+		}
+		return Top()
+	case *ast.CallExpr:
+		return it.callIval(e, flow, at, env)
+	case *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr, *ast.TypeAssertExpr:
+		return Top() // refined only by the type meet in eval
+	}
+	return Top()
+}
+
+func (it *Interp) binaryIval(e *ast.BinaryExpr, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	x := it.eval(e.X, flow, at, env)
+	y := it.eval(e.Y, flow, at, env)
+	switch e.Op {
+	case token.ADD:
+		return x.Add(y)
+	case token.SUB:
+		return x.Sub(y)
+	case token.MUL:
+		return x.Mul(y)
+	case token.QUO:
+		return x.Div(y)
+	case token.REM:
+		return x.Rem(y)
+	case token.SHL:
+		if c, ok := y.IsConst(); ok && c >= 0 && c < 62 {
+			return x.Mul(Const(int64(1) << uint(c)))
+		}
+		if x.LoBounded() && x.Lo >= 0 {
+			return AtLeast(0)
+		}
+		return Top()
+	case token.SHR:
+		if c, ok := y.IsConst(); ok && c >= 0 && c < 62 {
+			return x.Div(Const(int64(1) << uint(c)))
+		}
+		if x.LoBounded() && x.Lo >= 0 && x.HiBounded() {
+			return Range(0, x.Hi)
+		}
+		return Top()
+	case token.AND:
+		// x & y is bounded by either nonnegative operand.
+		if x.LoBounded() && x.Lo >= 0 && x.HiBounded() {
+			if y.LoBounded() && y.Lo >= 0 && y.HiBounded() {
+				return Range(0, min64(x.Hi, y.Hi))
+			}
+			return Range(0, x.Hi)
+		}
+		if y.LoBounded() && y.Lo >= 0 && y.HiBounded() {
+			return Range(0, y.Hi)
+		}
+		return Top()
+	case token.OR, token.XOR, token.AND_NOT:
+		if x.LoBounded() && x.Lo >= 0 && y.LoBounded() && y.Lo >= 0 {
+			return AtLeast(0)
+		}
+		return Top()
+	}
+	return Top()
+}
+
+func (it *Interp) callIval(call *ast.CallExpr, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	info := it.info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			// Conversion: the value survives, clipped to the target type by
+			// the meet in eval. (Go truncates rather than clips, but a value
+			// whose interval exceeds the target is exactly what widenconv
+			// flags — for in-range values the meet is exact.)
+			return it.eval(call.Args[0], flow, at, env)
+		}
+		return Top()
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap":
+				if len(call.Args) == 1 {
+					return it.lenOf(call.Args[0], flow, at, env)
+				}
+			case "min":
+				return it.foldMinMax(call, flow, at, env, true)
+			case "max":
+				return it.foldMinMax(call, flow, at, env, false)
+			}
+			return Top()
+		}
+	}
+	if callee := calleeFunc(info, call); callee != nil && it.retIval != nil {
+		if iv, ok := it.retIval(callee); ok && !iv.IsEmpty() {
+			return iv
+		}
+	}
+	return Top()
+}
+
+func (it *Interp) foldMinMax(call *ast.CallExpr, flow *FuncFlow, at token.Pos, env *ienv, isMin bool) Interval {
+	if len(call.Args) == 0 {
+		return Top()
+	}
+	acc := it.eval(call.Args[0], flow, at, env)
+	for _, arg := range call.Args[1:] {
+		v := it.eval(arg, flow, at, env)
+		if isMin {
+			acc = intervalMin(acc, v)
+		} else {
+			acc = intervalMax(acc, v)
+		}
+	}
+	return acc
+}
+
+// intervalMin bounds min(a, b): each end is the min of the two ends, and
+// an unbounded low on either side wins (the result can be that small).
+func intervalMin(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Bottom()
+	}
+	out := Interval{LoUnb: a.LoUnb || b.LoUnb, HiUnb: a.HiUnb && b.HiUnb}
+	if !out.LoUnb {
+		out.Lo = min64(a.Lo, b.Lo)
+	}
+	if !out.HiUnb {
+		switch {
+		case a.HiUnb:
+			out.Hi = b.Hi
+		case b.HiUnb:
+			out.Hi = a.Hi
+		default:
+			out.Hi = min64(a.Hi, b.Hi)
+		}
+	}
+	return out
+}
+
+func intervalMax(a, b Interval) Interval {
+	return intervalMin(a.Neg(), b.Neg()).Neg()
+}
+
+// ---- object resolution -------------------------------------------------
+
+func (it *Interp) objIval(obj types.Object, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return Top()
+	}
+	s := it.ssa[flow.Decl]
+	if s == nil {
+		return Top()
+	}
+	iv := Top()
+	if defs := s.ReachingDefs(obj, at); len(defs) > 0 {
+		acc := Bottom()
+		for _, ev := range defs {
+			acc = acc.Join(it.defIval(ev, flow, env))
+		}
+		if !acc.IsEmpty() {
+			iv = acc
+		}
+	} else if pl, ok := it.pkgLens[obj]; ok {
+		_ = pl // package-level objects carry length facts only, not values
+	}
+	iv = iv.Meet(typeInterval(obj.Type()))
+	return it.applyConstraints(obj, flow, at, env, iv, false)
+}
+
+// applyConstraints narrows iv by every applicable scoped refinement of
+// obj (wantLen selects length constraints over value constraints).
+func (it *Interp) applyConstraints(obj types.Object, flow *FuncFlow, at token.Pos, env *ienv, iv Interval, wantLen bool) Interval {
+	for _, c := range it.cons[flow.Decl] {
+		if c.obj != obj || c.isLen != wantLen || !c.span.Contains(at) || env.cseen[c] {
+			continue
+		}
+		if c.killFrom.IsValid() && it.redefinedBetween(flow, obj, c.killFrom, at) {
+			continue
+		}
+		env.cseen[c] = true
+		iv = iv.Meet(c.interval(it, flow, env))
+		delete(env.cseen, c)
+	}
+	return iv
+}
+
+func (it *Interp) defIval(ev *Event, flow *FuncFlow, env *ienv) Interval {
+	if env.seen[ev] {
+		return Top() // loop-carried cycle: widen, constraints narrow later
+	}
+	if ev.Compound || ev.Container {
+		// x op= y / x++ (operator not recorded) and range-element values:
+		// widen; induction variables are recovered by loop constraints.
+		return Top()
+	}
+	if ev.Rhs == nil {
+		// Parameter, value-less declaration, or range key. Parameters may
+		// carry an interprocedural assumption.
+		if iv, ok := it.paramIvals[ev.Obj]; ok {
+			return iv
+		}
+		return Top()
+	}
+	env.seen[ev] = true
+	defer delete(env.seen, ev)
+	return it.eval(ev.Rhs, flow, ev.Pos, env)
+}
+
+// redefinedBetween reports a Def of obj strictly inside (from, to).
+func (it *Interp) redefinedBetween(flow *FuncFlow, obj types.Object, from, to token.Pos) bool {
+	for _, i := range flow.byObj[obj] {
+		ev := &flow.Events[i]
+		if ev.Kind == Def && ev.Pos > from && ev.Pos < to {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- lengths -----------------------------------------------------------
+
+func (it *Interp) lenOf(e ast.Expr, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	if env.depth > 64 {
+		return AtLeast(0)
+	}
+	env.depth++
+	defer func() { env.depth-- }()
+	return it.rawLen(e, flow, at, env).Meet(AtLeast(0))
+}
+
+func (it *Interp) rawLen(e ast.Expr, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	info := it.info
+	if n, ok := arrayLen(info.TypeOf(e)); ok {
+		return Const(n)
+	}
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return Const(int64(len(constant.StringVal(tv.Value))))
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return it.lenOf(e.X, flow, at, env)
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return AtLeast(0)
+		}
+		iv := AtLeast(0)
+		if s := it.ssa[flow.Decl]; s != nil && len(s.ReachingDefs(obj, at)) > 0 {
+			acc := Bottom()
+			for _, ev := range s.ReachingDefs(obj, at) {
+				acc = acc.Join(it.lenOfDef(ev, flow, env))
+			}
+			if !acc.IsEmpty() {
+				iv = acc
+			}
+		} else if pl, ok := it.pkgLens[obj]; ok {
+			iv = pl
+		}
+		return it.applyConstraints(obj, flow, at, env, iv, true)
+	case *ast.CompositeLit:
+		return compositeLen(info, e)
+	case *ast.CallExpr:
+		return it.lenOfCall(e, flow, at, env)
+	case *ast.SliceExpr:
+		var lo Interval
+		if e.Low != nil {
+			lo = it.eval(e.Low, flow, at, env)
+		} else {
+			lo = Const(0)
+		}
+		if e.High != nil {
+			return it.eval(e.High, flow, at, env).Sub(lo)
+		}
+		return it.lenOf(e.X, flow, at, env).Sub(lo)
+	}
+	return AtLeast(0)
+}
+
+func (it *Interp) lenOfDef(ev *Event, flow *FuncFlow, env *ienv) Interval {
+	if env.seen[ev] || ev.Rhs == nil || ev.Container || ev.Compound {
+		// Cycles (xs = append(xs, ...) in a loop), parameters, and range
+		// elements: length unknown.
+		return AtLeast(0)
+	}
+	env.seen[ev] = true
+	defer delete(env.seen, ev)
+	return it.lenOf(ev.Rhs, flow, ev.Pos, env)
+}
+
+func (it *Interp) lenOfCall(call *ast.CallExpr, flow *FuncFlow, at token.Pos, env *ienv) Interval {
+	info := it.info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion. []byte(s) and string(b) preserve length; []rune does
+		// not (multi-byte runes), so only byte-width element conversions
+		// pass the length through.
+		if len(call.Args) == 1 {
+			src := info.TypeOf(call.Args[0])
+			dst := info.TypeOf(call)
+			if byteLengthPreserving(src, dst) {
+				return it.lenOf(call.Args[0], flow, at, env)
+			}
+		}
+		return AtLeast(0)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if len(call.Args) >= 2 {
+					return it.eval(call.Args[1], flow, at, env)
+				}
+				return Const(0) // make(map[K]V), make(chan T), make([]T) is invalid
+			case "append":
+				if len(call.Args) == 0 {
+					return AtLeast(0)
+				}
+				base := it.lenOf(call.Args[0], flow, at, env)
+				if call.Ellipsis.IsValid() {
+					if len(call.Args) == 2 {
+						return base.Add(it.lenOf(call.Args[1], flow, at, env))
+					}
+					return base // append(x, ys...) malformed otherwise
+				}
+				return base.Add(Const(int64(len(call.Args) - 1)))
+			}
+		}
+	}
+	return AtLeast(0)
+}
+
+// compositeLen counts a slice composite literal's elements, resolving
+// constant keyed indices ({0: a, 5: b} has length 6).
+func compositeLen(info *types.Info, lit *ast.CompositeLit) Interval {
+	next := int64(0) // index the next positional element would take
+	max := int64(0)  // one past the highest index seen
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			tv, ok := info.Types[kv.Key]
+			if !ok || tv.Value == nil {
+				return AtLeast(int64(len(lit.Elts))) // non-constant key
+			}
+			k := constant.ToInt(tv.Value)
+			i, exact := constant.Int64Val(k)
+			if !exact {
+				return AtLeast(0)
+			}
+			next = i + 1
+		} else {
+			next++
+		}
+		if next > max {
+			max = next
+		}
+	}
+	return Const(max)
+}
+
+// buildPkgLens proves lengths for package-level slice/array variables:
+// initialized from a countable literal, never reassigned, never
+// address-taken anywhere in the package.
+func buildPkgLens(files []*ast.File, info *types.Info) map[types.Object]Interval {
+	cands := make(map[types.Object]Interval)
+	mutated := make(map[types.Object]bool)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if n, ok := arrayLen(obj.Type()); ok {
+						cands[obj] = Const(n)
+						continue
+					}
+					if lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							cands[obj] = compositeLen(info, lit)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return cands
+	}
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range n.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil {
+							mutated[obj] = true
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil {
+							mutated[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj := range mutated {
+		delete(cands, obj)
+	}
+	return cands
+}
+
+func arrayLen(t types.Type) (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return u.Len(), true
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return arr.Len(), true
+		}
+	}
+	return 0, false
+}
+
+func byteLengthPreserving(src, dst types.Type) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	srcStr := false
+	if b, ok := src.Underlying().(*types.Basic); ok {
+		srcStr = b.Info()&types.IsString != 0
+	}
+	return (srcStr && isByteSlice(dst)) || (isByteSlice(src) && func() bool {
+		b, ok := dst.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}())
+}
+
+// ---- constraint collection ---------------------------------------------
+
+func (it *Interp) collectConstraints(flow *FuncFlow) []*constraint {
+	var cons []*constraint
+	var stack []ast.Node
+	enclosingBlockEnd := func() token.Pos {
+		for i := len(stack) - 2; i >= 0; i-- {
+			if b, ok := stack[i].(*ast.BlockStmt); ok {
+				return b.End()
+			}
+		}
+		return flow.Decl.Body.End()
+	}
+	ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			cons = append(cons, it.forConstraints(flow, n)...)
+		case *ast.RangeStmt:
+			cons = append(cons, it.rangeConstraints(flow, n)...)
+		case *ast.IfStmt:
+			cons = append(cons, it.ifConstraints(n, enclosingBlockEnd())...)
+		}
+		return true
+	})
+	return cons
+}
+
+// induction is a recognized counting loop.
+type induction struct {
+	obj   types.Object
+	init  ast.Expr
+	bound ast.Expr
+	op    token.Token // comparison, normalized so obj is on the left
+	step  int64       // per-iteration increment (negative for countdown)
+}
+
+func (it *Interp) parseInduction(n *ast.ForStmt) *induction {
+	info := it.info
+	ind := &induction{}
+
+	init, ok := n.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(init.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	ind.obj = info.ObjectOf(id)
+	if ind.obj == nil {
+		return nil
+	}
+	ind.init = init.Rhs[0]
+
+	cmp, ok := n.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch {
+	case isObjIdent(info, cmp.X, ind.obj):
+		ind.op, ind.bound = cmp.Op, cmp.Y
+	case isObjIdent(info, cmp.Y, ind.obj):
+		ind.op, ind.bound = flipCmp(cmp.Op), cmp.X
+	default:
+		return nil
+	}
+
+	switch post := n.Post.(type) {
+	case *ast.IncDecStmt:
+		if !isObjIdent(info, post.X, ind.obj) {
+			return nil
+		}
+		if post.Tok == token.INC {
+			ind.step = 1
+		} else {
+			ind.step = -1
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) != 1 || len(post.Rhs) != 1 || !isObjIdent(info, post.Lhs[0], ind.obj) {
+			return nil
+		}
+		tv, ok := info.Types[post.Rhs[0]]
+		if !ok || tv.Value == nil {
+			return nil
+		}
+		c, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		if !exact || c == 0 {
+			return nil
+		}
+		switch post.Tok {
+		case token.ADD_ASSIGN:
+			ind.step = c
+		case token.SUB_ASSIGN:
+			ind.step = -c
+		default:
+			return nil
+		}
+	default:
+		return nil
+	}
+
+	// The pattern must be the whole story: neither the variable nor the
+	// bound's inputs may be assigned inside the body.
+	assigned := assignedObjects(n.Body, info)
+	if assigned[ind.obj] {
+		return nil
+	}
+	for obj := range objectsIn(info, ind.bound) {
+		if assigned[obj] {
+			return nil
+		}
+	}
+	// Direction and comparison must agree (a `for i := 0; i > n; i++` is
+	// not a counting loop).
+	if ind.step > 0 && ind.op != token.LSS && ind.op != token.LEQ {
+		return nil
+	}
+	if ind.step < 0 && ind.op != token.GTR && ind.op != token.GEQ {
+		return nil
+	}
+	return ind
+}
+
+func (it *Interp) forConstraints(flow *FuncFlow, n *ast.ForStmt) []*constraint {
+	ind := it.parseInduction(n)
+	if ind == nil {
+		return nil
+	}
+	loopPos := n.Pos()
+	c := &constraint{
+		obj:      ind.obj,
+		span:     Span{n.Body.Pos(), n.Body.End()},
+		killFrom: token.NoPos, // body never assigns the variable (checked above)
+		fixed: func(it *Interp, flow *FuncFlow, env *ienv) Interval {
+			a := it.eval(ind.init, flow, loopPos, env)
+			b := it.eval(ind.bound, flow, loopPos, env)
+			out := Top()
+			if ind.step > 0 {
+				if a.LoBounded() {
+					out = out.Meet(AtLeast(a.Lo))
+				}
+				out = out.Meet(refineBy(ind.op, b))
+			} else {
+				if a.HiBounded() {
+					out = out.Meet(AtMost(a.Hi))
+				}
+				out = out.Meet(refineBy(ind.op, b))
+			}
+			return out
+		},
+	}
+	return []*constraint{c}
+}
+
+func (it *Interp) rangeConstraints(flow *FuncFlow, n *ast.RangeStmt) []*constraint {
+	info := it.info
+	key, ok := n.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	obj := info.ObjectOf(key)
+	if obj == nil || assignedObjects(n.Body, info)[obj] {
+		return nil
+	}
+	t := info.TypeOf(n.X)
+	if t == nil {
+		return nil
+	}
+	var upper func(it *Interp, flow *FuncFlow, env *ienv) Interval
+	pos := n.Pos()
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsInteger != 0:
+			upper = func(it *Interp, flow *FuncFlow, env *ienv) Interval {
+				return it.eval(n.X, flow, pos, env)
+			}
+		case u.Info()&types.IsString != 0:
+			upper = func(it *Interp, flow *FuncFlow, env *ienv) Interval {
+				return it.lenOf(n.X, flow, pos, env)
+			}
+		default:
+			return nil
+		}
+	case *types.Slice, *types.Array, *types.Pointer:
+		if _, ok := arrayLen(t); !ok {
+			if _, isSlice := u.(*types.Slice); !isSlice {
+				return nil // pointer to non-array
+			}
+		}
+		upper = func(it *Interp, flow *FuncFlow, env *ienv) Interval {
+			return it.lenOf(n.X, flow, pos, env)
+		}
+	default:
+		return nil // map keys and channel values are not indices
+	}
+	c := &constraint{
+		obj:      obj,
+		span:     Span{n.Body.Pos(), n.Body.End()},
+		killFrom: token.NoPos,
+		fixed: func(it *Interp, flow *FuncFlow, env *ienv) Interval {
+			b := upper(it, flow, env)
+			iv := AtLeast(0)
+			if b.HiBounded() {
+				iv = iv.Meet(AtMost(b.Hi - 1))
+			}
+			return iv
+		},
+	}
+	return []*constraint{c}
+}
+
+func (it *Interp) ifConstraints(n *ast.IfStmt, blockEnd token.Pos) []*constraint {
+	var cons []*constraint
+	thenSpan := Span{n.Body.Pos(), n.Body.End()}
+	for _, cmp := range conjuncts(n.Cond) {
+		cons = append(cons, it.compConstraints(cmp, thenSpan, n.Body.Pos(), false)...)
+	}
+	if els, ok := n.Else.(*ast.BlockStmt); ok {
+		span := Span{els.Pos(), els.End()}
+		for _, cmp := range disjuncts(n.Cond) {
+			cons = append(cons, it.compConstraints(cmp, span, els.Pos(), true)...)
+		}
+	}
+	if bodyDiverts(n.Body) {
+		span := Span{n.End(), blockEnd}
+		for _, cmp := range disjuncts(n.Cond) {
+			cons = append(cons, it.compConstraints(cmp, span, n.End(), true)...)
+		}
+	} else if n.Else == nil {
+		// Clamp idiom: `if x > hi { x = hi }`. The body neither diverts
+		// nor is skipped — but when it definitely overwrites x, the value
+		// after the if is either a pre-if value with the condition false
+		// or one of the assigned values, so the union of the negated
+		// refinement and the assigned intervals holds until the next
+		// redefinition.
+		span := Span{n.End(), blockEnd}
+		for _, cmp := range disjuncts(n.Cond) {
+			for _, c := range it.compConstraints(cmp, span, n.End(), true) {
+				if c.isLen {
+					continue // len(x) is not overwritten by assigning x
+				}
+				rhs, ok := clampAssigns(it.info, n.Body, c.obj)
+				if !ok {
+					continue
+				}
+				neg := &constraint{obj: c.obj, op: c.op, bound: c.bound, at: c.at}
+				condPos := n.Cond.Pos()
+				cons = append(cons, &constraint{
+					obj: c.obj, span: span, killFrom: n.End(),
+					// post = (pre ∧ ¬cond) ∪ assigned. Folding the pre-if
+					// value in (rather than ¬cond alone) chains earlier
+					// clamps through: `if x < 0 { x = 0 }` keeps its lower
+					// bound across a later `if x > hi { x = hi }`, whose
+					// branch-arm def would otherwise invalidate it.
+					fixed: func(it *Interp, flow *FuncFlow, env *ienv) Interval {
+						iv := it.objIval(neg.obj, flow, condPos, env).Meet(neg.interval(it, flow, env))
+						for _, e := range rhs {
+							iv = iv.Join(it.eval(e, flow, e.Pos(), env))
+						}
+						return iv
+					},
+				})
+			}
+		}
+	}
+	return cons
+}
+
+// clampAssigns collects the values a then-body can leave in obj: every
+// simple `obj = expr` assignment in the body. ok requires at least one
+// such assignment at the body's top level (the branch then definitely
+// overwrites obj) and no write the union cannot model — compound assigns,
+// ++/--, range bindings, address-taking, or closures touching obj.
+func clampAssigns(info *types.Info, body *ast.BlockStmt, obj types.Object) (rhs []ast.Expr, ok bool) {
+	ok = true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(s.Body, func(nd ast.Node) bool {
+				if id, isIdent := nd.(*ast.Ident); isIdent && info.ObjectOf(id) == obj {
+					ok = false
+				}
+				return ok
+			})
+			return false
+		case *ast.IncDecStmt:
+			if isObjIdent(info, s.X, obj) {
+				ok = false
+			}
+		case *ast.RangeStmt:
+			if (s.Key != nil && isObjIdent(info, s.Key, obj)) ||
+				(s.Value != nil && isObjIdent(info, s.Value, obj)) {
+				ok = false
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND && isObjIdent(info, s.X, obj) {
+				ok = false
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if !isObjIdent(info, lhs, obj) {
+					continue
+				}
+				if s.Tok != token.ASSIGN || len(s.Lhs) != len(s.Rhs) || i >= len(s.Rhs) {
+					ok = false
+					continue
+				}
+				rhs = append(rhs, s.Rhs[i])
+			}
+		}
+		return ok
+	})
+	if !ok || len(rhs) == 0 {
+		return nil, false
+	}
+	for _, st := range body.List {
+		if as, isAssign := st.(*ast.AssignStmt); isAssign && as.Tok == token.ASSIGN && len(as.Lhs) == len(as.Rhs) {
+			for _, lhs := range as.Lhs {
+				if isObjIdent(info, lhs, obj) {
+					return rhs, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// conjuncts splits a && chain into its comparison leaves; a non-comparison
+// conjunct is simply skipped (it refines nothing).
+func conjuncts(cond ast.Expr) []*ast.BinaryExpr {
+	return splitCond(cond, token.LAND)
+}
+
+// disjuncts splits a || chain: the negation of a disjunction is the
+// conjunction of the negations, so each leaf's negation holds on the
+// not-taken path. A cond mixing ||/&& at top level yields no usable
+// negation leaves beyond what splitCond returns for the requested op.
+func disjuncts(cond ast.Expr) []*ast.BinaryExpr {
+	return splitCond(cond, token.LOR)
+}
+
+func splitCond(cond ast.Expr, op token.Token) []*ast.BinaryExpr {
+	cond = ast.Unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	if be.Op == op {
+		return append(splitCond(be.X, op), splitCond(be.Y, op)...)
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return []*ast.BinaryExpr{be}
+	}
+	return nil
+}
+
+func (it *Interp) compConstraints(cmp *ast.BinaryExpr, span Span, killFrom token.Pos, negated bool) []*constraint {
+	info := it.info
+	op := cmp.Op
+	if negated {
+		op = negateCmp(op)
+	}
+	var cons []*constraint
+	add := func(side, bound ast.Expr, op token.Token) {
+		if op == token.NEQ || op == token.ILLEGAL {
+			return // x != e carries no interval information
+		}
+		side = ast.Unparen(side)
+		isLen := false
+		if call, ok := side.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					side = ast.Unparen(call.Args[0])
+					isLen = true
+				}
+			}
+		}
+		id, ok := side.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, ok := info.ObjectOf(id).(*types.Var)
+		if !ok || obj.IsField() {
+			return
+		}
+		cons = append(cons, &constraint{
+			obj: obj, span: span, killFrom: killFrom, isLen: isLen,
+			op: op, bound: bound, at: cmp.Pos(),
+		})
+	}
+	add(cmp.X, cmp.Y, op)
+	add(cmp.Y, cmp.X, flipCmp(op))
+	return cons
+}
+
+// interval materializes the refinement a constraint contributes.
+func (c *constraint) interval(it *Interp, flow *FuncFlow, env *ienv) Interval {
+	if c.fixed != nil {
+		return c.fixed(it, flow, env)
+	}
+	b := it.eval(c.bound, flow, c.at, env)
+	return refineBy(c.op, b)
+}
+
+// refineBy turns "x op b" into the interval x must lie in.
+func refineBy(op token.Token, b Interval) Interval {
+	if b.IsEmpty() {
+		return Top()
+	}
+	switch op {
+	case token.LSS:
+		if b.HiBounded() && b.Hi > math.MinInt64 {
+			return AtMost(b.Hi - 1)
+		}
+	case token.LEQ:
+		if b.HiBounded() {
+			return AtMost(b.Hi)
+		}
+	case token.GTR:
+		if b.LoBounded() && b.Lo < math.MaxInt64 {
+			return AtLeast(b.Lo + 1)
+		}
+	case token.GEQ:
+		if b.LoBounded() {
+			return AtLeast(b.Lo)
+		}
+	case token.EQL:
+		return b
+	}
+	return Top()
+}
+
+func isObjIdent(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}
+
+// flipCmp mirrors a comparison across its operands: a < b ⇔ b > a.
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // EQL, NEQ are symmetric
+}
+
+// negateCmp is the comparison that holds when the original fails.
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+// TypeInterval is the value range a basic integer type admits; Top for
+// everything 64-bit or non-integer. Exposed for analyzers that compare a
+// proven interval against a conversion's target type.
+func TypeInterval(t types.Type) Interval { return typeInterval(t) }
+
+// typeInterval is the value range a basic integer type admits; Top for
+// everything 64-bit or non-integer (an int64 bound is representable but
+// carries no information beyond the domain itself).
+func typeInterval(t types.Type) Interval {
+	if t == nil {
+		return Top()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return Top()
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return Range(math.MinInt8, math.MaxInt8)
+	case types.Int16:
+		return Range(math.MinInt16, math.MaxInt16)
+	case types.Int32:
+		return Range(math.MinInt32, math.MaxInt32)
+	case types.Uint8:
+		return Range(0, math.MaxUint8)
+	case types.Uint16:
+		return Range(0, math.MaxUint16)
+	case types.Uint32:
+		return Range(0, math.MaxUint32)
+	case types.Uint, types.Uint64, types.Uintptr:
+		return AtLeast(0)
+	}
+	return Top()
+}

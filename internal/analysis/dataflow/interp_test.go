@@ -1,0 +1,137 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+
+	"rups/internal/analysis/dataflow"
+	"rups/internal/analysis/loader"
+)
+
+func flowRangeStmts(flow *dataflow.FuncFlow) []*ast.RangeStmt {
+	var out []*ast.RangeStmt
+	ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			out = append(out, rs)
+		}
+		return true
+	})
+	return out
+}
+
+// loadIval builds the interprocedural program over the ival golden
+// package, so return-interval queries exercise the whole stack: SSA-lite
+// reaching defs, constraints, lengths, and the interval fixpoint.
+func loadIval(t *testing.T) *dataflow.Program {
+	t.Helper()
+	dir := filepath.Join("..", "testdata", "src", "ival")
+	pkgs, err := loader.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load ival golden package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("type errors in golden package: %v", pkgs[0].TypeErrors)
+	}
+	return dataflow.NewProgram(pkgs)
+}
+
+const ivalPath = "rups/internal/analysis/testdata/src/ival"
+
+func retIval(t *testing.T, p *dataflow.Program, name string) dataflow.Interval {
+	t.Helper()
+	iv, ok := p.RetIvalByID(ivalPath + "." + name)
+	if !ok {
+		t.Fatalf("no return interval recorded for ival.%s", name)
+	}
+	return iv
+}
+
+func TestInterpReturnIntervals(t *testing.T) {
+	p := loadIval(t)
+	cases := []struct {
+		fn   string
+		want dataflow.Interval
+	}{
+		{"constChain", dataflow.Const(14)},
+		{"branchJoin", dataflow.Range(1, 5)},
+		{"loopInduction", dataflow.Range(0, 9)},
+		{"loopStepTwo", dataflow.Range(0, 20)},
+		{"countdown", dataflow.Range(0, 8)},
+		{"rangeConfigs", dataflow.Range(0, 4)},
+		{"rangeLiteral", dataflow.Range(0, 3)},
+		{"rangeInt", dataflow.Range(0, 5)},
+		{"clamp", dataflow.Range(0, 100)},
+		{"elseBranch", dataflow.Range(9, 50)},
+		{"modIdiom", dataflow.Range(-15, 15)},
+		{"callsStep", dataflow.Range(12, 20)},
+		{"lenOfMake", dataflow.Range(0, 31)},
+		{"lenAppend", dataflow.Const(5)},
+		{"sliceBounds", dataflow.Range(0, 4)},
+	}
+	for _, tc := range cases {
+		if got := retIval(t, p, tc.fn); got != tc.want {
+			t.Errorf("%s: got %s, want %s", tc.fn, got, tc.want)
+		}
+	}
+}
+
+func TestInterpUnboundedStaysUnbounded(t *testing.T) {
+	p := loadIval(t)
+	if got := retIval(t, p, "rangeGrown"); got.HiBounded() {
+		t.Errorf("rangeGrown: mutated package slice must not get a finite length, got %s", got)
+	}
+	if got := retIval(t, p, "rangeGrown"); !got.LoBounded() || got.Lo != 0 {
+		t.Errorf("rangeGrown: range key is still nonnegative, got %s", got)
+	}
+	if got := retIval(t, p, "minClamp"); got.LoBounded() || !got.HiBounded() || got.Hi != 64 {
+		t.Errorf("minClamp: want (-inf, 64], got %s", got)
+	}
+	// The widened recursion must settle on a sound over-approximation
+	// that still knows the result is nonnegative on the base path.
+	if got := retIval(t, p, "recurse"); got.IsEmpty() {
+		t.Errorf("recurse: got empty interval")
+	}
+}
+
+func TestInterpLoopTrips(t *testing.T) {
+	p := loadIval(t)
+	pf := p.FuncByID(ivalPath + ".rangeConfigs")
+	if pf == nil {
+		t.Fatal("no ProgFunc for rangeConfigs")
+	}
+	a := p.AnalysisFor(pf.Pkg)
+	flow := a.FlowOf(pf.Decl)
+	it := a.Interp()
+	ssa := it.SSAOf(pf.Decl)
+	if len(ssa.Loops()) != 1 {
+		t.Fatalf("rangeConfigs: got %d loops", len(ssa.Loops()))
+	}
+	// Find the range statement and bound its trips.
+	found := false
+	for _, s := range flowRangeStmts(flow) {
+		trips, ok := it.LoopTrips(s, flow)
+		if !ok {
+			t.Fatalf("rangeConfigs: trip count not proven")
+		}
+		if trips != dataflow.Const(5) {
+			t.Errorf("rangeConfigs trips: got %s, want [5, 5]", trips)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no range statement found")
+	}
+
+	pf = p.FuncByID(ivalPath + ".rangeGrown")
+	a = p.AnalysisFor(pf.Pkg)
+	flow = a.FlowOf(pf.Decl)
+	for _, s := range flowRangeStmts(flow) {
+		if _, ok := a.Interp().LoopTrips(s, flow); ok {
+			t.Error("rangeGrown: trip count must not be provable over a mutated slice")
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is the value domain of the abstract-interpretation layer: a
+// (possibly half-open) range of int64. The taint lattice answers "where
+// did this value come from"; the interval lattice answers "how big can it
+// be" — the question a bounds proof, an allocation estimate, or a lossy
+// narrowing conversion actually needs.
+//
+// The bottom element (no value) is represented by empty == true; Top is
+// (-inf, +inf). All arithmetic saturates: an operation whose exact result
+// could overflow int64 gives up the affected bound (sets it unbounded)
+// rather than wrapping, so intervals stay over-approximations of the
+// concrete values.
+type Interval struct {
+	// Lo and Hi are the inclusive bounds, valid only when the matching
+	// *Unb flag is false.
+	Lo, Hi int64
+	// LoUnb and HiUnb mark the bound as -inf / +inf respectively.
+	LoUnb, HiUnb bool
+	// empty marks the bottom element (the interval of an unreachable
+	// value). The zero Interval is [0, 0], not bottom — construct bottom
+	// with Bottom().
+	empty bool
+}
+
+// Top is the unknown value: (-inf, +inf).
+func Top() Interval { return Interval{LoUnb: true, HiUnb: true} }
+
+// Bottom is the interval of no value at all.
+func Bottom() Interval { return Interval{empty: true} }
+
+// Const is the singleton interval [v, v].
+func Const(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Range is the closed interval [lo, hi]; lo > hi yields Bottom.
+func Range(lo, hi int64) Interval {
+	if lo > hi {
+		return Bottom()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// AtLeast is [lo, +inf).
+func AtLeast(lo int64) Interval { return Interval{Lo: lo, HiUnb: true} }
+
+// AtMost is (-inf, hi].
+func AtMost(hi int64) Interval { return Interval{Hi: hi, LoUnb: true} }
+
+// IsEmpty reports the bottom element.
+func (iv Interval) IsEmpty() bool { return iv.empty }
+
+// IsTop reports the completely unknown interval.
+func (iv Interval) IsTop() bool { return !iv.empty && iv.LoUnb && iv.HiUnb }
+
+// Bounded reports that both ends are finite.
+func (iv Interval) Bounded() bool { return !iv.empty && !iv.LoUnb && !iv.HiUnb }
+
+// LoBounded reports a finite lower bound.
+func (iv Interval) LoBounded() bool { return !iv.empty && !iv.LoUnb }
+
+// HiBounded reports a finite upper bound.
+func (iv Interval) HiBounded() bool { return !iv.empty && !iv.HiUnb }
+
+// IsConst reports a singleton interval and returns its value.
+func (iv Interval) IsConst() (int64, bool) {
+	if iv.Bounded() && iv.Lo == iv.Hi {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// Contains reports v ∈ iv.
+func (iv Interval) Contains(v int64) bool {
+	if iv.empty {
+		return false
+	}
+	return (iv.LoUnb || iv.Lo <= v) && (iv.HiUnb || v <= iv.Hi)
+}
+
+// ContainedIn reports iv ⊆ o.
+func (iv Interval) ContainedIn(o Interval) bool {
+	if iv.empty {
+		return true
+	}
+	if o.empty {
+		return false
+	}
+	loOK := o.LoUnb || (!iv.LoUnb && iv.Lo >= o.Lo)
+	hiOK := o.HiUnb || (!iv.HiUnb && iv.Hi <= o.Hi)
+	return loOK && hiOK
+}
+
+// Join is the least upper bound: the smallest interval covering both.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.empty {
+		return o
+	}
+	if o.empty {
+		return iv
+	}
+	out := Interval{}
+	if iv.LoUnb || o.LoUnb {
+		out.LoUnb = true
+	} else {
+		out.Lo = min64(iv.Lo, o.Lo)
+	}
+	if iv.HiUnb || o.HiUnb {
+		out.HiUnb = true
+	} else {
+		out.Hi = max64(iv.Hi, o.Hi)
+	}
+	return out
+}
+
+// Meet is the greatest lower bound: the intersection. Disjoint intervals
+// meet to Bottom.
+func (iv Interval) Meet(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	out := Interval{}
+	switch {
+	case iv.LoUnb && o.LoUnb:
+		out.LoUnb = true
+	case iv.LoUnb:
+		out.Lo = o.Lo
+	case o.LoUnb:
+		out.Lo = iv.Lo
+	default:
+		out.Lo = max64(iv.Lo, o.Lo)
+	}
+	switch {
+	case iv.HiUnb && o.HiUnb:
+		out.HiUnb = true
+	case iv.HiUnb:
+		out.Hi = o.Hi
+	case o.HiUnb:
+		out.Hi = iv.Hi
+	default:
+		out.Hi = min64(iv.Hi, o.Hi)
+	}
+	if !out.LoUnb && !out.HiUnb && out.Lo > out.Hi {
+		return Bottom()
+	}
+	return out
+}
+
+// Widen is the loop-head widening operator: any bound that moved since
+// prev is given up entirely, so a chain of widenings stabilizes after at
+// most two steps per side. Classic interval widening — precision at loop
+// heads is recovered afterwards by Meet against the loop condition.
+func (iv Interval) Widen(prev Interval) Interval {
+	if prev.empty {
+		return iv
+	}
+	if iv.empty {
+		return prev
+	}
+	out := iv
+	if !prev.LoUnb && (iv.LoUnb || iv.Lo < prev.Lo) {
+		out.Lo, out.LoUnb = 0, true
+	} else if prev.LoUnb {
+		out.Lo, out.LoUnb = 0, true
+	}
+	if !prev.HiUnb && (iv.HiUnb || iv.Hi > prev.Hi) {
+		out.Hi, out.HiUnb = 0, true
+	} else if prev.HiUnb {
+		out.Hi, out.HiUnb = 0, true
+	}
+	return out
+}
+
+// Add is interval addition, saturating to unbounded on overflow.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	out := Interval{LoUnb: iv.LoUnb || o.LoUnb, HiUnb: iv.HiUnb || o.HiUnb}
+	if !out.LoUnb {
+		lo, ok := addChecked(iv.Lo, o.Lo)
+		if !ok {
+			out.LoUnb = true
+		} else {
+			out.Lo = lo
+		}
+	}
+	if !out.HiUnb {
+		hi, ok := addChecked(iv.Hi, o.Hi)
+		if !ok {
+			out.HiUnb = true
+		} else {
+			out.Hi = hi
+		}
+	}
+	return out
+}
+
+// Neg is interval negation.
+func (iv Interval) Neg() Interval {
+	if iv.empty {
+		return iv
+	}
+	out := Interval{LoUnb: iv.HiUnb, HiUnb: iv.LoUnb}
+	if !out.LoUnb {
+		if iv.Hi == math.MinInt64 {
+			out.LoUnb = true
+		} else {
+			out.Lo = -iv.Hi
+		}
+	}
+	if !out.HiUnb {
+		if iv.Lo == math.MinInt64 {
+			out.HiUnb = true
+		} else {
+			out.Hi = -iv.Lo
+		}
+	}
+	return out
+}
+
+// Sub is interval subtraction.
+func (iv Interval) Sub(o Interval) Interval { return iv.Add(o.Neg()) }
+
+// Mul is interval multiplication: the hull of the four corner products,
+// with unbounded ends handled by sign reasoning (kept deliberately coarse —
+// any unbounded operand whose sign is not pinned yields Top).
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	if z, ok := iv.IsConst(); ok && z == 0 {
+		return Const(0)
+	}
+	if z, ok := o.IsConst(); ok && z == 0 {
+		return Const(0)
+	}
+	if iv.Bounded() && o.Bounded() {
+		vals := make([]int64, 0, 4)
+		unb := false
+		for _, a := range [2]int64{iv.Lo, iv.Hi} {
+			for _, b := range [2]int64{o.Lo, o.Hi} {
+				p, ok := mulChecked(a, b)
+				if !ok {
+					unb = true
+					continue
+				}
+				vals = append(vals, p)
+			}
+		}
+		if len(vals) == 0 {
+			return Top()
+		}
+		out := Interval{Lo: vals[0], Hi: vals[0]}
+		for _, v := range vals[1:] {
+			out.Lo = min64(out.Lo, v)
+			out.Hi = max64(out.Hi, v)
+		}
+		if unb {
+			// Some corner overflowed: keep only the bounds that cannot be
+			// beaten by the overflowed corner's sign.
+			return Top()
+		}
+		return out
+	}
+	// Unbounded operand: only the both-nonnegative case stays useful
+	// (allocation sizes and loop bounds are nonnegative).
+	if iv.LoBounded() && iv.Lo >= 0 && o.LoBounded() && o.Lo >= 0 {
+		lo, ok := mulChecked(iv.Lo, o.Lo)
+		if !ok {
+			return AtLeast(0)
+		}
+		return AtLeast(lo)
+	}
+	return Top()
+}
+
+// Div is interval division by a divisor interval excluding zero behaviour:
+// a divisor interval containing zero yields Top (the runtime would panic,
+// the abstraction stays sound by knowing nothing).
+func (iv Interval) Div(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	if o.Contains(0) || !o.Bounded() {
+		if iv.LoBounded() && iv.Lo >= 0 && o.LoBounded() && o.Lo >= 1 {
+			// nonneg / (≥1): result shrinks — keep [0, iv.Hi].
+			if iv.HiBounded() {
+				return Range(0, iv.Hi)
+			}
+			return AtLeast(0)
+		}
+		return Top()
+	}
+	if !iv.Bounded() {
+		if iv.LoBounded() && iv.Lo >= 0 && o.Lo >= 1 {
+			return AtLeast(0)
+		}
+		return Top()
+	}
+	vals := [4]int64{iv.Lo / o.Lo, iv.Lo / o.Hi, iv.Hi / o.Lo, iv.Hi / o.Hi}
+	out := Interval{Lo: vals[0], Hi: vals[0]}
+	for _, v := range vals[1:] {
+		out.Lo = min64(out.Lo, v)
+		out.Hi = max64(out.Hi, v)
+	}
+	return out
+}
+
+// Rem bounds x % y. For a positive divisor the result sits in
+// [0, y.Hi-1] when x is nonnegative — the modular-indexing idiom.
+func (iv Interval) Rem(o Interval) Interval {
+	if iv.empty || o.empty {
+		return Bottom()
+	}
+	if o.LoBounded() && o.Lo >= 1 && o.HiBounded() {
+		if iv.LoBounded() && iv.Lo >= 0 {
+			hi := o.Hi - 1
+			if iv.HiBounded() && iv.Hi < hi {
+				hi = iv.Hi
+			}
+			return Range(0, hi)
+		}
+		return Range(-(o.Hi - 1), o.Hi-1)
+	}
+	return Top()
+}
+
+// String renders the interval for diagnostics: "[0, 15]", "[0, +inf)",
+// "(-inf, 42]", "(-inf, +inf)", "∅".
+func (iv Interval) String() string {
+	if iv.empty {
+		return "∅"
+	}
+	lo, hi := "(-inf", fmt.Sprintf("%d]", iv.Hi)
+	if !iv.LoUnb {
+		lo = fmt.Sprintf("[%d", iv.Lo)
+	}
+	if iv.HiUnb {
+		hi = "+inf)"
+	}
+	return lo + ", " + hi
+}
+
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalConstructorsAndPredicates(t *testing.T) {
+	if !Bottom().IsEmpty() || Bottom().Contains(0) {
+		t.Error("Bottom must be empty and contain nothing")
+	}
+	if !Top().IsTop() || !Top().Contains(math.MinInt64) || !Top().Contains(math.MaxInt64) {
+		t.Error("Top must contain everything")
+	}
+	if v, ok := Const(7).IsConst(); !ok || v != 7 {
+		t.Errorf("Const(7).IsConst() = %d, %v", v, ok)
+	}
+	if !Range(5, 3).IsEmpty() {
+		t.Error("inverted Range must be Bottom")
+	}
+	if got := Range(0, 15).String(); got != "[0, 15]" {
+		t.Errorf("String: got %q", got)
+	}
+	if got := AtLeast(0).String(); got != "[0, +inf)" {
+		t.Errorf("String: got %q", got)
+	}
+	if got := AtMost(42).String(); got != "(-inf, 42]" {
+		t.Errorf("String: got %q", got)
+	}
+}
+
+func TestIntervalJoinMeet(t *testing.T) {
+	a, b := Range(0, 5), Range(3, 10)
+	if got := a.Join(b); got != Range(0, 10) {
+		t.Errorf("Join: got %s", got)
+	}
+	if got := a.Meet(b); got != Range(3, 5) {
+		t.Errorf("Meet: got %s", got)
+	}
+	if got := Range(0, 2).Meet(Range(5, 9)); !got.IsEmpty() {
+		t.Errorf("disjoint Meet: got %s, want empty", got)
+	}
+	if got := a.Join(Bottom()); got != a {
+		t.Errorf("Join with Bottom: got %s", got)
+	}
+	if got := a.Meet(Top()); got != a {
+		t.Errorf("Meet with Top: got %s", got)
+	}
+	if got := AtLeast(3).Meet(AtMost(8)); got != Range(3, 8) {
+		t.Errorf("half-open Meet: got %s", got)
+	}
+	if !Range(2, 3).ContainedIn(Range(0, 5)) || Range(0, 6).ContainedIn(Range(0, 5)) {
+		t.Error("ContainedIn misjudged")
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	prev, cur := Range(0, 5), Range(0, 7)
+	w := cur.Widen(prev)
+	if w.LoUnb || w.Lo != 0 || !w.HiUnb {
+		t.Errorf("Widen must drop the moving upper bound: got %s", w)
+	}
+	// Stable bounds survive widening.
+	if got := Range(0, 5).Widen(Range(0, 5)); got != Range(0, 5) {
+		t.Errorf("stable Widen: got %s", got)
+	}
+	// Widening is idempotent once a bound is gone.
+	if got := w.Widen(w); got != w {
+		t.Errorf("idempotent Widen: got %s", got)
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	if got := Range(1, 2).Add(Range(10, 20)); got != Range(11, 22) {
+		t.Errorf("Add: got %s", got)
+	}
+	if got := Range(1, 2).Sub(Range(10, 20)); got != Range(-19, -8) {
+		t.Errorf("Sub: got %s", got)
+	}
+	if got := Range(-2, 3).Mul(Range(4, 5)); got != Range(-10, 15) {
+		t.Errorf("Mul: got %s", got)
+	}
+	if got := Range(10, 20).Div(Range(2, 5)); got != Range(2, 10) {
+		t.Errorf("Div: got %s", got)
+	}
+	if got := Range(0, 100).Rem(Range(8, 8)); got != Range(0, 7) {
+		t.Errorf("Rem: got %s", got)
+	}
+	if got := Range(3, 4).Neg(); got != Range(-4, -3) {
+		t.Errorf("Neg: got %s", got)
+	}
+	// Division by an interval containing zero or negatives knows nothing
+	// (10 / -1 = -10), unless the divisor is provably ≥ 1.
+	if got := Range(10, 20).Div(Range(-1, 1)); !got.IsTop() {
+		t.Errorf("Div through zero: got %s, want Top", got)
+	}
+	if got := Range(10, 20).Div(AtLeast(1)); got != Range(0, 20) {
+		t.Errorf("Div by unbounded positive divisor: got %s", got)
+	}
+}
+
+func TestIntervalOverflowSaturates(t *testing.T) {
+	big := Const(math.MaxInt64)
+	if got := big.Add(Const(1)); !got.HiUnb {
+		t.Errorf("overflowing Add must drop the bound: got %s", got)
+	}
+	if got := big.Mul(Const(2)); !got.IsTop() {
+		t.Errorf("overflowing Mul: got %s, want Top", got)
+	}
+	if got := Const(math.MinInt64).Neg(); !got.HiUnb {
+		t.Errorf("Neg(MinInt64) must saturate: got %s", got)
+	}
+}
+
+func TestIntervalMinMax(t *testing.T) {
+	if got := intervalMin(Range(0, 10), Range(5, 7)); got != Range(0, 7) {
+		t.Errorf("min: got %s", got)
+	}
+	if got := intervalMin(AtLeast(0), Range(5, 7)); got != Range(0, 7) {
+		t.Errorf("min with unbounded hi: got %s", got)
+	}
+	if got := intervalMax(Range(0, 10), Range(5, 7)); got != Range(5, 10) {
+		t.Errorf("max: got %s", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Interprocedural interval propagation: the Program joins argument
+// intervals over every loaded call site into per-parameter assumptions,
+// and return intervals per function into a program-wide table the
+// expression evaluator consults at call expressions.
+//
+// The iteration is a descending Kleene chain: a table miss evaluates to
+// Top, and each round recomputes every entry fresh from the previous
+// round's (over-approximate) tables, so every intermediate state — and
+// therefore any cutoff — is a sound over-approximation. Bounds that move
+// the wrong way (non-monotone blips through division or widening
+// feedback) are widened to infinity after a few rounds, which makes them
+// sticky and forces termination well inside the round cap.
+//
+// Two deliberate approximations keep this honest as a lint-grade (not
+// verifier-grade) analysis:
+//
+//   - parameter narrowing applies to unexported functions only — an
+//     exported function can be called from outside the load (tests are
+//     not loaded at all), so the observed call sites are not exhaustive;
+//   - return intervals cover single-result integer functions only.
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rups/internal/analysis"
+)
+
+// ivalWidenRound is the round after which still-moving interval bounds
+// are widened to infinity; with classic interval widening the tables
+// stabilize within two further rounds per side.
+const ivalWidenRound = 4
+
+// ivalMaxRounds caps the fixpoint outright as a backstop.
+const ivalMaxRounds = 10
+
+func (p *Program) computeIntervals(passes []*analysis.Pass) {
+	p.ivalRets = make(map[string]Interval)
+	for _, pass := range passes {
+		a := p.analyses[pass.Pkg.Path()]
+		a.interp.retIval = func(fn *types.Func) (Interval, bool) {
+			iv, ok := p.ivalRets[FuncID(fn)]
+			return iv, ok
+		}
+	}
+
+	prevParams := make(map[string][]Interval)
+	for round := 0; round < ivalMaxRounds; round++ {
+		changed := false
+
+		// Argument intervals at every loaded call site, joined per callee
+		// parameter, recomputed fresh against the previous round's tables.
+		fresh := make(map[string][]Interval)
+		for _, pass := range passes {
+			a := p.analyses[pass.Pkg.Path()]
+			for _, flow := range a.Flows {
+				p.collectArgIvals(a, flow, fresh)
+			}
+		}
+		for id, ivs := range fresh {
+			old := prevParams[id]
+			for i := range ivs {
+				var prev Interval
+				if i < len(old) {
+					prev = old[i]
+				} else {
+					prev = Top()
+				}
+				if round >= ivalWidenRound {
+					ivs[i] = ivs[i].Widen(prev)
+				}
+				if ivs[i] != prev {
+					changed = true
+				}
+			}
+		}
+		prevParams = fresh
+		p.installParamIvals(fresh)
+
+		// Return intervals, recomputed fresh.
+		for _, pf := range p.funcs {
+			a := p.analyses[pf.Pkg.Path()]
+			if a == nil {
+				continue
+			}
+			flow := a.byDecl[pf.Decl]
+			if flow == nil || !singleIntResult(pf.Fn) {
+				continue
+			}
+			nv := a.interp.returnIval(flow)
+			old, ok := p.ivalRets[pf.ID]
+			if !ok {
+				old = Top()
+			}
+			if round >= ivalWidenRound {
+				nv = nv.Widen(old)
+			}
+			if nv != old || !ok {
+				p.ivalRets[pf.ID] = nv
+				changed = changed || nv != old
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// collectArgIvals evaluates integer arguments at every call expression in
+// one function and joins them into the per-callee accumulator.
+func (p *Program) collectArgIvals(a *Analysis, flow *FuncFlow, acc map[string][]Interval) {
+	info := a.pass.TypesInfo
+	it := a.interp
+	ast.Inspect(flow.Decl.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		pf := p.byID[FuncID(callee)]
+		if pf == nil || pf.Fn.Exported() {
+			return true
+		}
+		sig, ok := pf.Fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		n := sig.Params().Len()
+		if sig.Variadic() {
+			n-- // the variadic tail aggregates values, not one argument
+		}
+		if len(call.Args) < n {
+			return true // f(g()) spread form: no per-argument expressions
+		}
+		slots := acc[pf.ID]
+		if slots == nil {
+			slots = make([]Interval, n)
+			for i := range slots {
+				slots[i] = Bottom()
+			}
+			acc[pf.ID] = slots
+		}
+		for i := 0; i < n; i++ {
+			if !isIntegerType(sig.Params().At(i).Type()) {
+				continue
+			}
+			slots[i] = slots[i].Join(it.eval(call.Args[i], flow, call.Pos(), newIenv()))
+		}
+		return true
+	})
+}
+
+// installParamIvals publishes the current parameter table into each
+// package's evaluator, keyed by the callee's own parameter objects.
+func (p *Program) installParamIvals(params map[string][]Interval) {
+	for _, pf := range p.funcs {
+		ivs := params[pf.ID]
+		if ivs == nil {
+			continue
+		}
+		a := p.analyses[pf.Pkg.Path()]
+		if a == nil {
+			continue
+		}
+		sig, ok := pf.Fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i, iv := range ivs {
+			if i >= sig.Params().Len() {
+				break
+			}
+			obj := sig.Params().At(i)
+			if iv.IsEmpty() || iv.IsTop() {
+				// A previous round may have published a narrower value that
+				// widening has since given up on.
+				delete(a.interp.paramIvals, obj)
+				continue
+			}
+			a.interp.paramIvals[obj] = iv
+		}
+	}
+}
+
+// returnIval joins the intervals of every value the function can return
+// (single-result integer functions; the caller checks the signature).
+func (it *Interp) returnIval(flow *FuncFlow) Interval {
+	acc := Bottom()
+	walkSkippingFuncLits(flow.Decl.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if len(ret.Results) == 1 {
+			acc = acc.Join(it.eval(ret.Results[0], flow, ret.Pos(), newIenv()))
+			return
+		}
+		if len(ret.Results) == 0 {
+			for obj := range flow.results {
+				acc = acc.Join(it.objIval(obj, flow, ret.Pos(), newIenv()))
+			}
+		}
+	})
+	if acc.IsEmpty() {
+		return Top() // no return statements reached: know nothing
+	}
+	return acc
+}
+
+// RetIvalByID resolves the proven return interval of a function by
+// canonical ID.
+func (p *Program) RetIvalByID(id string) (Interval, bool) {
+	iv, ok := p.ivalRets[id]
+	return iv, ok
+}
+
+func singleIntResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isIntegerType(sig.Results().At(0).Type())
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -20,6 +20,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 
 	"rups/internal/analysis"
 	"rups/internal/analysis/loader"
@@ -42,7 +43,14 @@ type Program struct {
 	lockEdges   []LockEdge
 	lockEdgeSet map[lockEdgeKey]bool
 
+	// dynMu guards dynCache: it is populated lazily by callees(), which
+	// analyzers reach concurrently once the driver parallelizes packages.
+	dynMu    sync.Mutex
 	dynCache map[string][]*ProgFunc // interface method ID → matching impls
+
+	// ivalRets holds the interval fixpoint's per-function return
+	// intervals, keyed by canonical function ID (see computeIntervals).
+	ivalRets map[string]Interval
 }
 
 // ProgFunc is one declared function (methods included) with its syntax,
@@ -260,6 +268,10 @@ func newProgram(passes []*analysis.Pass) *Program {
 		}
 	}
 
+	// Interval layer: interprocedural argument/return interval propagation
+	// over the same per-package analyses, to a widened fixpoint.
+	p.computeIntervals(passes)
+
 	sort.Strings(p.chanKeys)
 	sort.Strings(p.fieldIDs)
 	sort.Slice(p.lockEdges, func(i, j int) bool {
@@ -291,6 +303,9 @@ func (p *Program) foreignSummary(self *types.Package) func(*types.Func) *Summary
 
 // Functions returns every declared function in declaration order.
 func (p *Program) Functions() []*ProgFunc { return p.funcs }
+
+// Fset is the shared fileset every loaded package was parsed into.
+func (p *Program) Fset() *token.FileSet { return p.fset }
 
 // Func resolves a function (possibly an export-data twin from another
 // package's view) to its program entry, or nil when it is not part of the

@@ -1,0 +1,131 @@
+// SSA-lite: reaching-definition resolution over the def-use chains, with
+// dominance approximated by the block stack dataflow.go records on every
+// event. The full construction (phi nodes, dominator trees) is overkill
+// for the straight-line-plus-guards code this repository writes; what the
+// interval engine actually needs is "which definitions can this use
+// observe", and that splits into three position-decidable cases:
+//
+//   - the latest earlier definition whose block extent encloses the use
+//     (it post-dominates every older definition on the path to the use —
+//     the kill);
+//   - later-but-earlier-positioned definitions in non-enclosing blocks
+//     (branch arms between the kill and the use — the phi operands);
+//   - definitions positioned after the use but inside a loop that also
+//     encloses the use (loop back edges — the loop phi operands).
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Span is a half-open source extent.
+type Span struct {
+	Start, End token.Pos
+}
+
+// Contains reports pos ∈ [Start, End].
+func (s Span) Contains(pos token.Pos) bool { return s.Start <= pos && pos <= s.End }
+
+// SSA is the per-function reaching-definition view.
+type SSA struct {
+	flow *FuncFlow
+	// loops are the extents of every for/range statement in the body,
+	// outermost first; a definition positioned after a use still reaches
+	// it when some loop extent contains both.
+	loops []Span
+}
+
+// BuildSSA prepares reaching-definition queries for one function.
+func BuildSSA(flow *FuncFlow) *SSA {
+	s := &SSA{flow: flow}
+	ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			s.loops = append(s.loops, Span{n.Pos(), n.End()})
+		case *ast.RangeStmt:
+			s.loops = append(s.loops, Span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return s
+}
+
+// Loops returns the loop extents of the function body, in source order.
+func (s *SSA) Loops() []Span { return s.loops }
+
+// InLoop reports whether a position sits inside some loop extent.
+func (s *SSA) InLoop(pos token.Pos) bool {
+	for _, l := range s.loops {
+		if l.Contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// sharesLoop reports whether one loop extent contains both positions —
+// the back-edge condition under which a later definition reaches an
+// earlier use.
+func (s *SSA) sharesLoop(a, b token.Pos) bool {
+	for _, l := range s.loops {
+		if l.Contains(a) && l.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockEncloses reports whether the event's recorded block extent covers
+// the position. A nil block (parameter and result declarations) behaves
+// as the function body: it encloses everything.
+func (s *SSA) blockEncloses(ev *Event, at token.Pos) bool {
+	if ev.Block == nil {
+		return true
+	}
+	return ev.Block.Pos() <= at && at <= ev.Block.End()
+}
+
+// ReachingDefs returns the definitions of obj that can flow into a use at
+// the given position, oldest first. An empty result means the object has
+// no definition events at all (package-level, foreign).
+func (s *SSA) ReachingDefs(obj types.Object, at token.Pos) []*Event {
+	flow := s.flow
+	idx := flow.byObj[obj]
+	if len(idx) == 0 {
+		return nil
+	}
+	// The kill: latest def before `at` whose block encloses `at`.
+	killAt := token.NoPos
+	for _, i := range idx {
+		ev := &flow.Events[i]
+		if ev.Kind == Def && ev.Pos < at && s.blockEncloses(ev, at) && ev.Pos > killAt {
+			killAt = ev.Pos
+		}
+	}
+	var out []*Event
+	for _, i := range idx {
+		ev := &flow.Events[i]
+		if ev.Kind != Def {
+			continue
+		}
+		switch {
+		case ev.Pos == killAt:
+			out = append(out, ev)
+		case ev.Pos > killAt && ev.Pos < at:
+			// Branch-arm definition between the kill and the use: may or
+			// may not have executed.
+			out = append(out, ev)
+		case ev.Pos >= at && s.sharesLoop(ev.Pos, at):
+			// Loop back edge: a textually later definition reaches the use
+			// on the next iteration.
+			out = append(out, ev)
+		case killAt == token.NoPos && ev.Pos >= at:
+			// Use before any definition (loop-carried into a guard, named
+			// result read by defer): every definition may reach.
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Suggested fixes: an analyzer that can name the repair attaches machine-
+// applicable text edits to its diagnostic. The driver's -fix mode applies
+// every non-conflicting fix, runs the result through gofmt, and writes
+// each file atomically — applying the same fixes twice is a no-op, which
+// CI asserts.
+
+// TextEdit replaces the half-open byte range [Pos.Offset, End.Offset) of
+// one file with NewText.
+type TextEdit struct {
+	Pos     token.Position
+	End     token.Position
+	NewText string
+}
+
+// Fix is one suggested repair: a human-readable description plus the
+// edits that implement it. All edits of one fix are applied atomically or
+// not at all.
+type Fix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// Edit builds a TextEdit from token positions of this pass's fileset.
+func (p *Pass) Edit(from, to token.Pos, newText string) TextEdit {
+	return TextEdit{Pos: p.Fset.Position(from), End: p.Fset.Position(to), NewText: newText}
+}
+
+// ReportWithFix records a diagnostic carrying a suggested fix.
+func (p *Pass) ReportWithFix(pos token.Pos, message string, fix Fix) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  message,
+		Fixes:    []Fix{fix},
+	})
+}
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Files lists the files rewritten, sorted.
+	Files []string
+	// Applied counts the fixes whose edits landed.
+	Applied int
+	// Skipped counts the fixes dropped because their edits overlapped an
+	// already-accepted fix.
+	Skipped int
+}
+
+// ApplyFixes applies every suggested fix carried by diags to the files on
+// disk. Fixes are accepted greedily in diagnostic order; a fix whose
+// edits overlap an already-accepted edit is skipped whole. Each rewritten
+// file is formatted with gofmt and replaced atomically (write to a
+// temporary file in the same directory, then rename), so a crash cannot
+// leave a half-edited source file.
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	type span struct{ start, end int }
+	accepted := make(map[string][]span)  // file -> claimed ranges
+	edits := make(map[string][]TextEdit) // file -> edits to apply
+	res := &FixResult{}
+
+	overlaps := func(file string, s span) bool {
+		for _, a := range accepted[file] {
+			if s.start < a.end && a.start < s.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			ok := len(fix.Edits) > 0
+			for _, e := range fix.Edits {
+				if e.End.Offset < e.Pos.Offset || e.Pos.Filename == "" || e.Pos.Filename != e.End.Filename {
+					ok = false
+					break
+				}
+				if overlaps(e.Pos.Filename, span{e.Pos.Offset, e.End.Offset}) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			for _, e := range fix.Edits {
+				accepted[e.Pos.Filename] = append(accepted[e.Pos.Filename], span{e.Pos.Offset, e.End.Offset})
+				edits[e.Pos.Filename] = append(edits[e.Pos.Filename], e)
+			}
+			res.Applied++
+		}
+	}
+
+	for file, es := range edits {
+		if err := applyFileEdits(file, es); err != nil {
+			return res, fmt.Errorf("fix %s: %w", file, err)
+		}
+		res.Files = append(res.Files, file)
+	}
+	sort.Strings(res.Files)
+	return res, nil
+}
+
+// applyFileEdits splices the accepted edits into one file, formats, and
+// writes atomically. Edits are applied back to front so earlier offsets
+// stay valid.
+func applyFileEdits(file string, edits []TextEdit) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Pos.Offset > edits[j].Pos.Offset })
+	out := src
+	for _, e := range edits {
+		if e.End.Offset > len(out) {
+			return fmt.Errorf("edit range [%d, %d) outside file of %d bytes (stale positions?)",
+				e.Pos.Offset, e.End.Offset, len(out))
+		}
+		next := make([]byte, 0, len(out)-(e.End.Offset-e.Pos.Offset)+len(e.NewText))
+		next = append(next, out[:e.Pos.Offset]...)
+		next = append(next, e.NewText...)
+		next = append(next, out[e.End.Offset:]...)
+		out = next
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		return fmt.Errorf("result does not parse (fix bug?): %w", err)
+	}
+
+	info, err := os.Stat(file)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(file), "."+filepath.Base(file)+".fix*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(formatted)
+	merr := tmp.Chmod(info.Mode().Perm())
+	cerr := tmp.Close()
+	if err := errors.Join(werr, merr, cerr); err != nil {
+		return errors.Join(err, os.Remove(tmpName))
+	}
+	if err := os.Rename(tmpName, file); err != nil {
+		return errors.Join(err, os.Remove(tmpName))
+	}
+	return nil
+}

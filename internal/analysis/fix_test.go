@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureFile writes src into a temp dir and returns its path.
+func fixtureFile(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// edit builds a TextEdit over the half-open byte range [start, end) of file.
+func edit(file string, start, end int, newText string) TextEdit {
+	return TextEdit{
+		Pos:     token.Position{Filename: file, Offset: start},
+		End:     token.Position{Filename: file, Offset: end},
+		NewText: newText,
+	}
+}
+
+func TestApplyFixesInsertsAndFormats(t *testing.T) {
+	src := "package p\n\nfunc f() []int {\n\tout := make([]int, 0)\n\treturn out\n}\n"
+	path := fixtureFile(t, src)
+	// Insert a capacity argument after the zero length of make([]int, 0).
+	at := len("package p\n\nfunc f() []int {\n\tout := make([]int, 0")
+	diags := []Diagnostic{{
+		Analyzer: "allocdiscipline",
+		Pos:      token.Position{Filename: path, Line: 4},
+		Message:  "preallocate",
+		Fixes:    []Fix{{Message: "add capacity", Edits: []TextEdit{edit(path, at, at, ", 8")}}},
+	}}
+
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 1/0", res.Applied, res.Skipped)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "package p\n\nfunc f() []int {\n\tout := make([]int, 0, 8)\n\treturn out\n}\n"
+	if string(got) != want {
+		t.Errorf("rewritten file:\n%s\nwant:\n%s", got, want)
+	}
+	// The result must already be gofmt-clean: formatting is a fixed point.
+	formatted, err := format.Source(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(formatted) != string(got) {
+		t.Error("ApplyFixes output is not gofmt-clean")
+	}
+}
+
+func TestApplyFixesSkipsOverlapping(t *testing.T) {
+	src := "package p\n\nvar x = 1\n"
+	path := fixtureFile(t, src)
+	at := len("package p\n\nvar x = ")
+	diags := []Diagnostic{
+		{
+			Analyzer: "a", Pos: token.Position{Filename: path, Line: 3}, Message: "first",
+			Fixes: []Fix{{Message: "first", Edits: []TextEdit{edit(path, at, at+1, "2")}}},
+		},
+		{
+			Analyzer: "b", Pos: token.Position{Filename: path, Line: 3}, Message: "second",
+			Fixes: []Fix{{Message: "conflicts", Edits: []TextEdit{edit(path, at, at+1, "3")}}},
+		},
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1/1", res.Applied, res.Skipped)
+	}
+	got, _ := os.ReadFile(path)
+	if want := "package p\n\nvar x = 2\n"; string(got) != want {
+		t.Errorf("file is %q, want %q (first fix wins, second skipped whole)", got, want)
+	}
+}
+
+func TestApplyFixesIdempotent(t *testing.T) {
+	// A fix whose edit range no longer exists (already applied, file now
+	// shorter there) must fail loudly, and applying an empty diagnostic
+	// set must not touch the file — together these are the driver's
+	// "-fix twice is a no-op" contract: the second run recomputes
+	// diagnostics, finds none, and applies nothing.
+	src := "package p\n\nvar x = 1\n"
+	path := fixtureFile(t, src)
+	res, err := ApplyFixes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 0 || res.Applied != 0 {
+		t.Fatalf("empty ApplyFixes rewrote files: %+v", res)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != src {
+		t.Error("file changed with no fixes applied")
+	}
+}
+
+// TestBaselinePruneRetiresSuppressed is the satellite contract: when a
+// boundsproof-style suppression fact retires findings, a subsequent Prune
+// marks exactly that budget stale — with count accounting when only part
+// of an entry's findings are covered — and preserves `why:` on what stays.
+func TestBaselinePruneRetiresSuppressed(t *testing.T) {
+	root := "/repo"
+	file := "/repo/internal/eval/conditions.go"
+	diags := []Diagnostic{
+		{Analyzer: "obsdiscipline", Pos: token.Position{Filename: file, Line: 10, Offset: 100}, Message: "observation copied per iteration"},
+		{Analyzer: "obsdiscipline", Pos: token.Position{Filename: file, Line: 20, Offset: 200}, Message: "observation copied per iteration"},
+		{Analyzer: "timedet", Pos: token.Position{Filename: file, Line: 30, Offset: 300}, Message: "wall clock read in replay path"},
+	}
+	base := NewBaseline(diags, root)
+	for i := range base.Entries {
+		base.Entries[i].Why = "accepted: " + base.Entries[i].Analyzer
+	}
+
+	// A fresh run where boundsproof proved the loop at line 10 bounded:
+	// its fact covers offsets [90, 150), retiring one of the two
+	// obsdiscipline findings.
+	fact := SuppressRange{
+		Analyzer: "obsdiscipline",
+		Start:    token.Position{Filename: file, Offset: 90},
+		End:      token.Position{Filename: file, Offset: 150},
+		Why:      "loop provably executes at most 5 iterations",
+	}
+	surviving, dropped := applySuppressions(diags, []SuppressRange{fact})
+	if dropped != 1 {
+		t.Fatalf("suppression dropped %d diagnostics, want 1", dropped)
+	}
+
+	kept, stale := base.Prune(surviving, root)
+	if len(stale) != 1 {
+		t.Fatalf("stale entries = %d, want 1 (the suppressed finding's budget)", len(stale))
+	}
+	if stale[0].Analyzer != "obsdiscipline" || stale[0].Count != 1 {
+		t.Errorf("stale = %+v, want obsdiscipline count 1", stale[0])
+	}
+	// The other obsdiscipline finding still fires, so its entry survives
+	// with the reduced count and the justification intact.
+	var foundObs, foundTime bool
+	for _, e := range kept.Entries {
+		switch e.Analyzer {
+		case "obsdiscipline":
+			foundObs = true
+			if e.Count != 1 {
+				t.Errorf("kept obsdiscipline count = %d, want 1", e.Count)
+			}
+			if e.Why != "accepted: obsdiscipline" {
+				t.Errorf("kept entry lost its why: %q", e.Why)
+			}
+		case "timedet":
+			foundTime = true
+			if e.Why != "accepted: timedet" {
+				t.Errorf("timedet entry lost its why: %q", e.Why)
+			}
+		}
+	}
+	if !foundObs || !foundTime {
+		t.Errorf("kept entries missing: obs=%v time=%v (%+v)", foundObs, foundTime, kept.Entries)
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Suppression facts let one analyzer retire another's diagnostics with a
+// proof instead of a human-written ignore. The canonical producer is
+// boundsproof: when the interval engine proves a loop executes at most N
+// times, the per-iteration findings of cost-oriented analyzers inside
+// that loop stop being interesting, and the fact carries the proof in Why
+// so `-prune-baseline rewrite` can retire the baseline entry mechanically
+// and auditable-y.
+//
+// A fact is scoped: it names the target analyzer and a half-open source
+// range [Start, End). It never crosses files, and it only fires when the
+// producing analyzer is in the roster — running `-only obsdiscipline`
+// reports the raw findings.
+
+// SuppressRange retires diagnostics of one analyzer inside a source range.
+type SuppressRange struct {
+	// Analyzer is the target whose diagnostics are retired — not the
+	// analyzer that produced the fact.
+	Analyzer string
+	// Start and End delimit the half-open byte range [Start, End) in one
+	// file; a diagnostic is covered when its position's offset falls
+	// inside and the filename matches.
+	Start, End token.Position
+	// Why is the machine-generated proof, e.g. "loop provably executes at
+	// most 5 iterations". It is surfaced by -debug and in tests.
+	Why string
+}
+
+// covers reports whether the diagnostic falls inside the fact's range.
+func (s SuppressRange) covers(d Diagnostic) bool {
+	return s.Analyzer == d.Analyzer &&
+		s.Start.Filename == d.Pos.Filename &&
+		s.Start.Offset <= d.Pos.Offset &&
+		d.Pos.Offset < s.End.Offset
+}
+
+// Suppress records a suppression fact: diagnostics of the target analyzer
+// positioned in [start, end) of this pass's fileset are dropped after all
+// analyzers have run, with why recorded as the proof.
+func (p *Pass) Suppress(target string, start, end token.Pos, why string) {
+	p.supps = append(p.supps, SuppressRange{
+		Analyzer: target,
+		Start:    p.Fset.Position(start),
+		End:      p.Fset.Position(end),
+		Why:      why,
+	})
+}
+
+// Suppressions exposes the facts recorded so far, for tests and -debug.
+func (p *Pass) Suppressions() []SuppressRange {
+	return p.supps
+}
+
+// applySuppressions drops every diagnostic covered by a fact and returns
+// the survivors plus the number dropped. Facts produced by an analyzer in
+// one package may cover diagnostics from any package: matching is by
+// file and offset, which are process-global in one run.
+func applySuppressions(diags []Diagnostic, supps []SuppressRange) (kept []Diagnostic, dropped int) {
+	if len(supps) == 0 {
+		return diags, 0
+	}
+	// Bucket facts by file so the common case (no facts for this file)
+	// costs one map probe per diagnostic.
+	byFile := make(map[string][]SuppressRange)
+	for _, s := range supps {
+		byFile[s.Start.Filename] = append(byFile[s.Start.Filename], s)
+	}
+	kept = diags[:0]
+	for _, d := range diags {
+		covered := false
+		for _, s := range byFile[d.Pos.Filename] {
+			if s.covers(d) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			dropped++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, dropped
+}
+
+// sortSuppressions orders facts for deterministic -debug output.
+func sortSuppressions(supps []SuppressRange) {
+	sort.Slice(supps, func(i, j int) bool {
+		a, b := supps[i], supps[j]
+		if a.Start.Filename != b.Start.Filename {
+			return a.Start.Filename < b.Start.Filename
+		}
+		if a.Start.Offset != b.Start.Offset {
+			return a.Start.Offset < b.Start.Offset
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

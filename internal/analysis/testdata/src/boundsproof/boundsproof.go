@@ -1,0 +1,104 @@
+// Package boundsproof is the golden input for the bounds-proof analyzer:
+// every flagged line is provably wrong under interval analysis, and every
+// silent line either is in range or has an unknown interval.
+package boundsproof
+
+var weights = []int{10, 20, 30}
+
+func indexProvablyOut() int {
+	xs := []int{1, 2, 3}
+	i := 5
+	return xs[i] // want "index provably out of range"
+}
+
+func indexNegative(xs []int) int {
+	i := -2
+	return xs[i] // want "index is provably negative"
+}
+
+func indexInRange() int {
+	xs := []int{1, 2, 3}
+	i := 2
+	return xs[i] // proven in range: silent
+}
+
+func indexGuarded(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i] // guard proves 0 <= i < len(xs): silent
+}
+
+func indexUnknown(xs []int, i int) int {
+	return xs[i] // no proof either way: silent
+}
+
+func indexLoopOut() int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += weights[i+3] // want "index provably out of range"
+	}
+	return total
+}
+
+func indexLoopOK() int {
+	total := 0
+	for i := 0; i < len(weights); i++ {
+		total += weights[i] // induction proves i < len: silent
+	}
+	return total
+}
+
+func sliceInverted(xs []int) []int {
+	lo, hi := 4, 2
+	return xs[lo:hi] // want "slice bounds provably inverted"
+}
+
+func sliceHighOut(s string) string {
+	if len(s) > 4 {
+		return s
+	}
+	hi := 6
+	return s[:hi] // want "slice high bound provably out of range"
+}
+
+func makeNegative() []int {
+	n := -3
+	return make([]int, n) // want "make length is provably negative"
+}
+
+func makeLenOverCap() []int {
+	n, c := 8, 4
+	return make([]int, n, c) // want "make length provably exceeds capacity"
+}
+
+func makeClamped(n int) []byte {
+	if n < 0 || n > 64 {
+		return nil
+	}
+	return make([]byte, n) // proven nonnegative: silent
+}
+
+// boundedTelemetryLoop exists for the suppression-fact test: the loop
+// ranges over a 3-element package literal, so boundsproof proves at most
+// 3 trips and emits an obsdiscipline suppression over the body.
+func boundedTelemetryLoop() int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// unboundedInner nests an unprovable loop inside a proven one: the fact
+// for the outer loop must not cover the inner body.
+func unboundedInner(n int) int {
+	total := 0
+	for _, w := range weights {
+		for j := 0; j < n; j++ {
+			total += w
+		}
+		total++
+	}
+	return total
+}

@@ -1,0 +1,159 @@
+// Package ival exercises the interval abstract-interpretation engine:
+// constants, branch joins, loop-induction and range constraints,
+// diverting guards, length tracking, and interprocedural argument/return
+// propagation. The dataflow interp tests assert the return interval of
+// each function by name.
+package ival
+
+// configs is countable: initialized from a literal and never reassigned.
+var configs = []int{10, 20, 30, 40, 50}
+
+// grown is not countable: init() appends to it.
+var grown = []int{1, 2}
+
+func init() { grown = append(grown, 3) }
+
+func constChain() int {
+	x := 4
+	y := x * 3
+	return y + 2 // [14, 14]
+}
+
+func branchJoin(c bool) int {
+	x := 1
+	if c {
+		x = 5
+	}
+	return x // [1, 5]
+}
+
+func loopInduction() int {
+	m := 0
+	for i := 0; i < 10; i++ {
+		m = i // i ∈ [0, 9]
+	}
+	return m // [0, 9]
+}
+
+func loopStepTwo() int {
+	m := 0
+	for i := 2; i <= 20; i += 2 {
+		m = i // i ∈ [2, 20]
+	}
+	return m // [0, 20]
+}
+
+func countdown() int {
+	m := 0
+	for i := 8; i > 0; i-- {
+		m = i // i ∈ [1, 8]
+	}
+	return m // [0, 8]
+}
+
+func rangeConfigs() int {
+	last := 0
+	for i := range configs {
+		last = i // i ∈ [0, 4] via the package-level length table
+	}
+	return last // [0, 4]
+}
+
+func rangeGrown() int {
+	last := 0
+	for i := range grown {
+		last = i // length unknown: i ∈ [0, +inf)
+	}
+	return last // [0, +inf)
+}
+
+func rangeLiteral() int {
+	total := 0
+	for i, w := range [4]int{1, 2, 3, 4} {
+		total = i // i ∈ [0, 3]
+		_ = w
+	}
+	return total // [0, 3]
+}
+
+func rangeInt(n int) int {
+	last := 0
+	for i := range 6 {
+		last = i // i ∈ [0, 5]
+	}
+	_ = n
+	return last // [0, 5]
+}
+
+func clamp(x int) int {
+	if x < 0 {
+		return 0
+	}
+	if x > 100 {
+		return 100
+	}
+	return x // refined to [0, 100] by the two diverting guards
+}
+
+func elseBranch(x int) int {
+	if x < 10 {
+		return 9
+	} else {
+		if x > 50 {
+			return 50
+		}
+		return x // ¬(x<10) in the else branch, then the x>50 guard: [10, 50]
+	}
+}
+
+func modIdiom(x int) int {
+	return x % 16 // x unknown: [-15, 15]; callers only pass nonneg? exported-shape: keep general
+}
+
+// step is unexported and only ever called with small constants, so the
+// interprocedural fixpoint narrows k.
+func step(k int) int {
+	return k * 2
+}
+
+func callsStep() int {
+	return step(3) + step(5) // k ∈ [3, 5] → step ∈ [6, 10] → [12, 20]
+}
+
+// recurse must settle (widened) instead of looping the fixpoint.
+func recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return recurse(n-1) + 1
+}
+
+func lenOfMake(n int) int {
+	if n < 0 || n > 32 {
+		return 0
+	}
+	buf := make([]byte, n) // len ∈ [0, 32]
+	total := 0
+	for i := range buf {
+		total = i // [0, 31]
+	}
+	return total // [0, 31]
+}
+
+func lenAppend() int {
+	xs := []int{1, 2, 3}
+	xs2 := append(xs, 4, 5)
+	return len(xs2) // [5, 5]
+}
+
+func sliceBounds(raw []byte) int {
+	if len(raw) < 8 {
+		return 0
+	}
+	head := raw[:4] // provable: 4 ≤ len(raw)
+	return len(head)
+}
+
+func minClamp(n int) int {
+	return min(n, 64) // (-inf, 64]
+}

@@ -1,0 +1,73 @@
+// Package widenconv is the golden input for the lossy-conversion
+// analyzer: flagged conversions have a proven interval escaping the
+// target type; silent ones fit or have no proof.
+package widenconv
+
+func narrowProvablyLossy(x int) int16 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 100000 {
+		x = 100000
+	}
+	return int16(x) // want "conversion to int16 is provably lossy"
+}
+
+func narrowFits(x int) int16 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 30000 {
+		x = 30000
+	}
+	return int16(x) // proven [0, 30000] fits int16: silent
+}
+
+func narrowUnproven(x int) int16 {
+	return int16(x) // no interval proof: silent
+}
+
+func maskedByte(x int) byte {
+	y := x & 0xff
+	return byte(y) // mask proves [0, 255]: silent
+}
+
+func uint8Lossy() uint8 {
+	v := 300
+	return uint8(v) // want "conversion to uint8 is provably lossy"
+}
+
+func toFloat32Lossy(x int) float32 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1<<26 {
+		x = 1 << 26
+	}
+	return float32(x) // want "conversion to float32 is provably lossy"
+}
+
+func toFloat32Fits(x int) float32 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1<<20 {
+		x = 1 << 20
+	}
+	return float32(x) // [0, 2^20] is exact in float32: silent
+}
+
+func toFloat64Fits(x int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return float64(x) // half-open interval carries no proof: silent
+}
+
+func loopCounterNarrow() []int8 {
+	var out []int8
+	for i := 0; i <= 200; i++ {
+		out = append(out, int8(i)) // want "conversion to int8 is provably lossy"
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Package widenconv flags lossy numeric conversions backed by an interval
+// proof: the converted value's *proven* interval does not fit the target
+// type, so some reachable value is truncated, wrapped, or rounded. An
+// unknown interval never fires — unlike a syntactic narrowing lint, every
+// report here comes with the range evidence in the message.
+//
+// Two families:
+//
+//   - integer → smaller integer where the proven interval escapes the
+//     target's range (int16(x) with x ∈ [0, 100000]);
+//   - integer → float where the proven interval escapes the mantissa's
+//     exact-integer range (float32 holds every integer only up to 2^24,
+//     float64 up to 2^53), so nearby counts collide after conversion.
+package widenconv
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rups/internal/analysis"
+	"rups/internal/analysis/dataflow"
+)
+
+// Analyzer reports narrowing conversions with interval proof of loss.
+var Analyzer = &analysis.Analyzer{
+	Name: "widenconv",
+	Doc: "flags int-to-int and int-to-float conversions whose proven interval " +
+		"exceeds what the target type represents exactly",
+	Run: run,
+}
+
+// float mantissa limits: the largest N with every integer in [-N, N]
+// exactly representable.
+const (
+	float32Exact = 1 << 24
+	float64Exact = 1 << 53
+)
+
+func run(pass *analysis.Pass) error {
+	prog := dataflow.ProgramOf(pass)
+	df := prog.AnalysisFor(pass.Pkg)
+	if df == nil {
+		return nil
+	}
+	it := df.Interp()
+	for _, pf := range prog.Functions() {
+		if pf.Pkg.Path() != pass.Pkg.Path() {
+			continue
+		}
+		flow := df.FlowOf(pf.Decl)
+		if flow == nil {
+			continue
+		}
+		checkConversions(pass, it, flow)
+	}
+	return nil
+}
+
+func checkConversions(pass *analysis.Pass, it *dataflow.Interp, flow *dataflow.FuncFlow) {
+	info := pass.TypesInfo
+	ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; !ok || !tv.IsType() {
+			return true
+		}
+		src := info.TypeOf(call.Args[0])
+		dst := info.TypeOf(call)
+		if src == nil || dst == nil || !isInteger(src) {
+			return true
+		}
+		iv := it.Eval(call.Args[0], flow, call.Pos())
+		if !iv.Bounded() {
+			return true // no proof, no report
+		}
+		switch {
+		case isInteger(dst):
+			dr := dataflow.TypeInterval(dst)
+			if dr.IsTop() || iv.ContainedIn(dr) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"conversion to %s is provably lossy: value proven in %s, %s holds %s",
+				dst, iv, dst, dr)
+		case isFloat(dst):
+			exact := int64(float64Exact)
+			if basicKind(dst) == types.Float32 {
+				exact = float32Exact
+			}
+			if iv.ContainedIn(dataflow.Range(-exact, exact)) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"conversion to %s is provably lossy: value proven in %s exceeds the "+
+					"exactly-representable integer range [-2^%d, 2^%d]",
+				dst, iv, log2(exact), log2(exact))
+		}
+		return true
+	})
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func basicKind(t types.Type) types.BasicKind {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}
+
+func log2(n int64) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}

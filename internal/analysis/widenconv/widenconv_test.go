@@ -1,0 +1,12 @@
+package widenconv_test
+
+import (
+	"testing"
+
+	"rups/internal/analysis/analysistest"
+	"rups/internal/analysis/widenconv"
+)
+
+func TestWidenconv(t *testing.T) {
+	analysistest.Run(t, "../testdata", widenconv.Analyzer, "widenconv")
+}

@@ -76,13 +76,13 @@ func TestHistogramBucketing(t *testing.T) {
 	}{
 		{-3, 0}, {0, 0}, {0.5, 0}, {1, 0}, // underflow: le=1
 		{1.2, 1}, {1.5, 1}, // le=1.5
-		{1.7, 2}, {2, 2},   // le=2
-		{2.5, 3}, {3, 3},   // le=3
-		{3.5, 4}, {4, 4},   // le=4
-		{5, 5}, {6, 5},     // le=6
-		{7, 6}, {8, 6},     // le=8
-		{9, 7}, {12, 7},    // le=12
-		{13, 8}, {16, 8},   // le=16
+		{1.7, 2}, {2, 2}, // le=2
+		{2.5, 3}, {3, 3}, // le=3
+		{3.5, 4}, {4, 4}, // le=4
+		{5, 5}, {6, 5}, // le=6
+		{7, 6}, {8, 6}, // le=8
+		{9, 7}, {12, 7}, // le=12
+		{13, 8}, {16, 8}, // le=16
 		{16.5, 9}, {1e9, 9}, {math.Inf(1), 9}, // +Inf
 	}
 	for _, c := range cases {
