@@ -69,6 +69,16 @@ func TestSuppressionFacts(t *testing.T) {
 				f.Start.Line, f.End.Line, innerLine)
 		}
 	}
+
+	// mapHintLoop ranges over make(map[int]int, 4): the hint is not a
+	// length, so the body must not be covered by any fact.
+	mapLine := findLine(t, pkgs[0], "n++", 1)
+	for _, f := range bounded {
+		if coversLine(f, mapLine) {
+			t.Errorf("fact [%d, %d) covers the map-range body at line %d: make's hint is not a length",
+				f.Start.Line, f.End.Line, mapLine)
+		}
+	}
 }
 
 func anyWhy(facts []analysis.SuppressRange, substr string) bool {

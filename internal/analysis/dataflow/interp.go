@@ -179,7 +179,14 @@ func (it *Interp) LoopTrips(stmt ast.Stmt, flow *FuncFlow) (Interval, bool) {
 		if step < 0 {
 			step = -step
 		}
-		trips := (span.Hi + step - 1) / step
+		if step <= 0 {
+			return Top(), false // -MinInt64 wrapped negative
+		}
+		hi, ok := addChecked(span.Hi, step-1)
+		if !ok {
+			return Top(), false // ceiling adjustment would overflow
+		}
+		trips := hi / step
 		if trips < 0 {
 			trips = 0
 		}
@@ -533,10 +540,17 @@ func (it *Interp) lenOfCall(call *ast.CallExpr, flow *FuncFlow, at token.Pos, en
 		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
 			switch id.Name {
 			case "make":
-				if len(call.Args) >= 2 {
-					return it.eval(call.Args[1], flow, at, env)
+				// The size argument pins the length only for slices. For a
+				// map it is a capacity hint (and map inserts assign through
+				// m[k], which never produces a Def event for m, so a fixed
+				// length here would survive arbitrarily many inserts); for a
+				// channel it is a buffer capacity. Both stay [0, +inf).
+				if t := info.TypeOf(call); t != nil {
+					if _, isSlice := t.Underlying().(*types.Slice); isSlice && len(call.Args) >= 2 {
+						return it.eval(call.Args[1], flow, at, env)
+					}
 				}
-				return Const(0) // make(map[K]V), make(chan T), make([]T) is invalid
+				return AtLeast(0)
 			case "append":
 				if len(call.Args) == 0 {
 					return AtLeast(0)
@@ -583,8 +597,12 @@ func compositeLen(info *types.Info, lit *ast.CompositeLit) Interval {
 }
 
 // buildPkgLens proves lengths for package-level slice/array variables:
-// initialized from a countable literal, never reassigned, never
-// address-taken anywhere in the package.
+// unexported, initialized from a countable literal, never reassigned,
+// never address-taken anywhere in the package. Exported variables are
+// excluded for the same reason exported functions skip parameter
+// narrowing — any other package in the program (or a test, which is not
+// loaded) can reassign or append to them, so this package's files are
+// not the whole story.
 func buildPkgLens(files []*ast.File, info *types.Info) map[types.Object]Interval {
 	cands := make(map[types.Object]Interval)
 	mutated := make(map[types.Object]bool)
@@ -601,7 +619,7 @@ func buildPkgLens(files []*ast.File, info *types.Info) map[types.Object]Interval
 				}
 				for i, name := range vs.Names {
 					obj := info.Defs[name]
-					if obj == nil {
+					if obj == nil || obj.Exported() {
 						continue
 					}
 					if n, ok := arrayLen(obj.Type()); ok {

@@ -97,6 +97,67 @@ func TestInterpUnboundedStaysUnbounded(t *testing.T) {
 	}
 }
 
+// TestInterpSoundnessGuards pins the cases where the engine must refuse
+// to prove: map make hints, exported package-level slices, spread-form
+// call sites, and value-referenced functions.
+func TestInterpSoundnessGuards(t *testing.T) {
+	p := loadIval(t)
+	if got := retIval(t, p, "mapHint"); got.HiBounded() {
+		t.Errorf("mapHint: a map's make hint must not become a proven length, got %s", got)
+	}
+	if got := retIval(t, p, "rangeExported"); got.HiBounded() {
+		t.Errorf("rangeExported: an exported package slice must not get a proven length, got %s", got)
+	}
+	if got := retIval(t, p, "spread2"); !got.IsTop() {
+		t.Errorf("spread2: the f(g()) spread call site must widen parameters to Top, got %s", got)
+	}
+	if got := retIval(t, p, "escaped"); !got.IsTop() {
+		t.Errorf("escaped: a value-referenced function must not narrow its parameter, got %s", got)
+	}
+}
+
+func flowForStmts(flow *dataflow.FuncFlow) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(flow.Decl.Body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			out = append(out, fs)
+		}
+		return true
+	})
+	return out
+}
+
+// TestInterpLoopTripsUnprovable covers loops whose trip count must stay
+// unproven: ranging over a made map (the hint is not a length) and a
+// counting loop whose ceiling adjustment would overflow int64.
+func TestInterpLoopTripsUnprovable(t *testing.T) {
+	p := loadIval(t)
+	for _, name := range []string{"countMap", "hugeStep"} {
+		pf := p.FuncByID(ivalPath + "." + name)
+		if pf == nil {
+			t.Fatalf("no ProgFunc for %s", name)
+		}
+		a := p.AnalysisFor(pf.Pkg)
+		flow := a.FlowOf(pf.Decl)
+		it := a.Interp()
+		stmts := make([]ast.Stmt, 0, 1)
+		for _, s := range flowRangeStmts(flow) {
+			stmts = append(stmts, s)
+		}
+		for _, s := range flowForStmts(flow) {
+			stmts = append(stmts, s)
+		}
+		if len(stmts) == 0 {
+			t.Fatalf("%s: no loops found", name)
+		}
+		for _, s := range stmts {
+			if trips, ok := it.LoopTrips(s, flow); ok {
+				t.Errorf("%s: trip count must not be provable, got %s", name, trips)
+			}
+		}
+	}
+}
+
 func TestInterpLoopTrips(t *testing.T) {
 	p := loadIval(t)
 	pf := p.FuncByID(ivalPath + ".rangeConfigs")

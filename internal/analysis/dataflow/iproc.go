@@ -17,6 +17,13 @@
 //   - parameter narrowing applies to unexported functions only — an
 //     exported function can be called from outside the load (tests are
 //     not loaded at all), so the observed call sites are not exhaustive;
+//     for the same reason it is disabled for any function whose
+//     identifier appears outside call position (assigned, passed, or
+//     stored as a value), since calls through that value are invisible
+//     to the call-site walk;
+//   - a call site whose arguments cannot be evaluated per-parameter
+//     (the f(g()) spread form) widens every parameter to Top rather
+//     than contributing nothing;
 //   - return intervals cover single-result integer functions only.
 package dataflow
 
@@ -37,6 +44,7 @@ const ivalMaxRounds = 10
 
 func (p *Program) computeIntervals(passes []*analysis.Pass) {
 	p.ivalRets = make(map[string]Interval)
+	p.ivalNoNarrow = collectValueRefFuncs(p, passes)
 	for _, pass := range passes {
 		a := p.analyses[pass.Pkg.Path()]
 		a.interp.retIval = func(fn *types.Func) (Interval, bool) {
@@ -107,6 +115,52 @@ func (p *Program) computeIntervals(passes []*analysis.Pass) {
 	}
 }
 
+// collectValueRefFuncs records every loaded function whose identifier
+// appears outside call position anywhere in the load — assigned to a
+// variable or field, passed as an argument, returned, or captured as a
+// method value. Such a function can be invoked through the escaped value
+// at sites calleeFunc cannot resolve, so the direct call sites are not
+// exhaustive and parameter narrowing must be disabled for it.
+func collectValueRefFuncs(p *Program, passes []*analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, pass := range passes {
+		info := pass.TypesInfo
+		for _, file := range pass.Files {
+			// First mark the identifiers that are the callee of a direct
+			// call; every other *types.Func use is a value reference.
+			calleePos := make(map[*ast.Ident]bool)
+			ast.Inspect(file, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					calleePos[fun] = true
+				case *ast.SelectorExpr:
+					calleePos[fun.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(file, func(nd ast.Node) bool {
+				id, ok := nd.(*ast.Ident)
+				if !ok || calleePos[id] {
+					return true
+				}
+				fn, ok := info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if fid := FuncID(fn); p.byID[fid] != nil {
+					out[fid] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
 // collectArgIvals evaluates integer arguments at every call expression in
 // one function and joins them into the per-callee accumulator.
 func (p *Program) collectArgIvals(a *Analysis, flow *FuncFlow, acc map[string][]Interval) {
@@ -122,7 +176,7 @@ func (p *Program) collectArgIvals(a *Analysis, flow *FuncFlow, acc map[string][]
 			return true
 		}
 		pf := p.byID[FuncID(callee)]
-		if pf == nil || pf.Fn.Exported() {
+		if pf == nil || pf.Fn.Exported() || p.ivalNoNarrow[pf.ID] {
 			return true
 		}
 		sig, ok := pf.Fn.Type().(*types.Signature)
@@ -133,9 +187,6 @@ func (p *Program) collectArgIvals(a *Analysis, flow *FuncFlow, acc map[string][]
 		if sig.Variadic() {
 			n-- // the variadic tail aggregates values, not one argument
 		}
-		if len(call.Args) < n {
-			return true // f(g()) spread form: no per-argument expressions
-		}
 		slots := acc[pf.ID]
 		if slots == nil {
 			slots = make([]Interval, n)
@@ -143,6 +194,16 @@ func (p *Program) collectArgIvals(a *Analysis, flow *FuncFlow, acc map[string][]
 				slots[i] = Bottom()
 			}
 			acc[pf.ID] = slots
+		}
+		if len(call.Args) < n {
+			// f(g()) spread form: no per-argument expressions to evaluate.
+			// The site still exists, so it must widen every parameter to
+			// Top — contributing nothing would let the other call sites
+			// narrow past values this one can pass.
+			for i := range slots {
+				slots[i] = Top()
+			}
+			return true
 		}
 		for i := 0; i < n; i++ {
 			if !isIntegerType(sig.Params().At(i).Type()) {

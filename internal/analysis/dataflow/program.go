@@ -51,6 +51,12 @@ type Program struct {
 	// ivalRets holds the interval fixpoint's per-function return
 	// intervals, keyed by canonical function ID (see computeIntervals).
 	ivalRets map[string]Interval
+
+	// ivalNoNarrow marks functions whose identifier is referenced outside
+	// call position somewhere in the load: calls through the escaped value
+	// are invisible to the call-site walk, so parameter narrowing is
+	// unsound for them (see collectValueRefFuncs).
+	ivalNoNarrow map[string]bool
 }
 
 // ProgFunc is one declared function (methods included) with its syntax,

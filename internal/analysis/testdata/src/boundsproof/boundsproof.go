@@ -102,3 +102,16 @@ func unboundedInner(n int) int {
 	}
 	return total
 }
+
+// mapHintLoop ranges over a freshly made map: the make argument is only
+// a capacity hint, so no trip bound is provable and no suppression fact
+// may cover the body.
+func mapHintLoop() int {
+	m := make(map[int]int, 4)
+	m[0] = 1
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

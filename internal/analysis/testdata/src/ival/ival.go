@@ -157,3 +157,63 @@ func sliceBounds(raw []byte) int {
 func minClamp(n int) int {
 	return min(n, 64) // (-inf, 64]
 }
+
+// Exported is countable in form, but any other package in the program
+// (or a test, which is not loaded) can reassign or append to it, so the
+// package-level length table must skip it.
+var Exported = []int{1, 2}
+
+func rangeExported() int {
+	last := 0
+	for i := range Exported {
+		last = i // length unprovable for exported vars: i ∈ [0, +inf)
+	}
+	return last // [0, +inf)
+}
+
+func mapHint() int {
+	m := make(map[int]int, 8) // 8 is a capacity hint, not a length
+	m[1] = 1
+	return len(m) // [0, +inf): inserts grow the map without a Def event
+}
+
+func countMap() int {
+	m := make(map[int]int, 4)
+	m[1] = 1
+	m[2] = 2
+	n := 0
+	for range m { // trip count must stay unproven
+		n++
+	}
+	return n
+}
+
+// twoInts feeds spread2 through the f(g()) spread form: that call site
+// has no per-argument expressions, so it must widen both parameters to
+// Top despite the constant direct call next to it.
+func twoInts() (int, int) { return 1, 2 }
+
+func spread2(a, b int) int { return a + b }
+
+func callsSpread() int { return spread2(twoInts()) + spread2(1, 2) }
+
+// escaped is taken as a value: calls through the value are invisible to
+// the call-site walk, so its parameter must not narrow to the constant
+// the one direct call passes.
+func escaped(k int) int { return k }
+
+func useEscaped() int {
+	f := escaped
+	return f(100) + escaped(1)
+}
+
+// hugeStep's trip ceiling adjustment (hi + step - 1) would overflow
+// int64: the count must stay unproven rather than wrapping to zero.
+func hugeStep() int {
+	m := 0
+	for i := 0; i <= 9223372036854775806; i += 2 {
+		m = 1
+		_ = i
+	}
+	return m
+}
