@@ -53,17 +53,26 @@ lint-fix:
 allocreport:
 	go run ./cmd/rups-lint -allocreport 7 ./...
 
-# The PR-4 perf trajectory: run the search, engine, and telemetry-overhead
-# benchmarks, then merge with the committed PR-3 record into BENCH_4.json
-# (raw lines inside are benchstat-compatible). BenchmarkSearcherInstrumented
-# vs the baseline BenchmarkFindSYNs is the disabled-telemetry overhead
-# check: it must stay within ~2% ns/op and at identical allocs/op.
+# The perf trajectory: run the search, engine, warm-start, and
+# telemetry-overhead benchmarks, then merge the current record with the
+# committed previous-PR record (raw lines inside are benchstat-compatible).
+# Override the triple to regenerate an older record:
+#   make bench BENCH_BASELINE=results/bench_pr3_current.txt \
+#              BENCH_CURRENT=results/bench_pr4_current.txt BENCH_OUT=BENCH_4.json
+# BenchmarkSearcherInstrumented vs the baseline BenchmarkFindSYNs is the
+# disabled-telemetry overhead check: it must stay within ~2% ns/op and at
+# identical allocs/op. BenchmarkEngineSteadyState Warm vs Cold is the
+# warm-start check: repeat-contact resolves must beat cold scans ≥ 3×.
+BENCH_BASELINE ?= results/bench_pr4_current.txt
+BENCH_CURRENT  ?= results/bench_pr5_current.txt
+BENCH_OUT      ?= BENCH_5.json
+
 bench:
 	go test -run XXXNONE \
-		-bench 'BenchmarkFindSYNs$$|BenchmarkSearcherInstrumented|BenchmarkEngineResolve' \
-		-benchmem -count 3 . | tee results/bench_pr4_current.txt
-	go run ./cmd/rups-bench -baseline results/bench_pr3_current.txt \
-		-current results/bench_pr4_current.txt -out BENCH_4.json
+		-bench 'BenchmarkFindSYNs$$|BenchmarkSearcherInstrumented|BenchmarkEngineResolve|BenchmarkEngineSteadyState' \
+		-benchmem -count 3 . | tee $(BENCH_CURRENT)
+	go run ./cmd/rups-bench -baseline $(BENCH_BASELINE) \
+		-current $(BENCH_CURRENT) -out $(BENCH_OUT)
 
 # The full suite (one benchmark per paper table/figure plus cost models).
 bench-all:

@@ -157,7 +157,7 @@ func syntheticPair() (*trajectory.Aware, *trajectory.Aware) {
 		for i := 0; i < n; i++ {
 			pos := geo.Vec2{X: startX + float64(i), Y: 1500}
 			for ch := 0; ch < gsm.NumChannels; ch++ {
-				a.Power[ch][i] = f.Sample(pos, ch, g.Marks[i].T)
+				a.SetPower(ch, i, f.Sample(pos, ch, g.Marks[i].T))
 			}
 		}
 		return a
@@ -308,7 +308,7 @@ func syntheticConvoy(n int) []*trajectory.Aware {
 		for i := 0; i < m; i++ {
 			pos := geo.Vec2{X: startX + float64(i), Y: 1500}
 			for ch := 0; ch < gsm.NumChannels; ch++ {
-				a.Power[ch][i] = f.Sample(pos, ch, g.Marks[i].T)
+				a.SetPower(ch, i, f.Sample(pos, ch, g.Marks[i].T))
 			}
 		}
 		out[vi] = a
@@ -354,6 +354,105 @@ func BenchmarkEngineResolveSequential(b *testing.B) {
 			for y := x + 1; y < len(trajs); y++ {
 				core.Resolve(trajs[x], trajs[y], p)
 			}
+		}
+	}
+}
+
+// staggeredPair builds two dense 1 km trajectories 150 m apart — far
+// enough inside the ±MaxRelDistM locality bound that a cold centre-out
+// scan walks most of the placement range before branch-and-bound can
+// prune, while a warm-started scan pivots straight onto the alignment.
+func staggeredPair() (*trajectory.Aware, *trajectory.Aware) {
+	area := gsm.Bounds{MinX: 0, MinY: 0, MaxX: 3000, MaxY: 3000}
+	f := gsm.NewField(11, gsm.GenerateTowers(11, area, gsm.ConstZone(gsm.Urban)), gsm.ConstZone(gsm.Urban))
+	build := func(startX float64, t0 float64) *trajectory.Aware {
+		const n = 1000
+		g := trajectory.Geo{Marks: make([]trajectory.GeoMark, n)}
+		for i := range g.Marks {
+			g.Marks[i] = trajectory.GeoMark{Theta: math.Pi / 2, T: t0 + float64(i)/12}
+		}
+		a := trajectory.NewAware(g)
+		for i := 0; i < n; i++ {
+			pos := geo.Vec2{X: startX + float64(i), Y: 1500}
+			for ch := 0; ch < gsm.NumChannels; ch++ {
+				a.SetPower(ch, i, f.Sample(pos, ch, g.Marks[i].T))
+			}
+		}
+		return a
+	}
+	return build(500, 1000), build(650, 999)
+}
+
+// steadyViews is a tick ladder of growing prefixes of the staggered pair —
+// the steady-state re-resolve workload: same pair, a few more metres of
+// context each tick.
+var (
+	steadyOnce  sync.Once
+	steadyViews [][2]*trajectory.Aware
+)
+
+func getSteadyViews() [][2]*trajectory.Aware {
+	steadyOnce.Do(func() {
+		a, bb := staggeredPair()
+		for _, tk := range []float64{1062, 1068, 1074, 1080} {
+			steadyViews = append(steadyViews,
+				[2]*trajectory.Aware{a.PrefixUntil(tk), bb.PrefixUntil(tk)})
+		}
+	})
+	return steadyViews
+}
+
+// BenchmarkEngineSteadyStateCold: each tick of the ladder admitted and
+// resolved through the cold path — every scan starts from the midpoint
+// with no history.
+func BenchmarkEngineSteadyStateCold(b *testing.B) {
+	views := getSteadyViews()
+	p := core.DefaultParams()
+	e := engine.New(0)
+	defer e.Close()
+	pairs := [][2]int{{0, 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := views[i%len(views)]
+		batch, err := e.Admit(v[0], v[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := batch.ResolvePairs(pairs, p); !r[0].OK {
+			b.Fatal("staggered pair did not resolve")
+		}
+	}
+}
+
+// BenchmarkEngineSteadyStateWarm is the same ladder through ResolvePairsAt
+// on a persistent engine: the pair's tracker survives across ticks, so
+// every measured resolve warm-starts from the previous tick's SYN offsets.
+// The BENCH_5.json acceptance bar is ≥ 3× fewer ns/op than the cold run.
+func BenchmarkEngineSteadyStateWarm(b *testing.B) {
+	views := getSteadyViews()
+	p := core.DefaultParams()
+	e := engine.New(0)
+	defer e.Close()
+	pairs := [][2]int{{0, 1}}
+	// Lead-in tick locks the tracker so every measured tick is a re-resolve.
+	batch, err := e.Admit(views[0][0], views[0][1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r := batch.ResolvePairsAt(pairs, p, 0, core.Staleness{}); !r[0].OK {
+		b.Fatal("staggered pair did not resolve on lead-in")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := views[(i+1)%len(views)]
+		batch, err := e.Admit(v[0], v[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := batch.ResolvePairsAt(pairs, p, 0, core.Staleness{}); !r[0].OK {
+			b.Fatal("staggered pair did not resolve warm")
 		}
 	}
 }

@@ -82,7 +82,7 @@ func TestEndToEndMultiband(t *testing.T) {
 	sc.WithFM = true
 	r := sim.Execute(sc)
 
-	if w := len(r.Follower.Aware.Power); w <= 194 {
+	if w := r.Follower.Aware.Width(); w <= 194 {
 		t.Fatalf("multiband width %d, want > 194", w)
 	}
 	data, err := r.Follower.Aware.MarshalBinary()
@@ -93,7 +93,7 @@ func TestEndToEndMultiband(t *testing.T) {
 	if err := back.UnmarshalBinary(data); err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Power) != len(r.Follower.Aware.Power) {
+	if back.Width() != r.Follower.Aware.Width() {
 		t.Fatal("multiband width lost on the wire")
 	}
 

@@ -78,11 +78,12 @@ func TestReportRanksDepth(t *testing.T) {
 	}
 }
 
-// TestReportRanksAdmitSnapshotFirst pins the acceptance contract on the
-// real module: the hottest allocation site is the engine.Admit snapshot
-// deep copy (trajectory.Clone reached via Admit -> Snapshot), the
-// prioritized target for snapshot interning.
-func TestReportRanksAdmitSnapshotFirst(t *testing.T) {
+// TestReportAdmitSnapshotNoLongerTops pins the post-interning acceptance
+// contract on the real module: snapshot interning removed the engine.Admit
+// deep copy (Snapshot used to reach trajectory.Clone, the #1 site of the
+// PR-7 worklist), so no ranked site may reach a cell-storage deep copy
+// through Admit -> Snapshot any more.
+func TestReportAdmitSnapshotNoLongerTops(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the full module")
 	}
@@ -94,16 +95,13 @@ func TestReportRanksAdmitSnapshotFirst(t *testing.T) {
 	if len(sites) == 0 {
 		t.Fatal("no allocation sites found")
 	}
-	top := sites[0]
-	if !strings.Contains(top.Fn, "Clone") || !strings.Contains(top.Pos.Filename, "trajectory") {
-		t.Fatalf("top site is %s at %s, want trajectory.(*Aware).Clone", top.Fn, top.Pos)
-	}
-	chain := strings.Join(top.Chain, " -> ")
-	if !strings.Contains(chain, "Admit") || !strings.Contains(chain, "Snapshot") {
-		t.Errorf("top site chain %q does not go through engine.Admit -> Snapshot", chain)
-	}
-	if top.Kind != "clone-append" {
-		t.Errorf("top site kind = %q, want clone-append (the deep copy)", top.Kind)
+	for _, site := range sites {
+		chain := strings.Join(site.Chain, " -> ")
+		if strings.Contains(chain, "Admit") && strings.Contains(chain, "Snapshot") &&
+			strings.Contains(site.Fn, "Clone") {
+			t.Errorf("Admit -> Snapshot still reaches a deep copy: %s at %s (chain %q)",
+				site.Fn, site.Pos, chain)
+		}
 	}
 }
 

@@ -29,7 +29,10 @@ var Analyzer = &analysis.Analyzer{
 
 var (
 	// indexName matches identifiers that carry a trajectory metre-index.
-	indexName = regexp.MustCompile(`(?i)(idx|index)`)
+	// "mark" is in the set because a trajectory records one mark per metre:
+	// an int named mark is the i-th metre mark, not a distance — the exact
+	// confusion behind the Aware.DistanceBetween unit bug.
+	indexName = regexp.MustCompile(`(?i)(idx|index|mark)`)
 	// distName matches identifiers that carry a metre distance.
 	distName = regexp.MustCompile(`(?i)(dist|metre|meter|gap)`)
 	// sanctioned are the helpers allowed to perform the raw conversion.
@@ -73,10 +76,17 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// mentions reports whether any identifier or field name inside e matches re.
+// mentions reports whether any identifier or field name inside e matches
+// re. Subtrees under the len() builtin are skipped: len(marks) is a count,
+// not a metre-index, no matter what the operand is named.
 func mentions(e ast.Expr, re *regexp.Regexp) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "len" {
+				return false
+			}
+		}
 		if id, ok := n.(*ast.Ident); ok && re.MatchString(id.Name) {
 			found = true
 			return false

@@ -22,6 +22,25 @@ func RawLocalIndex(markIdx int) float64 {
 	return float64(markIdx) // want `raw float64\(\) of trajectory index "markIdx"`
 }
 
+// RawMark pins the doc/unit agreement behind Aware.DistanceBetween: a
+// "mark" argument is a metre-index (the i-th per-metre mark), and turning
+// it into a float distance must go through MetresFromIndex. This exact
+// shape — Len()-derived int minus a mark — was the DistanceBetween bug.
+func RawMark(mark, length int) float64 {
+	return float64(length - 1 - mark) // want `raw float64\(\) of trajectory index "length - 1 - mark"`
+}
+
+// MarkViaHelper is the fixed DistanceBetween shape; it must not fire.
+func MarkViaHelper(mark, length int) float64 {
+	return trajectory.MetresFromIndex(length-1) - trajectory.MetresFromIndex(mark)
+}
+
+// LenOfMarks is a count, not an index — len() operands must not fire even
+// when they are mark-named.
+func LenOfMarks(marks []int) float64 {
+	return float64(len(marks))
+}
+
 // RawDistanceToInt fires in the other direction: a distance truncated into
 // an index without saying so.
 func RawDistanceToInt(distM float64) int {

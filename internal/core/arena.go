@@ -1,0 +1,49 @@
+package core
+
+import "sync"
+
+// arena is a bump allocator for the float64 backing arrays a Searcher
+// materializes per query: the selected channel rows and the matrixIndex
+// prefix tables. One resolve grabs a few megabytes in a handful of slices,
+// uses them for exactly the searcher's lifetime, and frees them all at
+// once — the textbook arena shape. Pooling the arena turns the per-resolve
+// allocation firehose into a steady-state zero.
+//
+// Arena memory is NOT zeroed between cycles. Every consumer must write all
+// cells it will read (the index builders do — the only zero-init they rely
+// on, the prefix-table sentinels, is written explicitly).
+type arena struct {
+	buf  []float64
+	used int
+	// extra counts cells requested beyond the buffer this cycle, so reset
+	// can grow the buffer to the observed peak and later cycles stay
+	// allocation-free.
+	extra int
+}
+
+// grab returns an n-cell slice of uninitialized memory. A nil arena
+// degrades to plain allocation, so index builders work without a searcher
+// (tests construct them directly).
+func (ar *arena) grab(n int) []float64 {
+	if ar == nil {
+		return make([]float64, n)
+	}
+	if ar.used+n > len(ar.buf) {
+		ar.extra += n
+		return make([]float64, n)
+	}
+	s := ar.buf[ar.used : ar.used+n : ar.used+n]
+	ar.used += n
+	return s
+}
+
+// reset recycles the arena for the next cycle, growing the buffer to this
+// cycle's peak demand.
+func (ar *arena) reset() {
+	if need := ar.used + ar.extra; need > len(ar.buf) {
+		ar.buf = make([]float64, need)
+	}
+	ar.used, ar.extra = 0, 0
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}

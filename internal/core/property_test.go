@@ -40,7 +40,7 @@ func plantedPair(seed int64, length, gap int, noiseSigma float64) (*trajectory.A
 		a := trajectory.NewAwareWidth(g, 64)
 		for ch := 0; ch < 64; ch++ {
 			for i := 0; i < length; i++ {
-				a.Power[ch][i] = world[ch][offset+i] + noiseSigma*rng.NormFloat64()
+				a.SetPower(ch, i, world[ch][offset+i]+noiseSigma*rng.NormFloat64())
 			}
 		}
 		return a
@@ -184,13 +184,13 @@ func TestScorerRangeInvariant(t *testing.T) {
 func TestMissingTolerantSearch(t *testing.T) {
 	a, b := plantedPair(99, 250, 15, 1.0)
 	rng := rand.New(rand.NewSource(123))
-	for ch := range a.Power {
-		for i := range a.Power[ch] {
+	for ch := 0; ch < a.Width(); ch++ {
+		for i := 0; i < a.Len(); i++ {
 			if rng.Float64() < 0.25 {
-				a.Power[ch][i] = stats.Missing
+				a.SetPower(ch, i, stats.Missing)
 			}
 			if rng.Float64() < 0.25 {
-				b.Power[ch][i] = stats.Missing
+				b.SetPower(ch, i, stats.Missing)
 			}
 		}
 	}

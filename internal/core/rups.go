@@ -70,6 +70,12 @@ type Searcher struct {
 	p          Params
 	idxA, idxB *matrixIndex
 
+	// ar backs the selected rows and index prefix tables; Release returns
+	// it to the pool, after which the Searcher must not be used.
+	ar *arena
+	// tk is the optional warm-start tracker (SetTracker); nil scans cold.
+	tk *Tracker
+
 	// Telemetry, resolved once per searcher: tel is nil while the metrics
 	// registry is disabled, rec is nil while span tracing is disabled, and
 	// every instrument site guards on that nil — the whole disabled-path
@@ -87,6 +93,7 @@ func NewSearcher(a, b *trajectory.Aware, p Params) *Searcher {
 	s.tel = searchTel.Get()
 	s.rec = obs.ActiveRecorder()
 	s.trace = s.rec.NewTrace()
+	s.ar = arenaPool.Get().(*arena)
 	s.aCtx, s.offA = clip(a, p)
 	s.bCtx, s.offB = clip(b, p)
 	// Checking-window width: the strongest channels, but never channels
@@ -94,9 +101,45 @@ func NewSearcher(a, b *trajectory.Aware, p Params) *Searcher {
 	// WindowChannels audible carriers, and constant rows only dilute the
 	// correlation.
 	channels := s.aCtx.TopAudibleChannels(p.WindowChannels, audibleFloorDBm, minWindowChannels)
-	s.idxA = newMatrixIndex(s.aCtx.Select(channels))
-	s.idxB = newMatrixIndex(s.bCtx.Select(channels))
+	s.idxA = newMatrixIndexArena(s.selectRows(s.aCtx, channels), s.ar)
+	s.idxB = newMatrixIndexArena(s.selectRows(s.bCtx, channels), s.ar)
 	return s
+}
+
+// selectRows materializes the selected channel rows into arena memory
+// (every cell written by CopyRowInto, satisfying the arena's no-zeroing
+// contract).
+func (s *Searcher) selectRows(a *trajectory.Aware, channels []int) [][]float64 {
+	rows := make([][]float64, len(channels))
+	n := a.Len()
+	back := s.ar.grab(len(channels) * n)
+	for i, ch := range channels {
+		row := back[i*n : (i+1)*n : (i+1)*n]
+		a.CopyRowInto(ch, row)
+		rows[i] = row
+	}
+	return rows
+}
+
+// SetTracker attaches per-pair warm-start state: FindSYNs will pivot each
+// segment's direction scans on the tracker's previous-tick SYN offsets and
+// refresh them from this search's outcome. The tracker only reorders scan
+// evaluation — results are identical to the cold path's for any tracker
+// state.
+func (s *Searcher) SetTracker(tk *Tracker) { s.tk = tk }
+
+// Release returns the searcher's arena to the pool. The Searcher (and any
+// row data reached through it) must not be used afterwards. Releasing is
+// optional — an un-Released arena is simply garbage collected — but the
+// engine and the package-level entry points always release, which is what
+// keeps steady-state resolves allocation-flat.
+func (s *Searcher) Release() {
+	if s.ar != nil {
+		s.ar.reset()
+		arenaPool.Put(s.ar)
+		s.ar = nil
+		s.idxA, s.idxB = nil, nil
+	}
 }
 
 // segmentPlan is one planned double-sliding check: the window length and
@@ -106,6 +149,18 @@ type segmentPlan struct {
 	endOff    int
 	w         int
 	threshold float64
+	// Warm start: pivotB/pivotA are the tracker-predicted window
+	// placements for the two directions (-1 = cold, pivot on the range
+	// midpoint), hintDelta the hint they were derived from. A warm scan
+	// covers only ±radius placements around its pivot; missB/missA flag a
+	// bounded best pinned to a clamped window edge (the true maximum may
+	// lie beyond — a window-miss), and fellBack marks a segment demoted to
+	// the full double-sliding scan.
+	warm           bool
+	fellBack       bool
+	pivotB, pivotA int
+	hintDelta      int
+	missB, missA   bool
 	// Direction results: A's segment over B, and B's segment over A.
 	posB, posA       int
 	scoreAB, scoreBA float64
@@ -134,7 +189,7 @@ func (s *Searcher) planSegment(endOff int) (segmentPlan, bool) {
 	if w < s.p.MinWindowMeters {
 		return segmentPlan{}, false
 	}
-	pl := segmentPlan{endOff: endOff, w: w, threshold: s.p.Coherency}
+	pl := segmentPlan{endOff: endOff, w: w, threshold: s.p.Coherency, pivotB: -1, pivotA: -1}
 	if w < s.p.WindowMeters {
 		pl.threshold = s.p.ShortCoherency
 	}
@@ -157,18 +212,67 @@ func (s *Searcher) bounds(targetLen, w, endOff int) (lo, hi int) {
 	return centre - s.p.MaxRelDistM, centre + s.p.MaxRelDistM
 }
 
+// warmRange narrows a direction's placement range to ±radius around the
+// warm pivot, clamped into the effective full range [flo, fhi]. miss
+// reports whether the given best placement is pinned to a clamped edge of
+// the bounded range — the true maximum may lie beyond it.
+func (s *Searcher) warmRange(pivot, flo, fhi int) (blo, bhi int) {
+	blo, bhi = pivot-s.tk.radius, pivot+s.tk.radius
+	if blo < flo {
+		blo = flo
+	}
+	if bhi > fhi {
+		bhi = fhi
+	}
+	return blo, bhi
+}
+
+func warmMiss(pos, blo, bhi, flo, fhi int) bool {
+	return pos < 0 || (pos == blo && blo > flo) || (pos == bhi && bhi < fhi)
+}
+
 // scanAB runs direction 1 of the double-sliding check: A's reference
-// segment slides over B.
+// segment slides over B. A warm (and not demoted) plan scans only the
+// bounded window around its predicted placement; everything else scans the
+// full locality range.
 func (s *Searcher) scanAB(pl *segmentPlan) {
 	sp := s.rec.Start(s.trace, "scan_ab")
 	sp.Arg = int64(pl.endOff)
 	endA := s.aCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxA, s.idxB, endA-pl.w+1, pl.w, s.p.NoColumnTerm)
 	lo, hi := s.bounds(s.bCtx.Len(), pl.w, pl.endOff)
-	pl.posB, pl.scoreAB = sc.bestWindowIn(lo, hi)
+	if pl.warm && !pl.fellBack {
+		flo, fhi := clampRange(lo, hi, sc.positions())
+		if pl.pivotB < flo || pl.pivotB > fhi {
+			// The hint places this direction's alignment outside its
+			// admissible range — the reference segment has no aligned
+			// counterpart in the target (typical when the two context
+			// lengths differ). The other direction carries the SYN; any
+			// in-range placement here is noise the cold scan would
+			// outscore anyway, so skip rather than demote.
+			pl.posB, pl.scoreAB = -1, math.Inf(-1)
+		} else {
+			blo, bhi := s.warmRange(pl.pivotB, flo, fhi)
+			pl.posB, pl.scoreAB = sc.bestWindowInFrom(blo, bhi, pl.pivotB)
+			pl.missB = warmMiss(pl.posB, blo, bhi, flo, fhi)
+		}
+	} else {
+		pl.posB, pl.scoreAB = sc.bestWindowInFrom(lo, hi, pl.pivotB)
+	}
 	s.flushScan(sc)
 	sc.release()
 	sp.End()
+}
+
+// clampRange intersects [lo, hi] with the valid placements [0, n-1].
+func clampRange(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	return lo, hi
 }
 
 // flushScan folds one direction scan's placement counts into the metrics
@@ -188,7 +292,18 @@ func (s *Searcher) scanBA(pl *segmentPlan) {
 	endB := s.bCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxB, s.idxA, endB-pl.w+1, pl.w, s.p.NoColumnTerm)
 	lo, hi := s.bounds(s.aCtx.Len(), pl.w, pl.endOff)
-	pl.posA, pl.scoreBA = sc.bestWindowIn(lo, hi)
+	if pl.warm && !pl.fellBack {
+		flo, fhi := clampRange(lo, hi, sc.positions())
+		if pl.pivotA < flo || pl.pivotA > fhi {
+			pl.posA, pl.scoreBA = -1, math.Inf(-1)
+		} else {
+			blo, bhi := s.warmRange(pl.pivotA, flo, fhi)
+			pl.posA, pl.scoreBA = sc.bestWindowInFrom(blo, bhi, pl.pivotA)
+			pl.missA = warmMiss(pl.posA, blo, bhi, flo, fhi)
+		}
+	} else {
+		pl.posA, pl.scoreBA = sc.bestWindowInFrom(lo, hi, pl.pivotA)
+	}
 	s.flushScan(sc)
 	sc.release()
 	sp.End()
@@ -277,6 +392,7 @@ func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
 			t.segments.Inc()
 		}
 		pl.posA, pl.scoreBA = -1, math.Inf(-1)
+		s.warmPlan(&pl, i)
 		p := new(segmentPlan)
 		*p = pl
 		plans = append(plans, p)
@@ -286,16 +402,110 @@ func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
 		}
 	}
 	par(tasks...)
-	var out []SYNPoint
-	for _, pl := range plans {
+	// Fallback wave: a warm segment whose bounded scan missed its window
+	// (best pinned to a clamped edge — the true maximum may lie beyond) or
+	// whose bounded result failed acceptance demotes to the full
+	// double-sliding scan before the final combine. Coherency loss and
+	// window-miss invalidate the hint, never the answer.
+	syns := make([]SYNPoint, len(plans))
+	oks := make([]bool, len(plans))
+	combined := make([]bool, len(plans))
+	var rescans []func()
+	for i, pl := range plans {
 		if pl == nil {
 			continue
 		}
-		if syn, ok := s.combine(pl); ok {
+		if pl.warm && (pl.missB || pl.missA) {
+			rescans = append(rescans, s.demote(pl)...)
+			continue
+		}
+		syn, ok := s.combine(pl)
+		if pl.warm && !ok {
+			rescans = append(rescans, s.demote(pl)...)
+			continue
+		}
+		syns[i], oks[i], combined[i] = syn, ok, true
+	}
+	if len(rescans) > 0 {
+		par(rescans...)
+	}
+	var out []SYNPoint
+	for i, pl := range plans {
+		if pl == nil {
+			continue
+		}
+		syn, ok := syns[i], oks[i]
+		if !combined[i] {
+			syn, ok = s.combine(pl)
+		}
+		s.trackSegment(i, pl, syn, ok)
+		if ok {
 			out = append(out, syn)
 		}
 	}
 	return out
+}
+
+// demote resets a warm plan for a full cold rescan of both directions and
+// returns the scan tasks to fan out.
+func (s *Searcher) demote(pl *segmentPlan) []func() {
+	pl.fellBack = true
+	pl.pivotB, pl.pivotA = -1, -1
+	pl.missB, pl.missA = false, false
+	pl.posA, pl.scoreBA = -1, math.Inf(-1)
+	tasks := []func(){func() { s.scanAB(pl) }}
+	if !s.p.SingleSided {
+		tasks = append(tasks, func() { s.scanBA(pl) })
+	}
+	return tasks
+}
+
+// warmPlan pivots the segment's direction scans on the tracker's hint for
+// ordinal seg, when one exists. Each direction anchors one trajectory's
+// index at the segment end, so the hinted delta predicts the other side's
+// window placement directly; indexes are global marks, stable under the
+// appends that happened since the hint was recorded.
+func (s *Searcher) warmPlan(pl *segmentPlan, seg int) {
+	if s.tk == nil {
+		return
+	}
+	delta, ok := s.tk.hint(seg)
+	if !ok {
+		return
+	}
+	endA := s.aCtx.Len() - 1 - pl.endOff
+	endB := s.bCtx.Len() - 1 - pl.endOff
+	pl.warm = true
+	pl.hintDelta = delta
+	pl.pivotB = (s.offA + endA + delta) - s.offB - (pl.w - 1)
+	pl.pivotA = (s.offB + endB - delta) - s.offA - (pl.w - 1)
+}
+
+// trackSegment folds one segment's outcome back into the tracker and the
+// warm-start counters: a warm-pivoted segment whose bounded scan held (no
+// demotion) and whose accepted SYN stayed within the tracker radius of its
+// hint is a hit; everything else — first contact, window-miss or
+// coherency-loss demotion, post-demotion cold scans, rejection — is a
+// fallback (it paid for a full-range scan).
+func (s *Searcher) trackSegment(seg int, pl *segmentPlan, syn SYNPoint, ok bool) {
+	if s.tk == nil {
+		return
+	}
+	if t := s.tel; t != nil {
+		drift := 0
+		if ok {
+			drift = syn.IdxB - syn.IdxA - pl.hintDelta
+			if drift < 0 {
+				drift = -drift
+			}
+		}
+		if pl.warm && !pl.fellBack && ok && drift <= s.tk.radius {
+			t.warmHits.Inc()
+		} else {
+			t.warmFallbacks.Inc()
+		}
+	}
+	s.tk.observe(seg, syn, ok)
 }
 
 // Resolve is the full RUPS pipeline for this pair: find up to NumSYN SYN
@@ -340,13 +550,17 @@ func (s *Searcher) Resolve(par Parallel) (Estimate, bool) {
 // when no window position reaches the coherency threshold — the
 // trajectories are considered unrelated.
 func FindSYN(a, b *trajectory.Aware, p Params) (SYNPoint, bool) {
-	return NewSearcher(a, b, p).FindSYNSeg(0)
+	s := NewSearcher(a, b, p)
+	defer s.Release()
+	return s.FindSYNSeg(0)
 }
 
 // FindSYNs locates up to n SYN points from segments ending at successive
 // strides back from the most recent mark (§VI-C).
 func FindSYNs(a, b *trajectory.Aware, p Params, n int) []SYNPoint {
-	return NewSearcher(a, b, p).FindSYNs(n, Sequential)
+	s := NewSearcher(a, b, p)
+	defer s.Release()
+	return s.FindSYNs(n, Sequential)
 }
 
 // Resolve is the full RUPS pipeline for one query: find up to NumSYN SYN
@@ -355,5 +569,7 @@ func FindSYNs(a, b *trajectory.Aware, p Params, n int) []SYNPoint {
 // sequential oracle path; the batch-resolution engine produces
 // bit-identical estimates by running the same Searcher over its pool.
 func Resolve(a, b *trajectory.Aware, p Params) (Estimate, bool) {
-	return NewSearcher(a, b, p).Resolve(Sequential)
+	s := NewSearcher(a, b, p)
+	defer s.Release()
+	return s.Resolve(Sequential)
 }

@@ -50,7 +50,7 @@ func awareOnRoad(f *gsm.Field, startX, y float64, n int, t0, speed float64, seed
 			if v < gsm.NoiseFloorDBm {
 				v = gsm.NoiseFloorDBm
 			}
-			a.Power[ch][i] = v
+			a.SetPower(ch, i, v)
 		}
 	}
 	return a
@@ -194,10 +194,11 @@ func TestSelectiveAggSuppressesOutlierSegment(t *testing.T) {
 	a, b := pairOnRoad(t, gap, 400)
 	for ch := 0; ch < gsm.NumChannels; ch += 2 {
 		for i := a.Len() - 30; i < a.Len(); i++ {
-			a.Power[ch][i] -= 25 // deep wideband shadowing
-			if a.Power[ch][i] < gsm.NoiseFloorDBm {
-				a.Power[ch][i] = gsm.NoiseFloorDBm
+			v := a.At(ch, i) - 25 // deep wideband shadowing
+			if v < gsm.NoiseFloorDBm {
+				v = gsm.NoiseFloorDBm
 			}
+			a.SetPower(ch, i, v)
 		}
 	}
 	p := DefaultParams()

@@ -70,17 +70,22 @@ type matrixIndex struct {
 	// time via ensureWindowStats, then read immutably by concurrent
 	// direction scans.
 	wins []winStats
+
+	// ar is the owning Searcher's bump allocator (nil for directly
+	// constructed indexes, which then fall back to plain allocation).
+	ar *arena
 }
 
 // winStats holds, for one window length, the reciprocal √variance of every
-// window placement per row — invSqrt[i][j] = 1/√vy(i, j), or 0 when the
+// column-mean window placement — colInvSqrt[j] = 1/√vy(j), or 0 when the
 // placement is degenerate (vy ≤ 0, the multiplicative identity of "no
-// evidence" since r = sxy′·invSqrtVx·invSqrtVy). Precomputing these once
-// per (pair, w) removes the per-position sqrt and division from the scan
-// of every segment offset and both directions.
+// evidence"). The column term is evaluated for every placement of the
+// pruned scan's bound sweep, so it pays to precompute; the per-channel
+// reciprocals are formed lazily in chanTerm instead — warm-started and
+// well-pruned scans visit far fewer placements than a full k×n table
+// would cover.
 type winStats struct {
 	w          int
-	invSqrt    [][]float64
 	colInvSqrt []float64
 }
 
@@ -94,23 +99,13 @@ func (idx *matrixIndex) ensureWindowStats(w int) {
 	}
 	n := idx.m - w + 1
 	wf := float64(w)
-	ws := winStats{w: w, invSqrt: make([][]float64, idx.k), colInvSqrt: make([]float64, n)}
-	invBack := make([]float64, idx.k*n) // one backing array for all channel rows
-	for i := 0; i < idx.k; i++ {
-		ps, pq := idx.preSum[i], idx.preSq[i]
-		inv := invBack[i*n : (i+1)*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			sy := ps[j+w] - ps[j]
-			if vy := pq[j+w] - pq[j] - sy*sy/wf; vy > 0 {
-				inv[j] = 1 / math.Sqrt(vy)
-			}
-		}
-		ws.invSqrt[i] = inv
-	}
+	ws := winStats{w: w, colInvSqrt: idx.ar.grab(n)}
 	for j := 0; j < n; j++ {
 		sy := idx.colPre[j+w] - idx.colPre[j]
 		if vy := idx.colPreSq[j+w] - idx.colPreSq[j] - sy*sy/wf; vy > 0 {
 			ws.colInvSqrt[j] = 1 / math.Sqrt(vy)
+		} else {
+			ws.colInvSqrt[j] = 0 // arena memory arrives unzeroed
 		}
 	}
 	idx.wins = append(idx.wins, ws)
@@ -130,7 +125,16 @@ func (idx *matrixIndex) windowStats(w int) *winStats {
 // matrix. A zero-row or zero-column matrix yields a valid index with no
 // window positions rather than a panic.
 func newMatrixIndex(rows [][]float64) *matrixIndex {
-	idx := &matrixIndex{rows: rows, k: len(rows), dense: true}
+	return newMatrixIndexArena(rows, nil)
+}
+
+// newMatrixIndexArena is newMatrixIndex with its float64 backing arrays
+// grabbed from a searcher arena (plain allocation when ar is nil). Arena
+// memory is unzeroed, so every cell below is written explicitly — in
+// particular the prefix-table [0] sentinels that a range-over-append loop
+// would otherwise inherit from a previous cycle.
+func newMatrixIndexArena(rows [][]float64, ar *arena) *matrixIndex {
+	idx := &matrixIndex{rows: rows, k: len(rows), dense: true, ar: ar}
 	if idx.k == 0 {
 		idx.col = nil
 		return idx
@@ -143,7 +147,7 @@ func newMatrixIndex(rows [][]float64) *matrixIndex {
 			}
 		}
 	}
-	idx.col = columnMeansDense(rows)
+	idx.col = columnMeansInto(rows, ar.grab(idx.m))
 	if !idx.dense {
 		idx.missPre = make([][]int32, idx.k)
 		mpBack := make([]int32, idx.k*(idx.m+1)) // one backing array for all rows
@@ -160,16 +164,17 @@ func newMatrixIndex(rows [][]float64) *matrixIndex {
 		return idx
 	}
 
-	idx.shift = make([]float64, idx.k)
+	idx.shift = ar.grab(idx.k)
 	idx.shifted = make([][]float64, idx.k)
 	idx.preSum = make([][]float64, idx.k)
 	idx.preSq = make([][]float64, idx.k)
 	// One backing array per matrix, not per row: k rows of identical
 	// length subslice flat buffers, cutting the construction from 3k+4
-	// allocations to 7.
-	shBack := make([]float64, idx.k*idx.m)
-	psBack := make([]float64, idx.k*(idx.m+1))
-	pqBack := make([]float64, idx.k*(idx.m+1))
+	// allocations to 7 — and the arena pools those flat buffers across
+	// resolves, so a steady-state query allocates only the row headers.
+	shBack := ar.grab(idx.k * idx.m)
+	psBack := ar.grab(idx.k * (idx.m + 1))
+	pqBack := ar.grab(idx.k * (idx.m + 1))
 	for i := 0; i < idx.k; i++ {
 		var sum float64
 		for _, v := range rows[i] {
@@ -183,6 +188,7 @@ func newMatrixIndex(rows [][]float64) *matrixIndex {
 		sh := shBack[i*idx.m : (i+1)*idx.m : (i+1)*idx.m]
 		ps := psBack[i*(idx.m+1) : (i+1)*(idx.m+1) : (i+1)*(idx.m+1)]
 		pq := pqBack[i*(idx.m+1) : (i+1)*(idx.m+1) : (i+1)*(idx.m+1)]
+		ps[0], pq[0] = 0, 0 // arena memory arrives unzeroed
 		for j, v := range rows[i] {
 			d := v - c
 			sh[j] = d
@@ -201,9 +207,10 @@ func newMatrixIndex(rows [][]float64) *matrixIndex {
 	if idx.m > 0 {
 		idx.colShift = colSum / float64(idx.m) //lint:ignore indexunit m is the sample count of the column-mean shift, not a metre distance
 	}
-	idx.colShifted = make([]float64, idx.m)
-	idx.colPre = make([]float64, idx.m+1)
-	idx.colPreSq = make([]float64, idx.m+1)
+	idx.colShifted = ar.grab(idx.m)
+	idx.colPre = ar.grab(idx.m + 1)
+	idx.colPreSq = ar.grab(idx.m + 1)
+	idx.colPre[0], idx.colPreSq[0] = 0, 0
 	for j, v := range idx.col {
 		d := v - idx.colShift
 		idx.colShifted[j] = d
@@ -227,10 +234,10 @@ func (idx *matrixIndex) segmentDense(lo, w int) bool {
 	return true
 }
 
-// columnMeansDense averages each column over rows, skipping missing values.
-func columnMeansDense(a [][]float64) []float64 {
+// columnMeansInto averages each column over rows into out (len(a[0])
+// cells, every one written), skipping missing values.
+func columnMeansInto(a [][]float64, out []float64) []float64 {
 	m := len(a[0])
-	out := make([]float64, m)
 	for j := 0; j < m; j++ {
 		var sum float64
 		var n int
@@ -453,18 +460,26 @@ func (s *segScorer) scoreAt(j int) float64 {
 
 // chanTerm is Eq. 2's first term: the mean per-channel Pearson correlation
 // of the reference segment against the target window at j (dense path).
-// With precomputed window statistics each row costs one dot product and
-// two multiplies; otherwise the variance difference is formed per position.
+// On the planned path each row costs one dot product, one sqrt and two
+// multiplies — the target-window reciprocal √variance is formed lazily
+// from the prefix tables, because warm-started and well-pruned scans
+// visit far fewer placements than precomputing a k×n table would cover;
+// otherwise the full variance difference is formed per position.
 func (s *segScorer) chanTerm(j int) float64 {
 	wf := float64(s.w)
 	sc := s.scratch
 	var chanSum float64
-	if ws := s.ws; ws != nil {
+	if s.ws != nil {
 		for i := 0; i < s.src.k; i++ {
 			ps := s.tgt.preSum[i]
+			pq := s.tgt.preSq[i]
 			sy := ps[j+s.w] - ps[j]
+			var iy float64
+			if vy := pq[j+s.w] - pq[j] - sy*sy/wf; vy > 0 {
+				iy = 1 / math.Sqrt(vy)
+			}
 			sxy := dot(sc.dev[i], s.tgt.shifted[i][j:j+s.w])
-			r := (sxy - sc.devSum[i]*sy/wf) * sc.invVx[i] * ws.invSqrt[i][j]
+			r := (sxy - sc.devSum[i]*sy/wf) * sc.invVx[i] * iy
 			if r > 1 {
 				r = 1
 			} else if r < -1 {
@@ -560,6 +575,18 @@ func pearsonFromSums(n, sx, sqx, sy, sqy, sxy float64) float64 {
 // valid range) and returns the best-scoring position and score. A
 // position of -1 with score -Inf means the range was empty.
 func (s *segScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
+	return s.bestWindowInFrom(lo, hi, -1)
+}
+
+// bestWindowInFrom is bestWindowIn with an explicit scan pivot: the pruned
+// scan starts at pivot and expands outward, so a warm-start hint placing
+// the pivot on the true match establishes a strong incumbent immediately
+// and the column-term bound prunes the rest of the range. A pivot outside
+// [lo, hi] (including the cold sentinel -1) falls back to the range
+// midpoint. The pivot only reorders evaluation — the returned maximum is
+// identical for every pivot, which is what makes warm-started results
+// exactly equal to the cold oracle's.
+func (s *segScorer) bestWindowInFrom(lo, hi, pivot int) (pos int, score float64) {
 	if lo < 0 {
 		lo = 0
 	}
@@ -570,7 +597,10 @@ func (s *segScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
 		return -1, math.Inf(-1)
 	}
 	if s.dense && !s.noCol && s.ws != nil {
-		return s.bestWindowPruned(lo, hi)
+		if pivot < lo || pivot > hi {
+			pivot = lo + (hi-lo)/2
+		}
+		return s.bestWindowPrunedFrom(lo, hi, pivot)
 	}
 	best := math.Inf(-1)
 	bestJ := -1
@@ -584,16 +614,18 @@ func (s *segScorer) bestWindowIn(lo, hi int) (pos int, score float64) {
 	return bestJ, best
 }
 
-// bestWindowPruned is the dense-path scan with a branch-and-bound prune:
-// Eq. 2's per-channel mean term is a mean of clamped correlations, so it
-// never exceeds 1, and a placement can only beat the incumbent when its
-// (cheap, single-dot) column term satisfies colR + 1 > best. Column terms
-// are evaluated first for the whole range; placements are then visited
-// centre-outward — the locality bound centres the range on the aligned
-// position, where the true match usually lies, so a strong incumbent
-// appears early and prunes most of the k·w channel work elsewhere. Same
-// maximum as the plain scan; only evaluation order differs.
-func (s *segScorer) bestWindowPruned(lo, hi int) (pos int, score float64) {
+// bestWindowPrunedFrom is the dense-path scan with a branch-and-bound
+// prune: Eq. 2's per-channel mean term is a mean of clamped correlations,
+// so it never exceeds 1, and a placement can only beat the incumbent when
+// its (cheap, single-dot) column term satisfies colR + 1 > best. Column
+// terms are evaluated first for the whole range; placements are then
+// visited pivot-outward. A cold scan pivots on the range midpoint (the
+// aligned position, where the locality bound expects the match); a
+// warm-started scan pivots on the tracker's predicted placement. Either
+// way a strong incumbent appears early and prunes most of the k·w channel
+// work elsewhere. Same maximum as the plain scan; only evaluation order
+// differs.
+func (s *segScorer) bestWindowPrunedFrom(lo, hi, pivot int) (pos int, score float64) {
 	colR := s.scratch.growColR(hi - lo + 1)
 	for j := lo; j <= hi; j++ {
 		colR[j-lo] = s.colTerm(j)
@@ -612,14 +644,13 @@ func (s *segScorer) bestWindowPruned(lo, hi int) (pos int, score float64) {
 			bestJ = j
 		}
 	}
-	mid := lo + (hi-lo)/2
-	visit(mid)
-	for d := 1; mid+d <= hi || mid-d >= lo; d++ {
-		if mid+d <= hi {
-			visit(mid + d)
+	visit(pivot)
+	for d := 1; pivot+d <= hi || pivot-d >= lo; d++ {
+		if pivot+d <= hi {
+			visit(pivot + d)
 		}
-		if mid-d >= lo {
-			visit(mid - d)
+		if pivot-d >= lo {
+			visit(pivot - d)
 		}
 	}
 	return bestJ, best

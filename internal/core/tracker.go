@@ -1,0 +1,63 @@
+package core
+
+// DefaultWarmRadiusM is the drift tolerance for classifying a warm-started
+// segment as a hit: how far (in metres) a pair's SYN offset may move
+// between consecutive ticks and still count as tracked. At urban speeds
+// and second-scale resolve intervals the relative offset moves a few
+// metres per tick, so 25 m is generous without masking a lost lock.
+const DefaultWarmRadiusM = 25
+
+// Tracker carries one pair's warm-start state across resolves, keyed by
+// segment ordinal (the i-th NumSYN segment). Each hint is the previous
+// tick's SYN index delta IdxB − IdxA — a quantity stable under appends,
+// since both indexes are global marks counted from each trajectory's
+// start. The searcher turns a hint into a predicted window placement and
+// starts the branch-and-bound scan there; the scan still covers the full
+// locality bounds, so a wrong hint costs scan order, never correctness
+// (the result is always identical to the cold oracle's).
+//
+// State machine per segment:
+//
+//	no hint ──(SYN accepted)──▶ tracked ──(SYN accepted)──▶ tracked
+//	tracked ──(segment rejected: coherency loss, heading gate)──▶ no hint
+//	any ──(Tracker.Reset: staleness expiry, pair re-keyed)──▶ no hint
+//
+// A Tracker is owned by one engine pair slot and must not be shared across
+// goroutines within a batch; the engine serializes all use per pair.
+type Tracker struct {
+	radius int
+	hints  map[int]int
+}
+
+// NewTracker builds a tracker with the given hit-classification radius in
+// metres (DefaultWarmRadiusM when ≤ 0).
+func NewTracker(radiusM int) *Tracker {
+	if radiusM <= 0 {
+		radiusM = DefaultWarmRadiusM
+	}
+	return &Tracker{radius: radiusM, hints: make(map[int]int)}
+}
+
+// Reset drops every hint: the next resolve cold-scans all segments. The
+// engine calls this when core.Staleness expires the pair — contexts old
+// enough to be discarded cannot vouch for a warm window either.
+func (t *Tracker) Reset() {
+	clear(t.hints)
+}
+
+// hint returns the previous tick's SYN delta for a segment ordinal.
+func (t *Tracker) hint(seg int) (delta int, ok bool) {
+	delta, ok = t.hints[seg]
+	return delta, ok
+}
+
+// observe records a segment's outcome: an accepted SYN refreshes the hint,
+// a rejection demotes the segment to cold scanning (coherency loss must
+// not keep steering future scans toward a stale lock).
+func (t *Tracker) observe(seg int, syn SYNPoint, ok bool) {
+	if !ok {
+		delete(t.hints, seg)
+		return
+	}
+	t.hints[seg] = syn.IdxB - syn.IdxA
+}

@@ -41,6 +41,30 @@ type Engine struct {
 	// channel, so no submit can race a send against the close.
 	mu     sync.RWMutex
 	closed bool
+
+	// trackers caches per-pair warm-start state across batches, keyed by
+	// the pair's indexes into the admitted trajectory slice — callers using
+	// ResolvePairsAt must therefore admit in a stable order (the linked-
+	// convoy sim does: one fixed slot pair per link). tmu guards the map;
+	// each Tracker itself is only touched by its pair's single task.
+	tmu      sync.Mutex
+	trackers map[[2]int]*core.Tracker
+}
+
+// tracker returns (creating on first contact) the warm-start state for a
+// pair key.
+func (e *Engine) tracker(pr [2]int) *core.Tracker {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	if e.trackers == nil {
+		e.trackers = make(map[[2]int]*core.Tracker)
+	}
+	tk := e.trackers[pr]
+	if tk == nil {
+		tk = core.NewTracker(0)
+		e.trackers[pr] = tk
+	}
+	return tk
 }
 
 // New starts an engine with the given number of workers; workers <= 0 means
@@ -221,18 +245,22 @@ func (b *Batch) ResolveAll(p core.Params) []Result {
 // only as current as its weaker side):
 //
 //   - expired pairs are not resolved at all: OK == false, no panic, no
-//     silently wrong d_r from fossil context;
+//     silently wrong d_r from fossil context — and the pair's warm-start
+//     tracker is reset, so the next resolve after re-contact scans cold;
 //   - stale pairs resolve normally but carry Stale == true;
-//   - fresh pairs behave exactly like ResolvePairs.
+//   - fresh pairs resolve normally.
 //
-// A zero-value (disabled) policy makes this identical to ResolvePairs.
+// Unlike ResolvePairs (the cold oracle), this entry point warm-starts
+// every pair from the engine's per-pair tracker cache: steady-state
+// re-resolves pivot their scans on the previous tick's SYN offsets. The
+// tracker only reorders scan evaluation, so results stay identical to the
+// cold path's — with a zero-value (disabled) policy this returns exactly
+// what ResolvePairs would, just faster on repeat contact.
 func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol core.Staleness) []Result {
-	if !pol.Enabled() {
-		return b.ResolvePairs(pairs, p)
-	}
 	tel := engineTel.Get()
 	keep := make([][2]int, 0, len(pairs))
 	kept := make([]int, 0, len(pairs))
+	tks := make([]*core.Tracker, 0, len(pairs))
 	out := make([]Result, len(pairs))
 	stale := make([]bool, len(pairs))
 	for pi, pr := range pairs {
@@ -240,26 +268,31 @@ func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol c
 		if pr[0] < 0 || pr[0] >= len(b.snaps) || pr[1] < 0 || pr[1] >= len(b.snaps) {
 			continue
 		}
-		age := core.ContextAge(b.snaps[pr[0]], now)
-		if ab := core.ContextAge(b.snaps[pr[1]], now); ab > age {
-			age = ab
-		}
-		switch pol.Classify(age) {
-		case core.ExpiredContext:
-			if tel != nil {
-				tel.pairsExpired.Inc()
+		tk := b.e.tracker(pr)
+		if pol.Enabled() {
+			age := core.ContextAge(b.snaps[pr[0]], now)
+			if ab := core.ContextAge(b.snaps[pr[1]], now); ab > age {
+				age = ab
 			}
-			continue
-		case core.StaleContext:
-			if tel != nil {
-				tel.pairsStale.Inc()
+			switch pol.Classify(age) {
+			case core.ExpiredContext:
+				if tel != nil {
+					tel.pairsExpired.Inc()
+				}
+				tk.Reset()
+				continue
+			case core.StaleContext:
+				if tel != nil {
+					tel.pairsStale.Inc()
+				}
+				stale[pi] = true
 			}
-			stale[pi] = true
 		}
 		keep = append(keep, pr)
 		kept = append(kept, pi)
+		tks = append(tks, tk)
 	}
-	for i, r := range b.ResolvePairs(keep, p) {
+	for i, r := range b.resolvePairs(keep, p, tks) {
 		pi := kept[i]
 		r.Stale = stale[pi]
 		out[pi] = r
@@ -269,8 +302,17 @@ func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol c
 
 // ResolvePairs resolves the given pairs (indexes into the admitted slice)
 // and returns results in input order. Pairs with out-of-range indexes
-// yield OK == false rather than a panic.
+// yield OK == false rather than a panic. This is the cold-scan entry
+// point — no warm-start state is consulted or updated.
 func (b *Batch) ResolvePairs(pairs [][2]int, p core.Params) []Result {
+	return b.resolvePairs(pairs, p, nil)
+}
+
+// resolvePairs fans the pair queries over the pool. tks, when non-nil, is
+// aligned with pairs and attaches each pair's warm-start tracker to its
+// searcher; each tracker is touched only by its own pair's task, so the
+// fan-out needs no extra locking.
+func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker) []Result {
 	tel := engineTel.Get()
 	var start time.Time
 	if tel != nil {
@@ -287,7 +329,11 @@ func (b *Batch) ResolvePairs(pairs [][2]int, p core.Params) []Result {
 		}
 		tasks = append(tasks, func() {
 			s := core.NewSearcher(b.snaps[pr[0]], b.snaps[pr[1]], p)
+			if tks != nil && tks[pi] != nil {
+				s.SetTracker(tks[pi])
+			}
 			out[pi].Est, out[pi].OK = s.Resolve(b.e.run)
+			s.Release()
 		})
 	}
 	b.e.run(tasks...)
@@ -316,6 +362,8 @@ func (e *Engine) Resolve(a, b *trajectory.Aware, p core.Params) (core.Estimate, 
 	if err != nil {
 		return core.Estimate{}, false, err
 	}
-	est, ok := core.NewSearcher(batch.snaps[0], batch.snaps[1], p).Resolve(e.run)
+	s := core.NewSearcher(batch.snaps[0], batch.snaps[1], p)
+	defer s.Release()
+	est, ok := s.Resolve(e.run)
 	return est, ok, nil
 }

@@ -45,7 +45,7 @@ func syntheticConvoy(seed int64, n, length, gap int, noiseSigma float64) []*traj
 		vrng := rand.New(rand.NewSource(seed + int64(vi) + 1))
 		for ch := 0; ch < 64; ch++ {
 			for i := 0; i < length; i++ {
-				a.Power[ch][i] = world[ch][offset+i] + noiseSigma*vrng.NormFloat64()
+				a.SetPower(ch, i, world[ch][offset+i]+noiseSigma*vrng.NormFloat64())
 			}
 		}
 		out[vi] = a

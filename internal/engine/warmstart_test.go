@@ -1,0 +1,205 @@
+package engine_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rups/internal/core"
+	"rups/internal/engine"
+	"rups/internal/obs"
+	"rups/internal/trajectory"
+)
+
+// warmCounters reads the tracker's hit/fallback counters off a registry.
+func warmCounters(reg *obs.Registry) (hits, fallbacks uint64) {
+	return reg.Counter("rups_core_warmstart_hits_total", "").Value(),
+		reg.Counter("rups_core_warmstart_fallbacks_total", "").Value()
+}
+
+// TestWarmResolveMatchesColdOracle is the warm-start equivalence proof: a
+// convoy re-resolved across a ladder of growing contexts through the
+// engine's tracked path must answer every tick exactly like the sequential
+// cold core.Resolve oracle — the tracker may only reorder scan evaluation,
+// never change a result. Run under -race this also exercises tracker
+// hand-off across concurrent pair tasks.
+func TestWarmResolveMatchesColdOracle(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer obs.Disable()
+
+	trajs := syntheticConvoy(21, 4, 400, 25, 1.0)
+	p := convoyParams()
+	e := engine.New(0)
+	defer e.Close()
+
+	var pairs [][2]int
+	for a := 0; a < len(trajs); a++ {
+		for b := a + 1; b < len(trajs); b++ {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+
+	resolved := 0
+	for _, now := range []float64{1300, 1325, 1350, 1375, 1399} {
+		views := make([]*trajectory.Aware, len(trajs))
+		for i, a := range trajs {
+			views[i] = a.PrefixUntil(now)
+		}
+		b, err := e.Admit(views...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.ResolvePairsAt(pairs, p, now, core.Staleness{})
+		for i, r := range got {
+			wantEst, wantOK := core.Resolve(views[pairs[i][0]], views[pairs[i][1]], p)
+			if r.OK != wantOK {
+				t.Fatalf("t=%v pair (%d,%d): warm OK=%v, cold oracle OK=%v",
+					now, r.A, r.B, r.OK, wantOK)
+			}
+			if !reflect.DeepEqual(r.Est, wantEst) {
+				t.Fatalf("t=%v pair (%d,%d): warm and cold estimates differ:\n%+v\n%+v",
+					now, r.A, r.B, r.Est, wantEst)
+			}
+			if r.OK {
+				resolved++
+			}
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("no pair of the overlapping convoy ever resolved — fixture is broken")
+	}
+	hits, fallbacks := warmCounters(reg)
+	if fallbacks == 0 {
+		t.Error("first-contact segments should have counted as fallbacks")
+	}
+	if hits == 0 {
+		t.Error("steady-state re-resolves never hit a warm hint")
+	}
+}
+
+// TestTrackerDemotesOnCoherencyLoss drives one pair through a mid-convoy
+// coherency loss: lock on, lose the partner to an uncorrelated impostor
+// (every tracked segment must demote to cold scanning), then re-acquire.
+// The re-acquisition tick must scan cold — zero warm hits — and still
+// match the oracle, and the tick after it must warm back up.
+func TestTrackerDemotesOnCoherencyLoss(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer obs.Disable()
+
+	trajs := syntheticConvoy(22, 2, 400, 25, 0.5)
+	p := convoyParams()
+
+	// An impostor wearing B's geometry but emitting pure noise: no shared
+	// world signal, so every segment check fails its coherency threshold.
+	rng := rand.New(rand.NewSource(99))
+	g := trajectory.Geo{Marks: make([]trajectory.GeoMark, trajs[1].Len())}
+	for i := range g.Marks {
+		g.Marks[i] = trajectory.GeoMark{T: 999 + float64(i)}
+	}
+	noise := trajectory.NewAwareWidth(g, trajs[1].Width())
+	for ch := 0; ch < noise.Width(); ch++ {
+		for i := 0; i < noise.Len(); i++ {
+			noise.SetPower(ch, i, -80+15*rng.NormFloat64())
+		}
+	}
+
+	e := engine.New(0)
+	defer e.Close()
+	pairs := [][2]int{{0, 1}}
+	resolveWith := func(partner *trajectory.Aware) engine.Result {
+		b, err := e.Admit(trajs[0], partner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.ResolvePairsAt(pairs, p, 1399, core.Staleness{})[0]
+	}
+
+	// Tick 1: lock on.
+	if r := resolveWith(trajs[1]); !r.OK {
+		t.Fatal("overlapping pair did not resolve on first contact")
+	}
+	// Tick 2: coherency loss — refused (like the oracle) and demoted.
+	if est, ok := core.Resolve(trajs[0], noise, p); ok {
+		t.Fatalf("oracle resolved the uncorrelated impostor: %+v", est)
+	}
+	if r := resolveWith(noise); r.OK {
+		t.Fatal("warm path resolved the uncorrelated impostor")
+	}
+	hitsLost, fallsLost := warmCounters(reg)
+
+	// Tick 3: signal back. The demoted pair must rescan cold (no hits, new
+	// fallbacks) and still agree with the oracle.
+	r := resolveWith(trajs[1])
+	wantEst, wantOK := core.Resolve(trajs[0], trajs[1], p)
+	if r.OK != wantOK || !reflect.DeepEqual(r.Est, wantEst) {
+		t.Fatalf("re-acquisition diverged from oracle: %+v vs %+v", r.Est, wantEst)
+	}
+	hitsRescan, fallsRescan := warmCounters(reg)
+	if hitsRescan != hitsLost {
+		t.Errorf("re-acquisition after demotion counted warm hits: %d → %d", hitsLost, hitsRescan)
+	}
+	if fallsRescan == fallsLost {
+		t.Error("post-demotion rescan did not count fallbacks")
+	}
+
+	// Tick 4: the re-acquired lock warms the pair again.
+	resolveWith(trajs[1])
+	if hitsWarm, _ := warmCounters(reg); hitsWarm == hitsRescan {
+		t.Error("re-locked pair never warmed back up")
+	}
+}
+
+// TestTrackerResetOnExpiry: when the staleness policy expires a pair, the
+// engine must drop its warm-start state — a context too old to answer with
+// cannot vouch for a warm window either. The first resolve after
+// re-contact scans cold.
+func TestTrackerResetOnExpiry(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer obs.Disable()
+
+	trajs := syntheticConvoy(23, 2, 400, 30, 0.5)
+	p := convoyParams()
+	e := engine.New(0)
+	defer e.Close()
+	b, err := e.Admit(trajs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 1}}
+	pol := core.Staleness{StaleAfterSec: 30, ExpireAfterSec: 150}
+	const newest = 1398.0 // youngest context mark in the fixture
+
+	// Tick 1: fresh lock. Tick 2: the repeat resolve must warm-hit.
+	if r := b.ResolvePairsAt(pairs, p, newest+5, pol)[0]; !r.OK {
+		t.Fatal("fresh pair did not resolve")
+	}
+	hitsCold, _ := warmCounters(reg)
+	if r := b.ResolvePairsAt(pairs, p, newest+10, pol)[0]; !r.OK {
+		t.Fatal("repeat resolve failed")
+	}
+	hitsLocked, _ := warmCounters(reg)
+	if hitsLocked == hitsCold {
+		t.Error("repeat resolve on a locked pair never hit warm")
+	}
+
+	// Tick 3: the pair expires — refused, tracker reset.
+	if r := b.ResolvePairsAt(pairs, p, newest+500, pol)[0]; r.OK {
+		t.Fatal("expired pair resolved")
+	}
+
+	// Tick 4: contact again within freshness — resolves, but cold.
+	hitsExpired, fallsExpired := warmCounters(reg)
+	if r := b.ResolvePairsAt(pairs, p, newest+5, pol)[0]; !r.OK {
+		t.Fatal("pair did not resolve after expiry reset")
+	}
+	hitsAfter, fallsAfter := warmCounters(reg)
+	if hitsAfter != hitsExpired {
+		t.Errorf("hints survived staleness expiry: hits %d → %d", hitsExpired, hitsAfter)
+	}
+	if fallsAfter == fallsExpired {
+		t.Error("post-expiry rescan did not count fallbacks")
+	}
+}

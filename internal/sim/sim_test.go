@@ -115,7 +115,7 @@ func TestExecuteDeterministic(t *testing.T) {
 		t.Fatal("non-deterministic mark count")
 	}
 	for i := 0; i < a.Follower.Aware.Len(); i += 37 {
-		if a.Follower.Aware.Power[10][i] != b.Follower.Aware.Power[10][i] {
+		if a.Follower.Aware.At(10, i) != b.Follower.Aware.At(10, i) {
 			t.Fatal("non-deterministic power matrix")
 		}
 	}

@@ -24,15 +24,12 @@ func FuzzUnmarshalBinary(f *testing.F) {
 			return // rejected is fine; panicking is not
 		}
 		// Accepted: invariants must hold and re-encoding must succeed.
-		if len(a.Power) == 0 {
+		if a.Width() == 0 {
 			t.Fatal("accepted a trajectory with no channels")
 		}
-		for ch := range a.Power {
-			if len(a.Power[ch]) != a.Len() {
-				t.Fatal("ragged power matrix accepted")
-			}
-			for _, v := range a.Power[ch] {
-				if !stats.IsMissing(v) && (v < -110 || v > 145) {
+		for ch := 0; ch < a.Width(); ch++ {
+			for i := 0; i < a.Len(); i++ {
+				if v := a.At(ch, i); !stats.IsMissing(v) && (v < -110 || v > 145) {
 					t.Fatalf("decoded RSSI %v outside representable range", v)
 				}
 			}

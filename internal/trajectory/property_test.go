@@ -19,9 +19,9 @@ func TestInterpolateIdempotent(t *testing.T) {
 		a.Interpolate()
 		snapshot := a.Clone()
 		a.Interpolate()
-		for ch := range a.Power {
-			for i := range a.Power[ch] {
-				x, y := a.Power[ch][i], snapshot.Power[ch][i]
+		for ch := 0; ch < a.Width(); ch++ {
+			for i := 0; i < a.Len(); i++ {
+				x, y := a.At(ch, i), snapshot.At(ch, i)
 				if stats.IsMissing(x) != stats.IsMissing(y) {
 					return false
 				}
@@ -43,11 +43,12 @@ func TestInterpolateBounded(t *testing.T) {
 	f := func(seed uint64, mRaw uint8) bool {
 		m := int(mRaw)%40 + 2
 		a := randomAware(seed, m)
-		lo := make([]float64, len(a.Power))
-		hi := make([]float64, len(a.Power))
-		for ch := range a.Power {
+		lo := make([]float64, a.Width())
+		hi := make([]float64, a.Width())
+		for ch := 0; ch < a.Width(); ch++ {
 			lo[ch], hi[ch] = math.Inf(1), math.Inf(-1)
-			for _, v := range a.Power[ch] {
+			for i := 0; i < a.Len(); i++ {
+				v := a.At(ch, i)
 				if stats.IsMissing(v) {
 					continue
 				}
@@ -60,8 +61,9 @@ func TestInterpolateBounded(t *testing.T) {
 			}
 		}
 		a.Interpolate()
-		for ch := range a.Power {
-			for _, v := range a.Power[ch] {
+		for ch := 0; ch < a.Width(); ch++ {
+			for i := 0; i < a.Len(); i++ {
+				v := a.At(ch, i)
 				if stats.IsMissing(v) {
 					continue
 				}
@@ -109,10 +111,10 @@ func TestPrefixUntilProperties(t *testing.T) {
 func TestBindWidthCustom(t *testing.T) {
 	g := mkGeo(5, 0)
 	a := BindWidth(g, []Sample{{T: 0.5, Ch: 200, RSSI: -70}}, 222)
-	if len(a.Power) != 222 {
-		t.Fatalf("width %d", len(a.Power))
+	if a.Width() != 222 {
+		t.Fatalf("width %d", a.Width())
 	}
-	if a.Power[200][0] != -70 {
+	if a.At(200, 0) != -70 {
 		t.Error("wide-channel sample not bound")
 	}
 	defer func() {
@@ -128,12 +130,12 @@ func TestTopAudibleChannels(t *testing.T) {
 	a := NewAware(mkGeo(5, 0))
 	// Three strong channels; everything else floor-ish silence.
 	for i := 0; i < 5; i++ {
-		a.Power[7][i] = -60
-		a.Power[8][i] = -65
-		a.Power[9][i] = -70
+		a.SetPower(7, i, -60)
+		a.SetPower(8, i, -65)
+		a.SetPower(9, i, -70)
 		for ch := 0; ch < gsm.NumChannels; ch++ {
 			if ch != 7 && ch != 8 && ch != 9 {
-				a.Power[ch][i] = gsm.NoiseFloorDBm + noise.Uniform(1, uint64(ch), uint64(i))
+				a.SetPower(ch, i, gsm.NoiseFloorDBm+noise.Uniform(1, uint64(ch), uint64(i)))
 			}
 		}
 	}
@@ -148,7 +150,7 @@ func TestTopAudibleChannels(t *testing.T) {
 	b := NewAware(mkGeo(5, 0))
 	for ch := 0; ch < gsm.NumChannels; ch++ {
 		for i := 0; i < 5; i++ {
-			b.Power[ch][i] = gsm.NoiseFloorDBm
+			b.SetPower(ch, i, gsm.NoiseFloorDBm)
 		}
 	}
 	if got := b.TopAudibleChannels(45, -107, 8); len(got) != 8 {

@@ -19,7 +19,7 @@ func grown(n, width int) *trajectory.Aware {
 	a := trajectory.NewAwareWidth(g, width)
 	for ch := 0; ch < width; ch++ {
 		for i := 0; i < n; i++ {
-			a.Power[ch][i] = -80 + 10*float64((i*7+ch*13)%17)/17
+			a.SetPower(ch, i, -80+10*float64((i*7+ch*13)%17)/17)
 		}
 	}
 	return a
@@ -31,9 +31,9 @@ func grown(n, width int) *trajectory.Aware {
 func TestTailIsAView(t *testing.T) {
 	a := grown(50, 4)
 	v := a.Tail(10)
-	a.Power[2][45] = -33
-	if v.Power[2][5] != -33 {
-		t.Fatalf("Tail view did not observe the live write: %v", v.Power[2][5])
+	a.SetPower(2, 45, -33)
+	if v.At(2, 5) != -33 {
+		t.Fatalf("Tail view did not observe the live write: %v", v.At(2, 5))
 	}
 	a.Geo.Marks[45].Theta = 1.5
 	if v.Geo.Marks[5].Theta != 1.5 {
@@ -46,13 +46,13 @@ func TestTailIsAView(t *testing.T) {
 func TestSnapshotIndependence(t *testing.T) {
 	a := grown(50, 4)
 	s := a.Snapshot()
-	a.Power[1][10] = -120
+	a.SetPower(1, 10, -120)
 	a.Geo.Marks[10].Theta = 2
 	a.Append(trajectory.GeoMark{T: 50}, []float64{-70, -70, -70, -70})
 	if s.Len() != 50 {
 		t.Fatalf("snapshot grew with the live trajectory: len %d", s.Len())
 	}
-	if s.Power[1][10] == -120 || s.Geo.Marks[10].Theta == 2 {
+	if s.At(1, 10) == -120 || s.Geo.Marks[10].Theta == 2 {
 		t.Fatal("snapshot observed live writes")
 	}
 }
@@ -65,7 +65,7 @@ func TestAppendExtends(t *testing.T) {
 		t.Fatalf("len %d after append, want 11", a.Len())
 	}
 	for ch, want := range []float64{-60, stats.Missing, -70} {
-		if got := a.Power[ch][10]; got != want && !(stats.IsMissing(got) && stats.IsMissing(want)) {
+		if got := a.At(ch, 10); got != want && !(stats.IsMissing(got) && stats.IsMissing(want)) {
 			t.Fatalf("channel %d appended %v, want %v", ch, got, want)
 		}
 	}

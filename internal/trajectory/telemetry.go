@@ -4,14 +4,17 @@ import "rups/internal/obs"
 
 // trajTelemetry is the binding/interpolation metric roster (see
 // docs/OBSERVABILITY.md): how much of the context matrix is measured
-// versus reconstructed, and how big the snapshots handed to the engine
-// are.
+// versus reconstructed, how big the snapshots handed to the engine are,
+// and how much of each snapshot's storage interning managed to share
+// instead of copy.
 type trajTelemetry struct {
 	marksBound   *obs.Counter
 	measured     *obs.Counter
 	interpolated *obs.Counter
 	snapshots    *obs.Counter
-	snapMetres   *obs.Histogram
+	snapMarks    *obs.Histogram
+	snapSharedB  *obs.Counter
+	snapCopiedB  *obs.Counter
 }
 
 var trajTel = obs.NewView(func(r *obs.Registry) *trajTelemetry {
@@ -24,8 +27,14 @@ var trajTel = obs.NewView(func(r *obs.Registry) *trajTelemetry {
 			"missing matrix cells filled by linear interpolation"),
 		snapshots: r.Counter("rups_trajectory_snapshots_total",
 			"trajectory snapshots taken (engine admission copies)"),
-		// Snapshot length in metres: 2^2 = 4 m up to 2^14 = 16 km.
-		snapMetres: r.Histogram("rups_trajectory_snapshot_metres",
-			"length of a snapshotted trajectory", 2, 14),
+		// Snapshot length in marks: 2^2 = 4 up to 2^14 = 16384 (one mark
+		// per metre, but the histogram counts marks — see the indexunit
+		// analyzer).
+		snapMarks: r.Histogram("rups_trajectory_snapshot_marks",
+			"length of a snapshotted trajectory in metre marks", 2, 14),
+		snapSharedB: r.Counter("rups_trajectory_snapshot_bytes_shared_total",
+			"power-cell bytes referenced by snapshots without copying (interned chunk storage)"),
+		snapCopiedB: r.Counter("rups_trajectory_snapshot_bytes_copied_total",
+			"bytes a snapshot actually allocated (geometry marks + chunk pointer table)"),
 	}
 })

@@ -11,6 +11,14 @@
 // Convention: index i is the i-th metre since recording began, so the most
 // recent metre is the *last* index. Sliding-window searches take "the most
 // recent segment" from the tail.
+//
+// The power matrix is stored in sealed column chunks (see chunk.go): a
+// Snapshot shares chunk storage by reference instead of deep-copying it, so
+// the engine's per-tick admission copies cost O(marks) for the geometry
+// plus a pointer slice — not O(channels × marks) for the cells. Cell access
+// goes through At/SetPower/CopyRowInto; the matrix is no longer an exported
+// field, because storage sharing is only safe when every in-place write is
+// funnelled through the copy-on-write barrier.
 package trajectory
 
 import (
@@ -34,7 +42,7 @@ type Geo struct {
 // Len returns the trajectory length in metres (number of marks).
 func (g Geo) Len() int { return len(g.Marks) }
 
-// Tail returns the most recent n metres (all of it if shorter). The
+// Tail returns the most recent n marks (all of them if shorter). The
 // returned Geo shares backing storage with g.
 func (g Geo) Tail(n int) Geo {
 	if n >= len(g.Marks) {
@@ -51,12 +59,12 @@ type Sample struct {
 }
 
 // Aware is a GSM-aware trajectory: the geographical trajectory with a
-// channel-major power matrix. Power[ch][i] is the RSSI (dBm) of channel ch
-// at metre i, or stats.Missing when that channel was not scanned near that
-// metre.
+// channel-major power matrix over chunked storage. Cell (ch, i) is the RSSI
+// (dBm) of channel ch at metre i, or stats.Missing when that channel was
+// not scanned near that metre — read it with At, write it with SetPower.
 type Aware struct {
-	Geo   Geo
-	Power [][]float64
+	Geo Geo
+	pw  powStore
 }
 
 // NewAware allocates an all-missing power matrix of the standard GSM width
@@ -70,19 +78,43 @@ func NewAwareWidth(g Geo, width int) *Aware {
 	if width <= 0 {
 		panic(fmt.Sprintf("trajectory: invalid width %d", width))
 	}
-	p := make([][]float64, width)
-	for ch := range p {
-		row := make([]float64, len(g.Marks))
-		for i := range row {
-			row[i] = stats.Missing
+	return &Aware{Geo: g, pw: newPowStore(width, len(g.Marks))}
+}
+
+// FromRows builds a trajectory from channel-major power rows; every row
+// must be g.Len() long. The rows are copied into owned chunk storage.
+func FromRows(g Geo, rows [][]float64) *Aware {
+	a := NewAwareWidth(g, len(rows))
+	for ch, row := range rows {
+		if len(row) != g.Len() {
+			panic(fmt.Sprintf("trajectory: row %d has %d columns, want %d", ch, len(row), g.Len()))
 		}
-		p[ch] = row
+		a.pw.setRow(ch, 0, row)
 	}
-	return &Aware{Geo: g, Power: p}
+	return a
 }
 
 // Len returns the trajectory length in metres.
 func (a *Aware) Len() int { return len(a.Geo.Marks) }
+
+// Width returns the channel count of the power matrix.
+func (a *Aware) Width() int { return a.pw.width }
+
+// At returns the power cell of channel ch at metre i. It panics when the
+// cell is out of range.
+func (a *Aware) At(ch, i int) float64 {
+	a.pw.checkCell(ch, i)
+	return a.pw.at(ch, i)
+}
+
+// SetPower writes the power cell of channel ch at metre i. Writes below a
+// snapshot's sealed watermark privatize the affected chunk first
+// (copy-on-write), so snapshots never observe them; views do, sharing the
+// live chunk table. It panics on out-of-range cells and on views.
+func (a *Aware) SetPower(ch, i int, v float64) {
+	a.pw.checkCell(ch, i)
+	a.pw.set(ch, i, v)
+}
 
 // Bind associates time-domain scanner samples with the geographical
 // trajectory (paper §IV-C): the samples taken during (t_{i-1}, t_i] belong
@@ -113,11 +145,11 @@ func BindWidth(g Geo, samples []Sample, width int) *Aware {
 		}
 		key := [2]int{s.Ch, mark}
 		if counts[key] == 0 {
-			a.Power[s.Ch][mark] = s.RSSI
+			a.pw.set(s.Ch, mark, s.RSSI)
 		} else {
 			// Running average of repeated readings.
 			n := float64(counts[key])
-			a.Power[s.Ch][mark] = (a.Power[s.Ch][mark]*n + s.RSSI) / (n + 1)
+			a.pw.set(s.Ch, mark, (a.pw.at(s.Ch, mark)*n+s.RSSI)/(n+1))
 		}
 		counts[key]++
 	}
@@ -130,36 +162,66 @@ func BindWidth(g Geo, samples []Sample, width int) *Aware {
 
 // Append extends the live trajectory by one metre mark with its power
 // vector (stats.Missing for unscanned channels); len(power) must match the
-// matrix width. Appending may reallocate the backing arrays, and it writes
-// the live storage in any case — readers holding views (Tail, Window,
-// Select, PrefixUntil) race with it, readers holding a Snapshot do not.
+// matrix width. The new column lands above every sealed watermark, so
+// readers holding a Snapshot never race it; readers holding views (Tail,
+// PrefixUntil) still do. Appending through a view panics.
 func (a *Aware) Append(mark GeoMark, power []float64) {
-	if len(power) != len(a.Power) {
+	if len(power) != a.pw.width {
 		panic(fmt.Sprintf("trajectory: Append power width %d, matrix width %d",
-			len(power), len(a.Power)))
+			len(power), a.pw.width))
 	}
 	a.Geo.Marks = append(a.Geo.Marks, mark)
-	for ch := range a.Power {
-		a.Power[ch] = append(a.Power[ch], power[ch])
+	a.pw.appendCol(power)
+}
+
+// AppendColumns bulk-extends the trajectory: rows is channel-major with one
+// row per channel, each len(marks) long. Equivalent to Append per mark but
+// amortized over chunk segments — the V2V delta-application path.
+func (a *Aware) AppendColumns(marks []GeoMark, rows [][]float64) {
+	if len(rows) != a.pw.width {
+		panic(fmt.Sprintf("trajectory: AppendColumns with %d rows, matrix width %d",
+			len(rows), a.pw.width))
+	}
+	a.pw.mutable()
+	for ch, row := range rows {
+		if len(row) != len(marks) {
+			panic(fmt.Sprintf("trajectory: AppendColumns row %d has %d columns, want %d",
+				ch, len(row), len(marks)))
+		}
+		_ = ch
+	}
+	base := a.pw.n
+	a.Geo.Marks = append(a.Geo.Marks, marks...)
+	// Grow the chunk table first, then blit each row chunk-segment-wise.
+	need := base + len(marks)
+	for (a.pw.off+need+chunkMask)>>chunkShift > len(a.pw.chunks) {
+		a.pw.chunks = append(a.pw.chunks, newPowChunk(a.pw.width))
+	}
+	a.pw.n = need
+	for ch, row := range rows {
+		a.pw.setRow(ch, base, row)
 	}
 }
 
 // MissingFrac returns the fraction of matrix entries that are missing —
 // the paper's missing-channel severity, which grows with vehicle speed and
-// shrinks with the number of scanning radios.
+// shrinks with the number of scanning radios. A matrix with no cells at all
+// (no marks, or a zero-channel power matrix) has nothing missing: the
+// fraction is 0, never 0/0.
 func (a *Aware) MissingFrac() float64 {
-	if a.Len() == 0 {
+	total := a.pw.width * a.Len()
+	if total == 0 {
 		return 0
 	}
 	missing := 0
-	total := 0
-	for ch := range a.Power {
-		for _, v := range a.Power[ch] {
-			total++
-			if stats.IsMissing(v) {
-				missing++
+	for ch := 0; ch < a.pw.width; ch++ {
+		a.pw.rowSegs(ch, 0, a.Len(), func(seg []float64, _ int) {
+			for _, v := range seg {
+				if stats.IsMissing(v) {
+					missing++
+				}
 			}
-		}
+		})
 	}
 	return float64(missing) / float64(total)
 }
@@ -171,9 +233,15 @@ func (a *Aware) MissingFrac() float64 {
 // extended from the nearest valid value; channels never scanned stay
 // missing.
 func (a *Aware) Interpolate() {
+	a.pw.mutable()
 	filled := 0
-	for ch := range a.Power {
-		filled += interpolateRow(a.Power[ch])
+	row := make([]float64, a.Len())
+	for ch := 0; ch < a.pw.width; ch++ {
+		a.pw.copyRow(ch, 0, row)
+		if f := interpolateRow(row); f > 0 {
+			filled += f
+			a.pw.setRow(ch, 0, row)
+		}
 	}
 	if t := trajTel.Get(); t != nil {
 		t.interpolated.Add(uint64(filled))
@@ -219,18 +287,45 @@ func interpolateRow(row []float64) int {
 	return filled
 }
 
-// Window returns the power sub-matrix of the metres [start, start+length),
-// sharing backing storage. It panics when the range is out of bounds.
+// Window returns a copy of the power sub-matrix of the metres
+// [start, start+length). It panics when the range is out of bounds. Unlike
+// the pre-chunk layout this is a materialized copy, not a view — chunked
+// rows are not contiguous, so callers needing live aliasing use Tail or
+// PrefixUntil (whole-trajectory views) instead.
 func (a *Aware) Window(start, length int) [][]float64 {
 	if start < 0 || length <= 0 || start+length > a.Len() {
 		panic(fmt.Sprintf("trajectory: window [%d,%d) out of range 0..%d",
 			start, start+length, a.Len()))
 	}
-	w := make([][]float64, len(a.Power))
-	for ch := range a.Power {
-		w[ch] = a.Power[ch][start : start+length]
+	w := make([][]float64, a.pw.width)
+	back := make([]float64, a.pw.width*length)
+	for ch := 0; ch < a.pw.width; ch++ {
+		row := back[ch*length : (ch+1)*length : (ch+1)*length]
+		a.pw.copyRow(ch, start, row)
+		w[ch] = row
 	}
 	return w
+}
+
+// CopyRowInto copies channel ch's full row (metres [0, Len)) into dst,
+// which must be at least Len long. The hot-path row materializer: the
+// searcher gathers its checking-window rows through this into pooled
+// arenas.
+func (a *Aware) CopyRowInto(ch int, dst []float64) {
+	if ch < 0 || ch >= a.pw.width {
+		panic(fmt.Sprintf("trajectory: channel %d out of range", ch))
+	}
+	a.pw.copyRow(ch, 0, dst[:a.Len()])
+}
+
+// RowCopy returns a fresh copy of channel ch's cells over metres [lo, hi).
+func (a *Aware) RowCopy(ch, lo, hi int) []float64 {
+	if ch < 0 || ch >= a.pw.width || lo < 0 || hi < lo || hi > a.Len() {
+		panic(fmt.Sprintf("trajectory: row copy (%d, [%d,%d)) out of range", ch, lo, hi))
+	}
+	dst := make([]float64, hi-lo)
+	a.pw.copyRow(ch, lo, dst)
+	return dst
 }
 
 // PrefixUntil returns the trajectory as known at time t: the marks
@@ -241,30 +336,25 @@ func (a *Aware) PrefixUntil(t float64) *Aware {
 	for n < a.Len() && a.Geo.Marks[n].T <= t {
 		n++
 	}
-	p := &Aware{Geo: Geo{Marks: a.Geo.Marks[:n]}}
-	p.Power = make([][]float64, len(a.Power))
-	for ch := range a.Power {
-		p.Power[ch] = a.Power[ch][:n]
-	}
-	return p
+	return &Aware{Geo: Geo{Marks: a.Geo.Marks[:n]}, pw: a.pw.viewOf(0, n)}
 }
 
-// Tail returns the most recent n metres as an Aware sharing storage with a.
+// Tail returns the most recent n marks as an Aware sharing storage with a.
 //
 // Aliasing contract: the returned trajectory is a *view* — its Geo.Marks
-// and Power rows alias a's backing arrays, as do the results of Window,
-// Select, and PrefixUntil. Views are only safe to read while the live
-// trajectory is not being extended or rewritten; a resolution running
-// concurrently with trajectory appends through a view is a data race. Code
-// that hands a trajectory to another goroutine (the batch-resolution
-// engine, trackers) must decouple first with Snapshot.
+// and power chunks alias a's live storage (PrefixUntil returns the same
+// kind of view), so writes through the live trajectory are visible through
+// it. Views are only safe to read while the live trajectory is not being
+// extended or rewritten; a resolution running concurrently with trajectory
+// appends through a view is a data race. Code that hands a trajectory to
+// another goroutine (the batch-resolution engine, trackers) must decouple
+// first with Snapshot.
 func (a *Aware) Tail(n int) *Aware {
 	if n >= a.Len() {
 		return a
 	}
 	start := a.Len() - n
-	t := &Aware{Geo: a.Geo.Tail(n), Power: a.Window(start, n)}
-	return t
+	return &Aware{Geo: a.Geo.Tail(n), pw: a.pw.viewOf(start, a.Len())}
 }
 
 // TopChannels returns the indices of the k channels with the highest mean
@@ -274,16 +364,16 @@ func (a *Aware) TopChannels(k int) []int {
 	if k <= 0 {
 		panic(fmt.Sprintf("trajectory: TopChannels k=%d out of range", k))
 	}
-	if k > len(a.Power) {
-		k = len(a.Power)
+	if k > a.pw.width {
+		k = a.pw.width
 	}
 	type chMean struct {
 		ch   int
 		mean float64
 	}
-	ms := make([]chMean, len(a.Power))
-	for ch := range a.Power {
-		m, ok := stats.MeanOK(a.Power[ch])
+	ms := make([]chMean, a.pw.width)
+	for ch := 0; ch < a.pw.width; ch++ {
+		m, ok := a.rowMeanOK(ch)
 		if !ok { // all missing: rank below the floor
 			m = gsm.NoiseFloorDBm - 1
 		}
@@ -306,6 +396,24 @@ func (a *Aware) TopChannels(k int) []int {
 	return out
 }
 
+// rowMeanOK is stats.MeanOK over channel ch's chunked row.
+func (a *Aware) rowMeanOK(ch int) (float64, bool) {
+	var sum float64
+	var n int
+	a.pw.rowSegs(ch, 0, a.Len(), func(seg []float64, _ int) {
+		for _, v := range seg {
+			if !stats.IsMissing(v) {
+				sum += v
+				n++
+			}
+		}
+	})
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
 // TopAudibleChannels returns the TopChannels ranking trimmed to channels
 // whose mean RSSI exceeds minDBm — sparse environments (suburbs) may not
 // have k audible carriers, and padding the checking window with noise-floor
@@ -318,7 +426,9 @@ func (a *Aware) TopAudibleChannels(k int, minDBm float64, minKeep int) []int {
 	}
 	keep := len(ranked)
 	for keep > minKeep {
-		if stats.Mean(a.Power[ranked[keep-1]]) > minDBm {
+		// stats.Mean semantics: missing entries skipped, all-missing means 0.
+		m, ok := a.rowMeanOK(ranked[keep-1])
+		if ok && m > minDBm {
 			break
 		}
 		keep--
@@ -326,15 +436,19 @@ func (a *Aware) TopAudibleChannels(k int, minDBm float64, minKeep int) []int {
 	return ranked[:keep]
 }
 
-// Select returns the power matrix restricted to the given channel rows
-// (sharing storage).
+// Select returns a copy of the power matrix restricted to the given channel
+// rows. Like Window, this materializes: chunked rows are not contiguous.
 func (a *Aware) Select(channels []int) [][]float64 {
 	w := make([][]float64, len(channels))
+	n := a.Len()
+	back := make([]float64, len(channels)*n)
 	for i, ch := range channels {
-		if ch < 0 || ch >= len(a.Power) {
+		if ch < 0 || ch >= a.pw.width {
 			panic(fmt.Sprintf("trajectory: channel %d out of range", ch))
 		}
-		w[i] = a.Power[ch]
+		row := back[i*n : (i+1)*n : (i+1)*n]
+		a.pw.copyRow(ch, 0, row)
+		w[i] = row
 	}
 	return w
 }
@@ -347,7 +461,7 @@ func (a *Aware) DistanceBetween(mark int) float64 {
 	if mark < 0 || mark >= a.Len() {
 		panic(fmt.Sprintf("trajectory: mark %d out of range", mark))
 	}
-	return float64(a.Len() - 1 - mark)
+	return MetresFromIndex(a.Len()-1) - MetresFromIndex(mark)
 }
 
 // TimeSpan returns the first and last mark timestamps.
@@ -358,27 +472,31 @@ func (a *Aware) TimeSpan() (t0, t1 float64) {
 	return a.Geo.Marks[0].T, a.Geo.Marks[a.Len()-1].T
 }
 
-// Clone deep-copies the trajectory.
+// Clone deep-copies the trajectory into fresh, owned storage. Unlike
+// Snapshot it shares nothing at all — use it when the copy must itself be
+// mutable (appending a synced copy, test fixtures).
 func (a *Aware) Clone() *Aware {
 	g := Geo{Marks: append([]GeoMark(nil), a.Geo.Marks...)}
-	p := make([][]float64, len(a.Power))
-	for ch := range a.Power {
-		p[ch] = append([]float64(nil), a.Power[ch]...)
-	}
-	return &Aware{Geo: g, Power: p}
+	return &Aware{Geo: g, pw: a.pw.clone()}
 }
 
-// Snapshot returns an independent copy of the trajectory as it stands now —
-// the copy-on-read admission boundary for concurrent resolution. Unlike
-// Tail/Window/Select/PrefixUntil, which return views aliasing the live
-// backing arrays (see Tail's aliasing contract), a snapshot shares no
-// storage with a: readers holding it never race appends to the live
-// trajectory. The batch-resolution engine snapshots every trajectory at
-// query admission before fanning work out to its workers.
+// Snapshot returns an interned read-only copy of the trajectory as it
+// stands now — the copy-on-read admission boundary for concurrent
+// resolution. The geometry marks are copied, but the power cells are
+// *shared*: the snapshot references the live chunk tiles and seals them
+// under each chunk's watermark, so readers holding it never race appends
+// (new columns land above the watermark) and never observe in-place
+// rewrites (those privatize the chunk first). Snapshot itself must run on
+// the goroutine owning the trajectory — the engine admits at a quiescent
+// point; only the *reads* afterwards may be concurrent.
 func (a *Aware) Snapshot() *Aware {
+	marks := append([]GeoMark(nil), a.Geo.Marks...)
+	pw, ptrs := a.pw.snapshot()
 	if t := trajTel.Get(); t != nil {
 		t.snapshots.Inc()
-		t.snapMetres.Observe(float64(a.Len()))
+		t.snapMarks.Observe(float64(a.Len()))
+		t.snapSharedB.Add(uint64(8 * a.pw.width * a.Len()))
+		t.snapCopiedB.Add(uint64(16*len(marks) + 8*ptrs))
 	}
-	return a.Clone()
+	return &Aware{Geo: Geo{Marks: marks}, pw: pw}
 }

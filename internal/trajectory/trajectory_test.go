@@ -37,19 +37,19 @@ func TestBindAssignsByTime(t *testing.T) {
 		{T: 99, Ch: 5, RSSI: -50}, // beyond the trajectory: dropped
 	}
 	a := Bind(g, samples)
-	if got := a.Power[3][0]; got != -70 {
+	if got := a.At(3, 0); got != -70 {
 		t.Errorf("Power[3][0] = %v", got)
 	}
-	if got := a.Power[3][1]; got != -80 {
+	if got := a.At(3, 1); got != -80 {
 		t.Errorf("Power[3][1] = %v", got)
 	}
-	if got := a.Power[4][1]; got != -60 {
+	if got := a.At(4, 1); got != -60 {
 		t.Errorf("Power[4][1] = %v", got)
 	}
-	if !stats.IsMissing(a.Power[5][4]) {
+	if !stats.IsMissing(a.At(5, 4)) {
 		t.Error("out-of-span sample was bound")
 	}
-	if !stats.IsMissing(a.Power[3][2]) {
+	if !stats.IsMissing(a.At(3, 2)) {
 		t.Error("unscanned cell not missing")
 	}
 }
@@ -61,7 +61,7 @@ func TestBindAveragesRepeats(t *testing.T) {
 		{T: 0.4, Ch: 1, RSSI: -80},
 		{T: 0.6, Ch: 1, RSSI: -90},
 	})
-	if got := a.Power[1][0]; got != -80 {
+	if got := a.At(1, 0); got != -80 {
 		t.Errorf("averaged repeat = %v, want -80", got)
 	}
 }
@@ -81,7 +81,7 @@ func TestMissingFrac(t *testing.T) {
 	if got := a.MissingFrac(); got != 1 {
 		t.Errorf("all-missing frac = %v", got)
 	}
-	a.Power[0][0] = -70
+	a.SetPower(0, 0, -70)
 	want := 1 - 1.0/float64(gsm.NumChannels*4)
 	if got := a.MissingFrac(); math.Abs(got-want) > 1e-12 {
 		t.Errorf("frac = %v, want %v", got, want)
@@ -115,15 +115,15 @@ func TestInterpolateFullMatrix(t *testing.T) {
 	g := mkGeo(10, 0)
 	a := NewAware(g)
 	for ch := 0; ch < gsm.NumChannels; ch++ {
-		a.Power[ch][0] = -80
-		a.Power[ch][9] = -70
+		a.SetPower(ch, 0, -80)
+		a.SetPower(ch, 9, -70)
 	}
 	a.Interpolate()
 	if a.MissingFrac() != 0 {
 		t.Errorf("missing after interpolate: %v", a.MissingFrac())
 	}
 	// Monotone ramp per row.
-	if got := a.Power[5][5]; math.Abs(got-(-80+10.0*5/9)) > 1e-9 {
+	if got := a.At(5, 5); math.Abs(got-(-80+10.0*5/9)) > 1e-9 {
 		t.Errorf("interpolated value = %v", got)
 	}
 }
@@ -131,7 +131,7 @@ func TestInterpolateFullMatrix(t *testing.T) {
 func TestWindowAndTail(t *testing.T) {
 	g := mkGeo(10, 0)
 	a := NewAware(g)
-	a.Power[2][7] = -55
+	a.SetPower(2, 7, -55)
 	w := a.Window(5, 4)
 	if len(w) != gsm.NumChannels || len(w[0]) != 4 {
 		t.Fatalf("window shape %dx%d", len(w), len(w[0]))
@@ -139,12 +139,12 @@ func TestWindowAndTail(t *testing.T) {
 	if w[2][2] != -55 {
 		t.Errorf("window content wrong: %v", w[2][2])
 	}
-	a.Power[2][9] = -44
+	a.SetPower(2, 9, -44)
 	tail := a.Tail(3)
-	if tail.Len() != 3 || tail.Power[2][0] != -55 {
+	if tail.Len() != 3 || tail.At(2, 0) != -55 {
 		t.Error("tail wrong")
 	}
-	if tail.Power[2][2] != -44 {
+	if tail.At(2, 2) != -44 {
 		t.Error("tail not aliasing the original")
 	}
 	defer func() {
@@ -160,9 +160,9 @@ func TestTopChannels(t *testing.T) {
 	a := NewAware(g)
 	// Make channels 10, 20, 30 strong in that order.
 	for i := 0; i < 5; i++ {
-		a.Power[10][i] = -50
-		a.Power[20][i] = -60
-		a.Power[30][i] = -70
+		a.SetPower(10, i, -50)
+		a.SetPower(20, i, -60)
+		a.SetPower(30, i, -70)
 	}
 	top := a.TopChannels(3)
 	if top[0] != 10 || top[1] != 20 || top[2] != 30 {
@@ -192,11 +192,11 @@ func TestDistanceBetween(t *testing.T) {
 
 func TestClone(t *testing.T) {
 	a := NewAware(mkGeo(4, 0))
-	a.Power[1][1] = -66
+	a.SetPower(1, 1, -66)
 	b := a.Clone()
-	b.Power[1][1] = -99
+	b.SetPower(1, 1, -99)
 	b.Geo.Marks[0].Theta = 9
-	if a.Power[1][1] != -66 || a.Geo.Marks[0].Theta == 9 {
+	if a.At(1, 1) != -66 || a.Geo.Marks[0].Theta == 9 {
 		t.Error("Clone shares storage")
 	}
 }

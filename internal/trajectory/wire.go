@@ -69,7 +69,7 @@ func byteToRSSI(b byte) float64 {
 // MarshalBinary encodes the trajectory in the wire format.
 func (a *Aware) MarshalBinary() ([]byte, error) {
 	m := a.Len()
-	n := len(a.Power)
+	n := a.Width()
 	if n == 0 || n > 0xFFFF {
 		return nil, fmt.Errorf("trajectory: %d power rows not encodable", n)
 	}
@@ -90,9 +90,11 @@ func (a *Aware) MarshalBinary() ([]byte, error) {
 			math.Float32bits(float32(mk.T-tBase)))
 	}
 	for ch := 0; ch < n; ch++ {
-		for i := 0; i < m; i++ {
-			buf = append(buf, rssiToByte(a.Power[ch][i]))
-		}
+		a.pw.rowSegs(ch, 0, m, func(seg []float64, _ int) {
+			for _, v := range seg {
+				buf = append(buf, rssiToByte(v))
+			}
+		})
 	}
 	return buf, nil
 }
@@ -132,16 +134,16 @@ func (a *Aware) UnmarshalBinary(data []byte) error {
 		}
 		off += 6
 	}
-	power := make([][]float64, n)
+	pw := newPowStore(n, m)
+	row := make([]float64, m)
 	for ch := 0; ch < n; ch++ {
-		row := make([]float64, m)
 		for i := 0; i < m; i++ {
 			row[i] = byteToRSSI(data[off])
 			off++
 		}
-		power[ch] = row
+		pw.setRow(ch, 0, row)
 	}
 	a.Geo = Geo{Marks: marks}
-	a.Power = power
+	a.pw = pw
 	return nil
 }

@@ -25,7 +25,7 @@ func randomAware(seed uint64, m int) *Aware {
 			if u < 0.2 {
 				continue // leave missing
 			}
-			a.Power[ch][i] = gsm.NoiseFloorDBm + 70*noise.Uniform(seed, uint64(ch), uint64(i), 3)
+			a.SetPower(ch, i, gsm.NoiseFloorDBm+70*noise.Uniform(seed, uint64(ch), uint64(i), 3))
 		}
 	}
 	return a
@@ -55,9 +55,9 @@ func TestWireRoundTrip(t *testing.T) {
 			t.Fatalf("mark %d time %v vs %v", i, b.Geo.Marks[i].T, a.Geo.Marks[i].T)
 		}
 	}
-	for ch := range a.Power {
-		for i := range a.Power[ch] {
-			av, bv := a.Power[ch][i], b.Power[ch][i]
+	for ch := 0; ch < a.Width(); ch++ {
+		for i := 0; i < a.Len(); i++ {
+			av, bv := a.At(ch, i), b.At(ch, i)
 			if stats.IsMissing(av) != stats.IsMissing(bv) {
 				t.Fatalf("missing mismatch at %d,%d", ch, i)
 			}

@@ -131,7 +131,7 @@ func NewSession(src *trajectory.Aware, data, ack *link.Channel, cfg SyncConfig) 
 	return &Session{
 		cfg:      cfg.withDefaults(),
 		src:      src,
-		copy:     trajectory.NewAwareWidth(trajectory.Geo{}, len(src.Power)),
+		copy:     trajectory.NewAwareWidth(trajectory.Geo{}, src.Width()),
 		data:     data,
 		ack:      ack,
 		rto:      cfg.withDefaults().RTORounds,
@@ -385,9 +385,9 @@ func (s *Session) fillWindow(round int, now float64) {
 			n = s.visible - s.next
 		}
 		d := Delta{FromMark: s.next, Marks: s.src.Geo.Marks[s.next : s.next+n]}
-		d.Power = make([][]float64, len(s.src.Power))
-		for ch := range s.src.Power {
-			d.Power[ch] = s.src.Power[ch][s.next : s.next+n]
+		d.Power = make([][]float64, s.src.Width())
+		for ch := range d.Power {
+			d.Power[ch] = s.src.RowCopy(ch, s.next, s.next+n)
 		}
 		for _, f := range dataFrames(d) {
 			// Send cannot fail: dataFrames fragments to the WSM bound.

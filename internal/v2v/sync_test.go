@@ -34,12 +34,12 @@ func assertBitExact(t *testing.T, cp, src *trajectory.Aware, wantLen int) {
 			t.Fatalf("mark %d: %+v vs %+v", i, cp.Geo.Marks[i], src.Geo.Marks[i])
 		}
 	}
-	if len(cp.Power) != len(src.Power) {
-		t.Fatalf("copy has %d channels, want %d", len(cp.Power), len(src.Power))
+	if cp.Width() != src.Width() {
+		t.Fatalf("copy has %d channels, want %d", cp.Width(), src.Width())
 	}
-	for ch := range src.Power {
+	for ch := 0; ch < src.Width(); ch++ {
 		for i := 0; i < wantLen; i++ {
-			a, b := math.Float64bits(cp.Power[ch][i]), math.Float64bits(src.Power[ch][i])
+			a, b := math.Float64bits(cp.At(ch, i)), math.Float64bits(src.At(ch, i))
 			if a != b {
 				t.Fatalf("power [%d][%d]: %x vs %x", ch, i, a, b)
 			}
@@ -50,8 +50,8 @@ func assertBitExact(t *testing.T, cp, src *trajectory.Aware, wantLen int) {
 func TestSessionPerfectLinkBitExact(t *testing.T) {
 	src := mkAware(21, 300)
 	// A few missing cells: the lossless encoding must carry NaN through.
-	src.Power[3][7] = stats.Missing
-	src.Power[100][250] = stats.Missing
+	src.SetPower(3, 7, stats.Missing)
+	src.SetPower(100, 250, stats.Missing)
 	data := link.New(link.Params{Seed: 1}, 0)
 	ack := link.New(link.Params{Seed: 1}, 1)
 	s := NewSession(src, data, ack, SyncConfig{})

@@ -103,9 +103,9 @@ func MakeDelta(a *trajectory.Aware, from int) (Delta, error) {
 	n := a.Len() - from
 	d := Delta{FromMark: from}
 	d.Marks = append(d.Marks, a.Geo.Marks[from:]...)
-	d.Power = make([][]float64, len(a.Power))
-	for ch := range a.Power {
-		d.Power[ch] = append([]float64(nil), a.Power[ch][from:from+n]...)
+	d.Power = make([][]float64, a.Width())
+	for ch := range d.Power {
+		d.Power[ch] = a.RowCopy(ch, from, from+n)
 	}
 	return d, nil
 }
@@ -123,17 +123,18 @@ func (d Delta) Apply(a *trajectory.Aware) error {
 	if d.FromMark > a.Len() {
 		return fmt.Errorf("v2v: delta gap: have %d marks, delta starts at %d", a.Len(), d.FromMark)
 	}
-	if len(d.Power) != len(a.Power) {
+	if len(d.Power) != a.Width() {
 		return errors.New("v2v: delta channel count mismatch")
 	}
 	skip := a.Len() - d.FromMark // overlapping marks already present
 	if skip >= len(d.Marks) {
 		return nil // nothing new
 	}
-	a.Geo.Marks = append(a.Geo.Marks, d.Marks[skip:]...)
-	for ch := range a.Power {
-		a.Power[ch] = append(a.Power[ch], d.Power[ch][skip:]...)
+	rows := make([][]float64, len(d.Power))
+	for ch := range d.Power {
+		rows[ch] = d.Power[ch][skip:]
 	}
+	a.AppendColumns(d.Marks[skip:], rows)
 	return nil
 }
 

@@ -21,7 +21,7 @@ func mkAware(seed uint64, m int) *trajectory.Aware {
 	a := trajectory.NewAware(g)
 	for ch := 0; ch < gsm.NumChannels; ch++ {
 		for i := 0; i < m; i++ {
-			a.Power[ch][i] = gsm.NoiseFloorDBm + 60*noise.Uniform(seed, uint64(ch), uint64(i))
+			a.SetPower(ch, i, gsm.NoiseFloorDBm+60*noise.Uniform(seed, uint64(ch), uint64(i)))
 		}
 	}
 	return a
@@ -87,7 +87,7 @@ func TestExchangeTrajectory(t *testing.T) {
 	// Quantization bounded by 0.5 dB + encoding round trip.
 	for ch := 0; ch < gsm.NumChannels; ch += 17 {
 		for i := 0; i < a.Len(); i += 13 {
-			if d := math.Abs(got.Power[ch][i] - a.Power[ch][i]); d > 0.51 {
+			if d := math.Abs(got.At(ch, i) - a.At(ch, i)); d > 0.51 {
 				t.Fatalf("power [%d][%d] off by %v", ch, i, d)
 			}
 		}
@@ -110,7 +110,7 @@ func TestDeltaRoundTrip(t *testing.T) {
 	}
 	for ch := 0; ch < gsm.NumChannels; ch += 23 {
 		for i := 0; i < full.Len(); i += 11 {
-			if a, b := peer.Power[ch][i], full.Power[ch][i]; a != b && !(stats.IsMissing(a) && stats.IsMissing(b)) {
+			if a, b := peer.At(ch, i), full.At(ch, i); a != b && !(stats.IsMissing(a) && stats.IsMissing(b)) {
 				t.Fatalf("power [%d][%d]: %v vs %v", ch, i, a, b)
 			}
 		}
