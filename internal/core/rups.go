@@ -123,9 +123,11 @@ func (s *Searcher) selectRows(a *trajectory.Aware, channels []int) [][]float64 {
 
 // SetTracker attaches per-pair warm-start state: FindSYNs will pivot each
 // segment's direction scans on the tracker's previous-tick SYN offsets and
-// refresh them from this search's outcome. The tracker only reorders scan
-// evaluation — results are identical to the cold path's for any tracker
-// state.
+// refresh them from this search's outcome. Results are identical to the
+// cold path's for any tracker state: a warm pivot only changes the order
+// the exact branch-and-bound scan evaluates placements in, and a
+// cross-direction seed only prunes placements proven unable to win the
+// direction combine (see warmSegment) — never a maximum, never a SYN.
 func (s *Searcher) SetTracker(tk *Tracker) { s.tk = tk }
 
 // Release returns the searcher's arena to the pool. The Searcher (and any
@@ -151,16 +153,14 @@ type segmentPlan struct {
 	threshold float64
 	// Warm start: pivotB/pivotA are the tracker-predicted window
 	// placements for the two directions (-1 = cold, pivot on the range
-	// midpoint), hintDelta the hint they were derived from. A warm scan
-	// covers only ±radius placements around its pivot; missB/missA flag a
-	// bounded best pinned to a clamped window edge (the true maximum may
-	// lie beyond — a window-miss), and fellBack marks a segment demoted to
-	// the full double-sliding scan.
+	// midpoint), hintDelta the hint they were derived from. A direction
+	// whose pivot is in range runs the exact branch-and-bound scan from
+	// that pivot; the other direction scans seeded with the first's score
+	// (see warmSegment). Both are exact, so warm plans combine like cold
+	// ones.
 	warm           bool
-	fellBack       bool
 	pivotB, pivotA int
 	hintDelta      int
-	missB, missA   bool
 	// Direction results: A's segment over B, and B's segment over A.
 	posB, posA       int
 	scoreAB, scoreBA float64
@@ -212,53 +212,93 @@ func (s *Searcher) bounds(targetLen, w, endOff int) (lo, hi int) {
 	return centre - s.p.MaxRelDistM, centre + s.p.MaxRelDistM
 }
 
-// warmRange narrows a direction's placement range to ±radius around the
-// warm pivot, clamped into the effective full range [flo, fhi]. miss
-// reports whether the given best placement is pinned to a clamped edge of
-// the bounded range — the true maximum may lie beyond it.
-func (s *Searcher) warmRange(pivot, flo, fhi int) (blo, bhi int) {
-	blo, bhi = pivot-s.tk.radius, pivot+s.tk.radius
-	if blo < flo {
-		blo = flo
-	}
-	if bhi > fhi {
-		bhi = fhi
-	}
-	return blo, bhi
-}
+// warmSegment runs a warm segment's two direction scans in dependency
+// order instead of fanning them out independently. A direction whose
+// hint-predicted pivot falls inside its admissible range runs the ordinary
+// exact branch-and-bound scan pivoted on the hint instead of the range
+// midpoint: on a live lock the first placement visited is the true match,
+// whose score prunes every other placement on its cheap column term alone,
+// so the scan degrades to one channel term plus a column sweep — and when
+// the hint is stale the bound simply admits more channel-term evaluations
+// until the true maximum is found, never a wrong answer (same maximum for
+// any pivot; only evaluation order changes). The other direction — whose
+// pivot typically lands outside its range when the two context lengths
+// differ — cannot be skipped (the cold oracle computes a real score there
+// that can win combine), but it can be scanned seeded with the first
+// direction's exact score: placements that provably cannot win combine
+// are pruned on their column term alone (bestWindowSeededIn), so a
+// direction holding no real alignment costs one column sweep instead of a
+// full channel-term scan. Either way every direction result equals the
+// cold scan's, so combine — and the resolved estimate — is oracle-exact
+// with no fallback wave.
+func (s *Searcher) warmSegment(pl *segmentPlan) {
+	endA := s.aCtx.Len() - 1 - pl.endOff
+	endB := s.bCtx.Len() - 1 - pl.endOff
+	scAB := newSegScorer(s.idxA, s.idxB, endA-pl.w+1, pl.w, s.p.NoColumnTerm)
+	loB, hiB := s.bounds(s.bCtx.Len(), pl.w, pl.endOff)
+	floB, fhiB := clampRange(loB, hiB, scAB.positions())
+	abWarm := floB <= fhiB && pl.pivotB >= floB && pl.pivotB <= fhiB
 
-func warmMiss(pos, blo, bhi, flo, fhi int) bool {
-	return pos < 0 || (pos == blo && blo > flo) || (pos == bhi && bhi < fhi)
+	var scBA *segScorer
+	var loA, hiA int
+	baWarm := false
+	if !s.p.SingleSided {
+		scBA = newSegScorer(s.idxB, s.idxA, endB-pl.w+1, pl.w, s.p.NoColumnTerm)
+		loA, hiA = s.bounds(s.aCtx.Len(), pl.w, pl.endOff)
+		floA, fhiA := clampRange(loA, hiA, scBA.positions())
+		baWarm = floA <= fhiA && pl.pivotA >= floA && pl.pivotA <= fhiA
+		if baWarm {
+			sp := s.rec.Start(s.trace, "scan_ba")
+			sp.Arg = int64(pl.endOff)
+			pl.posA, pl.scoreBA = scBA.bestWindowInFrom(loA, hiA, pl.pivotA)
+			sp.End()
+		}
+	}
+
+	sp := s.rec.Start(s.trace, "scan_ab")
+	sp.Arg = int64(pl.endOff)
+	if !abWarm && baWarm {
+		// AB wins combine ties, so the seed prunes only placements that
+		// cannot even reach the exact BA score.
+		pl.posB, pl.scoreAB = scAB.bestWindowSeededIn(loB, hiB, pl.scoreBA, true)
+	} else {
+		// Warm-pivoted when the pivot is in range; bestWindowInFrom falls
+		// back to the midpoint pivot itself otherwise.
+		pl.posB, pl.scoreAB = scAB.bestWindowInFrom(loB, hiB, pl.pivotB)
+	}
+	sp.End()
+
+	if scBA != nil && !baWarm {
+		sp := s.rec.Start(s.trace, "scan_ba")
+		sp.Arg = int64(pl.endOff)
+		if abWarm {
+			// BA loses combine ties: placements that can at best tie the AB
+			// score are pruned too.
+			pl.posA, pl.scoreBA = scBA.bestWindowSeededIn(loA, hiA, pl.scoreAB, false)
+		} else {
+			pl.posA, pl.scoreBA = scBA.bestWindowInFrom(loA, hiA, pl.pivotA)
+		}
+		sp.End()
+	}
+
+	s.flushScan(scAB)
+	scAB.release()
+	if scBA != nil {
+		s.flushScan(scBA)
+		scBA.release()
+	}
 }
 
 // scanAB runs direction 1 of the double-sliding check: A's reference
-// segment slides over B. A warm (and not demoted) plan scans only the
-// bounded window around its predicted placement; everything else scans the
-// full locality range.
+// segment slides over B, over the full locality range. Warm segments go
+// through warmSegment instead.
 func (s *Searcher) scanAB(pl *segmentPlan) {
 	sp := s.rec.Start(s.trace, "scan_ab")
 	sp.Arg = int64(pl.endOff)
 	endA := s.aCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxA, s.idxB, endA-pl.w+1, pl.w, s.p.NoColumnTerm)
 	lo, hi := s.bounds(s.bCtx.Len(), pl.w, pl.endOff)
-	if pl.warm && !pl.fellBack {
-		flo, fhi := clampRange(lo, hi, sc.positions())
-		if pl.pivotB < flo || pl.pivotB > fhi {
-			// The hint places this direction's alignment outside its
-			// admissible range — the reference segment has no aligned
-			// counterpart in the target (typical when the two context
-			// lengths differ). The other direction carries the SYN; any
-			// in-range placement here is noise the cold scan would
-			// outscore anyway, so skip rather than demote.
-			pl.posB, pl.scoreAB = -1, math.Inf(-1)
-		} else {
-			blo, bhi := s.warmRange(pl.pivotB, flo, fhi)
-			pl.posB, pl.scoreAB = sc.bestWindowInFrom(blo, bhi, pl.pivotB)
-			pl.missB = warmMiss(pl.posB, blo, bhi, flo, fhi)
-		}
-	} else {
-		pl.posB, pl.scoreAB = sc.bestWindowInFrom(lo, hi, pl.pivotB)
-	}
+	pl.posB, pl.scoreAB = sc.bestWindowInFrom(lo, hi, pl.pivotB)
 	s.flushScan(sc)
 	sc.release()
 	sp.End()
@@ -292,18 +332,7 @@ func (s *Searcher) scanBA(pl *segmentPlan) {
 	endB := s.bCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxB, s.idxA, endB-pl.w+1, pl.w, s.p.NoColumnTerm)
 	lo, hi := s.bounds(s.aCtx.Len(), pl.w, pl.endOff)
-	if pl.warm && !pl.fellBack {
-		flo, fhi := clampRange(lo, hi, sc.positions())
-		if pl.pivotA < flo || pl.pivotA > fhi {
-			pl.posA, pl.scoreBA = -1, math.Inf(-1)
-		} else {
-			blo, bhi := s.warmRange(pl.pivotA, flo, fhi)
-			pl.posA, pl.scoreBA = sc.bestWindowInFrom(blo, bhi, pl.pivotA)
-			pl.missA = warmMiss(pl.posA, blo, bhi, flo, fhi)
-		}
-	} else {
-		pl.posA, pl.scoreBA = sc.bestWindowInFrom(lo, hi, pl.pivotA)
-	}
+	pl.posA, pl.scoreBA = sc.bestWindowInFrom(lo, hi, pl.pivotA)
 	s.flushScan(sc)
 	sc.release()
 	sp.End()
@@ -313,8 +342,9 @@ func (s *Searcher) scanBA(pl *segmentPlan) {
 // (paper §IV-D: the better-scoring direction wins), applying the coherency
 // threshold and the heading gate.
 func (s *Searcher) combine(pl *segmentPlan) (SYNPoint, bool) {
+	t := s.tel
 	if pl.posB < 0 && pl.posA < 0 {
-		if t := s.tel; t != nil {
+		if t != nil {
 			t.rejected.Inc()
 		}
 		return SYNPoint{}, false
@@ -331,11 +361,11 @@ func (s *Searcher) combine(pl *segmentPlan) (SYNPoint, bool) {
 		best.IdxA = s.offA + pl.posA + pl.w - 1
 		best.IdxB = s.offB + endB
 	}
-	if t := s.tel; t != nil {
+	if t != nil {
 		t.margin.Observe(best.Score - pl.threshold)
 	}
 	if best.Score < pl.threshold {
-		if t := s.tel; t != nil {
+		if t != nil {
 			t.rejected.Inc()
 		}
 		return SYNPoint{}, false
@@ -344,13 +374,13 @@ func (s *Searcher) combine(pl *segmentPlan) (SYNPoint, bool) {
 		ha := s.aCtx.Geo.Marks[best.IdxA-s.offA].Theta
 		hb := s.bCtx.Geo.Marks[best.IdxB-s.offB].Theta
 		if d := geo.HeadingDiff(ha, hb); math.Abs(d) > s.p.HeadingGateRad {
-			if t := s.tel; t != nil {
+			if t != nil {
 				t.rejected.Inc()
 			}
 			return SYNPoint{}, false
 		}
 	}
-	if t := s.tel; t != nil {
+	if t != nil {
 		t.accepted.Inc()
 	}
 	return best, true
@@ -385,6 +415,12 @@ func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
 	for i := 0; i < n; i++ {
 		pl, ok := s.planSegment(i * s.p.SegmentStrideMeters)
 		if !ok {
+			// An unplanned ordinal is never scanned or tracked this tick, so
+			// its hint would survive unrefreshed for as long as the segment
+			// stays unplannable — drop it rather than let it go stale.
+			if s.tk != nil {
+				s.tk.forget(i)
+			}
 			plans = append(plans, nil)
 			continue
 		}
@@ -396,68 +432,33 @@ func (s *Searcher) FindSYNs(n int, par Parallel) []SYNPoint {
 		p := new(segmentPlan)
 		*p = pl
 		plans = append(plans, p)
+		if p.warm {
+			// Warm directions depend on each other (the verified one seeds
+			// the other's pruning), so the segment runs as one task.
+			tasks = append(tasks, func() { s.warmSegment(p) })
+			continue
+		}
 		tasks = append(tasks, func() { s.scanAB(p) })
 		if !s.p.SingleSided {
 			tasks = append(tasks, func() { s.scanBA(p) })
 		}
 	}
 	par(tasks...)
-	// Fallback wave: a warm segment whose bounded scan missed its window
-	// (best pinned to a clamped edge — the true maximum may lie beyond) or
-	// whose bounded result failed acceptance demotes to the full
-	// double-sliding scan before the final combine. Coherency loss and
-	// window-miss invalidate the hint, never the answer.
-	syns := make([]SYNPoint, len(plans))
-	oks := make([]bool, len(plans))
-	combined := make([]bool, len(plans))
-	var rescans []func()
-	for i, pl := range plans {
-		if pl == nil {
-			continue
-		}
-		if pl.warm && (pl.missB || pl.missA) {
-			rescans = append(rescans, s.demote(pl)...)
-			continue
-		}
-		syn, ok := s.combine(pl)
-		if pl.warm && !ok {
-			rescans = append(rescans, s.demote(pl)...)
-			continue
-		}
-		syns[i], oks[i], combined[i] = syn, ok, true
-	}
-	if len(rescans) > 0 {
-		par(rescans...)
-	}
+	// Warm and cold direction results are equally exact (a warm pivot or
+	// seed only reorders/prunes evaluation, never changes a maximum), so
+	// every plan combines once, in segment order.
 	var out []SYNPoint
 	for i, pl := range plans {
 		if pl == nil {
 			continue
 		}
-		syn, ok := syns[i], oks[i]
-		if !combined[i] {
-			syn, ok = s.combine(pl)
-		}
+		syn, ok := s.combine(pl)
 		s.trackSegment(i, pl, syn, ok)
 		if ok {
 			out = append(out, syn)
 		}
 	}
 	return out
-}
-
-// demote resets a warm plan for a full cold rescan of both directions and
-// returns the scan tasks to fan out.
-func (s *Searcher) demote(pl *segmentPlan) []func() {
-	pl.fellBack = true
-	pl.pivotB, pl.pivotA = -1, -1
-	pl.missB, pl.missA = false, false
-	pl.posA, pl.scoreBA = -1, math.Inf(-1)
-	tasks := []func(){func() { s.scanAB(pl) }}
-	if !s.p.SingleSided {
-		tasks = append(tasks, func() { s.scanBA(pl) })
-	}
-	return tasks
 }
 
 // warmPlan pivots the segment's direction scans on the tracker's hint for
@@ -482,11 +483,11 @@ func (s *Searcher) warmPlan(pl *segmentPlan, seg int) {
 }
 
 // trackSegment folds one segment's outcome back into the tracker and the
-// warm-start counters: a warm-pivoted segment whose bounded scan held (no
-// demotion) and whose accepted SYN stayed within the tracker radius of its
-// hint is a hit; everything else — first contact, window-miss or
-// coherency-loss demotion, post-demotion cold scans, rejection — is a
-// fallback (it paid for a full-range scan).
+// warm-start counters: a warm-pivoted segment whose accepted SYN stayed
+// within the tracker radius of its hint is a hit (the hint paid off — the
+// scan's first visit was at or next to the true match); everything else —
+// first contact, post-rejection cold scans, a drifted lock, rejection —
+// is a fallback (the scan had to hunt for its maximum).
 func (s *Searcher) trackSegment(seg int, pl *segmentPlan, syn SYNPoint, ok bool) {
 	if s.tk == nil {
 		return
@@ -499,7 +500,7 @@ func (s *Searcher) trackSegment(seg int, pl *segmentPlan, syn SYNPoint, ok bool)
 				drift = -drift
 			}
 		}
-		if pl.warm && !pl.fellBack && ok && drift <= s.tk.radius {
+		if pl.warm && ok && drift <= s.tk.radius {
 			t.warmHits.Inc()
 		} else {
 			t.warmFallbacks.Inc()

@@ -660,3 +660,55 @@ func (s *segScorer) bestWindowPrunedFrom(lo, hi, pivot int) (pos int, score floa
 func (s *segScorer) bestWindow() (pos int, score float64) {
 	return s.bestWindowIn(0, s.positions()-1)
 }
+
+// canBound reports whether the dense pruned path — and with it the
+// column-term bound bestWindowSeededIn relies on — is available for this
+// scorer.
+func (s *segScorer) canBound() bool {
+	return s.dense && !s.noCol && s.ws != nil && s.positions() > 0
+}
+
+// bestWindowSeededIn scans [lo, hi] like bestWindowIn but prunes against a
+// cross-direction seed: the other direction's exact score, which this
+// direction must beat for combine to pick it. Placements whose column-term
+// bound colR + 1 cannot reach the seed are skipped without the k·w channel
+// dot products, so a direction holding no real alignment costs one column
+// sweep. tiesWin states combine's tie rule for this direction (AB wins
+// exact score ties, BA loses them): a ties-win direction keeps placements
+// that can merely *equal* the seed, a ties-lose direction prunes them too.
+//
+// The returned best is exact whenever it would win combine against the
+// seed — a winning placement j has colR(j) + 1 ≥ score(j) ≥ (or >) seed and
+// is never pruned. Otherwise the result may undercount, but every skipped
+// placement provably loses combine to the seeding direction, so combine's
+// outcome equals the cold full scan's either way.
+func (s *segScorer) bestWindowSeededIn(lo, hi int, seed float64, tiesWin bool) (pos int, score float64) {
+	lo, hi = clampRange(lo, hi, s.positions())
+	if hi < lo {
+		return -1, math.Inf(-1)
+	}
+	if !s.canBound() {
+		return s.bestWindowInFrom(lo, hi, -1)
+	}
+	colR := s.scratch.growColR(hi - lo + 1)
+	for j := lo; j <= hi; j++ {
+		colR[j-lo] = s.colTerm(j)
+	}
+	best := math.Inf(-1)
+	bestJ := -1
+	for j := lo; j <= hi; j++ {
+		cr := colR[j-lo]
+		bound := cr + 1
+		//lint:ignore floatcmp combine's tie rule is exact score equality (clamped correlations tie at exactly 2); an epsilon would change which direction wins
+		if bound <= best || bound < seed || (!tiesWin && bound == seed) {
+			s.pruned++
+			continue
+		}
+		s.visited++
+		if sc := s.chanTerm(j) + cr; sc > best {
+			best = sc
+			bestJ = j
+		}
+	}
+	return bestJ, best
+}

@@ -12,9 +12,10 @@ const DefaultWarmRadiusM = 25
 // tick's SYN index delta IdxB − IdxA — a quantity stable under appends,
 // since both indexes are global marks counted from each trajectory's
 // start. The searcher turns a hint into a predicted window placement and
-// starts the branch-and-bound scan there; the scan still covers the full
-// locality bounds, so a wrong hint costs scan order, never correctness
-// (the result is always identical to the cold oracle's).
+// scans a bounded window around it, accepting the bounded result only when
+// the column-term bound proves it dominates the whole locality range — a
+// wrong hint costs a demoted full rescan, never correctness (the result is
+// always identical to the cold oracle's).
 //
 // State machine per segment:
 //
@@ -49,6 +50,14 @@ func (t *Tracker) Reset() {
 func (t *Tracker) hint(seg int) (delta int, ok bool) {
 	delta, ok = t.hints[seg]
 	return delta, ok
+}
+
+// forget drops one segment ordinal's hint. The searcher calls it for
+// ordinals the current tick could not even plan (context too short): an
+// unplanned segment is never scanned or re-observed, so its hint would
+// otherwise survive arbitrarily many ticks without refresh.
+func (t *Tracker) forget(seg int) {
+	delete(t.hints, seg)
 }
 
 // observe records a segment's outcome: an accepted SYN refreshes the hint,

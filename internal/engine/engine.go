@@ -45,11 +45,31 @@ type Engine struct {
 	// trackers caches per-pair warm-start state across batches, keyed by
 	// the pair's indexes into the admitted trajectory slice — callers using
 	// ResolvePairsAt must therefore admit in a stable order (the linked-
-	// convoy sim does: one fixed slot pair per link). tmu guards the map;
-	// each Tracker itself is only touched by its pair's single task.
+	// convoy sim does: one fixed slot pair per link); a caller whose
+	// admission order shifts between batches only loses warm windows (the
+	// warm path is oracle-equivalent for any hint), it cannot get a wrong
+	// answer. tmu guards the map; each Tracker itself is only touched by
+	// its pair's single task. Entries are evicted on staleness expiry and
+	// after trackerIdleBatches warm batches without use, so a departed
+	// pair's state does not accumulate forever.
 	tmu      sync.Mutex
-	trackers map[[2]int]*core.Tracker
+	trackers map[[2]int]*trackerEntry
+	// tgen counts ResolvePairsAt calls; each entry remembers the last
+	// generation that used it.
+	tgen uint64
 }
+
+// trackerEntry is one cached tracker plus the last generation (warm batch)
+// that touched it.
+type trackerEntry struct {
+	tk  *core.Tracker
+	gen uint64
+}
+
+// trackerIdleBatches is how many consecutive warm batches a tracker entry
+// may go unused before eviction. Convoy callers resolve every tracked pair
+// every tick, so anything idle this long has left the platoon.
+const trackerIdleBatches = 64
 
 // tracker returns (creating on first contact) the warm-start state for a
 // pair key.
@@ -57,14 +77,38 @@ func (e *Engine) tracker(pr [2]int) *core.Tracker {
 	e.tmu.Lock()
 	defer e.tmu.Unlock()
 	if e.trackers == nil {
-		e.trackers = make(map[[2]int]*core.Tracker)
+		e.trackers = make(map[[2]int]*trackerEntry)
 	}
-	tk := e.trackers[pr]
-	if tk == nil {
-		tk = core.NewTracker(0)
-		e.trackers[pr] = tk
+	te := e.trackers[pr]
+	if te == nil {
+		te = &trackerEntry{tk: core.NewTracker(0)}
+		e.trackers[pr] = te
 	}
-	return tk
+	te.gen = e.tgen
+	return te.tk
+}
+
+// dropTracker evicts a pair's warm-start state entirely (staleness expiry:
+// a context too old to answer with cannot vouch for a warm window either,
+// and an expired pair may never come back).
+func (e *Engine) dropTracker(pr [2]int) {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	delete(e.trackers, pr)
+}
+
+// beginTrackerGen opens a new tracker generation and sweeps out entries
+// that no warm batch has touched for trackerIdleBatches generations. The
+// sweep is O(cached pairs) once per ResolvePairsAt call.
+func (e *Engine) beginTrackerGen() {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	e.tgen++
+	for pr, te := range e.trackers {
+		if e.tgen-te.gen > trackerIdleBatches {
+			delete(e.trackers, pr)
+		}
+	}
 }
 
 // New starts an engine with the given number of workers; workers <= 0 means
@@ -246,29 +290,41 @@ func (b *Batch) ResolveAll(p core.Params) []Result {
 //
 //   - expired pairs are not resolved at all: OK == false, no panic, no
 //     silently wrong d_r from fossil context — and the pair's warm-start
-//     tracker is reset, so the next resolve after re-contact scans cold;
+//     tracker is evicted, so the next resolve after re-contact scans cold;
 //   - stale pairs resolve normally but carry Stale == true;
 //   - fresh pairs resolve normally.
 //
 // Unlike ResolvePairs (the cold oracle), this entry point warm-starts
 // every pair from the engine's per-pair tracker cache: steady-state
-// re-resolves pivot their scans on the previous tick's SYN offsets. The
-// tracker only reorders scan evaluation, so results stay identical to the
-// cold path's — with a zero-value (disabled) policy this returns exactly
-// what ResolvePairs would, just faster on repeat contact.
+// re-resolves pivot their scans on the previous tick's SYN offsets. A warm
+// bounded scan is accepted only when it is proven to dominate the full
+// scan range (and demotes to the cold scan otherwise), so results stay
+// identical to the cold path's — with a zero-value (disabled) policy this
+// returns exactly what ResolvePairs would, just faster on repeat contact.
 func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol core.Staleness) []Result {
 	tel := engineTel.Get()
+	b.e.beginTrackerGen()
 	keep := make([][2]int, 0, len(pairs))
 	kept := make([]int, 0, len(pairs))
 	tks := make([]*core.Tracker, 0, len(pairs))
 	out := make([]Result, len(pairs))
 	stale := make([]bool, len(pairs))
+	// Each tracker must be owned by exactly one concurrent pair task, but
+	// pairs is caller-controlled and may list the same pair twice — only
+	// the first occurrence gets the tracker; repeats resolve cold, which
+	// yields the identical result (the warm path is oracle-equivalent)
+	// without racing on the shared hint state.
+	seen := make(map[[2]int]bool, len(pairs))
 	for pi, pr := range pairs {
 		out[pi] = Result{A: pr[0], B: pr[1]}
 		if pr[0] < 0 || pr[0] >= len(b.snaps) || pr[1] < 0 || pr[1] >= len(b.snaps) {
 			continue
 		}
-		tk := b.e.tracker(pr)
+		var tk *core.Tracker
+		if !seen[pr] {
+			seen[pr] = true
+			tk = b.e.tracker(pr)
+		}
 		if pol.Enabled() {
 			age := core.ContextAge(b.snaps[pr[0]], now)
 			if ab := core.ContextAge(b.snaps[pr[1]], now); ab > age {
@@ -279,7 +335,9 @@ func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol c
 				if tel != nil {
 					tel.pairsExpired.Inc()
 				}
-				tk.Reset()
+				if tk != nil {
+					b.e.dropTracker(pr)
+				}
 				continue
 			case core.StaleContext:
 				if tel != nil {

@@ -151,6 +151,154 @@ func TestTrackerDemotesOnCoherencyLoss(t *testing.T) {
 	}
 }
 
+// TestWarmStaggeredContextsMatchOracle drives the warm path through a pair
+// whose contexts differ in length (B started reporting 13 ticks earlier and
+// leads by 150 marks), so one direction's true alignment lies beyond its
+// partner's context every tick — the steady-state benchmark's shape. The
+// warm path must not skip that direction (the cold oracle computes a real
+// score there that can decide combine); it scans it seeded with the
+// verified direction's score instead. Every tick must equal the oracle
+// exactly, and the re-resolves must still hit warm.
+func TestWarmStaggeredContextsMatchOracle(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer obs.Disable()
+
+	rng := rand.New(rand.NewSource(41))
+	const span, lead, n = 700, 150, 400
+	world := make([][]float64, 64)
+	for ch := range world {
+		world[ch] = make([]float64, span)
+		v := -80 + 20*rng.NormFloat64()
+		for i := range world[ch] {
+			v += 2 * rng.NormFloat64()
+			if v < -110 {
+				v = -110
+			}
+			if v > -45 {
+				v = -45
+			}
+			world[ch][i] = v
+		}
+	}
+	build := func(offset int, t0 float64, seed int64) *trajectory.Aware {
+		g := trajectory.Geo{Marks: make([]trajectory.GeoMark, n)}
+		for i := range g.Marks {
+			g.Marks[i] = trajectory.GeoMark{T: t0 + float64(i)}
+		}
+		a := trajectory.NewAwareWidth(g, 64)
+		vrng := rand.New(rand.NewSource(seed))
+		for ch := 0; ch < 64; ch++ {
+			for i := 0; i < n; i++ {
+				a.SetPower(ch, i, world[ch][offset+i]+0.5*vrng.NormFloat64())
+			}
+		}
+		return a
+	}
+	ta := build(0, 1000, 5)
+	tb := build(lead, 987, 6)
+
+	p := convoyParams()
+	e := engine.New(0)
+	defer e.Close()
+	resolved := 0
+	for _, now := range []float64{1350, 1360, 1370, 1380} {
+		va, vb := ta.PrefixUntil(now), tb.PrefixUntil(now)
+		if va.Len() == vb.Len() {
+			t.Fatal("fixture lost its stagger — contexts have equal length")
+		}
+		b, err := e.Admit(va, vb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := b.ResolvePairsAt([][2]int{{0, 1}}, p, now, core.Staleness{})[0]
+		wantEst, wantOK := core.Resolve(va, vb, p)
+		if r.OK != wantOK {
+			t.Fatalf("t=%v: warm OK=%v, cold oracle OK=%v", now, r.OK, wantOK)
+		}
+		if !reflect.DeepEqual(r.Est, wantEst) {
+			t.Fatalf("t=%v: warm and cold estimates differ:\n%+v\n%+v", now, r.Est, wantEst)
+		}
+		if r.OK {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("staggered pair never resolved — fixture is broken")
+	}
+	if hits, _ := warmCounters(reg); hits == 0 {
+		t.Error("staggered-context re-resolves never hit a warm hint")
+	}
+}
+
+// TestResolvePairsAtDuplicatePairs: pairs is caller-controlled and may
+// list the same pair twice. Each tracker must be attached to only one
+// concurrent task (repeats resolve cold), so duplicated pairs cannot race
+// on the shared hint state — run under -race, every occurrence must still
+// match the oracle. The warm-up ticks make sure the duplicated resolves
+// happen while hints exist.
+func TestResolvePairsAtDuplicatePairs(t *testing.T) {
+	trajs := syntheticConvoy(31, 2, 400, 25, 0.5)
+	p := convoyParams()
+	e := engine.New(0)
+	defer e.Close()
+	pairs := [][2]int{{0, 1}, {0, 1}, {0, 1}, {0, 1}}
+	want, wantOK := core.Resolve(trajs[0], trajs[1], p)
+	for tick := 0; tick < 3; tick++ {
+		b, err := e.Admit(trajs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range b.ResolvePairsAt(pairs, p, 1399, core.Staleness{}) {
+			if r.OK != wantOK || !reflect.DeepEqual(r.Est, want) {
+				t.Fatalf("tick %d occurrence %d diverged from oracle: %+v vs %+v",
+					tick, i, r.Est, want)
+			}
+		}
+	}
+	if !wantOK {
+		t.Fatal("fixture pair never resolved — test exercised nothing")
+	}
+}
+
+// TestTrackerEvictedAfterLongAbsence: a pair's cached tracker must not
+// outlive the pair. After enough warm batches that never resolve the pair,
+// its entry is evicted and the next contact scans cold — no warm hits.
+func TestTrackerEvictedAfterLongAbsence(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	defer obs.Disable()
+
+	trajs := syntheticConvoy(37, 3, 400, 25, 0.5)
+	p := convoyParams()
+	e := engine.New(0)
+	defer e.Close()
+	b, err := e.Admit(trajs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the {0,1} tracker up.
+	for tick := 0; tick < 2; tick++ {
+		if r := b.ResolvePairsAt([][2]int{{0, 1}}, p, 1399, core.Staleness{})[0]; !r.OK {
+			t.Fatal("fixture pair did not resolve")
+		}
+	}
+	// Let it idle well past the eviction horizon while other pairs keep
+	// the engine busy.
+	for tick := 0; tick < 70; tick++ {
+		b.ResolvePairsAt([][2]int{{1, 2}}, p, 1399, core.Staleness{})
+	}
+	hitsIdle, _ := warmCounters(reg)
+	if r := b.ResolvePairsAt([][2]int{{0, 1}}, p, 1399, core.Staleness{})[0]; !r.OK {
+		t.Fatal("pair did not resolve after idle period")
+	}
+	if hitsBack, _ := warmCounters(reg); hitsBack != hitsIdle {
+		t.Errorf("re-contact after long absence counted warm hits (%d → %d) — tracker was not evicted",
+			hitsIdle, hitsBack)
+	}
+}
+
 // TestTrackerResetOnExpiry: when the staleness policy expires a pair, the
 // engine must drop its warm-start state — a context too old to answer with
 // cannot vouch for a warm window either. The first resolve after

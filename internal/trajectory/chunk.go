@@ -186,13 +186,21 @@ func (p *powStore) viewOf(lo, hi int) powStore {
 // chunk's watermark is raised over the snapshot's columns. No cell storage
 // is copied. It returns how many cells were shared versus how many words
 // the snapshot had to allocate (the pointer slice), for telemetry.
+//
+// Chunks entirely below p.off (possible for Tail/PrefixUntil views) are
+// neither referenced nor sealed — the snapshot cannot see them, and
+// raising their watermark would only force needless copy-on-write clones
+// on later in-place rewrites of early columns. Within the first covered
+// chunk the watermark is a prefix, so columns below p.off in that one
+// chunk are still sealed alongside the covered ones.
 func (p *powStore) snapshot() (powStore, int) {
 	if p.n == 0 {
 		return powStore{width: p.width, view: true}, 0
 	}
+	first := p.off >> chunkShift
 	last := (p.off + p.n - 1) >> chunkShift
-	chunks := append([]*powChunk(nil), p.chunks[:last+1]...)
-	for ci := 0; ci <= last; ci++ {
+	chunks := append([]*powChunk(nil), p.chunks[first:last+1]...)
+	for ci := first; ci <= last; ci++ {
 		hi := p.off + p.n - ci*ChunkMarks
 		if hi > ChunkMarks {
 			hi = ChunkMarks
@@ -201,7 +209,7 @@ func (p *powStore) snapshot() (powStore, int) {
 			c.shared = hi
 		}
 	}
-	return powStore{width: p.width, chunks: chunks, off: p.off, n: p.n, view: true}, len(chunks)
+	return powStore{width: p.width, chunks: chunks, off: p.off - first*ChunkMarks, n: p.n, view: true}, len(chunks)
 }
 
 // clone deep-copies the covered columns into a fresh, owned, re-based

@@ -1,0 +1,50 @@
+package trajectory
+
+import "testing"
+
+// TestTailSnapshotSealsOnlyCoveredChunks: snapshotting a Tail view must
+// neither reference nor seal chunks entirely below the view's first
+// column. Over-sealing is safe but forces needless copy-on-write clones of
+// whole width×ChunkMarks tiles when early columns are later rewritten in
+// place.
+func TestTailSnapshotSealsOnlyCoveredChunks(t *testing.T) {
+	const n = 3*ChunkMarks + 10
+	g := Geo{Marks: make([]GeoMark, n)}
+	a := NewAwareWidth(g, 2)
+	for i := 0; i < n; i++ {
+		a.SetPower(0, i, -60)
+		a.SetPower(1, i, -70)
+	}
+
+	tailLen := ChunkMarks + 5 // view starts at column 261, inside chunk 2
+	tail := a.Tail(tailLen)
+	snap := tail.Snapshot()
+
+	for ci, wantShared := range []int{0, 0, ChunkMarks, n - 3*ChunkMarks} {
+		if got := a.pw.chunks[ci].shared; got != wantShared {
+			t.Errorf("chunk %d watermark = %d, want %d", ci, got, wantShared)
+		}
+	}
+
+	// An in-place rewrite of an early column must not clone its chunk —
+	// nothing sealed it.
+	c0 := a.pw.chunks[0]
+	a.SetPower(0, 0, -50)
+	if a.pw.chunks[0] != c0 {
+		t.Error("early in-place write cloned a chunk no snapshot can see")
+	}
+
+	// The snapshot still reads the sealed cells it covers, and keeps them
+	// across an in-place rewrite inside the covered range.
+	last := tail.Len() - 1
+	if got := snap.At(0, last); got != -60 {
+		t.Fatalf("snapshot read %v at its last column, want -60", got)
+	}
+	a.SetPower(0, n-1, -40)
+	if got := snap.At(0, last); got != -60 {
+		t.Errorf("in-place rewrite reached the snapshot: read %v, want -60", got)
+	}
+	if got := a.At(0, n-1); got != -40 {
+		t.Errorf("live trajectory lost its rewrite: read %v, want -40", got)
+	}
+}
