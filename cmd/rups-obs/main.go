@@ -1,0 +1,280 @@
+// Command rups-obs replays a run's observability artifacts offline: the
+// span ring rups-sim wrote with -spans-out and the flight capsules its
+// anomaly dumps froze under -flight-dir. It renders each cross-vehicle
+// trace as a causal timeline — the sender's chunk transmissions, the
+// receiver's reassembly and admission, the queue wait, and the resolve
+// with its direction scans — and breaks the trace's wall time down by
+// stage (sync vs queue vs scan vs aggregate), which is the critical-path
+// view: where did this pair's answer actually spend its time?
+//
+// Usage:
+//
+//	rups-obs -spans spans.json [-trace N] [-top 5]
+//	rups-obs -capsule capsule-0001-seq00000042.flight
+//	rups-obs -flight-dir capsules/
+//
+// Both may be combined; spans render first, capsules after.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rups/internal/obs"
+	"rups/internal/obs/flight"
+)
+
+func main() {
+	var (
+		spansPath = flag.String("spans", "", "span-ring JSON written by rups-sim -spans-out (or saved from /debug/spans)")
+		traceID   = flag.Uint64("trace", 0, "render only this trace")
+		top       = flag.Int("top", 5, "how many traces to render, longest wall span first (0 = all)")
+		capsule   = flag.String("capsule", "", "render one flight capsule")
+		flightDir = flag.String("flight-dir", "", "render every flight capsule in this directory")
+	)
+	flag.Parse()
+	if *spansPath == "" && *capsule == "" && *flightDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *spansPath != "" {
+		if err := renderSpans(*spansPath, obs.TraceID(*traceID), *top); err != nil {
+			fmt.Fprintf(os.Stderr, "rups-obs: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	caps := []string{}
+	if *capsule != "" {
+		caps = append(caps, *capsule)
+	}
+	if *flightDir != "" {
+		found, err := filepath.Glob(filepath.Join(*flightDir, "capsule-*.flight"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rups-obs: %v\n", err)
+			os.Exit(1)
+		}
+		sort.Strings(found)
+		caps = append(caps, found...)
+	}
+	for _, path := range caps {
+		if err := renderCapsule(path); err != nil {
+			fmt.Fprintf(os.Stderr, "rups-obs: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// stageOf buckets a span name into the critical-path categories. Sync
+// covers everything the link protocol did (send, retransmit, reassemble,
+// admit); unknown names count as "other" rather than being dropped, so a
+// new pipeline stage shows up instead of silently vanishing.
+func stageOf(name string) string {
+	switch name {
+	case "chunk_send", "chunk_resend", "reassemble", "admit_chunk":
+		return "sync"
+	case "queue":
+		return "queue"
+	case "scan_ab", "scan_ba":
+		return "scan"
+	case "aggregate":
+		return "aggregate"
+	case "resolve":
+		return "resolve"
+	default:
+		return "other"
+	}
+}
+
+// trace is one causal chain's events plus its wall-clock extent.
+type trace struct {
+	id       obs.TraceID
+	events   []obs.SpanEvent
+	from, to time.Time
+}
+
+func (tr *trace) wall() time.Duration { return tr.to.Sub(tr.from) }
+
+// crossVehicle reports whether the trace crossed the link: it holds both a
+// sender-side sync stage and a receiver-side resolve.
+func (tr *trace) crossVehicle() bool {
+	sync, res := false, false
+	for _, ev := range tr.events {
+		switch stageOf(ev.Name) {
+		case "sync":
+			sync = true
+		case "resolve":
+			res = true
+		}
+	}
+	return sync && res
+}
+
+func renderSpans(path string, only obs.TraceID, top int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var dump struct {
+		Total  uint64          `json:"total"`
+		Events []obs.SpanEvent `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		return fmt.Errorf("span dump %s: %w", path, err)
+	}
+
+	byID := map[obs.TraceID]*trace{}
+	var order []*trace
+	for _, ev := range dump.Events {
+		if only != 0 && ev.Trace != only {
+			continue
+		}
+		tr := byID[ev.Trace]
+		if tr == nil {
+			tr = &trace{id: ev.Trace, from: ev.Start}
+			byID[ev.Trace] = tr
+			order = append(order, tr)
+		}
+		tr.events = append(tr.events, ev)
+		if ev.Start.Before(tr.from) {
+			tr.from = ev.Start
+		}
+		if end := ev.Start.Add(ev.Dur); end.After(tr.to) {
+			tr.to = end
+		}
+	}
+	fmt.Printf("%s: %d events in ring (%d recorded), %d traces\n",
+		path, len(dump.Events), dump.Total, len(order))
+
+	// Longest wall extent first: the traces that crossed the lossy link
+	// (and so waited on retransmits) sort to the front, which is exactly
+	// what an operator opens this tool to see.
+	sort.SliceStable(order, func(i, j int) bool { return order[i].wall() > order[j].wall() })
+	shown := 0
+	for _, tr := range order {
+		if top > 0 && shown >= top {
+			fmt.Printf("\n(%d more traces; raise -top or pass -trace to see them)\n", len(order)-shown)
+			break
+		}
+		renderTrace(tr)
+		shown++
+	}
+	return nil
+}
+
+func renderTrace(tr *trace) {
+	sort.SliceStable(tr.events, func(i, j int) bool {
+		if !tr.events[i].Start.Equal(tr.events[j].Start) {
+			return tr.events[i].Start.Before(tr.events[j].Start)
+		}
+		return tr.events[i].Seq < tr.events[j].Seq
+	})
+	kind := "single-vehicle"
+	if tr.crossVehicle() {
+		kind = "cross-vehicle"
+	}
+	fmt.Printf("\ntrace %d (%s, %d spans, wall %s):\n", tr.id, kind, len(tr.events), fmtDur(tr.wall()))
+
+	// Parent links give the indentation: a span whose parent is also in
+	// the trace nests one level under it.
+	depth := map[obs.SpanID]int{}
+	ids := map[obs.SpanID]bool{}
+	for _, ev := range tr.events {
+		if ev.ID != 0 {
+			ids[ev.ID] = true
+		}
+	}
+	for _, ev := range tr.events {
+		d := 0
+		if ev.Parent != 0 && ids[ev.Parent] {
+			d = depth[ev.Parent] + 1
+		}
+		if ev.ID != 0 {
+			depth[ev.ID] = d
+		}
+		indent := ""
+		for i := 0; i < d; i++ {
+			indent += "  "
+		}
+		arg := fmt.Sprintf("arg=%d", ev.Arg)
+		if ev.Name == "queue" {
+			// The engine packs the pair's trajectory indexes into one word.
+			arg = fmt.Sprintf("pair=%d-%d", ev.Arg>>32, ev.Arg&0xffffffff)
+		}
+		fmt.Printf("  +%-10s %s%-14s %-10s %s\n",
+			fmtDur(ev.Start.Sub(tr.from)), indent, ev.Name, fmtDur(ev.Dur), arg)
+	}
+
+	// Critical-path breakdown: per-stage busy time plus the link wait —
+	// the gap between the last sender-side send and the first
+	// receiver-side reassembly, which is where retransmit rounds go.
+	busy := map[string]time.Duration{}
+	var lastSendEnd, firstReassemble time.Time
+	for _, ev := range tr.events {
+		busy[stageOf(ev.Name)] += ev.Dur
+		switch ev.Name {
+		case "chunk_send", "chunk_resend":
+			if end := ev.Start.Add(ev.Dur); end.After(lastSendEnd) {
+				lastSendEnd = end
+			}
+		case "reassemble":
+			if firstReassemble.IsZero() || ev.Start.Before(firstReassemble) {
+				firstReassemble = ev.Start
+			}
+		}
+	}
+	fmt.Printf("  critical path:")
+	for _, stage := range []string{"sync", "queue", "scan", "aggregate", "resolve", "other"} {
+		if d, ok := busy[stage]; ok && d > 0 {
+			fmt.Printf("  %s=%s", stage, fmtDur(d))
+		}
+	}
+	if !lastSendEnd.IsZero() && !firstReassemble.IsZero() && firstReassemble.After(lastSendEnd) {
+		fmt.Printf("  link_wait=%s", fmtDur(firstReassemble.Sub(lastSendEnd)))
+	}
+	fmt.Println()
+}
+
+func renderCapsule(path string) error {
+	meta, events, err := flight.ReadCapsule(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncapsule %s (format v%d):\n", filepath.Base(path), meta.Version)
+	fmt.Printf("  reason=%s trigger_seq=%d trigger_t=%.3fs window=%.0fs events=%d t=[%.3f, %.3f]\n",
+		meta.Reason, meta.TriggerSeq, meta.TriggerT, meta.WindowSec, meta.Count, meta.T0, meta.T1)
+	counts := map[flight.Kind]int{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	kinds := make([]flight.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	fmt.Printf("  by kind:")
+	for _, k := range kinds {
+		fmt.Printf(" %s=%d", k, counts[k])
+	}
+	fmt.Println()
+	for _, ev := range events {
+		pair := "      "
+		if ev.A >= 0 || ev.B >= 0 {
+			pair = fmt.Sprintf("%2d-%-3d", ev.A, ev.B)
+		}
+		fmt.Printf("  seq=%-8d t=%9.3fs %s %-15s v1=%-8d v2=%d\n",
+			ev.Seq, ev.T, pair, ev.Kind, ev.V1, ev.V2)
+	}
+	return nil
+}
+
+// fmtDur renders a duration in fixed milliseconds — easier to column-scan
+// than Duration.String's adaptive units.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+}

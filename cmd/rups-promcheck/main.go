@@ -6,9 +6,15 @@
 // via -present only need to exist. CI uses it to assert that an
 // instrumented convoy run actually exercised the pipeline.
 //
+// SLO mode: -slo takes objective names (as configured in the roster, e.g.
+// pair_availability) and asserts the rups_slo_<name>_* family is live —
+// observations flowed and the burn gauges and breach counter exported.
+// -slo-breached additionally requires the breach counter be nonzero, which
+// is how chaos CI proves an injected outage actually burned the budget.
+//
 // Usage:
 //
-//	rups-promcheck [-present name,name] out.prom metric_name...
+//	rups-promcheck [-present name,name] [-slo obj,obj] [-slo-breached obj] out.prom metric_name...
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 
 func main() {
 	presentFlag := flag.String("present", "", "comma-separated metric names that must exist (any value)")
+	sloFlag := flag.String("slo", "", "comma-separated SLO objective names whose rups_slo_* families must be live")
+	sloBreachedFlag := flag.String("slo-breached", "", "comma-separated SLO objective names that must have recorded a breach")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: rups-promcheck [-present names] file metric_name...")
@@ -46,6 +54,22 @@ func main() {
 	if *presentFlag != "" {
 		for _, name := range strings.Split(*presentFlag, ",") {
 			if err := checkPresent(metrics, name); err != nil {
+				fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
+				failed = true
+			}
+		}
+	}
+	if *sloFlag != "" {
+		for _, name := range strings.Split(*sloFlag, ",") {
+			if err := checkSLO(metrics, name, false); err != nil {
+				fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
+				failed = true
+			}
+		}
+	}
+	if *sloBreachedFlag != "" {
+		for _, name := range strings.Split(*sloBreachedFlag, ",") {
+			if err := checkSLO(metrics, name, true); err != nil {
 				fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
 				failed = true
 			}

@@ -111,3 +111,33 @@ func checkNonzero(metrics []sample, name string) error {
 	}
 	return fmt.Errorf("metric %s: present but zero everywhere", name)
 }
+
+// checkSLO asserts objective obj's rups_slo_* roster is live in the
+// snapshot: the good/bad observation counters carry traffic (the objective
+// was actually fed) and the burn gauges and breach counter were exported.
+// With wantBreach, the breach counter must additionally be nonzero — the
+// chaos-CI assertion that an injected outage really burned the budget.
+func checkSLO(metrics []sample, obj string, wantBreach bool) error {
+	prefix := "rups_slo_" + obj
+	total := 0.0
+	for _, s := range metrics {
+		if s.name == prefix+"_good_total" || s.name == prefix+"_bad_total" {
+			total += s.value
+		}
+	}
+	//lint:ignore floatcmp counters are written as exact integers; zero means the objective was never fed
+	if total == 0 {
+		return fmt.Errorf("slo %s: no observations (good+bad totals are zero or missing)", obj)
+	}
+	for _, suf := range []string{"_fast_burn_milli", "_slow_burn_milli", "_breaches_total"} {
+		if err := checkPresent(metrics, prefix+suf); err != nil {
+			return fmt.Errorf("slo %s: %w", obj, err)
+		}
+	}
+	if wantBreach {
+		if err := checkNonzero(metrics, prefix+"_breaches_total"); err != nil {
+			return fmt.Errorf("slo %s: expected a breach: %w", obj, err)
+		}
+	}
+	return nil
+}

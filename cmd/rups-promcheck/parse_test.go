@@ -76,3 +76,39 @@ func TestChecks(t *testing.T) {
 		t.Error("missing metric: want error")
 	}
 }
+
+func TestCheckSLO(t *testing.T) {
+	metrics, err := parse(`rups_slo_avail_good_total 120
+rups_slo_avail_bad_total 30
+rups_slo_avail_breaches_total 2
+rups_slo_avail_fast_burn_milli 4100
+rups_slo_avail_slow_burn_milli 900
+rups_slo_quiet_good_total 500
+rups_slo_quiet_bad_total 0
+rups_slo_quiet_breaches_total 0
+rups_slo_quiet_fast_burn_milli 0
+rups_slo_quiet_slow_burn_milli 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live objective with breaches: passes both modes.
+	if err := checkSLO(metrics, "avail", false); err != nil {
+		t.Error(err)
+	}
+	if err := checkSLO(metrics, "avail", true); err != nil {
+		t.Error(err)
+	}
+	// Live objective without breaches: passes plain, fails breach mode.
+	if err := checkSLO(metrics, "quiet", false); err != nil {
+		t.Error(err)
+	}
+	if err := checkSLO(metrics, "quiet", true); err == nil {
+		t.Error("breach-free objective passed -slo-breached")
+	}
+	// Objective never fed.
+	if err := checkSLO(metrics, "ghost", false); err == nil ||
+		!strings.Contains(err.Error(), "no observations") {
+		t.Errorf("unfed objective: got %v", err)
+	}
+}

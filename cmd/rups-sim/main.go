@@ -5,9 +5,17 @@
 // every pair per tick through the batch engine.
 //
 // Telemetry: -debug-addr serves live Prometheus metrics (/metrics), the
-// span ring (/debug/spans), and pprof while the simulation runs;
-// -metrics-snapshot writes the final registry state to a file, and
-// -dump-spans prints the recorded pipeline timeline.
+// span ring (/debug/spans, filterable by ?trace= and paginated by
+// ?after=/?limit=), SLO burn rates (/debug/slo), and pprof while the
+// simulation runs; -metrics-snapshot writes the final registry state to a
+// file, -dump-spans prints the recorded pipeline timeline, and -spans-out
+// writes the span ring as JSON for offline analysis by rups-obs.
+//
+// Flight recorder: -flight-dir arms anomaly-triggered capsule dumps (a
+// refused pair, an SLO breach, a retransmit burst freezes the trailing
+// protocol history to disk); -dump-flight-on-exit additionally writes one
+// full-ring capsule when the run ends. -slo-config loads a custom
+// objective roster (JSON) in place of the default three.
 //
 // Link faults: -loss/-burst/-reorder/-dup/-corrupt/-link-seed switch the
 // convoy onto a fault-injected DSRC link with the reliable sync protocol
@@ -20,11 +28,13 @@
 //
 //	rups-sim [-class 1] [-radios 4] [-lane-gap 0] [-distance 1200] [-trucks 0] [-seed 7] [-interval 2] [-vehicles 2] [-workers 0]
 //	         [-loss 0] [-burst 0] [-reorder 0] [-dup 0] [-corrupt 0] [-link-seed 0] [-heal-frac 0.7] [-stale-after 30] [-expire-after 150]
-//	         [-debug-addr 127.0.0.1:6060] [-metrics-snapshot out.prom] [-dump-spans]
+//	         [-debug-addr 127.0.0.1:6060] [-metrics-snapshot out.prom] [-dump-spans] [-spans-out spans.json]
+//	         [-flight-dir capsules/] [-slo-config slo.json] [-dump-flight-on-exit]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +44,8 @@ import (
 	"rups/internal/engine"
 	"rups/internal/link"
 	"rups/internal/obs"
+	"rups/internal/obs/flight"
+	"rups/internal/obs/slo"
 	"rups/internal/sim"
 	"rups/internal/v2v"
 )
@@ -60,9 +72,14 @@ func main() {
 		staleAfter  = flag.Float64("stale-after", 30, "flag pair results stale past this context age, seconds (0 disables)")
 		expireAfter = flag.Float64("expire-after", 150, "refuse pair results past this context age, seconds (0 disables)")
 
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/spans, and pprof on this address (host defaults to loopback)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/spans, /debug/slo, and pprof on this address (host defaults to loopback)")
 		snapshot  = flag.String("metrics-snapshot", "", "write the final Prometheus metrics snapshot to this file")
 		dumpSpans = flag.Bool("dump-spans", false, "print the recorded span timeline to stderr at exit")
+		spansOut  = flag.String("spans-out", "", "write the span ring as JSON to this file at exit (input for rups-obs)")
+
+		flightDir  = flag.String("flight-dir", "", "write anomaly-triggered flight capsules into this directory")
+		sloConfig  = flag.String("slo-config", "", "load the SLO objective roster from this JSON file (default: built-in roster)")
+		dumpFlight = flag.Bool("dump-flight-on-exit", false, "write one full flight-ring capsule to -flight-dir at exit")
 	)
 	flag.Parse()
 
@@ -81,16 +98,28 @@ func main() {
 	rec := obs.NewRecorder(obs.DefaultRingSize)
 	obs.Enable(reg)
 	obs.SetRecorder(rec)
+	fl := flight.NewRing(flight.DefaultRingSize, flight.Config{Dir: *flightDir})
+	flight.Enable(fl)
+	objectives := slo.DefaultRoster()
+	if *sloConfig != "" {
+		var err error
+		if objectives, err = slo.Load(*sloConfig); err != nil {
+			fmt.Fprintf(os.Stderr, "rups-sim: slo config: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	slt := slo.New(objectives, reg)
 	if *debugAddr != "" {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		srv, err := obs.ServeDebug(ctx, *debugAddr, reg, rec)
+		srv, err := obs.ServeDebug(ctx, *debugAddr, reg, rec,
+			obs.Route{Pattern: "/debug/slo", Handler: slt.Handler()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rups-sim: debug server: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (metrics, debug/spans, debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (metrics, debug/spans, debug/slo, debug/pprof)\n", srv.Addr())
 	}
 	defer func() {
 		if *snapshot != "" {
@@ -111,6 +140,25 @@ func main() {
 		}
 		if *dumpSpans {
 			printSpans(rec)
+		}
+		if *spansOut != "" {
+			if err := writeSpans(*spansOut, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "rups-sim: spans-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "span ring written to %s\n", *spansOut)
+		}
+		if *dumpFlight {
+			if *flightDir == "" {
+				fmt.Fprintln(os.Stderr, "rups-sim: -dump-flight-on-exit needs -flight-dir")
+				os.Exit(2)
+			}
+			path, err := fl.Dump("exit_dump", 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rups-sim: flight dump: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "flight capsule written to %s\n", path)
 		}
 	}()
 
@@ -140,7 +188,7 @@ func main() {
 		if n < 2 {
 			n = 2
 		}
-		runLinkedConvoy(sc, rc, n, *workers, *interval, faults, pol, *healFrac)
+		runLinkedConvoy(sc, rc, n, *workers, *interval, faults, pol, *healFrac, slt)
 		return
 	}
 
@@ -217,12 +265,13 @@ func runConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interval floa
 // reliable sync protocol, and pairs resolve from the link-delivered copies
 // under the staleness policy.
 func runLinkedConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interval float64,
-	faults link.Params, pol core.Staleness, healFrac float64) {
+	faults link.Params, pol core.Staleness, healFrac float64, slt *slo.Tracker) {
 	fmt.Fprintf(os.Stderr,
 		"simulating %d-vehicle convoy on %s over a lossy link (seed %d, loss %.2f, burst %.3f, reorder %.2f) ...\n",
 		n, rc, faults.Seed, faults.Loss, faults.BurstEnter, faults.Reorder)
 	r := sim.ExecuteConvoy(sc, n)
 	lc := sim.NewLinkedConvoy(r, faults, v2v.SyncConfig{Seed: faults.Seed}, pol)
+	lc.SLO = slt
 	e := engine.New(workers)
 	defer e.Close()
 	p := core.DefaultParams()
@@ -266,6 +315,29 @@ func runLinkedConvoy(sc sim.Scenario, rc city.RoadClass, n, workers int, interva
 	}
 	fmt.Fprintf(os.Stderr, "resolved %d/%d pair queries (%d stale); final sync lag %d marks\n",
 		resolved, total, stale, lc.MaxLag())
+	for _, st := range slt.Statuses() {
+		fmt.Fprintf(os.Stderr, "slo %-18s good=%-6d bad=%-5d fast_burn=%.2f slow_burn=%.2f breaches=%d\n",
+			st.Name, st.GoodTotal, st.BadTotal, st.FastBurn, st.SlowBurn, st.Breaches)
+	}
+}
+
+// writeSpans serializes the span ring to path in the same JSON envelope
+// /debug/spans serves, which is what rups-obs reads back.
+func writeSpans(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(struct {
+		Total  uint64          `json:"total"`
+		Events []obs.SpanEvent `json:"events"`
+	}{Total: rec.Total(), Events: rec.Events()})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // printSpans dumps the span ring as a per-trace timeline: each trace is one

@@ -285,7 +285,7 @@ func (w *effWalker) call(n *ast.CallExpr) {
 		}
 		return
 	}
-	if strings.HasSuffix(pkgPath, "internal/obs") {
+	if strings.HasSuffix(pkgPath, "internal/obs") || strings.HasSuffix(pkgPath, "internal/obs/flight") {
 		w.obsCall(n, callee, sig)
 	}
 	w.recordCallSite(n, callee, sig)
@@ -294,8 +294,20 @@ func (w *effWalker) call(n *ast.CallExpr) {
 func (w *effWalker) obsCall(n *ast.CallExpr, callee *types.Func, sig *types.Signature) {
 	eff := w.pf.Effects
 	name := callee.Name()
-	if sig != nil && sig.Recv() == nil && (name == "Default" || name == "ActiveRecorder") {
-		s := SourceSite{Site: w.site(n.Pos()), What: "obs." + name}
+	raw := ""
+	if sig != nil && sig.Recv() == nil {
+		switch {
+		case name == "Default" || name == "ActiveRecorder":
+			raw = "obs." + name
+		case name == "Active" && callee.Pkg() != nil &&
+			strings.HasSuffix(callee.Pkg().Path(), "internal/obs/flight"):
+			// The flight ring's default lookup follows the same discipline
+			// as the obs registry/recorder: fetch once, cache the handle.
+			raw = "flight.Active"
+		}
+	}
+	if raw != "" {
+		s := SourceSite{Site: w.site(n.Pos()), What: raw}
 		eff.RawObsSites = append(eff.RawObsSites, s)
 		if !eff.RawObs && !w.pf.sanctionedObs {
 			eff.RawObs, eff.ObsWhat = true, s.What

@@ -240,7 +240,8 @@ func newProgram(passes []*analysis.Pass) *Program {
 					Pkg:           pass.Pkg,
 					Info:          pass.TypesInfo,
 					Effects:       newEffects(),
-					sanctionedObs: strings.HasSuffix(pass.Pkg.Path(), "internal/obs"),
+					sanctionedObs: strings.HasSuffix(pass.Pkg.Path(), "internal/obs") ||
+						strings.HasSuffix(pass.Pkg.Path(), "internal/obs/flight"),
 				}
 				p.funcs = append(p.funcs, pf)
 				p.byID[pf.ID] = pf

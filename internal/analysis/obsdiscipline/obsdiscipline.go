@@ -4,7 +4,8 @@
 // registry lookup or handle construction on a per-iteration or per-resolve
 // path. It flags:
 //
-//   - raw obs.Default / obs.ActiveRecorder lookups written inside a loop;
+//   - raw obs.Default / obs.ActiveRecorder / flight.Active lookups written
+//     inside a loop;
 //   - loop-resident calls whose loaded callee transitively performs a raw
 //     lookup (the lookup runs per iteration even though it is written
 //     elsewhere), with the call chain spelled out;
@@ -33,8 +34,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	if strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
-		return nil // the telemetry layer owns its raw lookups
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/obs") ||
+		strings.HasSuffix(pass.Pkg.Path(), "internal/obs/flight") {
+		return nil // the telemetry layers own their raw lookups
 	}
 	prog := dataflow.ProgramOf(pass)
 	for _, pf := range prog.Functions() {
@@ -43,10 +45,14 @@ func run(pass *analysis.Pass) error {
 		}
 		eff := pf.Effects
 		for _, s := range eff.RawObsSites {
-			if s.InLoop {
-				pass.Reportf(s.Pos, "raw %s lookup inside a loop: cache handles "+
-					"in a package-level obs.View and call Get once per operation", s.What)
+			if !s.InLoop {
+				continue
 			}
+			hint := "cache handles in a package-level obs.View and call Get once per operation"
+			if s.What == "flight.Active" {
+				hint = "fetch the ring handle once outside the loop and reuse it"
+			}
+			pass.Reportf(s.Pos, "raw %s lookup inside a loop: %s", s.What, hint)
 		}
 		for _, s := range eff.HandleSites {
 			pass.Reportf(s.Pos, "%s creates a metric handle outside an obs.NewView "+

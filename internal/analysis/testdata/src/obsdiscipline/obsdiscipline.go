@@ -3,7 +3,10 @@
 // rups/internal/obs layer.
 package obsdiscipline
 
-import "rups/internal/obs"
+import (
+	"rups/internal/obs"
+	"rups/internal/obs/flight"
+)
 
 type tel struct {
 	hits *obs.Counter
@@ -60,4 +63,32 @@ func loopCall(n int) {
 // strayHandle constructs a handle outside any view build.
 func strayHandle(r *obs.Registry) *obs.Counter {
 	return r.Counter("stray_total", "stray") // want `Registry.Counter creates a metric handle outside`
+}
+
+// goodFlightLoop caches the ring handle once — the flight-recorder
+// counterpart of the View contract.
+func goodFlightLoop(n int) {
+	fl := flight.Active()
+	for i := 0; i < n; i++ {
+		fl.Emit(flight.Event{Kind: flight.KindWarmHit, A: int32(i), B: -1})
+	}
+}
+
+// flightInLoop looks the ring up per emission.
+func flightInLoop(n int) {
+	for i := 0; i < n; i++ {
+		flight.Active().Emit(flight.Event{Kind: flight.KindWarmHit}) // want `raw flight.Active lookup inside a loop`
+	}
+}
+
+// flightHelper hides the ring lookup behind a call.
+func flightHelper() *flight.Ring {
+	return flight.Active()
+}
+
+// flightLoopCall runs flightHelper's lookup once per iteration.
+func flightLoopCall(n int) {
+	for i := 0; i < n; i++ {
+		_ = flightHelper() // want `call in a loop reaches a raw telemetry lookup \(obsdiscipline.flightHelper -> flight.Active\)`
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"rups/internal/geo"
 	"rups/internal/obs"
+	"rups/internal/obs/flight"
 	"rups/internal/stats"
 	"rups/internal/trajectory"
 )
@@ -83,6 +84,17 @@ type Searcher struct {
 	tel   *searchTelemetry
 	rec   *obs.Recorder
 	trace obs.TraceID
+	// parent/scanParent stitch this search into a caller-supplied causal
+	// trace (SetTrace): parent hangs the resolve span under the admitting
+	// context's span, scanParent hangs direction scans under the resolve
+	// span. Both 0 by default — spans then root their own trace as before.
+	parent     obs.SpanID
+	scanParent obs.SpanID
+	// fl, when set (SetFlight), receives warm-start hit/demote events
+	// labeled with the pair ids and the batch's sim time.
+	fl       *flight.Ring
+	flA, flB int32
+	flT      float64
 }
 
 // NewSearcher prepares the shared per-pair state for resolving relative
@@ -129,6 +141,25 @@ func (s *Searcher) selectRows(a *trajectory.Aware, channels []int) [][]float64 {
 // cross-direction seed only prunes placements proven unable to win the
 // direction combine (see warmSegment) — never a maximum, never a SYN.
 func (s *Searcher) SetTracker(tk *Tracker) { s.tk = tk }
+
+// SetTrace stitches this search into an existing causal trace — in the
+// convoy pipeline, the cross-vehicle trace begun by the peer's v2v sync
+// session (see obs.TraceRef). The zero ref is ignored: the searcher then
+// keeps its own root trace, exactly the pre-stitching behavior.
+func (s *Searcher) SetTrace(ref obs.TraceRef) {
+	if ref.Trace != 0 {
+		s.trace = ref.Trace
+		s.parent = ref.Parent
+	}
+}
+
+// SetFlight labels the searcher's flight-recorder events: warm-start
+// hits and demotions are emitted to fl as pair (a, b) at sim time now.
+// The handle is cached here, once per searcher, per the flight package's
+// hot-loop discipline; a nil fl (recorder disabled) costs one nil check.
+func (s *Searcher) SetFlight(fl *flight.Ring, a, b int, now float64) {
+	s.fl, s.flA, s.flB, s.flT = fl, int32(a), int32(b), now
+}
 
 // Release returns the searcher's arena to the pool. The Searcher (and any
 // row data reached through it) must not be used afterwards. Releasing is
@@ -248,14 +279,14 @@ func (s *Searcher) warmSegment(pl *segmentPlan) {
 		floA, fhiA := clampRange(loA, hiA, scBA.positions())
 		baWarm = floA <= fhiA && pl.pivotA >= floA && pl.pivotA <= fhiA
 		if baWarm {
-			sp := s.rec.Start(s.trace, "scan_ba")
+			sp := s.rec.StartChild(s.trace, s.scanParent, "scan_ba")
 			sp.Arg = int64(pl.endOff)
 			pl.posA, pl.scoreBA = scBA.bestWindowInFrom(loA, hiA, pl.pivotA)
 			sp.End()
 		}
 	}
 
-	sp := s.rec.Start(s.trace, "scan_ab")
+	sp := s.rec.StartChild(s.trace, s.scanParent, "scan_ab")
 	sp.Arg = int64(pl.endOff)
 	if !abWarm && baWarm {
 		// AB wins combine ties, so the seed prunes only placements that
@@ -269,7 +300,7 @@ func (s *Searcher) warmSegment(pl *segmentPlan) {
 	sp.End()
 
 	if scBA != nil && !baWarm {
-		sp := s.rec.Start(s.trace, "scan_ba")
+		sp := s.rec.StartChild(s.trace, s.scanParent, "scan_ba")
 		sp.Arg = int64(pl.endOff)
 		if abWarm {
 			// BA loses combine ties: placements that can at best tie the AB
@@ -293,7 +324,7 @@ func (s *Searcher) warmSegment(pl *segmentPlan) {
 // segment slides over B, over the full locality range. Warm segments go
 // through warmSegment instead.
 func (s *Searcher) scanAB(pl *segmentPlan) {
-	sp := s.rec.Start(s.trace, "scan_ab")
+	sp := s.rec.StartChild(s.trace, s.scanParent, "scan_ab")
 	sp.Arg = int64(pl.endOff)
 	endA := s.aCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxA, s.idxB, endA-pl.w+1, pl.w, s.p.NoColumnTerm)
@@ -327,7 +358,7 @@ func (s *Searcher) flushScan(sc *segScorer) {
 // scanBA runs direction 2: B's reference segment slides over A (skipped in
 // the single-sided ablation).
 func (s *Searcher) scanBA(pl *segmentPlan) {
-	sp := s.rec.Start(s.trace, "scan_ba")
+	sp := s.rec.StartChild(s.trace, s.scanParent, "scan_ba")
 	sp.Arg = int64(pl.endOff)
 	endB := s.bCtx.Len() - 1 - pl.endOff
 	sc := newSegScorer(s.idxB, s.idxA, endB-pl.w+1, pl.w, s.p.NoColumnTerm)
@@ -492,7 +523,7 @@ func (s *Searcher) trackSegment(seg int, pl *segmentPlan, syn SYNPoint, ok bool)
 	if s.tk == nil {
 		return
 	}
-	if t := s.tel; t != nil {
+	if s.tel != nil || s.fl != nil {
 		drift := 0
 		if ok {
 			drift = syn.IdxB - syn.IdxA - pl.hintDelta
@@ -500,10 +531,24 @@ func (s *Searcher) trackSegment(seg int, pl *segmentPlan, syn SYNPoint, ok bool)
 				drift = -drift
 			}
 		}
-		if pl.warm && ok && drift <= s.tk.radius {
-			t.warmHits.Inc()
-		} else {
-			t.warmFallbacks.Inc()
+		hit := pl.warm && ok && drift <= s.tk.radius
+		if t := s.tel; t != nil {
+			if hit {
+				t.warmHits.Inc()
+			} else {
+				t.warmFallbacks.Inc()
+			}
+		}
+		if s.fl != nil && pl.warm {
+			// The flight ring only cares about warm-pivoted segments: a
+			// hit means the hint paid off, a demote means the scan had to
+			// hunt despite the hint. Cold segments are not events.
+			kind := flight.KindWarmHit
+			if !hit {
+				kind = flight.KindWarmDemote
+			}
+			s.fl.Emit(flight.Event{T: s.flT, Kind: kind,
+				A: s.flA, B: s.flB, V1: int64(pl.hintDelta)})
 		}
 	}
 	s.tk.observe(seg, syn, ok)
@@ -514,13 +559,16 @@ func (s *Searcher) trackSegment(seg int, pl *segmentPlan, syn SYNPoint, ok bool)
 // distance estimate, and aggregate them according to p.Aggregation. ok is
 // false when no SYN point was found.
 func (s *Searcher) Resolve(par Parallel) (Estimate, bool) {
-	rsp := s.rec.Start(s.trace, "resolve")
+	rsp := s.rec.StartChild(s.trace, s.parent, "resolve")
 	defer rsp.End()
+	// Direction scans fan out under the resolve span, which itself hangs
+	// under any stitched-in cross-vehicle parent (SetTrace).
+	s.scanParent = rsp.ID()
 	syns := s.FindSYNs(s.p.NumSYN, par)
 	if len(syns) == 0 {
 		return Estimate{}, false
 	}
-	asp := s.rec.Start(s.trace, "aggregate")
+	asp := s.rec.StartChild(s.trace, rsp.ID(), "aggregate")
 	asp.Arg = int64(len(syns))
 	defer asp.End()
 	est := Estimate{SYNs: syns}

@@ -13,12 +13,15 @@ package engine
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rups/internal/core"
 	"rups/internal/obs"
+	"rups/internal/obs/flight"
 	"rups/internal/trajectory"
 )
 
@@ -57,7 +60,19 @@ type Engine struct {
 	// tgen counts ResolvePairsAt calls; each entry remembers the last
 	// generation that used it.
 	tgen uint64
+	// classes remembers each pair's last staleness class (zero value =
+	// fresh), so the flight recorder sees *transitions* — one event per
+	// state change, not one per tick. Guarded by tmu; swept with trackers.
+	classes map[[2]int]core.Freshness
+
+	// nowBits is the float64 bits of the latest batch's sim time — the
+	// timestamp run()'s flight events carry. The engine has no sim clock
+	// of its own; ResolvePairsAt batches donate theirs.
+	nowBits atomic.Uint64
 }
+
+// simNow returns the latest batch sim time donated to the engine.
+func (e *Engine) simNow() float64 { return math.Float64frombits(e.nowBits.Load()) }
 
 // trackerEntry is one cached tracker plus the last generation (warm batch)
 // that touched it.
@@ -91,24 +106,49 @@ func (e *Engine) tracker(pr [2]int) *core.Tracker {
 // dropTracker evicts a pair's warm-start state entirely (staleness expiry:
 // a context too old to answer with cannot vouch for a warm window either,
 // and an expired pair may never come back).
-func (e *Engine) dropTracker(pr [2]int) {
+func (e *Engine) dropTracker(pr [2]int, fl *flight.Ring, now float64) {
 	e.tmu.Lock()
 	defer e.tmu.Unlock()
+	if _, ok := e.trackers[pr]; ok && fl != nil {
+		fl.Emit(flight.Event{T: now, Kind: flight.KindWarmEvict,
+			A: int32(pr[0]), B: int32(pr[1]), V1: int64(e.tgen)})
+	}
 	delete(e.trackers, pr)
 }
 
 // beginTrackerGen opens a new tracker generation and sweeps out entries
 // that no warm batch has touched for trackerIdleBatches generations. The
-// sweep is O(cached pairs) once per ResolvePairsAt call.
-func (e *Engine) beginTrackerGen() {
+// sweep is O(cached pairs) once per ResolvePairsAt call. Swept pairs also
+// lose their staleness-class memory: if they return, their first
+// classification is a fresh transition again.
+func (e *Engine) beginTrackerGen(fl *flight.Ring, now float64) {
 	e.tmu.Lock()
 	defer e.tmu.Unlock()
 	e.tgen++
 	for pr, te := range e.trackers {
 		if e.tgen-te.gen > trackerIdleBatches {
+			if fl != nil {
+				fl.Emit(flight.Event{T: now, Kind: flight.KindWarmEvict,
+					A: int32(pr[0]), B: int32(pr[1]), V1: int64(te.gen)})
+			}
 			delete(e.trackers, pr)
+			delete(e.classes, pr)
 		}
 	}
+}
+
+// noteClass records a pair's staleness class and reports the previous one
+// (zero value core.FreshContext for a first sighting) — the transition
+// edge the flight recorder events on.
+func (e *Engine) noteClass(pr [2]int, cls core.Freshness) core.Freshness {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	if e.classes == nil {
+		e.classes = make(map[[2]int]core.Freshness)
+	}
+	prev := e.classes[pr]
+	e.classes[pr] = cls
+	return prev
 }
 
 // New starts an engine with the given number of workers; workers <= 0 means
@@ -183,6 +223,7 @@ func (e *Engine) submit(t func()) bool {
 // queueing.
 func (e *Engine) run(tasks ...func()) {
 	tel := engineTel.Get()
+	fl := flight.Active()
 	var wg sync.WaitGroup
 	for _, t := range tasks {
 		t := t
@@ -199,8 +240,14 @@ func (e *Engine) run(tasks ...func()) {
 		}
 		tel.tasks.Inc()
 		// Count the task as queued before the handoff attempt: a worker may
-		// start (and finish) it before submit even returns.
-		tel.peak.RaiseTo(tel.depth.Add(1))
+		// start (and finish) it before submit even returns. A new depth
+		// peak is a flight event: "the pool was at its most backed up
+		// here" is exactly what a latency post-mortem wants on its
+		// timeline. (fl is the handle cached before this loop.)
+		if tel.peak.RaiseTo(tel.depth.Add(1)) && fl != nil {
+			fl.Emit(flight.Event{T: e.simNow(), Kind: flight.KindQueueHighwater,
+				A: -1, B: -1, V1: tel.peak.Value()})
+		}
 		if e.submit(func() {
 			defer wg.Done()
 			start := time.Now()
@@ -232,6 +279,11 @@ type Result struct {
 	Est   core.Estimate
 	OK    bool
 	Stale bool
+	// LatencySec is this pair's wall-clock resolve time (searcher build
+	// through aggregation, queue wait excluded). Measured only when
+	// telemetry is enabled or the pair is causally traced; 0 otherwise —
+	// the disabled fast path never reads the clock.
+	LatencySec float64
 }
 
 // Batch is a set of trajectories admitted for resolution: every trajectory
@@ -302,11 +354,35 @@ func (b *Batch) ResolveAll(p core.Params) []Result {
 // identical to the cold path's — with a zero-value (disabled) policy this
 // returns exactly what ResolvePairs would, just faster on repeat contact.
 func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol core.Staleness) []Result {
+	return b.resolveAt(pairs, nil, p, now, pol)
+}
+
+// ResolvePairsTracedAt is ResolvePairsAt with causal stitching: refs is
+// aligned with pairs, each entry the cross-vehicle trace ref of the
+// context admission that produced the pair's snapshot (typically
+// v2v.Session.TraceRef). A traced pair's queue wait and resolve pipeline
+// record as children of the sender-side sync spans, so one trace tells
+// the pair's whole story across both vehicles. Zero refs (and a nil
+// slice) resolve exactly like ResolvePairsAt.
+func (b *Batch) ResolvePairsTracedAt(pairs [][2]int, refs []obs.TraceRef, p core.Params, now float64, pol core.Staleness) []Result {
+	if refs != nil && len(refs) != len(pairs) {
+		refs = nil // misaligned refs cannot be attributed; resolve unstitched
+	}
+	return b.resolveAt(pairs, refs, p, now, pol)
+}
+
+func (b *Batch) resolveAt(pairs [][2]int, refs []obs.TraceRef, p core.Params, now float64, pol core.Staleness) []Result {
 	tel := engineTel.Get()
-	b.e.beginTrackerGen()
+	fl := flight.Active()
+	b.e.nowBits.Store(math.Float64bits(now))
+	b.e.beginTrackerGen(fl, now)
 	keep := make([][2]int, 0, len(pairs))
 	kept := make([]int, 0, len(pairs))
 	tks := make([]*core.Tracker, 0, len(pairs))
+	var keepRefs []obs.TraceRef
+	if refs != nil {
+		keepRefs = make([]obs.TraceRef, 0, len(pairs))
+	}
 	out := make([]Result, len(pairs))
 	stale := make([]bool, len(pairs))
 	// Each tracker must be owned by exactly one concurrent pair task, but
@@ -330,13 +406,34 @@ func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol c
 			if ab := core.ContextAge(b.snaps[pr[1]], now); ab > age {
 				age = ab
 			}
-			switch pol.Classify(age) {
+			cls := pol.Classify(age)
+			if fl != nil {
+				if prev := b.e.noteClass(pr, cls); prev != cls {
+					fl.Emit(flight.Event{T: now, Kind: flight.KindStaleness,
+						A: int32(pr[0]), B: int32(pr[1]),
+						V1: int64(cls), V2: int64(prev)})
+					if cls == core.ExpiredContext {
+						// Crossing into expiry refuses the pair — one of the
+						// black-box anomaly triggers. Emit the expiry detail,
+						// then dump (best-effort; the capsule is advisory).
+						fl.Emit(flight.Event{T: now, Kind: flight.KindExpired,
+							A: int32(pr[0]), B: int32(pr[1]),
+							V1: int64(age * 1000)})
+						//lint:ignore errflow best-effort black-box dump; resolution must not fail because the disk did
+						_, _ = fl.Anomaly("refused_pair", flight.Event{T: now,
+							Kind: flight.KindRefused,
+							A:    int32(pr[0]), B: int32(pr[1]),
+							V1: int64(age * 1000)})
+					}
+				}
+			}
+			switch cls {
 			case core.ExpiredContext:
 				if tel != nil {
 					tel.pairsExpired.Inc()
 				}
 				if tk != nil {
-					b.e.dropTracker(pr)
+					b.e.dropTracker(pr, fl, now)
 				}
 				continue
 			case core.StaleContext:
@@ -349,8 +446,11 @@ func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol c
 		keep = append(keep, pr)
 		kept = append(kept, pi)
 		tks = append(tks, tk)
+		if keepRefs != nil {
+			keepRefs = append(keepRefs, refs[pi])
+		}
 	}
-	for i, r := range b.resolvePairs(keep, p, tks) {
+	for i, r := range b.resolvePairs(keep, p, tks, keepRefs, now) {
 		pi := kept[i]
 		r.Stale = stale[pi]
 		out[pi] = r
@@ -363,15 +463,19 @@ func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol c
 // yield OK == false rather than a panic. This is the cold-scan entry
 // point — no warm-start state is consulted or updated.
 func (b *Batch) ResolvePairs(pairs [][2]int, p core.Params) []Result {
-	return b.resolvePairs(pairs, p, nil)
+	return b.resolvePairs(pairs, p, nil, nil, 0)
 }
 
 // resolvePairs fans the pair queries over the pool. tks, when non-nil, is
 // aligned with pairs and attaches each pair's warm-start tracker to its
 // searcher; each tracker is touched only by its own pair's task, so the
-// fan-out needs no extra locking.
-func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker) []Result {
+// fan-out needs no extra locking. refs, when non-nil, is aligned with
+// pairs and stitches each pair's spans into its cross-vehicle trace; now
+// timestamps flight events from the fan-out.
+func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker, refs []obs.TraceRef, now float64) []Result {
 	tel := engineTel.Get()
+	rec := obs.ActiveRecorder()
+	fl := flight.Active()
 	var start time.Time
 	if tel != nil {
 		tel.batches.Inc()
@@ -385,13 +489,54 @@ func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker)
 		if pr[0] < 0 || pr[0] >= len(b.snaps) || pr[1] < 0 || pr[1] >= len(b.snaps) {
 			continue
 		}
+		var ref obs.TraceRef
+		if refs != nil {
+			ref = refs[pi]
+		}
+		if ref.Trace == 0 && tel == nil {
+			// Disabled-telemetry, unstitched fast path: byte-for-byte the
+			// allocation profile of the uninstrumented fan-out — no clock
+			// reads, no span values in the closure.
+			tasks = append(tasks, func() {
+				s := core.NewSearcher(b.snaps[pr[0]], b.snaps[pr[1]], p)
+				if tks != nil && tks[pi] != nil {
+					s.SetTracker(tks[pi])
+				}
+				if fl != nil {
+					s.SetFlight(fl, pr[0], pr[1], now)
+				}
+				out[pi].Est, out[pi].OK = s.Resolve(b.e.run)
+				s.Release()
+			})
+			continue
+		}
+		// The queue span opens at scheduling and closes when a worker (or
+		// the inline fallback) picks the task up: its duration is the
+		// pair's queue wait, the critical-path component no per-stage span
+		// could otherwise see. Inert when the pair is unstitched.
+		var qsp obs.Span
+		if ref.Trace != 0 {
+			qsp = rec.StartChild(ref.Trace, ref.Parent, "queue")
+			qsp.Arg = int64(pr[0])<<32 | int64(pr[1])
+		}
 		tasks = append(tasks, func() {
+			qsp.End()
+			t0 := time.Now()
 			s := core.NewSearcher(b.snaps[pr[0]], b.snaps[pr[1]], p)
 			if tks != nil && tks[pi] != nil {
 				s.SetTracker(tks[pi])
 			}
+			s.SetTrace(ref)
+			if fl != nil {
+				s.SetFlight(fl, pr[0], pr[1], now)
+			}
 			out[pi].Est, out[pi].OK = s.Resolve(b.e.run)
 			s.Release()
+			lat := time.Since(t0).Seconds()
+			out[pi].LatencySec = lat
+			if tel != nil {
+				tel.pairSec.Observe(lat)
+			}
 		})
 	}
 	b.e.run(tasks...)

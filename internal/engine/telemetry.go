@@ -13,6 +13,7 @@ type engineTelemetry struct {
 	peak         *obs.Gauge
 	taskSec      *obs.Histogram
 	batchSec     *obs.Histogram
+	pairSec      *obs.Histogram
 	pairsStale   *obs.Counter
 	pairsExpired *obs.Counter
 }
@@ -36,6 +37,10 @@ var engineTel = obs.NewView(func(r *obs.Registry) *engineTelemetry {
 		// Batches span many pairs: 2^-10 s ≈ 1 ms up to 2^6 = 64 s.
 		batchSec: r.Histogram("rups_engine_batch_seconds",
 			"wall time of one Batch.ResolvePairs call", -10, 6),
+		// Per-pair resolve latency feeds the resolve-latency SLO; same
+		// span as taskSec (1 µs – 16 s).
+		pairSec: r.Histogram("rups_engine_pair_seconds",
+			"wall time of one pair resolution (searcher build through aggregation)", -20, 4),
 		pairsStale: r.Counter("rups_engine_pairs_stale_total",
 			"pairs resolved from degraded (aged) context and flagged stale"),
 		pairsExpired: r.Counter("rups_engine_pairs_expired_total",

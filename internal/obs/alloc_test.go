@@ -28,6 +28,11 @@ func TestHotPathZeroAlloc(t *testing.T) {
 			sp.Arg = 7
 			sp.End()
 		}},
+		{"child span", func() {
+			parent := rec.Start(tr, "parent")
+			rec.StartChild(tr, parent.ID(), "child").End()
+			parent.End()
+		}},
 		{"nil handles", func() {
 			var nc *Counter
 			var ng *Gauge
@@ -37,6 +42,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 			ng.Set(1)
 			nh.Observe(2)
 			nr.Start(0, "x").End()
+			nr.StartChild(0, 0, "x").End()
 		}},
 	}
 	for _, tc := range cases {

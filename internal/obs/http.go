@@ -7,21 +7,35 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
+
+// Route is an extra handler mounted on the debug mux — how packages above
+// obs (the SLO tracker, for one) publish endpoints without obs importing
+// them.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
 
 // NewDebugMux builds the debug endpoint's handler tree: Prometheus text
 // exposition at /metrics, the span ring as JSON at /debug/spans, and the
 // net/http/pprof handlers at /debug/pprof/. Either argument may be nil —
-// the corresponding endpoint then serves an empty document.
-func NewDebugMux(reg *Registry, rec *Recorder) *http.ServeMux {
+// the corresponding endpoint then serves an empty document. Extra routes
+// are mounted verbatim after the built-ins.
+func NewDebugMux(reg *Registry, rec *Recorder, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
+	index := "rups debug endpoint\n\n/metrics\n/debug/spans\n/debug/pprof/\n"
+	for _, e := range extra {
+		index += e.Pattern + "\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "rups debug endpoint\n\n/metrics\n/debug/spans\n/debug/pprof/\n")
+		fmt.Fprint(w, index)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -31,21 +45,88 @@ func NewDebugMux(reg *Registry, rec *Recorder) *http.ServeMux {
 		}
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		//lint:ignore errflow an encode failure here means the client hung up; there is no one left to tell
-		_ = enc.Encode(struct {
-			Total  uint64      `json:"total"`
-			Events []SpanEvent `json:"events"`
-		}{Total: rec.Total(), Events: rec.Events()})
+		serveSpans(w, r, rec)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	return mux
+}
+
+// spansPage is the /debug/spans response envelope. Matched counts every
+// event passing the trace filter in the current ring; NextAfter, when set,
+// is the cursor for the following page (pass it back as ?after=).
+type spansPage struct {
+	Total     uint64      `json:"total"`
+	Matched   int         `json:"matched"`
+	Events    []SpanEvent `json:"events"`
+	NextAfter uint64      `json:"next_after,omitempty"`
+}
+
+// serveSpans renders the span ring with optional filtering and pagination:
+// ?trace=<id> keeps one trace's events, ?after=<seq> resumes past a
+// previous page's next_after cursor, ?limit=<n> caps the page size. The
+// cursor is the event's monotonic Seq, so pagination is stable even while
+// the ring keeps recording — new events only ever appear after the cursor,
+// and an overwritten event is simply absent rather than shifting the page.
+func serveSpans(w http.ResponseWriter, r *http.Request, rec *Recorder) {
+	q := r.URL.Query()
+	var trace TraceID
+	if s := q.Get("trace"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		trace = TraceID(v)
+	}
+	hasAfter := false
+	var after uint64
+	if s := q.Get("after"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad after cursor: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		after, hasAfter = v, true
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad limit: want a positive integer", http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+
+	page := spansPage{Total: rec.Total(), Events: []SpanEvent{}}
+	for _, ev := range rec.Events() {
+		if trace != 0 && ev.Trace != trace {
+			continue
+		}
+		page.Matched++
+		if hasAfter && ev.Seq <= after {
+			continue
+		}
+		if limit > 0 && len(page.Events) >= limit {
+			// The page is full and more events match: hand out the cursor.
+			page.NextAfter = page.Events[len(page.Events)-1].Seq
+			continue
+		}
+		page.Events = append(page.Events, ev)
+	}
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//lint:ignore errflow an encode failure here means the client hung up; there is no one left to tell
+	_ = enc.Encode(page)
 }
 
 // DebugServer is a running debug endpoint. It shuts down when the context
@@ -71,7 +152,7 @@ const shutdownTimeout = 2 * time.Second
 // decision (pass an interface address to opt in). The listener's actual
 // address is available from Addr, which is how a ":0" caller learns its
 // port.
-func ServeDebug(ctx context.Context, addr string, reg *Registry, rec *Recorder) (*DebugServer, error) {
+func ServeDebug(ctx context.Context, addr string, reg *Registry, rec *Recorder, extra ...Route) (*DebugServer, error) {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug address %q: %w", addr, err)
@@ -85,7 +166,7 @@ func ServeDebug(ctx context.Context, addr string, reg *Registry, rec *Recorder) 
 	}
 	s := &DebugServer{
 		srv: &http.Server{
-			Handler:           NewDebugMux(reg, rec),
+			Handler:           NewDebugMux(reg, rec, extra...),
 			ReadHeaderTimeout: 5 * time.Second,
 			BaseContext:       func(net.Listener) context.Context { return ctx },
 		},

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -65,6 +66,115 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 	if code, _ := getBody(t, base+"/nope"); code != 404 {
 		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestSpansFilterAndPagination(t *testing.T) {
+	rec := NewRecorder(64)
+	t1, t2 := rec.NewTrace(), rec.NewTrace()
+	// Interleave two traces: 6 spans on t1, 3 on t2.
+	for i := 0; i < 9; i++ {
+		tr := t1
+		if i%3 == 2 {
+			tr = t2
+		}
+		rec.Start(tr, "stage").End()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := ServeDebug(ctx, "127.0.0.1:0", nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	get := func(query string) spansPage {
+		t.Helper()
+		code, body := getBody(t, base+"/debug/spans"+query)
+		if code != 200 {
+			t.Fatalf("/debug/spans%s = %d:\n%s", query, code, body)
+		}
+		var p spansPage
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatalf("not JSON: %v\n%s", err, body)
+		}
+		return p
+	}
+
+	// Trace filter keeps only t1's spans.
+	p := get("?trace=" + strconv.FormatUint(uint64(t1), 10))
+	if p.Matched != 6 || len(p.Events) != 6 {
+		t.Fatalf("trace filter: matched %d, %d events", p.Matched, len(p.Events))
+	}
+	for _, ev := range p.Events {
+		if ev.Trace != t1 {
+			t.Fatalf("foreign trace %d leaked into filtered page", ev.Trace)
+		}
+	}
+
+	// Paginate the filtered set two at a time; pages must tile the full
+	// set without overlap.
+	var seqs []uint64
+	query := "?trace=" + strconv.FormatUint(uint64(t1), 10) + "&limit=2"
+	for page, cursor := 0, ""; ; page++ {
+		p := get(query + cursor)
+		if len(p.Events) > 2 {
+			t.Fatalf("page %d over limit: %d events", page, len(p.Events))
+		}
+		for _, ev := range p.Events {
+			seqs = append(seqs, ev.Seq)
+		}
+		if p.NextAfter == 0 {
+			break
+		}
+		cursor = "&after=" + strconv.FormatUint(p.NextAfter, 10)
+		if page > 10 {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	if len(seqs) != 6 {
+		t.Fatalf("pages tiled %d events, want 6: %v", len(seqs), seqs)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("page cursor unstable: seqs %v", seqs)
+		}
+	}
+
+	// Malformed params are rejected, not silently ignored.
+	for _, q := range []string{"?trace=xyz", "?after=-1", "?limit=0", "?limit=huge"} {
+		if code, _ := getBody(t, base+"/debug/spans"+q); code != 400 {
+			t.Fatalf("/debug/spans%s = %d, want 400", q, code)
+		}
+	}
+}
+
+func TestDebugMuxExtraRoutes(t *testing.T) {
+	mux := NewDebugMux(nil, nil, Route{
+		Pattern: "/debug/slo",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, `{"objectives":[]}`)
+		}),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := ServeDebug(ctx, "127.0.0.1:0", nil, nil, Route{
+		Pattern: "/debug/slo",
+		Handler: mux,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, body := getBody(t, "http://"+s.Addr()+"/debug/slo"); code != 200 ||
+		!strings.Contains(body, "objectives") {
+		t.Fatalf("/debug/slo = %d:\n%s", code, body)
+	}
+	// The index advertises mounted extras.
+	if _, body := getBody(t, "http://"+s.Addr()+"/"); !strings.Contains(body, "/debug/slo") {
+		t.Fatalf("index does not list extra route:\n%s", body)
 	}
 }
 

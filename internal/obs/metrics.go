@@ -72,15 +72,19 @@ func (g *Gauge) Add(d int64) int64 {
 }
 
 // RaiseTo lifts the gauge to v if v is greater — the high-water-mark
-// operation behind *_peak gauges.
-func (g *Gauge) RaiseTo(v int64) {
+// operation behind *_peak gauges. It reports whether the gauge rose,
+// which is how high-water flight events fire exactly once per new peak.
+func (g *Gauge) RaiseTo(v int64) bool {
 	if g == nil {
-		return
+		return false
 	}
 	for {
 		cur := g.v.Load()
-		if v <= cur || g.v.CompareAndSwap(cur, v) {
-			return
+		if v <= cur {
+			return false
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return true
 		}
 	}
 }

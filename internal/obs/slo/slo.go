@@ -1,0 +1,378 @@
+// Package slo evaluates declarative service-level objectives over the
+// resolution pipeline: each objective classifies a stream of events as
+// good or bad (a resolve under the latency threshold, a fresh rather than
+// stale context, a pair resolved at all) and is judged over two sliding
+// windows of simulation time with SRE-style burn rates — how fast the
+// error budget (1 − target) is being spent. A breach (both windows
+// burning faster than the objective's MaxBurn) increments a counter,
+// emits a flight-recorder event, and triggers a black-box capsule dump.
+//
+// Objectives are data, not code: the roster loads from JSON (Load) or
+// falls back to the built-in paper roster (DefaultRoster). Burn state is
+// exposed three ways — rups_slo_* metrics in the obs registry, the
+// /debug/slo JSON handler, and the Status values cmd/rups-obs renders.
+//
+// The clock is simulation time supplied by the caller on every Observe
+// and Evaluate; the package never reads wall time, so seeded runs produce
+// identical burn trajectories.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+
+	"rups/internal/obs"
+	"rups/internal/obs/flight"
+)
+
+// Objective is one declarative service-level objective. Target is the
+// required good fraction; events older than SlowWindowSec no longer count
+// against it.
+type Objective struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Target is the objective good-ratio, e.g. 0.99.
+	Target float64 `json:"target"`
+	// ThresholdSec classifies latency observations: ObserveLatency counts
+	// an event good iff it is ≤ ThresholdSec. Ratio objectives leave it 0
+	// and feed Observe directly.
+	ThresholdSec float64 `json:"threshold_sec,omitempty"`
+	// FastWindowSec/SlowWindowSec are the two sliding windows (defaults
+	// 30 s and 120 s). The multi-window rule suppresses both flavors of
+	// false alarm: a long-quiet SLO with one bad tick (fast window burns,
+	// slow does not) and an old incident still polluting the slow window
+	// (slow burns, fast does not).
+	FastWindowSec float64 `json:"fast_window_sec,omitempty"`
+	SlowWindowSec float64 `json:"slow_window_sec,omitempty"`
+	// MaxBurn is the burn-rate alert threshold (default 2): breach when
+	// both windows spend error budget at ≥ MaxBurn× the sustainable rate.
+	MaxBurn float64 `json:"max_burn,omitempty"`
+}
+
+func (o Objective) withDefaults() Objective {
+	if o.FastWindowSec <= 0 {
+		o.FastWindowSec = 30
+	}
+	if o.SlowWindowSec <= 0 {
+		o.SlowWindowSec = 120
+	}
+	if o.SlowWindowSec < o.FastWindowSec {
+		o.SlowWindowSec = o.FastWindowSec
+	}
+	if o.MaxBurn <= 0 {
+		o.MaxBurn = 2
+	}
+	return o
+}
+
+// DefaultRoster is the paper pipeline's built-in objectives: resolve
+// latency, context freshness, and pair availability.
+func DefaultRoster() []Objective {
+	return []Objective{
+		{Name: "resolve_latency", Target: 0.99, ThresholdSec: 0.050,
+			Description: "pair resolutions completing within the latency threshold"},
+		{Name: "context_freshness", Target: 0.95,
+			Description: "resolved pairs answered from fresh (not stale) context"},
+		{Name: "pair_availability", Target: 0.99,
+			Description: "pair queries answered at all (not refused or unresolved)"},
+	}
+}
+
+// rosterFile is the JSON shape Load accepts: either this wrapper or a
+// bare array of objectives.
+type rosterFile struct {
+	Objectives []Objective `json:"objectives"`
+}
+
+// Load reads an objective roster from a JSON file.
+func Load(path string) ([]Objective, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rf rosterFile
+	if err := json.Unmarshal(b, &rf); err != nil || len(rf.Objectives) == 0 {
+		var bare []Objective
+		if err2 := json.Unmarshal(b, &bare); err2 == nil && len(bare) > 0 {
+			rf.Objectives = bare
+		} else if err != nil {
+			return nil, fmt.Errorf("slo: %s: %w", path, err)
+		}
+	}
+	if len(rf.Objectives) == 0 {
+		return nil, fmt.Errorf("slo: %s: no objectives", path)
+	}
+	for i, o := range rf.Objectives {
+		if o.Name == "" || o.Target <= 0 || o.Target >= 1 {
+			return nil, fmt.Errorf("slo: %s: objective %d needs a name and a target in (0, 1)", path, i)
+		}
+	}
+	return rf.Objectives, nil
+}
+
+// bucket is one second of good/bad counts; sec identifies which second,
+// so a lapped slot is recognized and reset rather than double-counted.
+type bucket struct {
+	sec       int64
+	good, bad uint64
+}
+
+// objState is one objective's sliding-window state.
+type objState struct {
+	buckets  []bucket
+	goodTot  uint64
+	badTot   uint64
+	breached bool
+	breaches uint64
+	fastBurn float64
+	slowBurn float64
+}
+
+// objMetrics is one objective's registry handles (all nil when the
+// tracker was built without a registry — obs nil handles no-op).
+type objMetrics struct {
+	good, bad, breaches *obs.Counter
+	fastBurn, slowBurn  *obs.Gauge
+}
+
+// Status is one objective's externally visible state: the declaration
+// plus where its burn stands. Served by Handler and printed by rups-obs.
+type Status struct {
+	Objective
+	GoodTotal uint64  `json:"good_total"`
+	BadTotal  uint64  `json:"bad_total"`
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+	Breached  bool    `json:"breached"`
+	Breaches  uint64  `json:"breaches"`
+}
+
+// Tracker evaluates a roster of objectives. Observe/Evaluate and the
+// HTTP handler are safe for concurrent use (one mutex; the feed is a few
+// dozen events per simulation tick, nowhere near contention).
+type Tracker struct {
+	mu     sync.Mutex
+	objs   []Objective
+	states []objState
+	byName map[string]int
+	mets   []objMetrics
+	fl     *flight.Ring
+	lastT  float64
+}
+
+// New builds a tracker for the roster, registering rups_slo_* metrics in
+// reg (nil reg: no metrics, everything else still works) and emitting
+// breach events to the active flight ring.
+func New(objectives []Objective, reg *obs.Registry) *Tracker {
+	t := &Tracker{
+		objs:   make([]Objective, len(objectives)),
+		states: make([]objState, len(objectives)),
+		byName: make(map[string]int, len(objectives)),
+		mets:   make([]objMetrics, len(objectives)),
+		fl:     flight.Active(),
+	}
+	for i, o := range objectives {
+		o = o.withDefaults()
+		t.objs[i] = o
+		t.byName[o.Name] = i
+		// One bucket per second of the slow window, plus one so the
+		// in-progress second never evicts the window's oldest.
+		t.states[i].buckets = make([]bucket, int(math.Ceil(o.SlowWindowSec))+1)
+		for b := range t.states[i].buckets {
+			t.states[i].buckets[b].sec = -1
+		}
+		n := metricName(o.Name)
+		t.mets[i] = objMetrics{
+			good: reg.Counter("rups_slo_"+n+"_good_total",
+				"events meeting the "+o.Name+" objective"),
+			bad: reg.Counter("rups_slo_"+n+"_bad_total",
+				"events violating the "+o.Name+" objective"),
+			breaches: reg.Counter("rups_slo_"+n+"_breaches_total",
+				"multi-window burn-rate breaches of the "+o.Name+" objective"),
+			fastBurn: reg.Gauge("rups_slo_"+n+"_fast_burn_milli",
+				"fast-window burn rate of the "+o.Name+" objective, x1000"),
+			slowBurn: reg.Gauge("rups_slo_"+n+"_slow_burn_milli",
+				"slow-window burn rate of the "+o.Name+" objective, x1000"),
+		}
+	}
+	return t
+}
+
+// metricName coerces an objective name into the Prometheus grammar.
+func metricName(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Index returns the roster position of the named objective, -1 if absent.
+func (t *Tracker) Index(name string) int {
+	if t == nil {
+		return -1
+	}
+	if i, ok := t.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Objectives returns the (defaulted) roster.
+func (t *Tracker) Objectives() []Objective {
+	if t == nil {
+		return nil
+	}
+	out := make([]Objective, len(t.objs))
+	copy(out, t.objs)
+	return out
+}
+
+// Observe feeds one good/bad event to objective i at sim time now.
+// Out-of-roster indexes are ignored; the nil tracker no-ops.
+func (t *Tracker) Observe(i int, good bool, now float64) {
+	if t == nil || i < 0 || i >= len(t.objs) {
+		return
+	}
+	t.mu.Lock()
+	st := &t.states[i]
+	sec := int64(math.Floor(now))
+	b := &st.buckets[((sec%int64(len(st.buckets)))+int64(len(st.buckets)))%int64(len(st.buckets))]
+	if b.sec != sec {
+		b.sec, b.good, b.bad = sec, 0, 0
+	}
+	if good {
+		b.good++
+		st.goodTot++
+	} else {
+		b.bad++
+		st.badTot++
+	}
+	t.mu.Unlock()
+	if good {
+		t.mets[i].good.Inc()
+	} else {
+		t.mets[i].bad.Inc()
+	}
+}
+
+// ObserveLatency feeds a latency sample to objective i: good iff the
+// sample is at or under the objective's ThresholdSec.
+func (t *Tracker) ObserveLatency(i int, sec float64, now float64) {
+	if t == nil || i < 0 || i >= len(t.objs) {
+		return
+	}
+	t.Observe(i, sec <= t.objs[i].ThresholdSec, now)
+}
+
+// window sums the good/bad counts of the trailing win seconds before now.
+func (st *objState) window(now, win float64) (good, bad uint64) {
+	lo := int64(math.Floor(now - win))
+	hi := int64(math.Floor(now))
+	for _, b := range st.buckets {
+		if b.sec > lo && b.sec <= hi {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// burn is the error-budget burn rate over a window: observed bad fraction
+// divided by the budget (1 − target). 1.0 means budget spent exactly at
+// the sustainable rate; an empty window burns 0.
+func burn(good, bad uint64, target float64) float64 {
+	if good+bad == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(good+bad)) / (1 - target)
+}
+
+// Evaluate recomputes every objective's burn rates at sim time now,
+// updates the gauges, and edge-detects breaches: entering the breached
+// state (both windows ≥ MaxBurn) bumps the breach counter, emits a
+// KindSLOBreach flight event, and triggers a capsule dump. Returns the
+// roster's statuses. The nil tracker returns nil.
+func (t *Tracker) Evaluate(now float64) []Status {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastT = now
+	out := make([]Status, len(t.objs))
+	for i := range t.objs {
+		o := t.objs[i]
+		st := &t.states[i]
+		fg, fb := st.window(now, o.FastWindowSec)
+		sg, sb := st.window(now, o.SlowWindowSec)
+		st.fastBurn = burn(fg, fb, o.Target)
+		st.slowBurn = burn(sg, sb, o.Target)
+		t.mets[i].fastBurn.Set(int64(st.fastBurn * 1000))
+		t.mets[i].slowBurn.Set(int64(st.slowBurn * 1000))
+		breached := st.fastBurn >= o.MaxBurn && st.slowBurn >= o.MaxBurn
+		if breached && !st.breached {
+			st.breaches++
+			t.mets[i].breaches.Inc()
+			if t.fl != nil {
+				// Anomaly emits the trigger event itself, so this is both
+				// the breach's flight record and the capsule dump.
+				//lint:ignore errflow best-effort black-box dump; the breach is already counted
+				_, _ = t.fl.Anomaly("slo_breach:"+o.Name, flight.Event{T: now,
+					Kind: flight.KindSLOBreach, A: -1, B: -1,
+					V1: int64(st.fastBurn * 1000), V2: int64(i)})
+			}
+		}
+		st.breached = breached
+		out[i] = Status{Objective: o,
+			GoodTotal: st.goodTot, BadTotal: st.badTot,
+			FastBurn: st.fastBurn, SlowBurn: st.slowBurn,
+			Breached: st.breached, Breaches: st.breaches}
+	}
+	return out
+}
+
+// Statuses returns the roster state as of the last Evaluate without
+// re-evaluating (the HTTP handler's read path).
+func (t *Tracker) Statuses() []Status {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Status, len(t.objs))
+	for i := range t.objs {
+		st := &t.states[i]
+		out[i] = Status{Objective: t.objs[i],
+			GoodTotal: st.goodTot, BadTotal: st.badTot,
+			FastBurn: st.fastBurn, SlowBurn: st.slowBurn,
+			Breached: st.breached, Breaches: st.breaches}
+	}
+	return out
+}
+
+// Handler serves the roster state as JSON — the /debug/slo endpoint.
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		t.mu.Lock()
+		at := t.lastT
+		t.mu.Unlock()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore errflow an encode failure here means the client hung up; there is no one left to tell
+		_ = enc.Encode(struct {
+			EvaluatedAt float64  `json:"evaluated_at"`
+			Objectives  []Status `json:"objectives"`
+		}{EvaluatedAt: at, Objectives: t.Statuses()})
+	})
+}

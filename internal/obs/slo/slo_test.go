@@ -1,0 +1,206 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rups/internal/obs"
+	"rups/internal/obs/flight"
+)
+
+func TestDefaultRosterShape(t *testing.T) {
+	ros := DefaultRoster()
+	if len(ros) != 3 {
+		t.Fatalf("roster size %d", len(ros))
+	}
+	tr := New(ros, nil)
+	for _, name := range []string{"resolve_latency", "context_freshness", "pair_availability"} {
+		if tr.Index(name) < 0 {
+			t.Fatalf("missing objective %s", name)
+		}
+	}
+	if tr.Index("nope") != -1 {
+		t.Fatal("unknown objective has an index")
+	}
+}
+
+func TestLoadRoster(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slo.json")
+	content := `{"objectives":[{"name":"availability","target":0.9,"fast_window_sec":10,"slow_window_sec":60}]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].Name != "availability" || objs[0].Target != 0.9 {
+		t.Fatalf("loaded %+v", objs)
+	}
+
+	// Bare-array form.
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(bare, []byte(`[{"name":"x","target":0.5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if objs, err := Load(bare); err != nil || len(objs) != 1 {
+		t.Fatalf("bare load: %v, %v", objs, err)
+	}
+
+	// Invalid target rejected.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"name":"x","target":1.5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("target 1.5 accepted")
+	}
+}
+
+func TestBurnRatesAndBreach(t *testing.T) {
+	reg := obs.NewRegistry()
+	objs := []Objective{{Name: "avail", Target: 0.9, FastWindowSec: 10, SlowWindowSec: 30, MaxBurn: 2}}
+	tr := New(objs, reg)
+	ai := tr.Index("avail")
+
+	// 100% good: burn 0, no breach.
+	for s := 0; s < 30; s++ {
+		for k := 0; k < 10; k++ {
+			tr.Observe(ai, true, float64(s))
+		}
+	}
+	st := tr.Evaluate(30)[0]
+	if st.FastBurn != 0 || st.SlowBurn != 0 || st.Breached {
+		t.Fatalf("clean run: %+v", st)
+	}
+
+	// All-bad stretch long enough to poison both windows: bad fraction 1,
+	// budget 0.1 → burn 10 ≥ MaxBurn 2 in both windows.
+	for s := 30; s < 62; s++ {
+		for k := 0; k < 10; k++ {
+			tr.Observe(ai, false, float64(s))
+		}
+	}
+	st = tr.Evaluate(62)[0]
+	if !st.Breached || st.Breaches != 1 {
+		t.Fatalf("outage not breached: %+v", st)
+	}
+	if st.FastBurn < 9.9 || st.FastBurn > 10.1 {
+		t.Fatalf("fast burn %v, want ~10", st.FastBurn)
+	}
+
+	// Still breached on the next evaluation — but the counter must not
+	// double-count the same incident.
+	st = tr.Evaluate(63)[0]
+	if !st.Breached || st.Breaches != 1 {
+		t.Fatalf("breach re-counted: %+v", st)
+	}
+
+	// Recovery: enough clean seconds that both windows empty of bad.
+	for s := 63; s < 100; s++ {
+		for k := 0; k < 10; k++ {
+			tr.Observe(ai, true, float64(s))
+		}
+	}
+	st = tr.Evaluate(100)[0]
+	if st.Breached {
+		t.Fatalf("recovered run still breached: %+v", st)
+	}
+
+	// Metrics surfaced under rups_slo_*.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, m := range []string{
+		"rups_slo_avail_good_total", "rups_slo_avail_bad_total",
+		"rups_slo_avail_breaches_total 1", "rups_slo_avail_fast_burn_milli",
+	} {
+		if !strings.Contains(text, m) {
+			t.Fatalf("metrics missing %s in:\n%s", m, text)
+		}
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	tr := New([]Objective{{Name: "lat", Target: 0.5, ThresholdSec: 0.05}}, nil)
+	li := tr.Index("lat")
+	tr.ObserveLatency(li, 0.01, 1) // good
+	tr.ObserveLatency(li, 0.30, 1) // bad
+	st := tr.Evaluate(1)[0]
+	if st.GoodTotal != 1 || st.BadTotal != 1 {
+		t.Fatalf("latency classify: %+v", st)
+	}
+}
+
+func TestBreachEmitsFlightAnomalyCapsule(t *testing.T) {
+	dir := t.TempDir()
+	ring := flight.NewRing(256, flight.Config{Dir: dir, WindowSec: 1000})
+	flight.Enable(ring)
+	defer flight.Disable()
+
+	tr := New([]Objective{{Name: "avail", Target: 0.9, FastWindowSec: 5, SlowWindowSec: 10, MaxBurn: 2}}, nil)
+	for s := 0; s < 12; s++ {
+		tr.Observe(0, false, float64(s))
+	}
+	tr.Evaluate(12)
+	if ring.Dumps() != 1 {
+		t.Fatalf("breach dumped %d capsules, want 1", ring.Dumps())
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "capsule-*.flight"))
+	if len(files) != 1 {
+		t.Fatalf("capsule files: %v", files)
+	}
+	meta, evs, err := flight.ReadCapsule(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(meta.Reason, "slo_breach:") {
+		t.Fatalf("capsule reason %q", meta.Reason)
+	}
+	foundBreach := false
+	for _, ev := range evs {
+		if ev.Kind == flight.KindSLOBreach {
+			foundBreach = true
+		}
+	}
+	if !foundBreach {
+		t.Fatal("capsule holds no slo_breach event")
+	}
+}
+
+func TestNilTrackerNoops(t *testing.T) {
+	var tr *Tracker
+	tr.Observe(0, true, 1)
+	tr.ObserveLatency(0, 1, 1)
+	if tr.Evaluate(1) != nil || tr.Statuses() != nil || tr.Objectives() != nil {
+		t.Fatal("nil tracker returned state")
+	}
+	if tr.Index("x") != -1 {
+		t.Fatal("nil tracker index")
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	tr := New(DefaultRoster(), nil)
+	tr.Observe(tr.Index("pair_availability"), true, 3)
+	tr.Evaluate(3)
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	var got struct {
+		EvaluatedAt float64  `json:"evaluated_at"`
+		Objectives  []Status `json:"objectives"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if got.EvaluatedAt != 3 || len(got.Objectives) != 3 {
+		t.Fatalf("handler payload: %+v", got)
+	}
+}

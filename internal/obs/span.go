@@ -7,18 +7,37 @@ import (
 )
 
 // TraceID groups the span events of one pipeline pass — one vehicle
-// pipeline build, one batch admission, one pair resolution. 0 is the
-// disabled/unassigned trace.
+// pipeline build, one batch admission, one pair resolution. Since PR 9 a
+// trace may also span *processes*: the v2v sync protocol carries the
+// sender's TraceID (plus a parent SpanID) in its frame headers, so a
+// sender's chunk spans and the receiver's reassemble/admit/resolve spans
+// stitch into one cross-vehicle trace. 0 is the disabled/unassigned trace.
 type TraceID uint64
+
+// SpanID identifies one span within a recorder, so later spans — possibly
+// recorded on the other side of a radio link — can reference it as their
+// causal parent. 0 means "no parent" / unassigned.
+type SpanID uint64
+
+// TraceRef is a causal hook: the trace to stitch into and the span to hang
+// under. It is what the v2v wire format carries (16 bytes) and what the
+// engine threads from a pair's sync session into its resolve spans. The
+// zero TraceRef means "unstitched" — spans fall back to their own trace.
+type TraceRef struct {
+	Trace  TraceID
+	Parent SpanID
+}
 
 // SpanEvent is one completed pipeline stage in the recorder's ring.
 type SpanEvent struct {
-	Seq   uint64        `json:"seq"`           // recording order, monotonic
-	Trace TraceID       `json:"trace"`         // pipeline pass this stage belongs to
-	Name  string        `json:"name"`          // stage name (bind, scan_ab, aggregate, ...)
-	Arg   int64         `json:"arg,omitempty"` // stage-specific small argument (segment offset, counts)
-	Start time.Time     `json:"start"`
-	Dur   time.Duration `json:"dur_ns"`
+	Seq    uint64        `json:"seq"`              // recording order, monotonic
+	Trace  TraceID       `json:"trace"`            // pipeline pass this stage belongs to
+	ID     SpanID        `json:"id,omitempty"`     // this span's identity (see StartChild)
+	Parent SpanID        `json:"parent,omitempty"` // causal parent span, 0 = root
+	Name   string        `json:"name"`             // stage name (bind, scan_ab, aggregate, ...)
+	Arg    int64         `json:"arg,omitempty"`    // stage-specific small argument (segment offset, counts)
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
 }
 
 // Recorder keeps the most recent span events in a fixed-size ring. Ends
@@ -54,33 +73,50 @@ func (r *Recorder) NewTrace() TraceID {
 }
 
 // Span is an in-flight pipeline stage. It is a plain value: start it with
-// Recorder.Start, optionally set Arg, and call End to record it. The zero
-// Span (from a nil recorder) does nothing on End.
+// Recorder.Start or StartChild, optionally set Arg, and call End to record
+// it. The zero Span (from a nil recorder) does nothing on End.
 type Span struct {
-	rec   *Recorder
-	trace TraceID
-	name  string
-	start time.Time
+	rec    *Recorder
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
 	// Arg is an optional stage-specific argument recorded with the event —
 	// a segment offset, a SYN count, a batch size.
 	Arg int64
 }
 
-// Start opens a span on trace. The nil recorder returns an inert span
+// Start opens a root span on trace. The nil recorder returns an inert span
 // without reading the clock.
 func (r *Recorder) Start(trace TraceID, name string) Span {
+	return r.StartChild(trace, 0, name)
+}
+
+// StartChild opens a span on trace hanging under parent — the causal-
+// stitching entry point. A parent of 0 is a root span (same as Start). The
+// nil recorder returns an inert span without reading the clock or
+// consuming an ID.
+func (r *Recorder) StartChild(trace TraceID, parent SpanID, name string) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{rec: r, trace: trace, name: name, start: time.Now()}
+	return Span{rec: r, trace: trace, id: SpanID(r.ids.Add(1)),
+		parent: parent, name: name, start: time.Now()}
 }
+
+// ID returns the span's identity, for use as a later span's parent —
+// including on the far side of a radio link (the v2v frame header carries
+// it). 0 for inert spans.
+func (s Span) ID() SpanID { return s.id }
 
 // End records the span into the ring. No-op for inert spans.
 func (s Span) End() {
 	if s.rec == nil {
 		return
 	}
-	ev := SpanEvent{Trace: s.trace, Name: s.name, Arg: s.Arg,
+	ev := SpanEvent{Trace: s.trace, ID: s.id, Parent: s.parent,
+		Name: s.name, Arg: s.Arg,
 		Start: s.start, Dur: time.Since(s.start)}
 	r := s.rec
 	r.mu.Lock()

@@ -7,6 +7,8 @@ import (
 	"rups/internal/core"
 	"rups/internal/engine"
 	"rups/internal/link"
+	"rups/internal/obs"
+	"rups/internal/obs/slo"
 	"rups/internal/trajectory"
 	"rups/internal/v2v"
 )
@@ -29,6 +31,10 @@ type LinkedConvoy struct {
 	// Policy is the staleness policy applied at resolution
 	// (zero = disabled).
 	Policy core.Staleness
+	// SLO, when set, is fed one observation per pair per ResolveAllAt
+	// (availability, freshness, resolve latency) and evaluated at each
+	// resolve time, so burn rates track sim time, not wall time.
+	SLO *slo.Tracker
 
 	links []*pairLink
 	round int
@@ -54,10 +60,12 @@ func NewLinkedConvoy(run *ConvoyRun, faults link.Params, sync v2v.SyncConfig, po
 			salt := uint64(i*n+j) * 2
 			data := link.New(faults, salt)
 			ack := link.New(faults, salt+1)
+			sess := v2v.NewSession(run.Vehicles[j].Aware, data, ack, sync)
+			sess.SetPeers(j, i) // peer j streams to resolver i
 			lc.links = append(lc.links, &pairLink{
 				resolver: i, peer: j,
 				data: data, ack: ack,
-				sess: v2v.NewSession(run.Vehicles[j].Aware, data, ack, sync),
+				sess: sess,
 			})
 		}
 	}
@@ -149,11 +157,28 @@ func (lc *LinkedConvoy) ResolveAllAt(e *engine.Engine, t float64, p core.Params)
 	if err != nil {
 		return nil, err
 	}
-	res := b.ResolvePairsAt(pairs, p, t, lc.Policy)
+	// Each pair resolves under the trace its last admitted chunk carried,
+	// so the resolve spans stitch onto the peer's send→reassemble→admit
+	// chain: one causal trace per delivered update, crossing the link.
+	refs := make([]obs.TraceRef, len(pairs))
+	for k, pl := range lc.links {
+		refs[k] = pl.sess.TraceRef()
+	}
+	res := b.ResolvePairsTracedAt(pairs, refs, p, t, lc.Policy)
 	tel := simTel.Get()
+	avail := lc.SLO.Index("pair_availability")
+	fresh := lc.SLO.Index("context_freshness")
+	lat := lc.SLO.Index("resolve_latency")
 	for k := range res {
 		res[k].A = lc.links[k].resolver
 		res[k].B = lc.links[k].peer
+		lc.SLO.Observe(avail, res[k].OK, t)
+		if res[k].OK {
+			lc.SLO.Observe(fresh, !res[k].Stale, t)
+			if res[k].LatencySec > 0 {
+				lc.SLO.ObserveLatency(lat, res[k].LatencySec, t)
+			}
+		}
 		if tel != nil {
 			if !res[k].OK {
 				tel.unresolved.Inc()
@@ -162,6 +187,9 @@ func (lc *LinkedConvoy) ResolveAllAt(e *engine.Engine, t float64, p core.Params)
 			tel.resolved.Inc()
 			tel.pairError.Observe(math.Abs(res[k].Est.Distance - lc.Run.TruthGapAt(res[k].A, res[k].B, t)))
 		}
+	}
+	if lc.SLO != nil {
+		lc.SLO.Evaluate(t)
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"math"
 
+	"rups/internal/obs"
 	"rups/internal/trajectory"
 )
 
@@ -28,7 +29,7 @@ import (
 //
 //	magic    uint16 'RL'
 //	type     uint8  1
-//	reserved uint8
+//	flags    uint8   bit 0: causal-trace extension present
 //	fromMark uint32  chunk sequence number: first mark carried
 //	nMarks   uint16
 //	channels uint16
@@ -37,14 +38,29 @@ import (
 //	total    uint32  chunk blob length, bytes
 //	offset   uint32  this fragment's byte offset into the blob
 //	plen     uint16  payload bytes in this frame
+//	[trace   uint64  originating obs.TraceID        ] when flags bit 0
+//	[parent  uint64  sender-side parent obs.SpanID  ] is set (16 bytes)
 //	payload  plen bytes
 //	crc      uint32  IEEE CRC32 over everything above
+//
+// The trace extension is how a cross-vehicle trace propagates: the sender
+// stamps every fragment with the sync session's TraceID and the chunk-send
+// span's ID, and the receiver stitches its reassemble/admit spans (and,
+// downstream, the pair's resolve spans) under them. The extension costs 16
+// bytes per frame inside the WSM bound — fragmentation budgets for it —
+// and is only emitted while span tracing is enabled, so the disabled wire
+// format is byte-identical to the PR-5 one. Flags bits other than bit 0
+// are reserved and ignored on parse (a frame from a newer sender still
+// decodes; its unknown extensions are simply not understood). Trace and
+// parent are opaque u64s: any value parses, so a scrambled trace header
+// degrades to an unstitched span, never a decode error — only the CRC
+// guards integrity.
 //
 // ACK frame (little endian):
 //
 //	magic    uint16 'RL'
 //	type     uint8  2
-//	reserved uint8
+//	flags    uint8
 //	cum      uint32  cumulative contiguous marks held by the receiver
 //	crc      uint32
 const (
@@ -52,11 +68,17 @@ const (
 	frameData  byte   = 1
 	frameAck   byte   = 2
 
+	// flagTraced marks a DATA frame carrying the 16-byte trace extension.
+	flagTraced byte = 1 << 0
+
 	dataHeaderLen = 26
+	traceExtLen   = 16 // trace u64 + parent span u64
 	frameCRCLen   = 4
 	ackFrameLen   = 4 + 4 + frameCRCLen
 
-	// maxFragPayload keeps every DATA frame within the WSM payload bound.
+	// maxFragPayload keeps every DATA frame within the WSM payload bound;
+	// traced frames shave traceExtLen off this budget so the bound holds
+	// with the extension in place.
 	maxFragPayload = WSMPayload - dataHeaderLen - frameCRCLen
 
 	chunkHeaderLen = 8 // fromMark u32, nMarks u16, channels u16
@@ -122,21 +144,30 @@ func decodeChunk(b []byte) (Delta, error) {
 }
 
 // dataFrames encodes the chunk and fragments it into WSM-bounded DATA
-// frames.
-func dataFrames(d Delta) [][]byte {
+// frames. A nonzero ref.Trace stamps every fragment with the 16-byte
+// causal-trace extension (the per-fragment payload budget shrinks to
+// keep the frames inside the WSM bound); the zero ref emits the exact
+// untraced PR-5 wire format.
+func dataFrames(d Delta, ref obs.TraceRef) [][]byte {
 	blob := encodeChunk(d)
-	nFrags := (len(blob) + maxFragPayload - 1) / maxFragPayload
+	budget := maxFragPayload
+	var flags byte
+	if ref.Trace != 0 {
+		budget -= traceExtLen
+		flags = flagTraced
+	}
+	nFrags := (len(blob) + budget - 1) / budget
 	out := make([][]byte, 0, nFrags)
 	for f := 0; f < nFrags; f++ {
-		off := f * maxFragPayload
-		end := off + maxFragPayload
+		off := f * budget
+		end := off + budget
 		if end > len(blob) {
 			end = len(blob)
 		}
 		payload := blob[off:end]
-		fr := make([]byte, 0, dataHeaderLen+len(payload)+frameCRCLen)
+		fr := make([]byte, 0, dataHeaderLen+traceExtLen+len(payload)+frameCRCLen)
 		fr = binary.LittleEndian.AppendUint16(fr, frameMagic)
-		fr = append(fr, frameData, 0)
+		fr = append(fr, frameData, flags)
 		fr = binary.LittleEndian.AppendUint32(fr, uint32(d.FromMark))
 		fr = binary.LittleEndian.AppendUint16(fr, uint16(len(d.Marks)))
 		fr = binary.LittleEndian.AppendUint16(fr, uint16(len(d.Power)))
@@ -145,6 +176,10 @@ func dataFrames(d Delta) [][]byte {
 		fr = binary.LittleEndian.AppendUint32(fr, uint32(len(blob)))
 		fr = binary.LittleEndian.AppendUint32(fr, uint32(off))
 		fr = binary.LittleEndian.AppendUint16(fr, uint16(len(payload)))
+		if flags&flagTraced != 0 {
+			fr = binary.LittleEndian.AppendUint64(fr, uint64(ref.Trace))
+			fr = binary.LittleEndian.AppendUint64(fr, uint64(ref.Parent))
+		}
 		fr = append(fr, payload...)
 		fr = binary.LittleEndian.AppendUint32(fr, crc32.ChecksumIEEE(fr))
 		out = append(out, fr)
@@ -172,6 +207,8 @@ type frame struct {
 	fragIdx, nFrags int
 	total, offset   int
 	payload         []byte
+	// ref is the causal-trace extension (zero when the frame is untraced).
+	ref obs.TraceRef
 }
 
 // parseFrame validates the CRC and structure of a received frame. Frames
@@ -205,7 +242,18 @@ func parseFrame(b []byte) (frame, error) {
 		fr.total = int(binary.LittleEndian.Uint32(b[16:]))
 		fr.offset = int(binary.LittleEndian.Uint32(b[20:]))
 		plen := int(binary.LittleEndian.Uint16(b[24:]))
-		if len(b) != dataHeaderLen+plen+frameCRCLen {
+		payloadStart := dataHeaderLen
+		if b[3]&flagTraced != 0 {
+			if len(b) < dataHeaderLen+traceExtLen+frameCRCLen {
+				return frame{}, errBadFrame
+			}
+			// Any 16 bytes parse: a scrambled extension yields an unknown
+			// (unstitchable) trace ref, not a rejected frame.
+			fr.ref.Trace = obs.TraceID(binary.LittleEndian.Uint64(b[dataHeaderLen:]))
+			fr.ref.Parent = obs.SpanID(binary.LittleEndian.Uint64(b[dataHeaderLen+8:]))
+			payloadStart += traceExtLen
+		}
+		if len(b) != payloadStart+plen+frameCRCLen {
 			return frame{}, errBadFrame
 		}
 		if fr.nMarks == 0 || fr.chans == 0 || fr.nFrags == 0 || fr.fragIdx >= fr.nFrags {
@@ -214,7 +262,7 @@ func parseFrame(b []byte) (frame, error) {
 		if fr.total <= 0 || fr.offset < 0 || fr.offset+plen > fr.total {
 			return frame{}, errBadFrame
 		}
-		fr.payload = b[dataHeaderLen : dataHeaderLen+plen]
+		fr.payload = b[payloadStart : payloadStart+plen]
 		return fr, nil
 	default:
 		return frame{}, errBadFrame

@@ -5,6 +5,8 @@ import (
 
 	"rups/internal/link"
 	"rups/internal/noise"
+	"rups/internal/obs"
+	"rups/internal/obs/flight"
 	"rups/internal/trajectory"
 )
 
@@ -92,6 +94,17 @@ type fragBuf struct {
 	have                         []bool
 	got                          int
 	buf                          []byte
+	// ref is the causal-trace hook carried by this chunk's fragments. A
+	// retransmission may re-stamp it (each transmission has its own parent
+	// span); the latest nonzero one wins.
+	ref obs.TraceRef
+}
+
+// heldChunk is an out-of-order chunk buffered until its gap fills,
+// together with the trace ref it arrived under.
+type heldChunk struct {
+	d   Delta
+	ref obs.TraceRef
 }
 
 // Session is one direction of a reliable trajectory sync: it streams src
@@ -120,14 +133,30 @@ type Session struct {
 
 	// Receiver state.
 	frags   map[int]*fragBuf
-	held    map[int]Delta // out-of-order chunks keyed by FromMark
+	held    map[int]heldChunk // out-of-order chunks keyed by FromMark
 	ackDue  bool
 	applied int // chunks applied, exposed for tests
+
+	// Telemetry, cached once at session build per the obs handle
+	// discipline (a Session steps every round; per-round lookups would be
+	// flagged by rups-lint and cost atomics for nothing).
+	rec   *obs.Recorder
+	trace obs.TraceID // sender-side trace all chunk sends stitch into
+	fl    *flight.Ring
+	labA  int32 // flight/event labels: src vehicle → copy vehicle
+	labB  int32
+	nowT  float64 // sim time of the current Step, for flight events
+
+	// lastRef is the receiver's causal hook: the admit span of the newest
+	// applied chunk. The engine threads it into the pair's resolve spans,
+	// completing the cross-vehicle trace. Zero until a traced chunk lands.
+	lastRef obs.TraceRef
 }
 
 // NewSession builds a session streaming src over the given channels. The
 // peer copy starts empty with src's channel width.
 func NewSession(src *trajectory.Aware, data, ack *link.Channel, cfg SyncConfig) *Session {
+	rec := obs.ActiveRecorder()
 	return &Session{
 		cfg:      cfg.withDefaults(),
 		src:      src,
@@ -137,9 +166,25 @@ func NewSession(src *trajectory.Aware, data, ack *link.Channel, cfg SyncConfig) 
 		rto:      cfg.withDefaults().RTORounds,
 		deadline: -1,
 		frags:    make(map[int]*fragBuf),
-		held:     make(map[int]Delta),
+		held:     make(map[int]heldChunk),
+		rec:      rec,
+		trace:    rec.NewTrace(), // 0 (untraced wire) when tracing is off
+		fl:       flight.Active(),
+		labA:     -1,
+		labB:     -1,
 	}
 }
+
+// SetPeers labels the session's flight events with the sender and
+// receiver vehicle ids (they default to -1, "unknown").
+func (s *Session) SetPeers(src, dst int) {
+	s.labA, s.labB = int32(src), int32(dst)
+}
+
+// TraceRef returns the causal hook of the newest applied chunk — the
+// cross-vehicle trace a resolve consuming this copy should stitch into.
+// Zero while no traced chunk has been applied.
+func (s *Session) TraceRef() obs.TraceRef { return s.lastRef }
 
 // Copy returns the receiver's reconstruction: always a contiguous,
 // bit-exact prefix of src. The engine admits this, never src directly.
@@ -164,6 +209,7 @@ func (s *Session) Quiescent() bool {
 // Step runs one protocol round at sim time now: both endpoints receive,
 // the receiver acks, the sender times out and (re)fills its window.
 func (s *Session) Step(round int, now float64) {
+	s.nowT = now
 	s.receiveData(round)
 	s.receiveAcks(round)
 	s.maybeTimeout(round)
@@ -205,6 +251,12 @@ func (s *Session) receiveData(round int) {
 			}
 			s.frags[fr.from] = fb
 		}
+		if fr.ref.Trace != 0 {
+			// Retransmitted fragments re-stamp the chunk with their own
+			// send span; the chunk stitches under whichever transmission
+			// completed it last.
+			fb.ref = fr.ref
+		}
 		if fr.offset+len(fr.payload) > fb.total || fb.have[fr.fragIdx] {
 			if fb.have[fr.fragIdx] && tel != nil {
 				tel.dupSuppressed.Inc()
@@ -218,14 +270,20 @@ func (s *Session) receiveData(round int) {
 			continue
 		}
 		delete(s.frags, fr.from)
+		// The reassemble span hangs under the sender's chunk-send span via
+		// the wire-carried ref — the first receiver-side stage of the
+		// cross-vehicle trace. Inert when untraced or tracing is off.
+		rsp := s.rec.StartChild(fb.ref.Trace, fb.ref.Parent, "reassemble")
+		rsp.Arg = int64(fr.from)
 		d, err := decodeChunk(fb.buf)
+		rsp.End()
 		if err != nil {
 			if tel != nil {
 				tel.rejected.Inc()
 			}
 			continue
 		}
-		s.admitChunk(d, tel)
+		s.admitChunk(d, fb.ref, tel)
 	}
 	// Drop partial reassemblies of chunks another transmission already
 	// completed — they will never finish, their remaining fragments were
@@ -240,7 +298,7 @@ func (s *Session) receiveData(round int) {
 // admitChunk applies a reassembled chunk if it extends the contiguous
 // prefix, holds it if it is ahead of a gap, and then drains any held
 // chunks the application unblocked.
-func (s *Session) admitChunk(d Delta, tel *syncTelemetry) {
+func (s *Session) admitChunk(d Delta, ref obs.TraceRef, tel *syncTelemetry) {
 	if d.FromMark+len(d.Marks) <= s.copy.Len() {
 		if tel != nil {
 			tel.dupSuppressed.Inc()
@@ -248,23 +306,40 @@ func (s *Session) admitChunk(d Delta, tel *syncTelemetry) {
 		return
 	}
 	if d.FromMark > s.copy.Len() {
-		s.held[d.FromMark] = d
+		s.held[d.FromMark] = heldChunk{d: d, ref: ref}
 		if tel != nil {
 			tel.chunksHeld.Inc()
 		}
 		return
 	}
-	if err := d.Apply(s.copy); err != nil {
+	if !s.applyChunk(d, ref, tel) {
+		return
+	}
+	s.drainHeld(tel)
+}
+
+// applyChunk applies one contiguous chunk to the copy, recording the
+// admit span on the chunk's cross-vehicle trace and advancing lastRef so
+// downstream resolves stitch under this admission. Reports success.
+func (s *Session) applyChunk(d Delta, ref obs.TraceRef, tel *syncTelemetry) bool {
+	asp := s.rec.StartChild(ref.Trace, ref.Parent, "admit_chunk")
+	asp.Arg = int64(d.FromMark)
+	err := d.Apply(s.copy)
+	asp.End()
+	if err != nil {
 		if tel != nil {
 			tel.rejected.Inc()
 		}
-		return
+		return false
+	}
+	if ref.Trace != 0 {
+		s.lastRef = obs.TraceRef{Trace: ref.Trace, Parent: asp.ID()}
 	}
 	s.applied++
 	if tel != nil {
 		tel.chunksApplied.Inc()
 	}
-	s.drainHeld(tel)
+	return true
 }
 
 // drainHeld applies buffered out-of-order chunks that have become
@@ -279,28 +354,20 @@ func (s *Session) drainHeld(tel *syncTelemetry) {
 		sort.Ints(keys)
 		progressed := false
 		for _, k := range keys {
-			d := s.held[k]
-			if d.FromMark > s.copy.Len() {
+			h := s.held[k]
+			if h.d.FromMark > s.copy.Len() {
 				continue
 			}
 			delete(s.held, k)
-			if d.FromMark+len(d.Marks) <= s.copy.Len() {
+			if h.d.FromMark+len(h.d.Marks) <= s.copy.Len() {
 				if tel != nil {
 					tel.dupSuppressed.Inc()
 				}
 				continue
 			}
-			if err := d.Apply(s.copy); err != nil {
-				if tel != nil {
-					tel.rejected.Inc()
-				}
-				continue
+			if s.applyChunk(h.d, h.ref, tel) {
+				progressed = true
 			}
-			s.applied++
-			if tel != nil {
-				tel.chunksApplied.Inc()
-			}
-			progressed = true
 		}
 		if !progressed {
 			return
@@ -357,9 +424,25 @@ func (s *Session) maybeTimeout(round int) {
 	s.timeoutRuns++
 	s.next = s.base
 	s.window = s.window[:0]
+	atCap := s.rto >= s.cfg.MaxRTORounds
 	s.rto *= 2
 	if s.rto > s.cfg.MaxRTORounds {
 		s.rto = s.cfg.MaxRTORounds
+	}
+	if s.fl != nil {
+		s.fl.Emit(flight.Event{T: s.nowT, Kind: flight.KindRetransmit,
+			A: s.labA, B: s.labB, V1: int64(s.base), V2: int64(s.timeoutRuns)})
+		s.fl.Emit(flight.Event{T: s.nowT, Kind: flight.KindRTOBackoff,
+			A: s.labA, B: s.labB, V1: int64(s.rto), V2: int64(s.cfg.MaxRTORounds)})
+		if !atCap && s.rto >= s.cfg.MaxRTORounds {
+			// The backoff just saturated: this is a retransmit burst, one
+			// of the black-box anomaly triggers. The dump is best-effort —
+			// the protocol must not fail because the disk did.
+			//lint:ignore errflow best-effort black-box dump; the capsule is advisory and the cooldown already bounds retries
+			_, _ = s.fl.Anomaly("retransmit_burst", flight.Event{T: s.nowT,
+				Kind: flight.KindRTOBackoff, A: s.labA, B: s.labB,
+				V1: int64(s.rto), V2: int64(s.timeoutRuns)})
+		}
 	}
 	s.deadline = -1 // fillWindow re-arms with the backed-off RTO
 }
@@ -389,13 +472,25 @@ func (s *Session) fillWindow(round int, now float64) {
 		for ch := range d.Power {
 			d.Power[ch] = s.src.RowCopy(ch, s.next, s.next+n)
 		}
-		for _, f := range dataFrames(d) {
+		resent := s.next < s.highWater
+		// Each transmission gets its own span on the session's trace; its
+		// ID rides in every fragment so the receiver's reassemble/admit
+		// spans — in another vehicle's pipeline — hang under it. With
+		// tracing off, s.trace is 0, the span is inert, and dataFrames
+		// emits the untraced wire format.
+		name := "chunk_send"
+		if resent {
+			name = "chunk_resend"
+		}
+		sp := s.rec.Start(s.trace, name)
+		sp.Arg = int64(s.next)
+		for _, f := range dataFrames(d, obs.TraceRef{Trace: s.trace, Parent: sp.ID()}) {
 			// Send cannot fail: dataFrames fragments to the WSM bound.
 			if err := s.data.Send(round, f); err != nil {
 				panic(err)
 			}
 		}
-		resent := s.next < s.highWater
+		sp.End()
 		if tel != nil {
 			if resent {
 				tel.chunksResent.Inc()
