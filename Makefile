@@ -2,7 +2,7 @@
 
 .PHONY: all build test test-short race lint lint-sarif lint-ignores \
 	lint-prune lint-fix allocreport bench bench-all eval eval-quick \
-	fuzz fuzz-trajectory fuzz-trace fuzz-v2v maps clean
+	fuzz fuzz-trajectory fuzz-trace fuzz-v2v maps serve soak clean
 
 all: build test
 
@@ -107,5 +107,18 @@ maps:
 	go run ./cmd/rups-map -out docs/city.svg
 	go run ./cmd/rups-map -scenario -out docs/scenario.svg
 
+# The resolution service on its default port with the debug endpoint up
+# (see docs/SERVICE.md); Ctrl-C drains gracefully.
+serve:
+	go run ./cmd/rups-serve -debug-addr 127.0.0.1:6060
+
+# Two-phase service soak (scripts/soak.sh): overload + faults + mid-run
+# SIGTERM must degrade explicitly (refusals, evictions, one drain); a
+# clean restart must keep every failure counter at zero with the
+# resolve-latency SLO unbreached. Artifacts land in soak-out/.
+soak:
+	bash scripts/soak.sh
+
 clean:
 	rm -f drive.rupt rups-lint.sarif
+	rm -rf soak-out

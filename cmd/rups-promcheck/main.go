@@ -3,8 +3,10 @@
 // /metrics): the file must parse, and every metric named on the command
 // line must exist with a nonzero value somewhere in its family — for a
 // histogram named m, the m_count/m_sum/m_bucket series count. Names given
-// via -present only need to exist. CI uses it to assert that an
-// instrumented convoy run actually exercised the pipeline.
+// via -present only need to exist; names given via -zero must exist and
+// be zero everywhere in their family (the clean-phase assertion: the
+// failure path was instrumented but never fired). CI uses it to assert
+// that an instrumented convoy run actually exercised the pipeline.
 //
 // SLO mode: -slo takes objective names (as configured in the roster, e.g.
 // pair_availability) and asserts the rups_slo_<name>_* family is live —
@@ -14,7 +16,7 @@
 //
 // Usage:
 //
-//	rups-promcheck [-present name,name] [-slo obj,obj] [-slo-breached obj] out.prom metric_name...
+//	rups-promcheck [-present name,name] [-zero name,name] [-slo obj,obj] [-slo-breached obj] out.prom metric_name...
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 func main() {
 	presentFlag := flag.String("present", "", "comma-separated metric names that must exist (any value)")
+	zeroFlag := flag.String("zero", "", "comma-separated metric names that must exist and be zero everywhere in their family")
 	sloFlag := flag.String("slo", "", "comma-separated SLO objective names whose rups_slo_* families must be live")
 	sloBreachedFlag := flag.String("slo-breached", "", "comma-separated SLO objective names that must have recorded a breach")
 	flag.Parse()
@@ -54,6 +57,14 @@ func main() {
 	if *presentFlag != "" {
 		for _, name := range strings.Split(*presentFlag, ",") {
 			if err := checkPresent(metrics, name); err != nil {
+				fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
+				failed = true
+			}
+		}
+	}
+	if *zeroFlag != "" {
+		for _, name := range strings.Split(*zeroFlag, ",") {
+			if err := checkZero(metrics, name); err != nil {
 				fmt.Fprintln(os.Stderr, "rups-promcheck:", err)
 				failed = true
 			}

@@ -112,6 +112,29 @@ func checkNonzero(metrics []sample, name string) error {
 	return fmt.Errorf("metric %s: present but zero everywhere", name)
 }
 
+// checkZero errors unless the family exists and every series of it is
+// zero — the clean-phase assertion: the metric was exported but the
+// failure path it counts never fired.
+func checkZero(metrics []sample, name string) error {
+	if err := checkPresent(metrics, name); err != nil {
+		return err
+	}
+	for _, s := range metrics {
+		//lint:ignore floatcmp counters are written as exact integers; any nonzero value is a real event
+		if inFamily(s, name) && s.value != 0 {
+			return fmt.Errorf("metric %s: expected zero, but %s%s = %v", name, s.name, braced(s.labels), s.value)
+		}
+	}
+	return nil
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
 // checkSLO asserts objective obj's rups_slo_* roster is live in the
 // snapshot: the good/bad observation counters carry traffic (the objective
 // was actually fed) and the burn gauges and breach counter were exported.

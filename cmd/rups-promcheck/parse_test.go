@@ -75,6 +75,24 @@ func TestChecks(t *testing.T) {
 	if err := checkPresent(metrics, "rups_nope_total"); err == nil {
 		t.Error("missing metric: want error")
 	}
+	// -zero: a zero gauge passes, a live counter fails naming the series,
+	// a missing family fails as absent (exported-but-quiet is the claim).
+	if err := checkZero(metrics, "rups_engine_queue_depth"); err != nil {
+		t.Error(err)
+	}
+	if err := checkZero(metrics, "rups_searcher_windows_scanned_total"); err == nil ||
+		!strings.Contains(err.Error(), "expected zero") {
+		t.Errorf("nonzero counter: got %v, want expected-zero error", err)
+	}
+	// A histogram with counts fails -zero even though some buckets are 0.
+	if err := checkZero(metrics, "rups_sim_pair_error_metres"); err == nil ||
+		!strings.Contains(err.Error(), "rups_sim_pair_error_metres") {
+		t.Errorf("live histogram: got %v, want expected-zero error", err)
+	}
+	if err := checkZero(metrics, "rups_nope_total"); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Errorf("missing metric under -zero: got %v, want not-found error", err)
+	}
 }
 
 func TestCheckSLO(t *testing.T) {

@@ -1,5 +1,6 @@
 // Package timedet guards the simulation's per-seed determinism: inside
-// the deterministic packages (sim, link, v2v, engine, and cmd/rups-sim)
+// the deterministic packages (sim, link, v2v, engine, serve, and
+// cmd/rups-sim)
 // it flags wall-clock reads (time.Now and friends) and draws from the
 // global math/rand source — directly, and through calls whose loaded
 // callees transitively reach one, with the call chain spelled out.
@@ -24,14 +25,15 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "timedet",
 	Doc: "flags time.Now and global math/rand reached from deterministic " +
-		"simulation code (sim, link, v2v, engine, cmd/rups-sim), breaking " +
+		"simulation code (sim, link, v2v, engine, serve, cmd/rups-sim), " +
+		"breaking " +
 		"per-seed reproducibility",
 	Run: run,
 }
 
 // restrictedNames are the package names under the determinism contract.
 var restrictedNames = map[string]bool{
-	"sim": true, "link": true, "v2v": true, "engine": true,
+	"sim": true, "link": true, "v2v": true, "engine": true, "serve": true,
 }
 
 func restricted(pkg *types.Package) bool {

@@ -69,7 +69,19 @@ type Engine struct {
 	// timestamp run()'s flight events carry. The engine has no sim clock
 	// of its own; ResolvePairsAt batches donate theirs.
 	nowBits atomic.Uint64
+
+	// clockNow, when set, is the time source deadline rechecks consult at
+	// task start (same domain as the deadlines callers pass — sim seconds
+	// in tests, wall-clock seconds in the resolution service). Nil keeps
+	// the engine deterministic: deadlines are then only checked against
+	// the batch's own now, before scheduling. Set via SetClock.
+	clockNow func() float64
 }
+
+// SetClock installs the time source for deadline rechecks at task start.
+// Must be called before the engine resolves its first batch (it is read
+// concurrently by pool workers without synchronization afterwards).
+func (e *Engine) SetClock(now func() float64) { e.clockNow = now }
 
 // simNow returns the latest batch sim time donated to the engine.
 func (e *Engine) simNow() float64 { return math.Float64frombits(e.nowBits.Load()) }
@@ -279,6 +291,14 @@ type Result struct {
 	Est   core.Estimate
 	OK    bool
 	Stale bool
+	// Shed flags a pair whose deadline expired before its resolution
+	// started (at admission, or — with SetClock installed — at task
+	// start): the work was dropped unrun, OK is false, and the caller
+	// should signal backpressure rather than treat the pair as
+	// unresolvable. Pairs that started resolving always run to
+	// completion; deadlines shed queued work, they do not cancel running
+	// work.
+	Shed bool
 	// LatencySec is this pair's wall-clock resolve time (searcher build
 	// through aggregation, queue wait excluded). Measured only when
 	// telemetry is enabled or the pair is causally traced; 0 otherwise —
@@ -354,7 +374,24 @@ func (b *Batch) ResolveAll(p core.Params) []Result {
 // identical to the cold path's — with a zero-value (disabled) policy this
 // returns exactly what ResolvePairs would, just faster on repeat contact.
 func (b *Batch) ResolvePairsAt(pairs [][2]int, p core.Params, now float64, pol core.Staleness) []Result {
-	return b.resolveAt(pairs, nil, p, now, pol)
+	return b.resolveAt(pairs, nil, nil, p, now, pol)
+}
+
+// ResolvePairsDeadlineAt is ResolvePairsAt with per-pair deadlines —
+// the load-shedding entry point for service callers. deadlines is aligned
+// with pairs; entry dl > 0 is the absolute time (same domain as now) by
+// which pair pi's resolution must have *started*, and 0 means no deadline.
+// A pair already past its deadline at admission is shed before any
+// scheduling (Result.Shed, OK false); with SetClock installed, the
+// deadline is rechecked when a worker picks the task up, so work that
+// expired while queued behind a backlog is shed instead of run — expired
+// answers nobody is waiting for anymore never displace live ones.
+// Misaligned deadlines cannot be attributed and are ignored entirely.
+func (b *Batch) ResolvePairsDeadlineAt(pairs [][2]int, deadlines []float64, p core.Params, now float64, pol core.Staleness) []Result {
+	if deadlines != nil && len(deadlines) != len(pairs) {
+		deadlines = nil
+	}
+	return b.resolveAt(pairs, nil, deadlines, p, now, pol)
 }
 
 // ResolvePairsTracedAt is ResolvePairsAt with causal stitching: refs is
@@ -368,10 +405,10 @@ func (b *Batch) ResolvePairsTracedAt(pairs [][2]int, refs []obs.TraceRef, p core
 	if refs != nil && len(refs) != len(pairs) {
 		refs = nil // misaligned refs cannot be attributed; resolve unstitched
 	}
-	return b.resolveAt(pairs, refs, p, now, pol)
+	return b.resolveAt(pairs, refs, nil, p, now, pol)
 }
 
-func (b *Batch) resolveAt(pairs [][2]int, refs []obs.TraceRef, p core.Params, now float64, pol core.Staleness) []Result {
+func (b *Batch) resolveAt(pairs [][2]int, refs []obs.TraceRef, dls []float64, p core.Params, now float64, pol core.Staleness) []Result {
 	tel := engineTel.Get()
 	fl := flight.Active()
 	b.e.nowBits.Store(math.Float64bits(now))
@@ -382,6 +419,10 @@ func (b *Batch) resolveAt(pairs [][2]int, refs []obs.TraceRef, p core.Params, no
 	var keepRefs []obs.TraceRef
 	if refs != nil {
 		keepRefs = make([]obs.TraceRef, 0, len(pairs))
+	}
+	var keepDls []float64
+	if dls != nil {
+		keepDls = make([]float64, 0, len(pairs))
 	}
 	out := make([]Result, len(pairs))
 	stale := make([]bool, len(pairs))
@@ -394,6 +435,21 @@ func (b *Batch) resolveAt(pairs [][2]int, refs []obs.TraceRef, p core.Params, no
 	for pi, pr := range pairs {
 		out[pi] = Result{A: pr[0], B: pr[1]}
 		if pr[0] < 0 || pr[0] >= len(b.snaps) || pr[1] < 0 || pr[1] >= len(b.snaps) {
+			continue
+		}
+		if dls != nil && dls[pi] > 0 && now > dls[pi] {
+			// Dead on arrival: the caller's deadline passed before this
+			// batch was even admitted. Shed before classification or
+			// scheduling — no tracker touch, no staleness transition.
+			out[pi].Shed = true
+			if tel != nil {
+				tel.pairsShed.Inc()
+			}
+			if fl != nil {
+				fl.Emit(flight.Event{T: now, Kind: flight.KindShed,
+					A: int32(pr[0]), B: int32(pr[1]),
+					V1: int64((now - dls[pi]) * 1000)})
+			}
 			continue
 		}
 		var tk *core.Tracker
@@ -449,10 +505,15 @@ func (b *Batch) resolveAt(pairs [][2]int, refs []obs.TraceRef, p core.Params, no
 		if keepRefs != nil {
 			keepRefs = append(keepRefs, refs[pi])
 		}
+		if keepDls != nil {
+			keepDls = append(keepDls, dls[pi])
+		}
 	}
-	for i, r := range b.resolvePairs(keep, p, tks, keepRefs, now) {
+	for i, r := range b.resolvePairs(keep, p, tks, keepRefs, keepDls, now) {
 		pi := kept[i]
-		r.Stale = stale[pi]
+		if !r.Shed {
+			r.Stale = stale[pi]
+		}
 		out[pi] = r
 	}
 	return out
@@ -463,16 +524,18 @@ func (b *Batch) resolveAt(pairs [][2]int, refs []obs.TraceRef, p core.Params, no
 // yield OK == false rather than a panic. This is the cold-scan entry
 // point — no warm-start state is consulted or updated.
 func (b *Batch) ResolvePairs(pairs [][2]int, p core.Params) []Result {
-	return b.resolvePairs(pairs, p, nil, nil, 0)
+	return b.resolvePairs(pairs, p, nil, nil, nil, 0)
 }
 
 // resolvePairs fans the pair queries over the pool. tks, when non-nil, is
 // aligned with pairs and attaches each pair's warm-start tracker to its
 // searcher; each tracker is touched only by its own pair's task, so the
 // fan-out needs no extra locking. refs, when non-nil, is aligned with
-// pairs and stitches each pair's spans into its cross-vehicle trace; now
+// pairs and stitches each pair's spans into its cross-vehicle trace; dls,
+// when non-nil, is aligned with pairs and carries each pair's start
+// deadline for the task-start recheck (see ResolvePairsDeadlineAt); now
 // timestamps flight events from the fan-out.
-func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker, refs []obs.TraceRef, now float64) []Result {
+func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker, refs []obs.TraceRef, dls []float64, now float64) []Result {
 	tel := engineTel.Get()
 	rec := obs.ActiveRecorder()
 	fl := flight.Active()
@@ -483,6 +546,29 @@ func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker,
 	}
 	out := make([]Result, len(pairs))
 	tasks := make([]func(), 0, len(pairs))
+	// shedNow implements the task-start deadline recheck: queued work whose
+	// deadline passed while it waited is dropped unrun. Only the slot owner
+	// calls it, so writing out[pi] is race-free.
+	clock := b.e.clockNow
+	shedNow := func(pi int, pr [2]int) bool {
+		if dls == nil || dls[pi] <= 0 || clock == nil {
+			return false
+		}
+		late := clock() - dls[pi]
+		if late <= 0 {
+			return false
+		}
+		out[pi].Shed = true
+		if tel != nil {
+			tel.pairsShed.Inc()
+		}
+		if fl != nil {
+			fl.Emit(flight.Event{T: now, Kind: flight.KindShed,
+				A: int32(pr[0]), B: int32(pr[1]),
+				V1: int64(late * 1000), V2: 1})
+		}
+		return true
+	}
 	for pi, pr := range pairs {
 		pi, pr := pi, pr
 		out[pi] = Result{A: pr[0], B: pr[1]}
@@ -496,8 +582,13 @@ func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker,
 		if ref.Trace == 0 && tel == nil {
 			// Disabled-telemetry, unstitched fast path: byte-for-byte the
 			// allocation profile of the uninstrumented fan-out — no clock
-			// reads, no span values in the closure.
+			// reads, no span values in the closure. (The deadline recheck
+			// only reads a clock when the caller both passed deadlines and
+			// installed one.)
 			tasks = append(tasks, func() {
+				if shedNow(pi, pr) {
+					return
+				}
 				s := core.NewSearcher(b.snaps[pr[0]], b.snaps[pr[1]], p)
 				if tks != nil && tks[pi] != nil {
 					s.SetTracker(tks[pi])
@@ -521,6 +612,9 @@ func (b *Batch) resolvePairs(pairs [][2]int, p core.Params, tks []*core.Tracker,
 		}
 		tasks = append(tasks, func() {
 			qsp.End()
+			if shedNow(pi, pr) {
+				return
+			}
 			t0 := time.Now()
 			s := core.NewSearcher(b.snaps[pr[0]], b.snaps[pr[1]], p)
 			if tks != nil && tks[pi] != nil {

@@ -16,6 +16,7 @@ type engineTelemetry struct {
 	pairSec      *obs.Histogram
 	pairsStale   *obs.Counter
 	pairsExpired *obs.Counter
+	pairsShed    *obs.Counter
 }
 
 var engineTel = obs.NewView(func(r *obs.Registry) *engineTelemetry {
@@ -45,5 +46,7 @@ var engineTel = obs.NewView(func(r *obs.Registry) *engineTelemetry {
 			"pairs resolved from degraded (aged) context and flagged stale"),
 		pairsExpired: r.Counter("rups_engine_pairs_expired_total",
 			"pairs refused because a context aged past the expiry horizon"),
+		pairsShed: r.Counter("rups_engine_pairs_shed_total",
+			"pairs shed because their deadline expired before resolution started"),
 	}
 })

@@ -24,6 +24,7 @@
 package flight
 
 import (
+	"log"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,19 @@ const (
 	// KindSLOBreach is a served objective exhausting its fast burn
 	// window: V1 the burn rate ×1000, V2 the objective index.
 	KindSLOBreach Kind = 10
+	// KindEvicted is a per-vehicle snapshot evicted from a resolution
+	// service's resident set: A the vehicle id, V1 the bytes released,
+	// V2 nonzero when the eviction was staleness-driven (expiry) rather
+	// than LRU pressure.
+	KindEvicted Kind = 11
+	// KindDrain marks a service drain transition: V1 0 when the drain
+	// begins, 1 when the last admitted query has been flushed.
+	KindDrain Kind = 12
+	// KindShed is a pair query shed because its deadline expired before
+	// resolution started; V1 is how far past the deadline (milliseconds)
+	// the shed decision ran, V2 nonzero when shed at task start rather
+	// than at admission.
+	KindShed Kind = 13
 )
 
 // kindNames maps known kinds to their capsule/JSON names.
@@ -81,6 +95,9 @@ var kindNames = map[Kind]string{
 	KindRefused:        "refused",
 	KindExpired:        "expired",
 	KindSLOBreach:      "slo_breach",
+	KindEvicted:        "evicted",
+	KindDrain:          "drain",
+	KindShed:           "shed",
 }
 
 // String names known kinds and renders unknown ones as kind_<n> so
@@ -200,6 +217,12 @@ type Ring struct {
 	dumps    atomic.Uint64
 	lastDump atomic.Uint64 // event count at the last dump; 0 = never
 	// (the trigger itself is emitted first, so a dump's count is ≥ 1)
+
+	// dumpDead flips true on the first capsule-write failure: an
+	// unwritable or full capsule directory disables dumping for the rest
+	// of the run (events still record, anomalies still count) instead of
+	// re-erroring on every anomaly. Guarded by dumpMu.
+	dumpDead bool
 }
 
 // NewRing builds a flight recorder holding the last size events.
@@ -278,6 +301,9 @@ func (r *Ring) Anomaly(reason string, trigger Event) (string, error) {
 	}
 	r.dumpMu.Lock()
 	defer r.dumpMu.Unlock()
+	if r.dumpDead {
+		return "", nil
+	}
 	now := r.seq.Load()
 	if last := r.lastDump.Load(); last != 0 && now-last < r.cfg.CooldownEvents {
 		return "", nil
@@ -293,7 +319,24 @@ func (r *Ring) Anomaly(reason string, trigger Event) (string, error) {
 		}
 	}
 	n := r.dumps.Add(1)
-	return writeCapsule(r.cfg.Dir, n, reason, trigger, r.cfg.WindowSec, kept)
+	return r.finishWrite(writeCapsule(r.cfg.Dir, n, reason, trigger, r.cfg.WindowSec, kept))
+}
+
+// finishWrite post-processes a capsule write under dumpMu: the first
+// failure logs once and disables dumping for the rest of the run — a full
+// or unwritable capsule directory must degrade the black box to
+// counting-only, not error on every subsequent anomaly. The failed
+// attempt's error is still returned to its caller.
+func (r *Ring) finishWrite(path string, err error) (string, error) {
+	if err != nil && !r.dumpDead {
+		r.dumpDead = true
+		r.dumps.Add(^uint64(0)) // the dump did not happen; undo the count
+		log.Printf("flight: capsule write failed, disabling capsule dumps for this run: %v", err)
+	}
+	if err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // Dump freezes the entire held ring into a capsule unconditionally — no
@@ -306,6 +349,9 @@ func (r *Ring) Dump(reason string, now float64) (string, error) {
 	}
 	r.dumpMu.Lock()
 	defer r.dumpMu.Unlock()
+	if r.dumpDead {
+		return "", nil
+	}
 	r.lastDump.Store(r.seq.Load())
 	evs := r.Snapshot()
 	n := r.dumps.Add(1)
@@ -314,7 +360,7 @@ func (r *Ring) Dump(reason string, now float64) (string, error) {
 		trigger.Seq = evs[len(evs)-1].Seq
 	}
 	// WindowSec 0 in the meta marks a full-ring dump, not a windowed one.
-	return writeCapsule(r.cfg.Dir, n, reason, trigger, 0, evs)
+	return r.finishWrite(writeCapsule(r.cfg.Dir, n, reason, trigger, 0, evs))
 }
 
 // Dumps reports how many capsules this ring has written.

@@ -192,6 +192,42 @@ func TestAnomalyDumpAndCooldown(t *testing.T) {
 	}
 }
 
+// TestCapsuleWriteFailureDisablesDumping pins the unwritable-directory
+// contract: the first failed capsule write surfaces its error (and logs
+// once), and every later anomaly degrades to counting-only — no repeated
+// errors, no further disk attempts — while the ring keeps recording. The
+// "directory" is a regular file, which fails MkdirAll even when the test
+// runs with enough privilege to ignore permission bits.
+func TestCapsuleWriteFailureDisablesDumping(t *testing.T) {
+	notADir := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRing(64, Config{Dir: notADir, CooldownEvents: 1})
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{T: float64(i), Kind: KindStaleness})
+	}
+	path, err := r.Anomaly("refused_pair", Event{T: 5, Kind: KindRefused})
+	if err == nil || path != "" {
+		t.Fatalf("first anomaly against a file-as-dir: path %q, err %v; want an error", path, err)
+	}
+	// Every subsequent anomaly and explicit dump is silently disabled.
+	if p2, err2 := r.Anomaly("refused_pair", Event{T: 6, Kind: KindRefused}); err2 != nil || p2 != "" {
+		t.Fatalf("second anomaly after disable: path %q, err %v; want silent no-op", p2, err2)
+	}
+	if p3, err3 := r.Dump("exit", 7); err3 != nil || p3 != "" {
+		t.Fatalf("Dump after disable: path %q, err %v; want silent no-op", p3, err3)
+	}
+	if r.Dumps() != 0 {
+		t.Fatalf("Dumps = %d after only failed writes, want 0", r.Dumps())
+	}
+	// The ring itself kept recording: both triggers and the plain events.
+	evs := r.Snapshot()
+	if len(evs) != 7 {
+		t.Fatalf("ring holds %d events, want 7", len(evs))
+	}
+}
+
 func TestAnomalyWithoutDirStillCounts(t *testing.T) {
 	r := NewRing(16, Config{})
 	path, err := r.Anomaly("refused_pair", Event{T: 1, Kind: KindRefused, A: 3, B: 4})

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"rups/internal/obs"
+	"rups/internal/v2v"
+)
+
+// MsgKind discriminates the server-to-client message union.
+type MsgKind int
+
+const (
+	// MsgAck is a v2v cumulative-ack beacon for the streamed trajectory.
+	MsgAck MsgKind = iota
+	// MsgResult answers a QUERY.
+	MsgResult
+	// MsgRefuse is explicit backpressure: the request was not admitted.
+	MsgRefuse
+	// MsgDrain announces a server drain: read pending results, reconnect
+	// later.
+	MsgDrain
+)
+
+// Msg is one decoded server-to-client message. Fields are populated per
+// Kind: Ack* for MsgAck; QID, Status, Stale, Distance, Latency for
+// MsgResult; QID, Reason, RetryAfter for MsgRefuse.
+type Msg struct {
+	Kind MsgKind
+
+	AckCum   int
+	AckEpoch uint32
+
+	QID      uint32
+	Status   byte
+	Stale    bool
+	Distance float64
+	Latency  float64
+
+	Reason     byte
+	RetryAfter float64
+}
+
+// Client is a minimal protocol client for the resolution service, used by
+// the load generator and tests. Writes are serialized by a mutex so a
+// streaming goroutine and a querying goroutine can share one connection;
+// reads are single-consumer (call ReadMsg from one goroutine).
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+	wm sync.Mutex
+}
+
+// Dial connects to a resolution server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (net.Pipe in tests).
+func NewClient(nc net.Conn) *Client {
+	return &Client{nc: nc, br: bufio.NewReader(nc)}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) writeMsg(b []byte) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	return writeMsg(c.nc, b)
+}
+
+// Hello registers this connection as vehicle vid streaming under the
+// given epoch and channel width. Must precede SendDelta; a reconnecting
+// vehicle must bump its epoch so the server discards the dead
+// incarnation's reconstruction.
+func (c *Client) Hello(vid, epoch uint32, width int) error {
+	return c.writeMsg(helloFrame(vid, epoch, uint16(width)))
+}
+
+// SendDelta streams one trajectory delta as v2v DATA frames (one message
+// per frame; large chunks fragment per the WSM payload bound).
+func (c *Client) SendDelta(d v2v.Delta, epoch uint32) error {
+	for _, fr := range v2v.DataFrames(d, obs.TraceRef{}, epoch) {
+		if err := c.writeMsg(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendRaw writes one arbitrary message — the load generator's hook for
+// injecting malformed traffic.
+func (c *Client) SendRaw(b []byte) error { return c.writeMsg(b) }
+
+// Query asks for the relative distance between vehicles a and b.
+// deadlineRel > 0 bounds, in seconds of the server's clock from
+// admission, how long the query may wait before the server sheds it;
+// 0 means no deadline.
+func (c *Client) Query(qid, a, b uint32, deadlineRel float64) error {
+	return c.writeMsg(queryFrame(qid, a, b, deadlineRel))
+}
+
+// ReadMsg blocks for the next server message and decodes it.
+func (c *Client) ReadMsg() (Msg, error) {
+	for {
+		raw, err := readMsg(c.br)
+		if err != nil {
+			return Msg{}, err
+		}
+		if cum, epoch, ok := v2v.ParseAck(raw); ok {
+			return Msg{Kind: MsgAck, AckCum: cum, AckEpoch: epoch}, nil
+		}
+		if !isCtrl(raw) {
+			continue // unknown frame family; skip, stream is still framed
+		}
+		switch raw[2] {
+		case ctrlResult:
+			qid, status, stale, dist, lat, err := parseResult(raw)
+			if err != nil {
+				return Msg{}, err
+			}
+			return Msg{Kind: MsgResult, QID: qid, Status: status,
+				Stale: stale, Distance: dist, Latency: lat}, nil
+		case ctrlRefuse:
+			qid, reason, retry, err := parseRefuse(raw)
+			if err != nil {
+				return Msg{}, err
+			}
+			return Msg{Kind: MsgRefuse, QID: qid, Reason: reason,
+				RetryAfter: retry}, nil
+		case ctrlDrain:
+			if !isDrain(raw) {
+				return Msg{}, errBadCtrl
+			}
+			return Msg{Kind: MsgDrain}, nil
+		default:
+			return Msg{}, fmt.Errorf("serve: unexpected control type %d", raw[2])
+		}
+	}
+}

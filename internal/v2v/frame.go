@@ -40,6 +40,7 @@ import (
 //	plen     uint16  payload bytes in this frame
 //	[trace   uint64  originating obs.TraceID        ] when flags bit 0
 //	[parent  uint64  sender-side parent obs.SpanID  ] is set (16 bytes)
+//	[epoch   uint32  sender session epoch           ] when flags bit 1 is set
 //	payload  plen bytes
 //	crc      uint32  IEEE CRC32 over everything above
 //
@@ -60,8 +61,9 @@ import (
 //
 //	magic    uint16 'RL'
 //	type     uint8  2
-//	flags    uint8
+//	flags    uint8   bit 1: epoch extension present
 //	cum      uint32  cumulative contiguous marks held by the receiver
+//	[epoch   uint32  epoch the receiver is synced to] when flags bit 1 is set
 //	crc      uint32
 const (
 	frameMagic uint16 = 0x4C52 // "RL"
@@ -70,9 +72,19 @@ const (
 
 	// flagTraced marks a DATA frame carrying the 16-byte trace extension.
 	flagTraced byte = 1 << 0
+	// flagEpoch marks a frame (DATA or ACK) carrying the 4-byte session
+	// epoch extension — the restart handshake. A sender that restarts
+	// with fresh sequence state announces a new epoch on every DATA
+	// frame; the receiver discards its prefix and resyncs from mark 0
+	// instead of wedging the go-back-N window by acking marks the new
+	// sender never transmitted, and its ACK beacons echo the epoch so
+	// the sender can discard stale pre-restart acks. Epoch 0 emits the
+	// legacy extension-free wire format, byte-identical to PR-5.
+	flagEpoch byte = 1 << 1
 
 	dataHeaderLen = 26
 	traceExtLen   = 16 // trace u64 + parent span u64
+	epochExtLen   = 4  // session epoch u32
 	frameCRCLen   = 4
 	ackFrameLen   = 4 + 4 + frameCRCLen
 
@@ -145,16 +157,21 @@ func decodeChunk(b []byte) (Delta, error) {
 
 // dataFrames encodes the chunk and fragments it into WSM-bounded DATA
 // frames. A nonzero ref.Trace stamps every fragment with the 16-byte
-// causal-trace extension (the per-fragment payload budget shrinks to
-// keep the frames inside the WSM bound); the zero ref emits the exact
-// untraced PR-5 wire format.
-func dataFrames(d Delta, ref obs.TraceRef) [][]byte {
+// causal-trace extension, and a nonzero epoch with the 4-byte restart
+// epoch (the per-fragment payload budget shrinks to keep the frames
+// inside the WSM bound); zero ref and epoch emit the exact untraced
+// PR-5 wire format.
+func dataFrames(d Delta, ref obs.TraceRef, epoch uint32) [][]byte {
 	blob := encodeChunk(d)
 	budget := maxFragPayload
 	var flags byte
 	if ref.Trace != 0 {
 		budget -= traceExtLen
 		flags = flagTraced
+	}
+	if epoch != 0 {
+		budget -= epochExtLen
+		flags |= flagEpoch
 	}
 	nFrags := (len(blob) + budget - 1) / budget
 	out := make([][]byte, 0, nFrags)
@@ -165,7 +182,7 @@ func dataFrames(d Delta, ref obs.TraceRef) [][]byte {
 			end = len(blob)
 		}
 		payload := blob[off:end]
-		fr := make([]byte, 0, dataHeaderLen+traceExtLen+len(payload)+frameCRCLen)
+		fr := make([]byte, 0, dataHeaderLen+traceExtLen+epochExtLen+len(payload)+frameCRCLen)
 		fr = binary.LittleEndian.AppendUint16(fr, frameMagic)
 		fr = append(fr, frameData, flags)
 		fr = binary.LittleEndian.AppendUint32(fr, uint32(d.FromMark))
@@ -180,6 +197,9 @@ func dataFrames(d Delta, ref obs.TraceRef) [][]byte {
 			fr = binary.LittleEndian.AppendUint64(fr, uint64(ref.Trace))
 			fr = binary.LittleEndian.AppendUint64(fr, uint64(ref.Parent))
 		}
+		if flags&flagEpoch != 0 {
+			fr = binary.LittleEndian.AppendUint32(fr, epoch)
+		}
 		fr = append(fr, payload...)
 		fr = binary.LittleEndian.AppendUint32(fr, crc32.ChecksumIEEE(fr))
 		out = append(out, fr)
@@ -187,13 +207,51 @@ func dataFrames(d Delta, ref obs.TraceRef) [][]byte {
 	return out
 }
 
-// ackFrameBytes encodes a cumulative-ack beacon.
-func ackFrameBytes(cum int) []byte {
-	fr := make([]byte, 0, ackFrameLen)
+// DataFrames encodes one chunk into WSM-bounded, CRC-framed DATA frames —
+// the exported codec surface for transports beyond the simulated link
+// (the TCP resolution service streams these same bytes). See dataFrames.
+func DataFrames(d Delta, ref obs.TraceRef, epoch uint32) [][]byte {
+	return dataFrames(d, ref, epoch)
+}
+
+// ackFrameBytes encodes a cumulative-ack beacon. A nonzero epoch appends
+// the restart-epoch extension; epoch 0 is the legacy 12-byte beacon.
+func ackFrameBytes(cum int, epoch uint32) []byte {
+	fr := make([]byte, 0, ackFrameLen+epochExtLen)
 	fr = binary.LittleEndian.AppendUint16(fr, frameMagic)
-	fr = append(fr, frameAck, 0)
+	if epoch != 0 {
+		fr = append(fr, frameAck, flagEpoch)
+	} else {
+		fr = append(fr, frameAck, 0)
+	}
 	fr = binary.LittleEndian.AppendUint32(fr, uint32(cum))
+	if epoch != 0 {
+		fr = binary.LittleEndian.AppendUint32(fr, epoch)
+	}
 	return binary.LittleEndian.AppendUint32(fr, crc32.ChecksumIEEE(fr))
+}
+
+// AckFrame encodes a cumulative-ack beacon for the given epoch — the
+// exported counterpart of DataFrames for external transports.
+func AckFrame(cum int, epoch uint32) []byte { return ackFrameBytes(cum, epoch) }
+
+// ParseAck decodes an ACK frame, reporting the receiver's cumulative
+// contiguous mark count and the epoch it was acked under (0 for legacy
+// extension-free beacons). ok is false for anything that is not an intact
+// ACK frame.
+func ParseAck(b []byte) (cum int, epoch uint32, ok bool) {
+	fr, err := parseFrame(b)
+	if err != nil || fr.typ != frameAck {
+		return 0, 0, false
+	}
+	return fr.cum, fr.epoch, true
+}
+
+// IsFrame reports whether b begins with the v2v frame magic — how a
+// transport multiplexing v2v sync frames with its own control frames
+// routes an incoming message without attempting a full parse.
+func IsFrame(b []byte) bool {
+	return len(b) >= 2 && binary.LittleEndian.Uint16(b[0:]) == frameMagic
 }
 
 // frame is a parsed protocol frame.
@@ -209,6 +267,9 @@ type frame struct {
 	payload         []byte
 	// ref is the causal-trace extension (zero when the frame is untraced).
 	ref obs.TraceRef
+	// epoch is the restart-epoch extension (0 when absent — legacy frames
+	// and epoch-0 senders are indistinguishable by design).
+	epoch uint32
 }
 
 // parseFrame validates the CRC and structure of a received frame. Frames
@@ -225,10 +286,17 @@ func parseFrame(b []byte) (frame, error) {
 	fr := frame{typ: b[2]}
 	switch fr.typ {
 	case frameAck:
-		if len(b) != ackFrameLen {
+		wantLen := ackFrameLen
+		if b[3]&flagEpoch != 0 {
+			wantLen += epochExtLen
+		}
+		if len(b) != wantLen {
 			return frame{}, errBadFrame
 		}
 		fr.cum = int(binary.LittleEndian.Uint32(b[4:]))
+		if b[3]&flagEpoch != 0 {
+			fr.epoch = binary.LittleEndian.Uint32(b[8:])
+		}
 		return fr, nil
 	case frameData:
 		if len(b) < dataHeaderLen+frameCRCLen {
@@ -252,6 +320,13 @@ func parseFrame(b []byte) (frame, error) {
 			fr.ref.Trace = obs.TraceID(binary.LittleEndian.Uint64(b[dataHeaderLen:]))
 			fr.ref.Parent = obs.SpanID(binary.LittleEndian.Uint64(b[dataHeaderLen+8:]))
 			payloadStart += traceExtLen
+		}
+		if b[3]&flagEpoch != 0 {
+			if len(b) < payloadStart+epochExtLen+frameCRCLen {
+				return frame{}, errBadFrame
+			}
+			fr.epoch = binary.LittleEndian.Uint32(b[payloadStart:])
+			payloadStart += epochExtLen
 		}
 		if len(b) != payloadStart+plen+frameCRCLen {
 			return frame{}, errBadFrame

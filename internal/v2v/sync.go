@@ -1,8 +1,6 @@
 package v2v
 
 import (
-	"sort"
-
 	"rups/internal/link"
 	"rups/internal/noise"
 	"rups/internal/obs"
@@ -54,6 +52,14 @@ type SyncConfig struct {
 	MaxRTORounds int
 	// Seed drives the deterministic retransmission jitter.
 	Seed uint64
+	// Epoch identifies this sender incarnation for the restart handshake:
+	// a sender that restarts with fresh sequence state MUST announce a new
+	// (distinct) epoch, or the peer's cumulative ack — which points past
+	// marks the new sender never transmitted — wedges the go-back-N window
+	// forever. Nonzero epochs ride a 4-byte frame extension and make the
+	// receiver resync from mark 0 on change; epoch 0 emits the legacy
+	// extension-free wire format. See Receiver.
+	Epoch uint32
 }
 
 // DefaultSyncConfig returns the protocol defaults.
@@ -116,7 +122,6 @@ type heldChunk struct {
 type Session struct {
 	cfg  SyncConfig
 	src  *trajectory.Aware
-	copy *trajectory.Aware
 	data *link.Channel
 	ack  *link.Channel
 
@@ -131,11 +136,9 @@ type Session struct {
 	arms        uint64 // timer armings, the jitter address
 	timeoutRuns uint64
 
-	// Receiver state.
-	frags   map[int]*fragBuf
-	held    map[int]heldChunk // out-of-order chunks keyed by FromMark
-	ackDue  bool
-	applied int // chunks applied, exposed for tests
+	// rx is the receive half — reassembly, ordering, epoch resync — shared
+	// with transports beyond the simulated link (see Receiver).
+	rx *Receiver
 
 	// Telemetry, cached once at session build per the obs handle
 	// discipline (a Session steps every round; per-round lookups would be
@@ -146,11 +149,6 @@ type Session struct {
 	labA  int32 // flight/event labels: src vehicle → copy vehicle
 	labB  int32
 	nowT  float64 // sim time of the current Step, for flight events
-
-	// lastRef is the receiver's causal hook: the admit span of the newest
-	// applied chunk. The engine threads it into the pair's resolve spans,
-	// completing the cross-vehicle trace. Zero until a traced chunk lands.
-	lastRef obs.TraceRef
 }
 
 // NewSession builds a session streaming src over the given channels. The
@@ -160,13 +158,11 @@ func NewSession(src *trajectory.Aware, data, ack *link.Channel, cfg SyncConfig) 
 	return &Session{
 		cfg:      cfg.withDefaults(),
 		src:      src,
-		copy:     trajectory.NewAwareWidth(trajectory.Geo{}, src.Width()),
 		data:     data,
 		ack:      ack,
 		rto:      cfg.withDefaults().RTORounds,
 		deadline: -1,
-		frags:    make(map[int]*fragBuf),
-		held:     make(map[int]heldChunk),
+		rx:       NewReceiver(src.Width()),
 		rec:      rec,
 		trace:    rec.NewTrace(), // 0 (untraced wire) when tracing is off
 		fl:       flight.Active(),
@@ -184,17 +180,17 @@ func (s *Session) SetPeers(src, dst int) {
 // TraceRef returns the causal hook of the newest applied chunk — the
 // cross-vehicle trace a resolve consuming this copy should stitch into.
 // Zero while no traced chunk has been applied.
-func (s *Session) TraceRef() obs.TraceRef { return s.lastRef }
+func (s *Session) TraceRef() obs.TraceRef { return s.rx.TraceRef() }
 
 // Copy returns the receiver's reconstruction: always a contiguous,
 // bit-exact prefix of src. The engine admits this, never src directly.
-func (s *Session) Copy() *trajectory.Aware { return s.copy }
+func (s *Session) Copy() *trajectory.Aware { return s.rx.Copy() }
 
 // Acked returns the sender's cumulative-ack watermark.
 func (s *Session) Acked() int { return s.base }
 
 // Lag returns how many sendable marks the peer copy is missing.
-func (s *Session) Lag() int { return s.visible - s.copy.Len() }
+func (s *Session) Lag() int { return s.visible - s.rx.Copy().Len() }
 
 // Quiescent reports whether the session has nothing left to do for the
 // current visibility horizon: everything sent, acked, applied, and no
@@ -202,8 +198,8 @@ func (s *Session) Lag() int { return s.visible - s.copy.Len() }
 // a clean link.
 func (s *Session) Quiescent() bool {
 	return s.next >= s.visible && s.base >= s.visible &&
-		len(s.window) == 0 && len(s.frags) == 0 && len(s.held) == 0 &&
-		!s.ackDue && s.data.Pending() == 0 && s.ack.Pending() == 0
+		len(s.window) == 0 && s.rx.Idle() &&
+		!s.rx.AckDue() && s.data.Pending() == 0 && s.ack.Pending() == 0
 }
 
 // Step runs one protocol round at sim time now: both endpoints receive,
@@ -217,161 +213,11 @@ func (s *Session) Step(round int, now float64) {
 	s.flushAck(round)
 }
 
-// receiveData drains the data channel: validate, reassemble, apply.
+// receiveData drains the data channel into the receive half: validation,
+// reassembly, ordering, and epoch resync all live in Receiver.Offer.
 func (s *Session) receiveData(round int) {
-	tel := syncTel.Get()
 	for _, raw := range s.data.Receive(round) {
-		fr, err := parseFrame(raw)
-		if err != nil || fr.typ != frameData {
-			if tel != nil {
-				tel.rejected.Inc()
-			}
-			continue
-		}
-		// Any intact data frame triggers an ack: that is what heals lost
-		// acks (the sender retransmits, the receiver re-acks).
-		s.ackDue = true
-		if fr.from+fr.nMarks <= s.copy.Len() {
-			if tel != nil {
-				tel.dupSuppressed.Inc()
-			}
-			continue
-		}
-		fb := s.frags[fr.from]
-		if fb == nil || fb.total != fr.total || fb.nFrags != fr.nFrags ||
-			fb.nMarks != fr.nMarks || fb.chans != fr.chans {
-			// First fragment of this chunk — or a retransmission with a
-			// different layout (the sender's go-back may regroup marks),
-			// which supersedes any stale partial reassembly.
-			fb = &fragBuf{
-				nMarks: fr.nMarks, chans: fr.chans, nFrags: fr.nFrags,
-				total: fr.total,
-				have:  make([]bool, fr.nFrags),
-				buf:   make([]byte, fr.total),
-			}
-			s.frags[fr.from] = fb
-		}
-		if fr.ref.Trace != 0 {
-			// Retransmitted fragments re-stamp the chunk with their own
-			// send span; the chunk stitches under whichever transmission
-			// completed it last.
-			fb.ref = fr.ref
-		}
-		if fr.offset+len(fr.payload) > fb.total || fb.have[fr.fragIdx] {
-			if fb.have[fr.fragIdx] && tel != nil {
-				tel.dupSuppressed.Inc()
-			}
-			continue
-		}
-		copy(fb.buf[fr.offset:], fr.payload)
-		fb.have[fr.fragIdx] = true
-		fb.got++
-		if fb.got < fb.nFrags {
-			continue
-		}
-		delete(s.frags, fr.from)
-		// The reassemble span hangs under the sender's chunk-send span via
-		// the wire-carried ref — the first receiver-side stage of the
-		// cross-vehicle trace. Inert when untraced or tracing is off.
-		rsp := s.rec.StartChild(fb.ref.Trace, fb.ref.Parent, "reassemble")
-		rsp.Arg = int64(fr.from)
-		d, err := decodeChunk(fb.buf)
-		rsp.End()
-		if err != nil {
-			if tel != nil {
-				tel.rejected.Inc()
-			}
-			continue
-		}
-		s.admitChunk(d, fb.ref, tel)
-	}
-	// Drop partial reassemblies of chunks another transmission already
-	// completed — they will never finish, their remaining fragments were
-	// superseded.
-	for k, fb := range s.frags {
-		if k+fb.nMarks <= s.copy.Len() {
-			delete(s.frags, k)
-		}
-	}
-}
-
-// admitChunk applies a reassembled chunk if it extends the contiguous
-// prefix, holds it if it is ahead of a gap, and then drains any held
-// chunks the application unblocked.
-func (s *Session) admitChunk(d Delta, ref obs.TraceRef, tel *syncTelemetry) {
-	if d.FromMark+len(d.Marks) <= s.copy.Len() {
-		if tel != nil {
-			tel.dupSuppressed.Inc()
-		}
-		return
-	}
-	if d.FromMark > s.copy.Len() {
-		s.held[d.FromMark] = heldChunk{d: d, ref: ref}
-		if tel != nil {
-			tel.chunksHeld.Inc()
-		}
-		return
-	}
-	if !s.applyChunk(d, ref, tel) {
-		return
-	}
-	s.drainHeld(tel)
-}
-
-// applyChunk applies one contiguous chunk to the copy, recording the
-// admit span on the chunk's cross-vehicle trace and advancing lastRef so
-// downstream resolves stitch under this admission. Reports success.
-func (s *Session) applyChunk(d Delta, ref obs.TraceRef, tel *syncTelemetry) bool {
-	asp := s.rec.StartChild(ref.Trace, ref.Parent, "admit_chunk")
-	asp.Arg = int64(d.FromMark)
-	err := d.Apply(s.copy)
-	asp.End()
-	if err != nil {
-		if tel != nil {
-			tel.rejected.Inc()
-		}
-		return false
-	}
-	if ref.Trace != 0 {
-		s.lastRef = obs.TraceRef{Trace: ref.Trace, Parent: asp.ID()}
-	}
-	s.applied++
-	if tel != nil {
-		tel.chunksApplied.Inc()
-	}
-	return true
-}
-
-// drainHeld applies buffered out-of-order chunks that have become
-// contiguous. Keys are scanned in order so metric counts stay
-// deterministic.
-func (s *Session) drainHeld(tel *syncTelemetry) {
-	for {
-		keys := make([]int, 0, len(s.held))
-		for k := range s.held {
-			keys = append(keys, k)
-		}
-		sort.Ints(keys)
-		progressed := false
-		for _, k := range keys {
-			h := s.held[k]
-			if h.d.FromMark > s.copy.Len() {
-				continue
-			}
-			delete(s.held, k)
-			if h.d.FromMark+len(h.d.Marks) <= s.copy.Len() {
-				if tel != nil {
-					tel.dupSuppressed.Inc()
-				}
-				continue
-			}
-			if s.applyChunk(h.d, h.ref, tel) {
-				progressed = true
-			}
-		}
-		if !progressed {
-			return
-		}
+		s.rx.Offer(raw)
 	}
 }
 
@@ -384,6 +230,12 @@ func (s *Session) receiveAcks(round int) {
 			if tel != nil {
 				tel.rejected.Inc()
 			}
+			continue
+		}
+		if fr.epoch != s.cfg.Epoch {
+			// A beacon from another sender incarnation: the peer acked
+			// marks a pre-restart session transmitted, not ours. Acting on
+			// it would confirm marks this sender never sent.
 			continue
 		}
 		if fr.cum <= s.base {
@@ -484,7 +336,7 @@ func (s *Session) fillWindow(round int, now float64) {
 		}
 		sp := s.rec.Start(s.trace, name)
 		sp.Arg = int64(s.next)
-		for _, f := range dataFrames(d, obs.TraceRef{Trace: s.trace, Parent: sp.ID()}) {
+		for _, f := range dataFrames(d, obs.TraceRef{Trace: s.trace, Parent: sp.ID()}, s.cfg.Epoch) {
 			// Send cannot fail: dataFrames fragments to the WSM bound.
 			if err := s.data.Send(round, f); err != nil {
 				panic(err)
@@ -511,11 +363,10 @@ func (s *Session) fillWindow(round int, now float64) {
 
 // flushAck emits at most one cumulative-ack beacon per round.
 func (s *Session) flushAck(round int) {
-	if !s.ackDue {
+	if !s.rx.TakeAckDue() {
 		return
 	}
-	s.ackDue = false
-	if err := s.ack.Send(round, ackFrameBytes(s.copy.Len())); err != nil {
+	if err := s.ack.Send(round, s.rx.AckBytes()); err != nil {
 		panic(err)
 	}
 	if t := syncTel.Get(); t != nil {
@@ -527,11 +378,12 @@ func (s *Session) flushAck(round int) {
 // degradation signal the engine's staleness policy acts on. Empty copies
 // are not observed (they are unresolved, not stale).
 func (s *Session) ObserveCopyAge(now float64) {
-	if s.copy.Len() == 0 {
+	cp := s.rx.Copy()
+	if cp.Len() == 0 {
 		return
 	}
 	if t := syncTel.Get(); t != nil {
-		_, t1 := s.copy.TimeSpan()
+		_, t1 := cp.TimeSpan()
 		age := now - t1
 		if age < 0 {
 			age = 0

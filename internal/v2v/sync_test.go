@@ -107,9 +107,9 @@ func TestSessionDeterministicPerSeed(t *testing.T) {
 	a, b := mk(), mk()
 	ra := runSync(a, 1e9, 100000)
 	rb := runSync(b, 1e9, 100000)
-	if ra != rb || a.applied != b.applied || a.Copy().Len() != b.Copy().Len() {
+	if ra != rb || a.rx.Applied() != b.rx.Applied() || a.Copy().Len() != b.Copy().Len() {
 		t.Fatalf("same seeds diverged: rounds %d vs %d, applied %d vs %d",
-			ra, rb, a.applied, b.applied)
+			ra, rb, a.rx.Applied(), b.rx.Applied())
 	}
 }
 

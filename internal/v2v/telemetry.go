@@ -16,6 +16,7 @@ type syncTelemetry struct {
 	rejected      *obs.Counter
 	acksSent      *obs.Counter
 	timeouts      *obs.Counter
+	epochResets   *obs.Counter
 	ackRTT        *obs.Histogram
 	copyAge       *obs.Histogram
 }
@@ -38,6 +39,8 @@ var syncTel = obs.NewView(func(r *obs.Registry) *syncTelemetry {
 			"cumulative-ack beacons transmitted"),
 		timeouts: r.Counter("rups_v2v_retransmit_timeouts_total",
 			"retransmission timer expiries (each backs off the RTO)"),
+		epochResets: r.Counter("rups_v2v_epoch_resets_total",
+			"receiver resyncs triggered by a peer announcing a new session epoch"),
 		// RTT spans one round (~4 ms) up to a fully backed-off timer (~4 s).
 		ackRTT: r.Histogram("rups_v2v_ack_rtt_seconds",
 			"round-trip from first transmission of a chunk to its cumulative ack", -10, 2),
